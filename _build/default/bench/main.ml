@@ -1,0 +1,118 @@
+(* Benchmark harness: regenerates every table and figure of the paper's
+   evaluation (see DESIGN.md's experiment index) on the simulated
+   AVX-512 machine, then runs Bechamel micro-benchmarks of the compiler
+   itself (pass time, shape analysis, rule verification, interpreter).
+
+   Usage: dune exec bench/main.exe [--] [fast]
+   "fast" skips the Bechamel wall-clock section. *)
+
+let pr fmt = Fmt.pr fmt
+
+let run_figures () =
+  pr "Parsimony reproduction benchmark harness@.";
+  pr "(simulated AVX-512-class machine; see lib/machine/cost.ml)@.";
+
+  (* -- Figure 4 -- *)
+  let f4 = Pharness.Figures.figure4 () in
+  Pharness.Figures.pp_table Fmt.stdout
+    ~title:"Figure 4: ispc benchmarks, speedup over LLVM auto-vectorization"
+    ~unit:"speedup factor vs auto-vectorized serial C" f4;
+  pr "summary: %s@." (Pharness.Figures.summary_figure4 f4);
+
+  (* -- Figure 5 -- *)
+  let f5 = Pharness.Figures.figure5 () in
+  Pharness.Figures.pp_table Fmt.stdout
+    ~title:
+      "Figure 5: 72 Simd Library benchmarks, speedup over LLVM scalar \
+       compilation"
+    ~unit:"speedup factor vs scalar (vectorization disabled)" f5;
+  pr "summary: %s@." (Pharness.Figures.summary_figure5 f5);
+
+  (* -- code size (paper §6: 7x reduction) -- *)
+  let cs = Pharness.Figures.code_size () in
+  pr "@.== Code size: Parsimony source vs intrinsics-style implementation ==@.";
+  pr "%-36s %12s %12s@." "kernel" "psim LoC" "hand instrs";
+  List.iter
+    (fun (n, p, h) ->
+      match h with
+      | Some h -> pr "%-36s %12d %12d@." n p h
+      | None -> pr "%-36s %12d %12s@." n p "-")
+    cs;
+  pr "summary: %s@." (Pharness.Figures.summary_code_size cs);
+
+  (* -- ablations (DESIGN.md design-choice index) -- *)
+  let ab = Pharness.Figures.ablations () in
+  Pharness.Figures.pp_table Fmt.stdout
+    ~title:"Ablations: slowdown vs default Parsimony configuration"
+    ~unit:"cycle ratio (>1 means the design choice matters)" ab;
+
+  (* -- compile time (paper §4.2.2: online checks are cheap) -- *)
+  pr "@.== Compile time ==@.%s@." (Pharness.Figures.compile_time_stats ())
+
+(* -- Bechamel micro-benchmarks of the toolchain itself -- *)
+
+let bechamel_benches () =
+  let open Bechamel in
+  let open Toolkit in
+  let sample_kernel =
+    List.find
+      (fun (k : Psimdlib.Workload.kernel) -> k.kname = "gaussian_blur_3x3")
+      Psimdlib.Registry.all
+  in
+  let compiled = Pfrontend.Lower.compile sample_kernel.psim_src in
+  let spmd_func =
+    List.find (fun f -> f.Pir.Func.spmd <> None) compiled.Pir.Func.funcs
+  in
+  let test_frontend =
+    Test.make ~name:"frontend: parse+lower gaussian_blur_3x3"
+      (Staged.stage (fun () ->
+           ignore (Pfrontend.Lower.compile sample_kernel.psim_src)))
+  in
+  let test_shapes =
+    Test.make ~name:"shape analysis (one SPMD function)"
+      (Staged.stage (fun () -> ignore (Pshapes.Shapes.analyze spmd_func)))
+  in
+  let test_vectorize =
+    Test.make ~name:"Parsimony pass (one SPMD function)"
+      (Staged.stage (fun () ->
+           ignore (Parsimony.Vectorizer.vectorize_func spmd_func)))
+  in
+  let test_rules =
+    Test.make ~name:"offline rule verification (sampled)"
+      (Staged.stage (fun () -> ignore (Psmt.Verify.check_all ())))
+  in
+  let test_interp =
+    Test.make ~name:"simulator: one vectorized kernel execution"
+      (Staged.stage (fun () ->
+           ignore
+             (Pharness.Runner.run sample_kernel
+                (Pharness.Runner.ParsimonyImpl Parsimony.Options.default))))
+  in
+  let benchmark test =
+    let instances = [ Instance.monotonic_clock ] in
+    let cfg = Benchmark.cfg ~limit:30 ~quota:(Time.second 0.5) ~kde:None () in
+    Benchmark.all cfg instances test
+  in
+  let analyze results =
+    let ols =
+      Analyze.ols ~bootstrap:0 ~r_square:false ~predictors:[| Measure.run |]
+    in
+    Analyze.all ols Instance.monotonic_clock results
+  in
+  pr "@.== Toolchain micro-benchmarks (Bechamel, wall clock) ==@.";
+  List.iter
+    (fun test ->
+      let results = analyze (benchmark test) in
+      Hashtbl.iter
+        (fun name ols ->
+          match Bechamel.Analyze.OLS.estimates ols with
+          | Some [ est ] -> pr "%-48s %12.1f ns/run@." name est
+          | _ -> pr "%-48s (no estimate)@." name)
+        results)
+    [ test_frontend; test_shapes; test_vectorize; test_rules; test_interp ]
+
+let () =
+  let fast = Array.exists (fun a -> a = "fast") Sys.argv in
+  run_figures ();
+  if not fast then bechamel_benches ();
+  pr "@.done.@."

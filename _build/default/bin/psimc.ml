@@ -1,0 +1,201 @@
+(* psimc — the Parsimony compiler driver.
+
+   Compiles PsimC source files through the reproduction tool-chain:
+
+     psimc build FILE.psim          type-check + vectorize, report stats
+     psimc ir FILE.psim             print the scalar PIR
+     psimc vec FILE.psim            print the vectorized PIR
+     psimc shapes FILE.psim         print shape analysis results
+     psimc run FILE.psim -e F ARGS  execute function F on the simulator
+     psimc autovec FILE.psim        run the auto-vectorizer baseline
+     psimc verify-rules             offline shape-rule verification *)
+
+open Cmdliner
+
+let read_file path =
+  let ic = open_in_bin path in
+  let n = in_channel_length ic in
+  let s = really_input_string ic n in
+  close_in ic;
+  s
+
+let compile_file ?(simplify = true) ~vectorize ~opts path =
+  let m = Pfrontend.Lower.compile ~name:(Filename.basename path) (read_file path) in
+  Panalysis.Check.check_module m;
+  let reports = if vectorize then Parsimony.Vectorizer.run_module ~opts m else [] in
+  if vectorize then Panalysis.Check.check_module m;
+  if simplify then Parsimony.Simplify.run_module m;
+  (m, reports)
+
+(* -- common options -- *)
+
+let file_arg =
+  Arg.(required & pos 0 (some file) None & info [] ~docv:"FILE" ~doc:"PsimC source file")
+
+let math_lib =
+  Arg.(
+    value
+    & opt (enum [ ("sleef", "sleef"); ("ispc", "ispc") ]) "sleef"
+    & info [ "math-lib" ] ~doc:"Vector math library to target (sleef or ispc)")
+
+let no_shapes =
+  Arg.(value & flag & info [ "no-shape-analysis" ] ~doc:"Disable shape analysis (ablation)")
+
+let boscc =
+  Arg.(value & flag & info [ "boscc" ] ~doc:"Branch on superword condition codes")
+
+let opts_term =
+  let mk math_lib no_shapes boscc =
+    {
+      Parsimony.Options.default with
+      math_lib;
+      shape_analysis = not no_shapes;
+      boscc;
+    }
+  in
+  Term.(const mk $ math_lib $ no_shapes $ boscc)
+
+(* -- subcommands -- *)
+
+let build_cmd =
+  let run opts file =
+    let _, reports = compile_file ~vectorize:true ~opts file in
+    List.iter
+      (fun r -> Fmt.pr "%a@." Parsimony.Vectorizer.pp_report r)
+      reports;
+    Fmt.pr "ok@."
+  in
+  Cmd.v (Cmd.info "build" ~doc:"Type-check and vectorize; print pass statistics")
+    Term.(const run $ opts_term $ file_arg)
+
+let ir_cmd =
+  let run file =
+    let m, _ = compile_file ~vectorize:false ~opts:Parsimony.Options.default file in
+    Fmt.pr "%a@." Pir.Printer.pp_module m
+  in
+  Cmd.v (Cmd.info "ir" ~doc:"Print the scalar PIR (before vectorization)")
+    Term.(const run $ file_arg)
+
+let vec_cmd =
+  let run opts file =
+    let m, _ = compile_file ~vectorize:true ~opts file in
+    Fmt.pr "%a@." Pir.Printer.pp_module m
+  in
+  Cmd.v (Cmd.info "vec" ~doc:"Print the vectorized PIR")
+    Term.(const run $ opts_term $ file_arg)
+
+let shapes_cmd =
+  let run file =
+    let m, _ = compile_file ~vectorize:false ~simplify:false ~opts:Parsimony.Options.default file in
+    List.iter
+      (fun (f : Pir.Func.t) ->
+        match f.spmd with
+        | None -> ()
+        | Some _ ->
+            Fmt.pr "@.%a" Pir.Printer.pp_func f;
+            let info = Pshapes.Shapes.analyze f in
+            Pir.Func.iter_instrs f (fun _ i ->
+                if i.Pir.Instr.ty <> Pir.Types.Void then
+                  Fmt.pr "  %%%d : %a@." i.id Pshapes.Shapes.pp_shape
+                    (Pshapes.Shapes.shape_of info (Pir.Instr.Var i.id)));
+            Fmt.pr "rules fired:@.";
+            Hashtbl.iter
+              (fun r n -> Fmt.pr "  %-24s %d@." r n)
+              info.Pshapes.Shapes.rule_hits)
+      m.funcs
+  in
+  Cmd.v
+    (Cmd.info "shapes"
+       ~doc:"Print per-value shape analysis results for SPMD functions")
+    Term.(const run $ file_arg)
+
+let autovec_cmd =
+  let run file =
+    let m = Pfrontend.Lower.compile ~name:file (read_file file) in
+    let reports = Pautovec.Autovec.run_module m in
+    List.iter (fun r -> Fmt.pr "%a@." Pautovec.Autovec.pp_report r) reports
+  in
+  Cmd.v
+    (Cmd.info "autovec" ~doc:"Run the loop auto-vectorizer baseline; report per-loop outcomes")
+    Term.(const run $ file_arg)
+
+let run_cmd =
+  let entry =
+    Arg.(
+      required
+      & opt (some string) None
+      & info [ "e"; "entry" ] ~docv:"FUNC" ~doc:"Function to execute")
+  in
+  let scalar =
+    Arg.(value & flag & info [ "scalar" ] ~doc:"Skip vectorization (SPMD reference executor)")
+  in
+  let args =
+    Arg.(
+      value & pos_right 0 string []
+      & info [] ~docv:"ARGS"
+          ~doc:
+            "Arguments: integers/floats passed directly; 'iN' allocates an \
+             N-element i32 buffer initialized 0..N-1 and passes its address \
+             (printed back after the run)")
+  in
+  let run opts file entry scalar args =
+    let m, _ =
+      compile_file ~vectorize:(not scalar) ~opts file
+    in
+    let t = Pmachine.Interp.create m in
+    let mem = t.Pmachine.Interp.mem in
+    let buffers = ref [] in
+    let parse_arg a =
+      if String.length a > 1 && a.[0] = 'i' then begin
+        let n = int_of_string (String.sub a 1 (String.length a - 1)) in
+        let addr =
+          Pmachine.Memory.alloc_array mem Pir.Types.I32
+            (Array.init n (fun i -> Pmachine.Value.I (Int64.of_int i)))
+        in
+        buffers := (addr, n) :: !buffers;
+        Pmachine.Value.I (Int64.of_int addr)
+      end
+      else if String.contains a '.' then Pmachine.Value.F (float_of_string a)
+      else Pmachine.Value.I (Int64.of_string a)
+    in
+    let vargs = List.map parse_arg args in
+    let result = Pmachine.Interp.run t entry vargs in
+    Fmt.pr "result: %a@." Pmachine.Value.pp result;
+    Fmt.pr "cycles: %.0f  instructions: %d (vector: %d)@."
+      t.Pmachine.Interp.stats.cycles t.Pmachine.Interp.stats.instrs
+      t.Pmachine.Interp.stats.vector_instrs;
+    List.iter
+      (fun (addr, n) ->
+        let vals = Pmachine.Memory.read_array mem Pir.Types.I32 addr n in
+        Fmt.pr "buffer@%d: %a@." addr
+          Fmt.(array ~sep:(any " ") Pmachine.Value.pp)
+          (Array.sub vals 0 (min n 32)))
+      (List.rev !buffers)
+  in
+  Cmd.v
+    (Cmd.info "run" ~doc:"Execute a function on the simulated machine")
+    Term.(const run $ opts_term $ file_arg $ entry $ scalar $ args)
+
+let verify_rules_cmd =
+  let exhaustive =
+    Arg.(value & flag & info [ "exhaustive" ] ~doc:"Exhaustive 8-bit base enumeration")
+  in
+  let run exhaustive =
+    let reports = Psmt.Verify.check_all ~exhaustive () in
+    List.iter (fun r -> Fmt.pr "%a@." Psmt.Verify.pp_report r) reports;
+    if Psmt.Verify.all_ok reports then Fmt.pr "all rules verified@."
+    else exit 1
+  in
+  Cmd.v
+    (Cmd.info "verify-rules"
+       ~doc:"Offline verification of the conditional shape-transformation rules")
+    Term.(const run $ exhaustive)
+
+let () =
+  Logs.set_reporter (Logs_fmt.reporter ());
+  let doc = "Parsimony SPMD compiler (CGO'23 reproduction)" in
+  let info = Cmd.info "psimc" ~version:"1.0" ~doc in
+  exit
+    (Cmd.eval
+       (Cmd.group info
+          [ build_cmd; ir_cmd; vec_cmd; shapes_cmd; autovec_cmd; run_cmd; verify_rules_cmd ]))

@@ -1,0 +1,1 @@
+examples/image_pipeline.ml: Array Fmt Int64 Option Parsimony Pharness Pir Pmachine Psimdlib Registry Workload

@@ -1,0 +1,1 @@
+examples/mandelbrot_render.ml: Array Fmt Int64 List Parsimony Pharness Pispc Pmachine Psimdlib String

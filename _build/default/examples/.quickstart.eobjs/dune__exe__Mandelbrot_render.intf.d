@@ -1,0 +1,1 @@
+examples/mandelbrot_render.mli:

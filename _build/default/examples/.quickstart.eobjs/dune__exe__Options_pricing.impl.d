@@ -1,0 +1,1 @@
+examples/options_pricing.ml: Array Fmt List Parsimony Pharness Pispc Pmachine Psimdlib

@@ -1,0 +1,1 @@
+examples/options_pricing.mli:

@@ -1,0 +1,1 @@
+examples/quickstart.ml: Array Fmt Int64 List Panalysis Parsimony Pfrontend Pir Pmachine

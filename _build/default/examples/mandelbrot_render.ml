@@ -1,0 +1,33 @@
+(* Mandelbrot rendered by the vectorized divergent loop — the classic
+   SPMD-on-SIMD demonstration (masked loop with per-lane exit).
+
+     dune exec examples/mandelbrot_render.exe *)
+
+let () =
+  let k =
+    List.find
+      (fun (k : Psimdlib.Workload.kernel) -> k.kname = "mandelbrot")
+      Pispc.Suite.all
+  in
+  let scalar = Pharness.Runner.run k Pharness.Runner.Scalar in
+  let vec =
+    Pharness.Runner.run k (Pharness.Runner.ParsimonyImpl Parsimony.Options.default)
+  in
+  let counts = List.assoc "counts" vec.outputs in
+  let w = 64 and h = 24 in
+  let shades = "  .:-=+*#%@" in
+  for y = 0 to h - 1 do
+    for x = 0 to w - 1 do
+      let it =
+        match counts.((y * w) + x) with
+        | Pmachine.Value.I v -> Int64.to_int v
+        | _ -> 0
+      in
+      let lvl = min (String.length shades - 1) (it * (String.length shades - 1) / 48) in
+      print_char shades.[lvl]
+    done;
+    print_newline ()
+  done;
+  Fmt.pr "@.scalar: %.0f cycles; parsimony: %.0f cycles (%.1fx)@."
+    scalar.cycles vec.cycles
+    (scalar.cycles /. vec.cycles)

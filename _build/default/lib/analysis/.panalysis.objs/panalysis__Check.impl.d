@@ -1,0 +1,1 @@
+lib/analysis/check.ml: Cfg Dom Fmt Hashtbl List Pir

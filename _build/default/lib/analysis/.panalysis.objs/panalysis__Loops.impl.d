@@ -1,0 +1,1 @@
+lib/analysis/loops.ml: Cfg Dom Hashtbl List Option Pir

@@ -1,0 +1,1 @@
+lib/analysis/regions.ml: Cfg Dom Fmt Hashtbl List Loops Pir

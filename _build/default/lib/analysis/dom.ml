@@ -1,0 +1,93 @@
+(** Dominator trees via the Cooper–Harvey–Kennedy iterative algorithm.
+
+    Also computes post-dominators (on the reversed CFG with a virtual
+    exit), which the region recovery uses to find join points of
+    conditionals. *)
+
+type t = {
+  idom : (string, string) Hashtbl.t;  (** entry maps to itself *)
+  order : (string, int) Hashtbl.t;  (** RPO index used for intersection *)
+  root : string;
+}
+
+let idom t name = Hashtbl.find_opt t.idom name
+
+(** [dominates t a b]: does [a] dominate [b]?  Reflexive. *)
+let dominates t a b =
+  let rec walk b = a = b || (b <> t.root && match idom t b with Some p -> walk p | None -> false) in
+  walk b
+
+let compute_generic ~root ~nodes_rpo ~preds : t =
+  let order = Hashtbl.create 16 in
+  List.iteri (fun i n -> Hashtbl.replace order n i) nodes_rpo;
+  let idom : (string, string) Hashtbl.t = Hashtbl.create 16 in
+  Hashtbl.replace idom root root;
+  let intersect a b =
+    let rec go a b =
+      if a = b then a
+      else
+        let ia = Hashtbl.find order a and ib = Hashtbl.find order b in
+        if ia > ib then go (Hashtbl.find idom a) b else go a (Hashtbl.find idom b)
+    in
+    go a b
+  in
+  let changed = ref true in
+  while !changed do
+    changed := false;
+    List.iter
+      (fun n ->
+        if n <> root then begin
+          let ps =
+            List.filter (fun p -> Hashtbl.mem idom p && Hashtbl.mem order p) (preds n)
+          in
+          match ps with
+          | [] -> ()
+          | first :: rest ->
+              let new_idom = List.fold_left intersect first rest in
+              if Hashtbl.find_opt idom n <> Some new_idom then begin
+                Hashtbl.replace idom n new_idom;
+                changed := true
+              end
+        end)
+      nodes_rpo
+  done;
+  { idom; order; root }
+
+(** Dominator tree of [cfg]. *)
+let compute (cfg : Cfg.t) : t =
+  compute_generic ~root:(Cfg.entry cfg) ~nodes_rpo:cfg.rpo
+    ~preds:(fun n -> Cfg.preds cfg n)
+
+(** The label used as the virtual exit node for post-dominance. *)
+let virtual_exit = "$exit"
+
+(** Post-dominator tree: dominators of the reversed CFG rooted at a
+    virtual exit connected to every [Ret]/[Unreachable] block. *)
+let compute_post (cfg : Cfg.t) : t =
+  let exits =
+    List.filter (fun n -> Cfg.succs cfg n = []) cfg.rpo
+  in
+  let rsuccs n = if n = virtual_exit then exits else Cfg.preds cfg n in
+  ignore rsuccs;
+  (* postorder of reversed graph from virtual exit *)
+  let visited = Hashtbl.create 16 in
+  let po = ref [] in
+  let rec dfs n =
+    if not (Hashtbl.mem visited n) then begin
+      Hashtbl.replace visited n ();
+      let ss = if n = virtual_exit then exits else Cfg.preds cfg n in
+      List.iter dfs ss;
+      po := n :: !po
+    end
+  in
+  dfs virtual_exit;
+  let rpreds n =
+    if n = virtual_exit then []
+    else
+      let direct = Cfg.succs cfg n in
+      if Cfg.succs cfg n = [] then [ virtual_exit ] else direct
+  in
+  compute_generic ~root:virtual_exit ~nodes_rpo:!po ~preds:rpreds
+
+(** Immediate post-dominator of [n] (may be [virtual_exit]). *)
+let ipostdom (pdom : t) n = idom pdom n

@@ -1,0 +1,105 @@
+(** Natural-loop discovery and induction-variable recognition.
+
+    Used by the auto-vectorizer baseline (loop legality and widening) and
+    by the structured-region recovery (identifying loop headers). *)
+
+type loop = {
+  header : string;
+  latches : string list;  (** sources of back edges into [header] *)
+  body : string list;  (** all blocks in the loop, including header *)
+  exits : (string * string) list;  (** (inside block, outside target) *)
+}
+
+type t = { loops : loop list; headers : (string, loop) Hashtbl.t }
+
+let find (cfg : Cfg.t) : t =
+  let dom = Dom.compute cfg in
+  (* back edge: n -> h where h dominates n *)
+  let back_edges =
+    List.filter (fun (n, h) -> Dom.dominates dom h n) (Cfg.edges cfg)
+  in
+  let by_header = Hashtbl.create 8 in
+  List.iter
+    (fun (n, h) ->
+      let cur = Option.value ~default:[] (Hashtbl.find_opt by_header h) in
+      Hashtbl.replace by_header h (cur @ [ n ]))
+    back_edges;
+  let loops =
+    Hashtbl.fold
+      (fun header latches acc ->
+        (* natural loop body: header + all nodes reaching a latch without
+           passing through the header *)
+        let body = Hashtbl.create 8 in
+        Hashtbl.replace body header ();
+        let rec pull n =
+          if not (Hashtbl.mem body n) then begin
+            Hashtbl.replace body n ();
+            List.iter pull (Cfg.preds cfg n)
+          end
+        in
+        List.iter pull latches;
+        let body_list =
+          List.filter (fun n -> Hashtbl.mem body n) cfg.Cfg.rpo
+        in
+        let exits =
+          List.concat_map
+            (fun n ->
+              List.filter_map
+                (fun s -> if Hashtbl.mem body s then None else Some (n, s))
+                (Cfg.succs cfg n))
+            body_list
+        in
+        { header; latches; body = body_list; exits } :: acc)
+      by_header []
+  in
+  let headers = Hashtbl.create 8 in
+  List.iter (fun l -> Hashtbl.replace headers l.header l) loops;
+  { loops; headers }
+
+let is_header t name = Hashtbl.mem t.headers name
+let loop_of_header t name = Hashtbl.find_opt t.headers name
+
+(** Innermost loops: loops whose body contains no other loop's header. *)
+let innermost t =
+  List.filter
+    (fun l ->
+      List.for_all (fun n -> n = l.header || not (is_header t n)) l.body)
+    t.loops
+
+(** A recognized induction variable: [phi] starting at [init] in the
+    preheader and advancing by constant [step] via [next] each
+    iteration. *)
+type ivar = { phi : int; init : Pir.Instr.operand; step : int64; next : int }
+
+(** Recognize induction variables of loop [l]: header phis of the form
+    [phi [preheader: init] [latch: %next]] where [%next = add %phi, c]
+    inside the loop. *)
+let induction_vars (cfg : Cfg.t) (l : loop) : ivar list =
+  let header_block = Cfg.block cfg l.header in
+  let defs = Hashtbl.create 16 in
+  List.iter
+    (fun bn ->
+      let b = Cfg.block cfg bn in
+      List.iter (fun (i : Pir.Instr.instr) -> Hashtbl.replace defs i.id i) b.instrs)
+    l.body;
+  List.filter_map
+    (fun (i : Pir.Instr.instr) ->
+      match i.op with
+      | Pir.Instr.Phi incoming when List.length incoming = 2 -> (
+          let in_loop l' = List.mem l' l.body in
+          let init_in, next_in =
+            List.partition (fun (lbl, _) -> not (in_loop lbl)) incoming
+          in
+          match (init_in, next_in) with
+          | [ (_, init) ], [ (_, Pir.Instr.Var next) ] -> (
+              match Hashtbl.find_opt defs next with
+              | Some { op = Pir.Instr.Ibin (Pir.Instr.Add, Var p, Const (Cint (_, c))); _ }
+                when p = i.id ->
+                  Some { phi = i.id; init; step = c; next }
+              | Some { op = Pir.Instr.Ibin (Pir.Instr.Add, Const (Cint (_, c)), Var p); _ }
+                when p = i.id ->
+                  Some { phi = i.id; init; step = c; next }
+              | _ -> None)
+          | _ -> None)
+      | _ -> None)
+    header_block.instrs

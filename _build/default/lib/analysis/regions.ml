@@ -1,0 +1,108 @@
+(** Structured-region recovery.
+
+    The Parsimony vectorizer assumes structured control flow (paper
+    §4.2.1 relies on LLVM's structurizer; unstructured flow would need
+    partial linearization).  Our front-end emits structured CFGs by
+    construction; this module recovers the region tree — sequences,
+    if-then-else with a join, and single-exit while loops — and fails
+    with [Unstructured] otherwise.  Join points are located with the
+    post-dominator tree. *)
+
+type region =
+  | Basic of Pir.Func.block
+      (** straight-line code; the parent handles its terminator *)
+  | If of {
+      cond : Pir.Instr.operand;  (** computed at the end of the preceding block *)
+      then_ : region list;
+      else_ : region list;
+      join : string;
+    }
+  | Loop of {
+      header : Pir.Func.block;  (** phis + exit condition, re-entered per iteration *)
+      cond : Pir.Instr.operand;  (** loop continues while true *)
+      body : region list;
+      exit : string;
+    }
+
+exception Unstructured of string
+
+let fail fmt = Fmt.kstr (fun s -> raise (Unstructured s)) fmt
+
+type tree = { entry_regions : region list; ret_block : string }
+
+(** Recover the region tree of [f].  The function must end in exactly the
+    structured shapes produced by the front-end. *)
+let of_func (f : Pir.Func.t) : region list =
+  let cfg = Cfg.build f in
+  let loops = Loops.find cfg in
+  let pdom = Dom.compute_post cfg in
+  let visited = Hashtbl.create 16 in
+  let visit name =
+    if Hashtbl.mem visited name then fail "block %s visited twice" name;
+    Hashtbl.replace visited name ()
+  in
+  (* Build the sequence of regions starting at [cur], stopping when
+     control reaches [stop] (exclusive). *)
+  let rec build cur stop : region list =
+    if Some cur = stop then []
+    else
+      let b = Cfg.block cfg cur in
+      match Loops.loop_of_header loops cur with
+      | Some l -> (
+          visit cur;
+          match b.term with
+          | Pir.Instr.CondBr (c, body_l, exit_l)
+            when List.mem body_l l.body && not (List.mem exit_l l.body) ->
+              let body = build body_l (Some cur) in
+              Loop { header = b; cond = c; body; exit = exit_l }
+              :: build exit_l stop
+          | Pir.Instr.CondBr (c, exit_l, body_l)
+            when List.mem body_l l.body && not (List.mem exit_l l.body) ->
+              (* inverted form: continue on false — normalize by treating
+                 the negation as the continue condition is not possible
+                 without inserting code, so reject; the front-end always
+                 emits continue-on-true. *)
+              ignore (c, exit_l, body_l);
+              fail "loop %s: continue-on-false header" cur
+          | _ -> fail "loop header %s has unexpected terminator" cur)
+      | None -> (
+          visit cur;
+          match b.term with
+          | Pir.Instr.Ret _ | Pir.Instr.Unreachable -> [ Basic b ]
+          | Pir.Instr.Br next -> Basic b :: build next stop
+          | Pir.Instr.CondBr (c, t, e) ->
+              let join =
+                match Dom.ipostdom pdom cur with
+                | Some j when j <> Dom.virtual_exit -> j
+                | _ -> fail "no join for conditional at %s" cur
+              in
+              let then_ = build t (Some join) in
+              let else_ = build e (Some join) in
+              Basic b :: If { cond = c; then_; else_; join } :: build join stop)
+  in
+  match f.blocks with
+  | [] -> fail "empty function"
+  | entry :: _ -> build entry.bname None
+
+(** All [Basic]/header blocks of a region list, in order. *)
+let rec blocks_of_regions rs =
+  List.concat_map
+    (function
+      | Basic b -> [ b ]
+      | If { then_; else_; _ } ->
+          blocks_of_regions then_ @ blocks_of_regions else_
+      | Loop { header; body; _ } -> header :: blocks_of_regions body)
+    rs
+
+let rec pp_region ppf = function
+  | Basic b -> Fmt.pf ppf "block %s" b.Pir.Func.bname
+  | If { then_; else_; join; _ } ->
+      Fmt.pf ppf "@[<v 2>if {%a} else {%a} join %s@]"
+        Fmt.(list ~sep:(any "; ") pp_region)
+        then_
+        Fmt.(list ~sep:(any "; ") pp_region)
+        else_ join
+  | Loop { header; body; exit; _ } ->
+      Fmt.pf ppf "@[<v 2>loop %s {%a} exit %s@]" header.Pir.Func.bname
+        Fmt.(list ~sep:(any "; ") pp_region)
+        body exit

@@ -1,0 +1,1 @@
+lib/autovec/autovec.ml: Array Fmt Func Hashtbl Instr Int64 Intrinsics List Option Panalysis Pir Printer Types

@@ -1,0 +1,1 @@
+lib/backend/legalize.ml: Array Fmt Func Hashtbl Instr Int64 List Option Pir Printer Types

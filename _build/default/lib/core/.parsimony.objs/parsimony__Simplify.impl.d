@@ -1,0 +1,1 @@
+lib/core/simplify.ml: Fmt Func Hashtbl Instr Intrinsics List Option Pir Printer Types

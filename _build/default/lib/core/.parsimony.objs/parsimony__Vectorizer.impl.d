@@ -1,0 +1,1 @@
+lib/core/vectorizer.ml: Array Builder Fmt Func Hashtbl Instr Int64 Intrinsics Ints List Logs Option Options Panalysis Pir Printer Pshapes Types

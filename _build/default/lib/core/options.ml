@@ -1,0 +1,45 @@
+(** Configuration of the Parsimony vectorization pass.
+
+    The defaults match the paper's prototype.  The other knobs exist for
+    the ablation study in the benchmark harness (DESIGN.md): each
+    corresponds to a design choice §4.2 calls out. *)
+
+type t = {
+  math_lib : string;
+      (** vector math library the pass targets: ["sleef"] (Parsimony
+          prototype) or ["ispc"] (ispc's built-in SIMD math library).
+          The two differ only in the cost of [pow] (paper §6). *)
+  shape_analysis : bool;
+      (** ablation: with [false], every value is treated as varying, so
+          all memory accesses become gathers/scatters and no branch stays
+          scalar (paper §4.2.2 explains why this is disastrous). *)
+  stride_shuffle_bound : int;
+      (** convert strided loads into packed loads + shuffles when the
+          accessed span fits within this multiple of the gang size;
+          [0] disables the optimization (then strided -> gather).
+          The paper's implementation uses 4. *)
+  uniform_branches : bool;
+      (** ablation: with [false], uniform conditions are broadcast and
+          linearized like varying ones instead of staying scalar
+          branches. *)
+  boscc : bool;
+      (** branch-on-superword-condition: guard linearized regions with a
+          runtime "any lane active?" check (the explicit variant of
+          ispc's [cif], paper §4.2.3). *)
+}
+
+let default =
+  {
+    math_lib = "sleef";
+    shape_analysis = true;
+    stride_shuffle_bound = 4;
+    uniform_branches = true;
+    boscc = false;
+  }
+
+(** ispc-mode: the same vectorizer driven gang-synchronously.  Because
+    Parsimony code is already synchronized explicitly, the only
+    observable difference is the math library (paper §6: "This
+    performance difference is not inherent to the ispc or Parsimony SPMD
+    design choices"). *)
+let ispc = { default with math_lib = "ispc" }

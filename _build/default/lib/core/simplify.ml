@@ -1,0 +1,378 @@
+(** Block-local common-subexpression elimination and dead-code
+    elimination.
+
+    The paper's pipeline hands the vectorizer's output "to any number of
+    other optimization passes and then to the unmodified compiler
+    back-end" (§4.3); this pass models the parts of -O3 that matter for
+    the emitted vector code: merging identical packed loads produced by
+    neighbouring strided accesses, de-duplicating broadcast/offset
+    materializations, and dropping unused scalar bases.  It is applied
+    to every compilation strategy (the scalar baseline is -O3 with
+    vectorization disabled, so it gets the same cleanups). *)
+
+open Pir
+
+(* value-numbering key: the operation with its operands; loads also carry
+   the memory epoch so stores/calls invalidate them *)
+type key = { op_repr : string; epoch : int }
+
+let pure (i : Instr.instr) =
+  match i.op with
+  | Instr.Store _ | Instr.VStore _ | Instr.Scatter _ | Instr.Call _
+  | Instr.Alloca _ | Instr.Phi _ ->
+      false
+  | _ -> true
+
+let is_load (i : Instr.instr) =
+  match i.op with
+  | Instr.Load _ | Instr.VLoad _ | Instr.Gather _ -> true
+  | _ -> false
+
+let barrier (i : Instr.instr) =
+  match i.op with
+  | Instr.Store _ | Instr.VStore _ | Instr.Scatter _ -> true
+  | Instr.Call (n, _) ->
+      (* math/psim intrinsics do not write memory *)
+      not
+        (Intrinsics.is_math n || Intrinsics.is_sleef n || Intrinsics.is_ispc n
+       || Intrinsics.is_psim n)
+  | _ -> false
+
+let cse_block (f : Func.t) (blk : Func.block) (rewrites : (int, Instr.operand) Hashtbl.t) =
+  let table : (key, Instr.operand) Hashtbl.t = Hashtbl.create 64 in
+  let epoch = ref 0 in
+  let rewrite_operand (o : Instr.operand) =
+    match o with
+    | Instr.Var v -> (
+        match Hashtbl.find_opt rewrites v with Some o' -> o' | None -> o)
+    | _ -> o
+  in
+  let out = ref [] in
+  List.iter
+    (fun (i : Instr.instr) ->
+      let op = Instr.map_operands rewrite_operand i.op in
+      let i = { i with op } in
+      if pure i then begin
+        let k =
+          {
+            op_repr = Fmt.str "%a|%a" Printer.pp_op op Types.pp i.ty;
+            epoch = (if is_load i then !epoch else -1);
+          }
+        in
+        match Hashtbl.find_opt table k with
+        | Some prev -> Hashtbl.replace rewrites i.id prev
+        | None ->
+            Hashtbl.replace table k (Instr.Var i.id);
+            out := i :: !out
+      end
+      else begin
+        if barrier i then incr epoch;
+        out := i :: !out
+      end)
+    blk.instrs;
+  blk.instrs <- List.rev !out;
+  blk.term <- Instr.map_term_operands rewrite_operand blk.term;
+  ignore f
+
+(* rewrite phi operands too (they may reference CSE'd values from
+   predecessor blocks) *)
+let apply_rewrites (f : Func.t) (rewrites : (int, Instr.operand) Hashtbl.t) =
+  let rec resolve (o : Instr.operand) =
+    match o with
+    | Instr.Var v -> (
+        match Hashtbl.find_opt rewrites v with
+        | Some o' when o' <> o -> resolve o'
+        | _ -> o)
+    | _ -> o
+  in
+  List.iter
+    (fun (b : Func.block) ->
+      b.instrs <-
+        List.map
+          (fun (i : Instr.instr) -> { i with op = Instr.map_operands resolve i.op })
+          b.instrs;
+      b.term <- Instr.map_term_operands resolve b.term)
+    f.blocks
+
+(* -- dead code elimination -- *)
+
+let dce (f : Func.t) =
+  let live : (int, unit) Hashtbl.t = Hashtbl.create 64 in
+  let changed = ref true in
+  while !changed do
+    changed := false;
+    List.iter
+      (fun (b : Func.block) ->
+        List.iter
+          (fun (i : Instr.instr) ->
+            let root =
+              (not (pure i)) || Hashtbl.mem live i.id
+            in
+            if root then
+              List.iter
+                (fun u ->
+                  if not (Hashtbl.mem live u) then begin
+                    Hashtbl.replace live u ();
+                    changed := true
+                  end)
+                (Instr.uses_of_op i.op))
+          b.instrs;
+        List.iter
+          (function
+            | Instr.Var v ->
+                if not (Hashtbl.mem live v) then begin
+                  Hashtbl.replace live v ();
+                  changed := true
+                end
+            | _ -> ())
+          (Instr.operands_of_term b.term))
+      f.blocks
+  done;
+  List.iter
+    (fun (b : Func.block) ->
+      b.instrs <-
+        List.filter
+          (fun (i : Instr.instr) -> (not (pure i)) || Hashtbl.mem live i.id)
+          b.instrs)
+    f.blocks
+
+(* -- store coalescing --
+
+   Interleaved SPMD stores (e.g. [dst[4i+c] = ...] for each channel c)
+   vectorize into several masked packed stores per memory chunk with
+   disjoint constant masks.  Real back-ends merge these into one store
+   per chunk (blend + single [vmovdqu]); we do the same for masked
+   [VStore]s whose address is [gep base, const] with equal (base, const)
+   keys.  Chunks at different constant offsets of the same base are
+   provably disjoint (offsets differ by at least the lane count), and
+   any load or unanalyzable access flushes the window. *)
+
+let coalesce_stores_block (f : Func.t) (blk : Func.block) =
+  let const_of (o : Instr.operand) = Instr.const_int_value o in
+  let key_of (i : Instr.instr) =
+    match i.op with
+    | Instr.VStore (v, p, Some m) -> (
+        let base_off =
+          match p with
+          | Instr.Var pv -> (
+              match
+                List.find_opt (fun (j : Instr.instr) -> j.id = pv) blk.instrs
+              with
+              | Some { op = Instr.Gep (base, idx); _ } -> (
+                  match const_of idx with
+                  | Some c -> Some (Fmt.str "%a" Printer.pp_operand base, c)
+                  | None -> None)
+              | _ -> Some (Fmt.str "%a" Printer.pp_operand p, 0L))
+          | _ -> None
+        in
+        match base_off with Some (b, c) -> Some (b, c, v, p, m) | None -> None)
+    | _ -> None
+  in
+  (* pending.(key) = id of the previous mergeable store *)
+  let pending : (string * int64, int) Hashtbl.t = Hashtbl.create 8 in
+  let removed : (int, unit) Hashtbl.t = Hashtbl.create 8 in
+  let find_instr id =
+    List.find (fun (j : Instr.instr) -> j.id = id) blk.instrs
+  in
+  let out = ref [] in
+  List.iter
+    (fun (i : Instr.instr) ->
+      match key_of i with
+      | Some (bk, off, v2, p, m2) -> (
+          match Hashtbl.find_opt pending (bk, off) with
+          | Some prev_id when not (Hashtbl.mem removed prev_id) -> (
+              match (find_instr prev_id).op with
+              | Instr.VStore (v1, _, Some m1) ->
+                  Hashtbl.replace removed prev_id ();
+                  (* merged value: lanes of the later store win *)
+                  let vty = Func.ty_of_operand f v2 in
+                  let mty = Func.ty_of_operand f m2 in
+                  let sel = Func.fresh_id f in
+                  Func.set_ty f sel vty;
+                  let orm = Func.fresh_id f in
+                  Func.set_ty f orm mty;
+                  out :=
+                    { Instr.id = Func.fresh_id f; ty = Types.Void;
+                      op = Instr.VStore (Instr.Var sel, p, Some (Instr.Var orm)) }
+                    :: { Instr.id = orm; ty = mty; op = Instr.Ibin (Instr.Or, m1, m2) }
+                    :: { Instr.id = sel; ty = vty; op = Instr.Select (m2, v2, v1) }
+                    :: !out;
+                  Hashtbl.replace pending (bk, off)
+                    (match !out with x :: _ -> x.Instr.id | [] -> assert false)
+              | _ ->
+                  out := i :: !out;
+                  Hashtbl.replace pending (bk, off) i.id)
+          | _ ->
+              out := i :: !out;
+              Hashtbl.replace pending (bk, off) i.id)
+      | None ->
+          (match i.op with
+          | Instr.Load _ | Instr.VLoad _ | Instr.Gather _ | Instr.Store _
+          | Instr.Scatter _ | Instr.Call _ | Instr.VStore _ ->
+              Hashtbl.reset pending
+          | _ -> ());
+          out := i :: !out)
+    blk.instrs;
+  (* drop merged-away stores *)
+  blk.instrs <-
+    List.filter (fun (i : Instr.instr) -> not (Hashtbl.mem removed i.id)) (List.rev !out)
+
+let coalesce_stores (f : Func.t) =
+  List.iter (coalesce_stores_block f) f.blocks
+
+(* -- constant branch folding + unreachable block pruning --
+
+   Specialized gang copies (head/tail extraction, paper §3) fold
+   psim_is_head_gang / psim_is_tail_gang to constants; folding the
+   branches then removes the boundary-check code from the non-boundary
+   copies entirely. *)
+
+let fold_branches (f : Func.t) =
+  List.iter
+    (fun (b : Func.block) ->
+      match b.term with
+      | Instr.CondBr (Instr.Const (Instr.Cint (_, c)), t, e) ->
+          b.term <- Instr.Br (if c <> 0L then t else e)
+      | Instr.CondBr (_, t, e) when t = e -> b.term <- Instr.Br t
+      | _ -> ())
+    f.blocks
+
+let prune_unreachable (f : Func.t) =
+  match f.blocks with
+  | [] -> ()
+  | entry :: _ ->
+      let reachable = Hashtbl.create 16 in
+      let rec dfs name =
+        if not (Hashtbl.mem reachable name) then begin
+          Hashtbl.replace reachable name ();
+          match List.find_opt (fun (b : Func.block) -> b.bname = name) f.blocks with
+          | Some b -> List.iter dfs (Func.successors b)
+          | None -> ()
+        end
+      in
+      dfs entry.bname;
+      f.blocks <-
+        List.filter (fun (b : Func.block) -> Hashtbl.mem reachable b.bname) f.blocks;
+      (* drop phi incomings from removed predecessors; a phi left with a
+         single incoming becomes a copy (rewritten by CSE on the next
+         pass; here we substitute directly) *)
+      let copies = Hashtbl.create 8 in
+      List.iter
+        (fun (b : Func.block) ->
+          let preds =
+            List.filter_map
+              (fun (p : Func.block) ->
+                if List.mem b.bname (Func.successors p) then Some p.bname else None)
+              f.blocks
+          in
+          b.instrs <-
+            List.filter_map
+              (fun (i : Instr.instr) ->
+                match i.op with
+                | Instr.Phi incoming -> (
+                    let incoming =
+                      List.filter (fun (l, _) -> List.mem l preds) incoming
+                    in
+                    match incoming with
+                    | [ (_, v) ] ->
+                        Hashtbl.replace copies i.id v;
+                        None
+                    | _ -> Some { i with op = Instr.Phi incoming })
+                | _ -> Some i)
+              b.instrs)
+        f.blocks;
+      if Hashtbl.length copies > 0 then begin
+        let rec resolve (o : Instr.operand) =
+          match o with
+          | Instr.Var v -> (
+              match Hashtbl.find_opt copies v with
+              | Some o' when o' <> o -> resolve o'
+              | Some o' -> o'
+              | None -> o)
+          | _ -> o
+        in
+        List.iter
+          (fun (b : Func.block) ->
+            b.instrs <-
+              List.map
+                (fun (i : Instr.instr) ->
+                  { i with op = Instr.map_operands resolve i.op })
+                b.instrs;
+            b.term <- Instr.map_term_operands resolve b.term)
+          f.blocks
+      end
+
+(* merge straight-line block chains: [A -> br B] where B's only
+   predecessor is A (no phis) folds B into A *)
+let merge_blocks (f : Func.t) =
+  let changed = ref true in
+  while !changed do
+    changed := false;
+    let pred_count = Hashtbl.create 16 in
+    List.iter
+      (fun (b : Func.block) ->
+        List.iter
+          (fun s ->
+            Hashtbl.replace pred_count s
+              (1 + Option.value ~default:0 (Hashtbl.find_opt pred_count s)))
+          (Func.successors b))
+      f.blocks;
+    let entry_name = (Func.entry f).bname in
+    (* merge at most one pair per round: predecessor counts go stale as
+       soon as a merge happens *)
+    let merged_this_round = ref false in
+    List.iter
+      (fun (a : Func.block) ->
+        if not !merged_this_round then
+          match a.term with
+          | Instr.Br bn when bn <> entry_name && bn <> a.bname -> (
+              match List.find_opt (fun (b : Func.block) -> b.bname = bn) f.blocks with
+              | Some b
+                when Hashtbl.find_opt pred_count bn = Some 1
+                     && not
+                          (List.exists
+                             (fun (i : Instr.instr) ->
+                               match i.op with Instr.Phi _ -> true | _ -> false)
+                             b.instrs) ->
+                  a.instrs <- a.instrs @ b.instrs;
+                  a.term <- b.term;
+                  f.blocks <- List.filter (fun (x : Func.block) -> x != b) f.blocks;
+                  (* phis in b's successors refer to b by name: retarget *)
+                  List.iter
+                    (fun (s : Func.block) ->
+                      s.instrs <-
+                        List.map
+                          (fun (i : Instr.instr) ->
+                            match i.op with
+                            | Instr.Phi inc ->
+                                {
+                                  i with
+                                  op =
+                                    Instr.Phi
+                                      (List.map
+                                         (fun (l, v) ->
+                                           ((if l = bn then a.bname else l), v))
+                                         inc);
+                                }
+                            | _ -> i)
+                          s.instrs)
+                    f.blocks;
+                  merged_this_round := true;
+                  changed := true
+              | _ -> ())
+          | _ -> ())
+      f.blocks
+  done
+
+(** Run local CSE + DCE on a function, in place. *)
+let run_func (f : Func.t) =
+  let rewrites = Hashtbl.create 64 in
+  List.iter (fun b -> cse_block f b rewrites) f.blocks;
+  apply_rewrites f rewrites;
+  fold_branches f;
+  prune_unreachable f;
+  merge_blocks f;
+  coalesce_stores f;
+  dce f
+
+let run_module (m : Func.modul) = List.iter run_func m.funcs

@@ -1,0 +1,1 @@
+lib/frontend/desugar.ml: Ast Fmt List Option

@@ -1,0 +1,1 @@
+lib/frontend/inline.ml: Ast Fmt List Option

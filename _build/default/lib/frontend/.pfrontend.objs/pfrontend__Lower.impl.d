@@ -1,0 +1,1 @@
+lib/frontend/lower.ml: Ast Desugar Fmt Hashtbl Inline Int64 List Map Option Parser Pir String

@@ -1,0 +1,104 @@
+(** Abstract syntax of PsimC, the C-like SPMD language of the front-end.
+
+    PsimC plays the role of "Parsimony-enabled C++" in the paper
+    (Listing 5): standard serial C-like code plus the [psim] construct
+    that opens an SPMD region with an explicit gang size and thread
+    count, and the [psim_*] API. *)
+
+type pos = { line : int; col : int }
+
+let pp_pos ppf p = Fmt.pf ppf "%d:%d" p.line p.col
+
+(** Source types.  Signedness lives here (PIR operations encode it, PIR
+    types do not, as in LLVM). *)
+type ty =
+  | TInt of int * bool  (** width in bits, signed? *)
+  | TFloat of int  (** 32 or 64 *)
+  | TBool
+  | TPtr of ty
+  | TVoid
+
+let rec pp_ty ppf = function
+  | TInt (w, true) -> Fmt.pf ppf "int%d" w
+  | TInt (w, false) -> Fmt.pf ppf "uint%d" w
+  | TFloat w -> Fmt.pf ppf "float%d" w
+  | TBool -> Fmt.string ppf "bool"
+  | TPtr t -> Fmt.pf ppf "%a*" pp_ty t
+  | TVoid -> Fmt.string ppf "void"
+
+let ty_to_string t = Fmt.str "%a" pp_ty t
+
+type binop =
+  | Add
+  | Sub
+  | Mul
+  | Div
+  | Rem
+  | BAnd
+  | BOr
+  | BXor
+  | Shl
+  | Shr
+  | Lt
+  | Gt
+  | Le
+  | Ge
+  | Eq
+  | Ne
+  | LAnd  (** short-circuit *)
+  | LOr
+
+type unop = Neg | LNot | BNot
+
+type expr = { e : expr_kind; pos : pos }
+
+and expr_kind =
+  | IntLit of int64
+  | FloatLit of float
+  | BoolLit of bool
+  | Ident of string
+  | Bin of binop * expr * expr
+  | Un of unop * expr
+  | Cast of ty * expr
+  | Call of string * expr list
+  | Index of expr * expr  (** p[i] as an rvalue *)
+  | Ternary of expr * expr * expr  (** c ? a : b *)
+
+type lvalue =
+  | LIdent of string
+  | LIndex of expr * expr  (** p[i] as a store target *)
+
+type stmt = { s : stmt_kind; spos : pos }
+
+and stmt_kind =
+  | Decl of ty * string * expr
+  | DeclArr of ty * string * int
+      (** local array: [float32 v[17];] — per-thread private storage *)
+  | Assign of lvalue * expr
+  | If of expr * stmt list * stmt list
+  | While of expr * stmt list
+  | For of stmt option * expr * stmt option * stmt list
+  | Break
+  | Continue
+  | Return of expr option
+  | ExprStmt of expr
+  | Block of stmt list
+  | Psim of { gang_size : expr; num_threads : expr; body : stmt list }
+
+type param = { pname : string; pty : ty; restrict : bool }
+
+type func = {
+  fname : string;
+  params : param list;
+  ret : ty;
+  body : stmt list;
+  inline : bool;
+}
+
+type program = func list
+
+(* -- convenience constructors used by the desugarer -- *)
+
+let no_pos = { line = 0; col = 0 }
+let mk_e e = { e; pos = no_pos }
+let mk_s s = { s = s; spos = no_pos }

@@ -1,0 +1,129 @@
+(** AST normalization before lowering.
+
+    The vectorizer's region recovery expects canonical structured loops:
+    a single header block holding the phis and a trivial continue
+    condition, with a single back edge.  This pass rewrites the AST so
+    lowering can emit exactly that shape:
+
+    - [for] loops become [while] loops (with the increment guarded so
+      [continue] still reaches it);
+    - [break]/[continue] become boolean flags plus guard [if]s — the
+      scalar code stays sequentially correct, and the vectorizer sees
+      only single-exit loops (its masks subsume the flags);
+    - loops whose condition is not trivial (short-circuit operators,
+      memory reads, calls) are rotated: the condition is evaluated
+      *inside* the body under proper control flow, and the header tests
+      only a flag.  This preserves C short-circuit safety (e.g.
+      [while (i < n && a[i])]) without multi-block loop headers. *)
+
+open Ast
+
+let fresh =
+  let n = ref 0 in
+  fun prefix ->
+    incr n;
+    Fmt.str "$%s%d" prefix !n
+
+(* does evaluating [e] require control flow or memory access? *)
+let rec trivial_expr (e : expr) =
+  match e.e with
+  | IntLit _ | FloatLit _ | BoolLit _ | Ident _ -> true
+  | Un (_, a) -> trivial_expr a
+  | Cast (_, a) -> trivial_expr a
+  | Bin ((LAnd | LOr), _, _) -> false
+  | Bin (_, a, b) -> trivial_expr a && trivial_expr b
+  | Call _ | Index _ | Ternary _ -> false
+
+(* statements that can transfer control out of the *current* loop level
+   (not counting nested loops, which consume their own jumps) *)
+let rec may_jump (s : stmt) =
+  match s.s with
+  | Break | Continue -> true
+  | If (_, a, b) -> List.exists may_jump a || List.exists may_jump b
+  | Block ss -> List.exists may_jump ss
+  | While _ | For _ | Psim _ -> false
+  | _ -> false
+
+let bool_lit v = mk_e (BoolLit v)
+let not_ e = mk_e (Un (LNot, e))
+let ident x = mk_e (Ident x)
+let assign x v = mk_s (Assign (LIdent x, v))
+let decl_bool x v = mk_s (Decl (TBool, x, bool_lit v))
+
+let rec desugar_stmts (ss : stmt list) : stmt list =
+  List.concat_map desugar_stmt ss
+
+and desugar_stmt (s : stmt) : stmt list =
+  match s.s with
+  | If (c, a, b) -> [ { s with s = If (c, desugar_stmts a, desugar_stmts b) } ]
+  | Block ss -> [ { s with s = Block (desugar_stmts ss) } ]
+  | Psim p -> [ { s with s = Psim { p with body = desugar_stmts p.body } } ]
+  | For (init, cond, incr, body) ->
+      (* continue must still execute the increment, so the increment is
+         appended inside the loop guarded only by the break flag *)
+      let incr_stmts = Option.to_list incr in
+      let while_stmt = mk_s (While (cond, body @ incr_stmts)) in
+      let jumps = List.exists may_jump body in
+      if jumps then
+        (* re-desugar as a while, but the increment must run on continue
+           and not on break: handled by the flag machinery below with the
+           increment marked as the loop's footer *)
+        Option.to_list init @ desugar_loop cond body ~footer:incr_stmts
+      else Option.to_list init @ desugar_stmt while_stmt
+  | While (cond, body) ->
+      if List.exists may_jump body || not (trivial_expr cond) then
+        desugar_loop cond body ~footer:[]
+      else [ { s with s = While (cond, desugar_stmts body) } ]
+  | _ -> [ s ]
+
+(* canonical loop: a break flag in the header, the real condition
+   evaluated inside, body guarded by a per-iteration continue flag, and
+   an optional footer (for-loop increment) that runs unless broken *)
+and desugar_loop cond body ~footer : stmt list =
+  let brk = fresh "brk" and cont = fresh "cont" in
+  let body' = guard_jumps ~brk ~cont (desugar_stmts body) in
+  let footer' = desugar_stmts footer in
+  [
+    decl_bool brk false;
+    mk_s
+      (While
+         ( not_ (ident brk),
+           [
+             mk_s (If (cond, [], [ assign brk (bool_lit true) ]));
+             mk_s
+               (If
+                  ( not_ (ident brk),
+                    [ decl_bool cont false; mk_s (Block body') ]
+                    @ (if footer' = [] then []
+                       else
+                         [ mk_s (If (not_ (ident brk), footer', [])) ]),
+                    [] ));
+           ] ));
+  ]
+
+(* rewrite break/continue at this loop level into flag updates, guarding
+   every statement that follows a potential jump *)
+and guard_jumps ~brk ~cont (ss : stmt list) : stmt list =
+  match ss with
+  | [] -> []
+  | s :: rest ->
+      let s' = xform_jump ~brk ~cont s in
+      let rest' = guard_jumps ~brk ~cont rest in
+      if may_jump s && rest' <> [] then
+        s' @ [ mk_s (If (not_ (ident cont), rest', [])) ]
+      else s' @ rest'
+
+and xform_jump ~brk ~cont (s : stmt) : stmt list =
+  match s.s with
+  | Break -> [ assign brk (bool_lit true); assign cont (bool_lit true) ]
+  | Continue -> [ assign cont (bool_lit true) ]
+  | If (c, a, b) ->
+      [ { s with s = If (c, guard_jumps ~brk ~cont a, guard_jumps ~brk ~cont b) } ]
+  | Block ss -> [ { s with s = Block (guard_jumps ~brk ~cont ss) } ]
+  | While _ | For _ ->
+      (* nested loop: its jumps are its own; it is already desugared *)
+      [ s ]
+  | _ -> [ s ]
+
+let desugar_func (f : func) : func = { f with body = desugar_stmts f.body }
+let desugar_program (p : program) : program = List.map desugar_func p

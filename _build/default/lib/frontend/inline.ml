@@ -1,0 +1,246 @@
+(** AST-level inlining of user function calls.
+
+    The paper's prototype relies on the standard optimizer to re-inline
+    extracted/vectorized functions; here we inline user calls before
+    lowering so the vectorizer sees whole regions (calls that cannot be
+    inlined — out-of-module or multi-return — are left in place and the
+    vectorizer serializes them per §4.2.3).
+
+    Works in two steps on desugared ASTs:
+
+    + *hoisting*: every user-function call is lifted into its own
+      [Decl (ty, tmp, call)] statement (or left as a bare [ExprStmt] for
+      void calls), so calls appear only in statement position;
+    + *expansion*: those statements are replaced by the callee's body
+      with parameters bound to fresh locals and every local renamed
+      fresh.  A callee is inlinable if its only [return] is the final
+      statement (or it returns void with no returns at all). *)
+
+open Ast
+
+let fresh =
+  let n = ref 0 in
+  fun prefix ->
+    incr n;
+    Fmt.str "$inl_%s%d" prefix !n
+
+let find_func (p : program) name = List.find_opt (fun f -> f.fname = name) p
+
+(* -- renaming substitution -- *)
+
+let rec subst_expr ren (e : expr) : expr =
+  let k =
+    match e.e with
+    | Ident x -> Ident (try List.assoc x ren with Not_found -> x)
+    | IntLit _ | FloatLit _ | BoolLit _ -> e.e
+    | Bin (op, a, b) -> Bin (op, subst_expr ren a, subst_expr ren b)
+    | Un (op, a) -> Un (op, subst_expr ren a)
+    | Cast (t, a) -> Cast (t, subst_expr ren a)
+    | Call (f, args) -> Call (f, List.map (subst_expr ren) args)
+    | Index (p, i) -> Index (subst_expr ren p, subst_expr ren i)
+    | Ternary (c, a, b) ->
+        Ternary (subst_expr ren c, subst_expr ren a, subst_expr ren b)
+  in
+  { e with e = k }
+
+let rec subst_stmts ren (ss : stmt list) : stmt list =
+  match ss with
+  | [] -> []
+  | s :: rest -> (
+      match s.s with
+      | Decl (t, x, e) ->
+          let x' = fresh x in
+          let s' = { s with s = Decl (t, x', subst_expr ren e) } in
+          s' :: subst_stmts ((x, x') :: ren) rest
+      | DeclArr (t, x, n) ->
+          let x' = fresh x in
+          { s with s = DeclArr (t, x', n) } :: subst_stmts ((x, x') :: ren) rest
+      | Assign (LIdent x, e) ->
+          let x' = try List.assoc x ren with Not_found -> x in
+          { s with s = Assign (LIdent x', subst_expr ren e) }
+          :: subst_stmts ren rest
+      | Assign (LIndex (p, i), e) ->
+          {
+            s with
+            s = Assign (LIndex (subst_expr ren p, subst_expr ren i), subst_expr ren e);
+          }
+          :: subst_stmts ren rest
+      | If (c, a, b) ->
+          { s with s = If (subst_expr ren c, subst_stmts ren a, subst_stmts ren b) }
+          :: subst_stmts ren rest
+      | While (c, body) ->
+          { s with s = While (subst_expr ren c, subst_stmts ren body) }
+          :: subst_stmts ren rest
+      | For _ -> invalid_arg "Inline.subst: for loop after desugaring"
+      | Break | Continue -> s :: subst_stmts ren rest
+      | Return e -> { s with s = Return (Option.map (subst_expr ren) e) } :: subst_stmts ren rest
+      | ExprStmt e -> { s with s = ExprStmt (subst_expr ren e) } :: subst_stmts ren rest
+      | Block body ->
+          { s with s = Block (subst_stmts ren body) } :: subst_stmts ren rest
+      | Psim p ->
+          {
+            s with
+            s =
+              Psim
+                {
+                  gang_size = subst_expr ren p.gang_size;
+                  num_threads = subst_expr ren p.num_threads;
+                  body = subst_stmts ren p.body;
+                };
+          }
+          :: subst_stmts ren rest)
+
+(* -- inlinability -- *)
+
+let inlinable (f : func) =
+  let rec no_return ss =
+    List.for_all
+      (fun s ->
+        match s.s with
+        | Return _ -> false
+        | If (_, a, b) -> no_return a && no_return b
+        | While (_, b) | Block b -> no_return b
+        | Psim p -> no_return p.body
+        | _ -> true)
+      ss
+  in
+  match f.ret with
+  | TVoid -> no_return f.body
+  | _ -> (
+      match List.rev f.body with
+      | { s = Return (Some _); _ } :: rest -> no_return (List.rev rest)
+      | _ -> false)
+
+(* -- hoisting -- *)
+
+let rec hoist_expr prog acc (e : expr) : expr =
+  let lift k = { e with e = k } in
+  match e.e with
+  | Call (name, args) when find_func prog name <> None ->
+      let args' = List.map (hoist_expr prog acc) args in
+      let callee = Option.get (find_func prog name) in
+      if callee.ret = TVoid then
+        (* void call in expression position is ill-typed anyway *)
+        lift (Call (name, args'))
+      else begin
+        let tmp = fresh "ret" in
+        acc := !acc @ [ mk_s (Decl (callee.ret, tmp, lift (Call (name, args')))) ];
+        lift (Ident tmp)
+      end
+  | Call (name, args) -> lift (Call (name, List.map (hoist_expr prog acc) args))
+  | Bin (op, a, b) -> lift (Bin (op, hoist_expr prog acc a, hoist_expr prog acc b))
+  | Un (op, a) -> lift (Un (op, hoist_expr prog acc a))
+  | Cast (t, a) -> lift (Cast (t, hoist_expr prog acc a))
+  | Index (p, i) -> lift (Index (hoist_expr prog acc p, hoist_expr prog acc i))
+  | Ternary (c, a, b) ->
+      lift
+        (Ternary (hoist_expr prog acc c, hoist_expr prog acc a, hoist_expr prog acc b))
+  | IntLit _ | FloatLit _ | BoolLit _ | Ident _ -> e
+
+let rec hoist_stmts prog (ss : stmt list) : stmt list =
+  List.concat_map
+    (fun s ->
+      let acc = ref [] in
+      let s' =
+        match s.s with
+        | Decl (t, x, e) -> { s with s = Decl (t, x, hoist_expr prog acc e) }
+        | Assign (lv, e) ->
+            let lv' =
+              match lv with
+              | LIdent x -> LIdent x
+              | LIndex (p, i) ->
+                  LIndex (hoist_expr prog acc p, hoist_expr prog acc i)
+            in
+            { s with s = Assign (lv', hoist_expr prog acc e) }
+        | If (c, a, b) ->
+            { s with s = If (hoist_expr prog acc c, hoist_stmts prog a, hoist_stmts prog b) }
+        | While (c, body) ->
+            (* loop conditions are trivial after desugaring: no calls *)
+            { s with s = While (c, hoist_stmts prog body) }
+        | ExprStmt { e = Call (name, args); pos }
+          when find_func prog name <> None ->
+            {
+              s with
+              s =
+                ExprStmt
+                  { e = Call (name, List.map (hoist_expr prog acc) args); pos };
+            }
+        | ExprStmt e -> { s with s = ExprStmt (hoist_expr prog acc e) }
+        | Block body -> { s with s = Block (hoist_stmts prog body) }
+        | Psim p -> { s with s = Psim { p with body = hoist_stmts prog p.body } }
+        | Return e -> { s with s = Return (Option.map (hoist_expr prog acc) e) }
+        | _ -> s
+      in
+      !acc @ [ s' ])
+    ss
+
+(* -- expansion -- *)
+
+let expand_call prog (callee : func) args ~(bind : (ty * string) option) :
+    stmt list =
+  let ren = List.map (fun p -> (p.pname, fresh p.pname)) callee.params in
+  let prologue =
+    List.map2
+      (fun p a -> mk_s (Decl (p.pty, List.assoc p.pname ren, a)))
+      callee.params args
+  in
+  ignore prog;
+  let body = subst_stmts ren callee.body in
+  match bind with
+  | None -> prologue @ body
+  | Some (ty, name) -> (
+      match List.rev body with
+      | { s = Return (Some e); _ } :: rest ->
+          prologue @ List.rev rest @ [ mk_s (Decl (ty, name, e)) ]
+      | _ -> invalid_arg "Inline.expand_call: callee has no trailing return")
+
+let rec expand_stmts prog (ss : stmt list) : stmt list * bool =
+  let changed = ref false in
+  let out =
+    List.concat_map
+      (fun s ->
+        match s.s with
+        | Decl (t, x, { e = Call (name, args); _ }) -> (
+            match find_func prog name with
+            | Some callee when inlinable callee && callee.ret <> TVoid ->
+                changed := true;
+                expand_call prog callee args ~bind:(Some (t, x))
+            | _ -> [ s ])
+        | ExprStmt { e = Call (name, args); _ } -> (
+            match find_func prog name with
+            | Some callee when inlinable callee && callee.ret = TVoid ->
+                changed := true;
+                expand_call prog callee args ~bind:None
+            | _ -> [ s ])
+        | If (c, a, b) ->
+            let a', c1 = expand_stmts prog a in
+            let b', c2 = expand_stmts prog b in
+            if c1 || c2 then changed := true;
+            [ { s with s = If (c, a', b') } ]
+        | While (c, body) ->
+            let body', c1 = expand_stmts prog body in
+            if c1 then changed := true;
+            [ { s with s = While (c, body') } ]
+        | Block body ->
+            let body', c1 = expand_stmts prog body in
+            if c1 then changed := true;
+            [ { s with s = Block body' } ]
+        | Psim p ->
+            let body', c1 = expand_stmts prog p.body in
+            if c1 then changed := true;
+            [ { s with s = Psim { p with body = body' } } ]
+        | _ -> [ s ])
+      ss
+  in
+  (out, !changed)
+
+(** Inline user calls across the whole program (mirroring what -O3 would
+    do before either vectorizer runs), to a nesting depth of 10. *)
+let inline_program (p : program) : program =
+  let rec fix f depth =
+    let body = hoist_stmts p f.body in
+    let body', changed = expand_stmts p body in
+    let f = { f with body = body' } in
+    if changed && depth < 10 then fix f (depth + 1) else f
+  in
+  List.map (fun f -> fix f 0) p

@@ -1,0 +1,196 @@
+(** Hand-written lexer for PsimC. *)
+
+type token =
+  | INT of int64
+  | FLOAT of float
+  | IDENT of string
+  | KW of string  (** keywords, including type names *)
+  | PUNCT of string
+  | EOF
+
+type t = {
+  src : string;
+  mutable pos : int;
+  mutable line : int;
+  mutable col : int;
+  mutable tok : token;
+  mutable tok_pos : Ast.pos;
+}
+
+exception Error of string * Ast.pos
+
+let error lx fmt =
+  Fmt.kstr (fun s -> raise (Error (s, { Ast.line = lx.line; col = lx.col }))) fmt
+
+let keywords =
+  [
+    "void"; "bool"; "true"; "false"; "if"; "else"; "while"; "for"; "break";
+    "continue"; "return"; "psim"; "gang_size"; "num_spmd_threads"; "inline";
+    "restrict"; "int8"; "int16"; "int32"; "int64"; "uint8"; "uint16";
+    "uint32"; "uint64"; "float32"; "float64"; "int"; "uint"; "float";
+    "double"; "size_t";
+  ]
+
+let is_ident_start c = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || c = '_'
+let is_ident_char c = is_ident_start c || (c >= '0' && c <= '9')
+let is_digit c = c >= '0' && c <= '9'
+
+let peek_char lx = if lx.pos < String.length lx.src then Some lx.src.[lx.pos] else None
+
+let advance_char lx =
+  (match peek_char lx with
+  | Some '\n' ->
+      lx.line <- lx.line + 1;
+      lx.col <- 1
+  | Some _ -> lx.col <- lx.col + 1
+  | None -> ());
+  lx.pos <- lx.pos + 1
+
+let rec skip_ws lx =
+  match peek_char lx with
+  | Some (' ' | '\t' | '\r' | '\n') ->
+      advance_char lx;
+      skip_ws lx
+  | Some '/' when lx.pos + 1 < String.length lx.src && lx.src.[lx.pos + 1] = '/' ->
+      while peek_char lx <> None && peek_char lx <> Some '\n' do
+        advance_char lx
+      done;
+      skip_ws lx
+  | Some '/' when lx.pos + 1 < String.length lx.src && lx.src.[lx.pos + 1] = '*' ->
+      advance_char lx;
+      advance_char lx;
+      let rec close () =
+        match peek_char lx with
+        | None -> error lx "unterminated comment"
+        | Some '*' when lx.pos + 1 < String.length lx.src && lx.src.[lx.pos + 1] = '/'
+          ->
+            advance_char lx;
+            advance_char lx
+        | Some _ ->
+            advance_char lx;
+            close ()
+      in
+      close ();
+      skip_ws lx
+  | _ -> ()
+
+let punct3 = [ "<<="; ">>=" ]
+let punct2 =
+  [
+    "=="; "!="; "<="; ">="; "&&"; "||"; "<<"; ">>"; "+="; "-="; "*="; "/=";
+    "%="; "&="; "|="; "^=";
+  ]
+
+let lex_number lx =
+  let start = lx.pos in
+  let hex =
+    peek_char lx = Some '0'
+    && lx.pos + 1 < String.length lx.src
+    && (lx.src.[lx.pos + 1] = 'x' || lx.src.[lx.pos + 1] = 'X')
+  in
+  if hex then begin
+    advance_char lx;
+    advance_char lx;
+    while
+      match peek_char lx with
+      | Some c -> is_digit c || (c >= 'a' && c <= 'f') || (c >= 'A' && c <= 'F')
+      | None -> false
+    do
+      advance_char lx
+    done;
+    INT (Int64.of_string (String.sub lx.src start (lx.pos - start)))
+  end
+  else begin
+    while (match peek_char lx with Some c -> is_digit c | None -> false) do
+      advance_char lx
+    done;
+    let is_float = ref false in
+    (if
+       peek_char lx = Some '.'
+       && lx.pos + 1 < String.length lx.src
+       && is_digit lx.src.[lx.pos + 1]
+     then begin
+       is_float := true;
+       advance_char lx;
+       while (match peek_char lx with Some c -> is_digit c | None -> false) do
+         advance_char lx
+       done
+     end);
+    (match peek_char lx with
+    | Some ('e' | 'E') ->
+        is_float := true;
+        advance_char lx;
+        (match peek_char lx with
+        | Some ('+' | '-') -> advance_char lx
+        | _ -> ());
+        while (match peek_char lx with Some c -> is_digit c | None -> false) do
+          advance_char lx
+        done
+    | _ -> ());
+    let text = String.sub lx.src start (lx.pos - start) in
+    (* optional f suffix *)
+    match peek_char lx with
+    | Some ('f' | 'F') ->
+        advance_char lx;
+        FLOAT (float_of_string text)
+    | _ ->
+        if !is_float then FLOAT (float_of_string text)
+        else INT (Int64.of_string text)
+  end
+
+let next_token lx =
+  skip_ws lx;
+  lx.tok_pos <- { Ast.line = lx.line; col = lx.col };
+  match peek_char lx with
+  | None -> EOF
+  | Some c when is_digit c -> lex_number lx
+  | Some c when is_ident_start c ->
+      let start = lx.pos in
+      while (match peek_char lx with Some c -> is_ident_char c | None -> false) do
+        advance_char lx
+      done;
+      let s = String.sub lx.src start (lx.pos - start) in
+      if List.mem s keywords then KW s else IDENT s
+  | Some _ ->
+      let try_punct n =
+        if lx.pos + n <= String.length lx.src then
+          let s = String.sub lx.src lx.pos n in
+          let table = match n with 3 -> punct3 | 2 -> punct2 | _ -> [] in
+          if n = 1 || List.mem s table then Some s else None
+        else None
+      in
+      let s =
+        match try_punct 3 with
+        | Some s -> s
+        | None -> (
+            match try_punct 2 with
+            | Some s -> s
+            | None -> (
+                match try_punct 1 with
+                | Some s -> s
+                | None -> error lx "unexpected end of input"))
+      in
+      for _ = 1 to String.length s do
+        advance_char lx
+      done;
+      PUNCT s
+
+let create src =
+  let lx =
+    { src; pos = 0; line = 1; col = 1; tok = EOF; tok_pos = Ast.no_pos }
+  in
+  lx.tok <- next_token lx;
+  lx
+
+let token lx = lx.tok
+let pos lx = lx.tok_pos
+
+let advance lx = lx.tok <- next_token lx
+
+let pp_token ppf = function
+  | INT v -> Fmt.pf ppf "integer %Ld" v
+  | FLOAT v -> Fmt.pf ppf "float %g" v
+  | IDENT s -> Fmt.pf ppf "identifier '%s'" s
+  | KW s -> Fmt.pf ppf "keyword '%s'" s
+  | PUNCT s -> Fmt.pf ppf "'%s'" s
+  | EOF -> Fmt.string ppf "end of input"

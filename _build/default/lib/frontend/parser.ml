@@ -1,0 +1,381 @@
+(** Recursive-descent parser for PsimC. *)
+
+open Ast
+
+exception Error of string * pos
+
+let error lx fmt =
+  Fmt.kstr (fun s -> raise (Error (s, Lexer.pos lx))) fmt
+
+let expect_punct lx p =
+  match Lexer.token lx with
+  | Lexer.PUNCT q when q = p -> Lexer.advance lx
+  | t -> error lx "expected '%s', found %a" p Lexer.pp_token t
+
+let expect_kw lx k =
+  match Lexer.token lx with
+  | Lexer.KW q when q = k -> Lexer.advance lx
+  | t -> error lx "expected '%s', found %a" k Lexer.pp_token t
+
+let accept_punct lx p =
+  match Lexer.token lx with
+  | Lexer.PUNCT q when q = p ->
+      Lexer.advance lx;
+      true
+  | _ -> false
+
+let accept_kw lx k =
+  match Lexer.token lx with
+  | Lexer.KW q when q = k ->
+      Lexer.advance lx;
+      true
+  | _ -> false
+
+let ident lx =
+  match Lexer.token lx with
+  | Lexer.IDENT s ->
+      Lexer.advance lx;
+      s
+  | t -> error lx "expected identifier, found %a" Lexer.pp_token t
+
+(* -- types -- *)
+
+let base_ty_of_kw = function
+  | "void" -> Some TVoid
+  | "bool" -> Some TBool
+  | "int8" -> Some (TInt (8, true))
+  | "int16" -> Some (TInt (16, true))
+  | "int32" | "int" -> Some (TInt (32, true))
+  | "int64" -> Some (TInt (64, true))
+  | "uint8" -> Some (TInt (8, false))
+  | "uint16" -> Some (TInt (16, false))
+  | "uint32" | "uint" -> Some (TInt (32, false))
+  | "uint64" | "size_t" -> Some (TInt (64, false))
+  | "float32" | "float" -> Some (TFloat 32)
+  | "float64" | "double" -> Some (TFloat 64)
+  | _ -> None
+
+let peek_base_ty lx =
+  match Lexer.token lx with Lexer.KW k -> base_ty_of_kw k | _ -> None
+
+let parse_ty lx =
+  match peek_base_ty lx with
+  | None -> error lx "expected a type, found %a" Lexer.pp_token (Lexer.token lx)
+  | Some t ->
+      Lexer.advance lx;
+      let ty = ref t in
+      while accept_punct lx "*" do
+        ty := TPtr !ty
+      done;
+      !ty
+
+(* -- expressions -- *)
+
+let rec parse_expr lx = parse_ternary lx
+
+and parse_ternary lx =
+  let c = parse_lor lx in
+  if accept_punct lx "?" then begin
+    let a = parse_expr lx in
+    expect_punct lx ":";
+    let b = parse_ternary lx in
+    { e = Ternary (c, a, b); pos = c.pos }
+  end
+  else c
+
+and binop_chain lx sub table =
+  let lhs = ref (sub lx) in
+  let rec go () =
+    match Lexer.token lx with
+    | Lexer.PUNCT p when List.mem_assoc p table ->
+        Lexer.advance lx;
+        let rhs = sub lx in
+        lhs := { e = Bin (List.assoc p table, !lhs, rhs); pos = !lhs.pos };
+        go ()
+    | _ -> ()
+  in
+  go ();
+  !lhs
+
+and parse_lor lx = binop_chain lx parse_land [ ("||", LOr) ]
+and parse_land lx = binop_chain lx parse_bor [ ("&&", LAnd) ]
+and parse_bor lx = binop_chain lx parse_bxor [ ("|", BOr) ]
+and parse_bxor lx = binop_chain lx parse_band [ ("^", BXor) ]
+and parse_band lx = binop_chain lx parse_eq [ ("&", BAnd) ]
+and parse_eq lx = binop_chain lx parse_rel [ ("==", Eq); ("!=", Ne) ]
+
+and parse_rel lx =
+  binop_chain lx parse_shift [ ("<", Lt); (">", Gt); ("<=", Le); (">=", Ge) ]
+
+and parse_shift lx = binop_chain lx parse_add [ ("<<", Shl); (">>", Shr) ]
+and parse_add lx = binop_chain lx parse_mul [ ("+", Add); ("-", Sub) ]
+
+and parse_mul lx =
+  binop_chain lx parse_unary [ ("*", Mul); ("/", Div); ("%", Rem) ]
+
+and parse_unary lx =
+  let pos = Lexer.pos lx in
+  match Lexer.token lx with
+  | Lexer.PUNCT "-" ->
+      Lexer.advance lx;
+      { e = Un (Neg, parse_unary lx); pos }
+  | Lexer.PUNCT "!" ->
+      Lexer.advance lx;
+      { e = Un (LNot, parse_unary lx); pos }
+  | Lexer.PUNCT "~" ->
+      Lexer.advance lx;
+      { e = Un (BNot, parse_unary lx); pos }
+  | Lexer.PUNCT "(" when is_cast lx ->
+      Lexer.advance lx;
+      let ty = parse_ty lx in
+      expect_punct lx ")";
+      { e = Cast (ty, parse_unary lx); pos }
+  | _ -> parse_postfix lx
+
+and is_cast lx =
+  (* "(" followed by a type keyword means a cast *)
+  let save_pos = Lexer.pos lx in
+  ignore save_pos;
+  (* cheap lookahead: peek at the source after '(' is not available
+     without copying the lexer, so use the token stream trick: a cast
+     begins with a type keyword right after '('.  The current token is
+     '(' here; we can look at the raw source. *)
+  lookahead_is_type lx
+
+and lookahead_is_type lx =
+  (* clone the lexer state to peek one token ahead *)
+  let saved_pos = lx.Lexer.pos
+  and saved_line = lx.Lexer.line
+  and saved_col = lx.Lexer.col
+  and saved_tok = lx.Lexer.tok
+  and saved_tp = lx.Lexer.tok_pos in
+  Lexer.advance lx;
+  let is_ty = peek_base_ty lx <> None in
+  lx.Lexer.pos <- saved_pos;
+  lx.Lexer.line <- saved_line;
+  lx.Lexer.col <- saved_col;
+  lx.Lexer.tok <- saved_tok;
+  lx.Lexer.tok_pos <- saved_tp;
+  is_ty
+
+and parse_postfix lx =
+  let base = parse_primary lx in
+  let rec go e =
+    if accept_punct lx "[" then begin
+      let idx = parse_expr lx in
+      expect_punct lx "]";
+      go { e = Index (e, idx); pos = e.pos }
+    end
+    else e
+  in
+  go base
+
+and parse_primary lx =
+  let pos = Lexer.pos lx in
+  match Lexer.token lx with
+  | Lexer.INT v ->
+      Lexer.advance lx;
+      { e = IntLit v; pos }
+  | Lexer.FLOAT v ->
+      Lexer.advance lx;
+      { e = FloatLit v; pos }
+  | Lexer.KW "true" ->
+      Lexer.advance lx;
+      { e = BoolLit true; pos }
+  | Lexer.KW "false" ->
+      Lexer.advance lx;
+      { e = BoolLit false; pos }
+  | Lexer.IDENT name ->
+      Lexer.advance lx;
+      if accept_punct lx "(" then begin
+        let args = ref [] in
+        if not (accept_punct lx ")") then begin
+          let rec loop () =
+            args := parse_expr lx :: !args;
+            if accept_punct lx "," then loop () else expect_punct lx ")"
+          in
+          loop ()
+        end;
+        { e = Call (name, List.rev !args); pos }
+      end
+      else { e = Ident name; pos }
+  | Lexer.PUNCT "(" ->
+      Lexer.advance lx;
+      let e = parse_expr lx in
+      expect_punct lx ")";
+      e
+  | t -> error lx "expected expression, found %a" Lexer.pp_token t
+
+(* -- statements -- *)
+
+let compound_ops =
+  [
+    ("+=", Add); ("-=", Sub); ("*=", Mul); ("/=", Div); ("%=", Rem);
+    ("&=", BAnd); ("|=", BOr); ("^=", BXor); ("<<=", Shl); (">>=", Shr);
+  ]
+
+let rec parse_stmt lx : stmt =
+  let spos = Lexer.pos lx in
+  match Lexer.token lx with
+  | Lexer.PUNCT "{" -> { s = Block (parse_block lx); spos }
+  | Lexer.KW "if" ->
+      Lexer.advance lx;
+      expect_punct lx "(";
+      let c = parse_expr lx in
+      expect_punct lx ")";
+      let thn = parse_stmt_as_list lx in
+      let els = if accept_kw lx "else" then parse_stmt_as_list lx else [] in
+      { s = If (c, thn, els); spos }
+  | Lexer.KW "while" ->
+      Lexer.advance lx;
+      expect_punct lx "(";
+      let c = parse_expr lx in
+      expect_punct lx ")";
+      let body = parse_stmt_as_list lx in
+      { s = While (c, body); spos }
+  | Lexer.KW "for" ->
+      Lexer.advance lx;
+      expect_punct lx "(";
+      let init =
+        if accept_punct lx ";" then None
+        else begin
+          let s = parse_simple_stmt lx in
+          expect_punct lx ";";
+          Some s
+        end
+      in
+      let cond =
+        if accept_punct lx ";" then { e = BoolLit true; pos = spos }
+        else begin
+          let e = parse_expr lx in
+          expect_punct lx ";";
+          e
+        end
+      in
+      let incr =
+        match Lexer.token lx with
+        | Lexer.PUNCT ")" -> None
+        | _ -> Some (parse_simple_stmt lx)
+      in
+      expect_punct lx ")";
+      let body = parse_stmt_as_list lx in
+      { s = For (init, cond, incr, body); spos }
+  | Lexer.KW "break" ->
+      Lexer.advance lx;
+      expect_punct lx ";";
+      { s = Break; spos }
+  | Lexer.KW "continue" ->
+      Lexer.advance lx;
+      expect_punct lx ";";
+      { s = Continue; spos }
+  | Lexer.KW "return" ->
+      Lexer.advance lx;
+      if accept_punct lx ";" then { s = Return None; spos }
+      else begin
+        let e = parse_expr lx in
+        expect_punct lx ";";
+        { s = Return (Some e); spos }
+      end
+  | Lexer.KW "psim" ->
+      Lexer.advance lx;
+      expect_kw lx "gang_size";
+      expect_punct lx "(";
+      let g = parse_expr lx in
+      expect_punct lx ")";
+      expect_kw lx "num_spmd_threads";
+      expect_punct lx "(";
+      let n = parse_expr lx in
+      expect_punct lx ")";
+      let body = parse_block lx in
+      { s = Psim { gang_size = g; num_threads = n; body }; spos }
+  | _ ->
+      let s = parse_simple_stmt lx in
+      expect_punct lx ";";
+      s
+
+and parse_stmt_as_list lx =
+  match parse_stmt lx with { s = Block ss; _ } -> ss | s -> [ s ]
+
+and parse_block lx =
+  expect_punct lx "{";
+  let stmts = ref [] in
+  while not (accept_punct lx "}") do
+    stmts := parse_stmt lx :: !stmts
+  done;
+  List.rev !stmts
+
+(* declaration / assignment / expression statement, no trailing ';' *)
+and parse_simple_stmt lx : stmt =
+  let spos = Lexer.pos lx in
+  match peek_base_ty lx with
+  | Some _ ->
+      let ty = parse_ty lx in
+      let name = ident lx in
+      if accept_punct lx "[" then begin
+        let n =
+          match Lexer.token lx with
+          | Lexer.INT v ->
+              Lexer.advance lx;
+              Int64.to_int v
+          | t -> error lx "expected array length, found %a" Lexer.pp_token t
+        in
+        expect_punct lx "]";
+        { s = DeclArr (ty, name, n); spos }
+      end
+      else begin
+        expect_punct lx "=";
+        let e = parse_expr lx in
+        { s = Decl (ty, name, e); spos }
+      end
+  | None -> (
+      let e = parse_expr lx in
+      let as_lvalue (e : expr) =
+        match e.e with
+        | Ident x -> LIdent x
+        | Index (p, i) -> LIndex (p, i)
+        | _ -> error lx "expression is not assignable"
+      in
+      match Lexer.token lx with
+      | Lexer.PUNCT "=" ->
+          Lexer.advance lx;
+          let rhs = parse_expr lx in
+          { s = Assign (as_lvalue e, rhs); spos }
+      | Lexer.PUNCT p when List.mem_assoc p compound_ops ->
+          Lexer.advance lx;
+          let rhs = parse_expr lx in
+          let op = List.assoc p compound_ops in
+          { s = Assign (as_lvalue e, { e = Bin (op, e, rhs); pos = e.pos }); spos }
+      | _ -> { s = ExprStmt e; spos })
+
+(* -- top level -- *)
+
+let parse_param lx =
+  let pty = parse_ty lx in
+  let restrict = accept_kw lx "restrict" in
+  let pname = ident lx in
+  { pname; pty; restrict }
+
+let parse_func lx =
+  let inline = accept_kw lx "inline" in
+  let ret = parse_ty lx in
+  let fname = ident lx in
+  expect_punct lx "(";
+  let params = ref [] in
+  if not (accept_punct lx ")") then begin
+    let rec loop () =
+      params := parse_param lx :: !params;
+      if accept_punct lx "," then loop () else expect_punct lx ")"
+    in
+    loop ()
+  end;
+  let body = parse_block lx in
+  { fname; params = List.rev !params; ret; body; inline }
+
+(** Parse a whole PsimC translation unit. *)
+let parse_program (src : string) : program =
+  let lx = Lexer.create src in
+  let funcs = ref [] in
+  while Lexer.token lx <> Lexer.EOF do
+    funcs := parse_func lx :: !funcs
+  done;
+  List.rev !funcs

@@ -1,0 +1,1 @@
+lib/harness/figures.ml: Float Fmt List Parsimony Pfrontend Pir Pispc Psimdlib Registry Runner Unix Workload

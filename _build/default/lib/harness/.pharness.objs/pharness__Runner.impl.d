@@ -1,0 +1,1 @@
+lib/harness/runner.ml: Array Float Fmt Int64 List Panalysis Parsimony Pautovec Pfrontend Pir Pmachine Psimdlib Workload

@@ -1,0 +1,133 @@
+(** Executes a benchmark kernel under one of the four compilation
+    strategies of the paper's evaluation and collects simulated cycles
+    and outputs. *)
+
+open Psimdlib
+
+type impl =
+  | Scalar  (** serial source, vectorization disabled *)
+  | Autovec  (** serial source through the loop auto-vectorizer *)
+  | ParsimonyImpl of Parsimony.Options.t  (** psim source through the pass *)
+  | Hand  (** hand-written vector IR (intrinsics stand-in) *)
+
+let impl_name = function
+  | Scalar -> "scalar"
+  | Autovec -> "autovec"
+  | ParsimonyImpl o ->
+      if o.Parsimony.Options.math_lib = "ispc" then "ispc" else "parsimony"
+  | Hand -> "hand"
+
+type result = {
+  impl : impl;
+  cycles : float;
+  outputs : (string * Pmachine.Value.t array) list;
+  stats : Pmachine.Interp.stats;
+}
+
+exception Unavailable of string
+
+let build_module (k : Workload.kernel) (impl : impl) : Pir.Func.modul =
+  let m =
+    match impl with
+    | Scalar -> Pfrontend.Lower.compile ~name:k.kname k.serial_src
+    | Autovec ->
+        let m = Pfrontend.Lower.compile ~name:k.kname k.serial_src in
+        ignore (Pautovec.Autovec.run_module m);
+        m
+    | ParsimonyImpl opts ->
+        let m = Pfrontend.Lower.compile ~name:k.kname k.psim_src in
+        ignore (Parsimony.Vectorizer.run_module ~opts m);
+        m
+    | Hand -> (
+        match k.hand with
+        | Some build ->
+            let m = Pir.Func.create_module (k.kname ^ ".hand") in
+            build m;
+            m
+        | None ->
+            raise (Unavailable (k.kname ^ ": no hand-written implementation")))
+  in
+  (* the standard late pipeline (CSE + DCE) runs for every strategy,
+     like the -O3 passes downstream of the paper's vectorizer *)
+  Parsimony.Simplify.run_module m;
+  m
+
+(** Auto-vectorization outcome for a kernel (which loops vectorized). *)
+let autovec_report (k : Workload.kernel) =
+  let m = Pfrontend.Lower.compile ~name:k.kname k.serial_src in
+  Pautovec.Autovec.run_module m
+
+let run ?(check = false) (k : Workload.kernel) (impl : impl) : result =
+  let m = build_module k impl in
+  if check then Panalysis.Check.check_module m;
+  let t = Pmachine.Interp.create m in
+  let mem = t.Pmachine.Interp.mem in
+  let addrs =
+    List.map
+      (fun (b : Workload.buffer) ->
+        let esz = Pir.Types.scalar_bytes b.elem in
+        (* 64 bytes of slack for strided shuffle over-read *)
+        let addr = Pmachine.Memory.alloc mem ((b.len * esz) + 64) in
+        for i = 0 to b.len - 1 do
+          Pmachine.Memory.store_scalar mem b.elem (addr + (i * esz)) (b.init i)
+        done;
+        (b, addr))
+      k.buffers
+  in
+  let args =
+    List.map (fun (_, a) -> Pmachine.Value.I (Int64.of_int a)) addrs @ k.scalars
+  in
+  ignore (Pmachine.Interp.run t k.kname args);
+  let outputs =
+    List.filter_map
+      (fun ((b : Workload.buffer), addr) ->
+        if b.output then
+          Some (b.bname, Pmachine.Memory.read_array mem b.elem addr b.len)
+        else None)
+      addrs
+  in
+  { impl; cycles = t.Pmachine.Interp.stats.cycles; outputs; stats = t.Pmachine.Interp.stats }
+
+let close_enough tol (a : Pmachine.Value.t) (b : Pmachine.Value.t) =
+  if tol = 0.0 then Pmachine.Value.equal a b
+  else
+    match (a, b) with
+    | Pmachine.Value.F x, Pmachine.Value.F y ->
+        let d = Float.abs (x -. y) in
+        d <= tol *. Float.max 1.0 (Float.max (Float.abs x) (Float.abs y))
+    | _ -> Pmachine.Value.equal a b
+
+(** Run all available implementations; raise with a diagnostic if any
+    output buffer disagrees with the scalar reference. *)
+let verify (k : Workload.kernel) : unit =
+  let impls =
+    [ Scalar; Autovec; ParsimonyImpl Parsimony.Options.default; ParsimonyImpl Parsimony.Options.ispc ]
+    @ (if k.hand <> None then [ Hand ] else [])
+  in
+  let results = List.map (fun i -> run ~check:true k i) impls in
+  let reference = List.hd results in
+  List.iter
+    (fun r ->
+      List.iter2
+        (fun (name, expected) (name', got) ->
+          assert (name = name');
+          Array.iteri
+            (fun i e ->
+              if not (close_enough k.float_tolerance e got.(i)) then
+                failwith
+                  (Fmt.str "%s: %s disagrees with scalar at %s[%d]: %a vs %a"
+                     k.kname (impl_name r.impl) name i Pmachine.Value.pp e
+                     Pmachine.Value.pp got.(i)))
+            expected)
+        reference.outputs r.outputs)
+    (List.tl results)
+
+(** Speedups of each implementation relative to [Scalar]. *)
+let speedups (k : Workload.kernel) ~impls : (string * float) list =
+  let base = (run k Scalar).cycles in
+  List.map (fun i -> (impl_name i, base /. (run k i).cycles)) impls
+
+let geomean xs =
+  match xs with
+  | [] -> nan
+  | _ -> exp (List.fold_left (fun acc x -> acc +. log x) 0.0 xs /. float_of_int (List.length xs))

@@ -1,0 +1,1 @@
+lib/ir/builder.pp.ml: Array Fmt Func Hashtbl Instr Types

@@ -1,0 +1,1 @@
+lib/ir/fold.pp.ml: Instr Ints

@@ -1,0 +1,1 @@
+lib/ir/func.pp.ml: Fmt Hashtbl Instr List Types

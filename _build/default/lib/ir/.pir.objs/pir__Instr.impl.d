@@ -1,0 +1,1 @@
+lib/ir/instr.pp.ml: Array Int64 Ints List Option Ppx_deriving_runtime Types

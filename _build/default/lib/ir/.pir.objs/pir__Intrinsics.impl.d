@@ -1,0 +1,1 @@
+lib/ir/intrinsics.pp.ml: Fmt List String Types

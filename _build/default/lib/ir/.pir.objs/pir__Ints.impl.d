@@ -1,0 +1,1 @@
+lib/ir/ints.pp.ml: Int64

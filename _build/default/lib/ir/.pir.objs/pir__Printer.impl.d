@@ -1,0 +1,1 @@
+lib/ir/printer.pp.ml: Fmt Func Instr Ints List Types

@@ -1,0 +1,1 @@
+lib/ir/types.pp.ml: Fmt Ppx_deriving_runtime

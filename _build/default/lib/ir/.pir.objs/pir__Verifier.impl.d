@@ -1,0 +1,1 @@
+lib/ir/verifier.pp.ml: Array Fmt Func Hashtbl Instr Intrinsics List Option Printer Types

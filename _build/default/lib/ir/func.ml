@@ -1,0 +1,103 @@
+(** PIR functions, basic blocks, and modules.
+
+    A function is a list of basic blocks (the first is the entry block),
+    a parameter list, and a per-function table of SSA value types.
+    Functions may carry an SPMD annotation: the contract produced by the
+    front-end's region extraction (paper §4.1, Listing 6) and consumed by
+    the vectorizer. *)
+
+type block = {
+  bname : string;
+  mutable instrs : Instr.instr list;
+  mutable term : Instr.terminator;
+}
+
+(** SPMD annotation on an extracted region function.
+
+    By the front-end calling convention, an SPMD function's final two
+    parameters are the gang number ([i64]) and total SPMD thread count
+    ([i64]).  [partial] marks the variant called for a possibly
+    partially-full last gang: its threads must behave as if only lanes
+    with [thread_num < num_threads] exist. *)
+type spmd = { gang_size : int; partial : bool }
+
+type t = {
+  fname : string;
+  params : (int * Types.t) list;
+  ret : Types.t;
+  mutable blocks : block list;
+  mutable spmd : spmd option;
+  vty : (int, Types.t) Hashtbl.t;  (** SSA value types (params + instrs) *)
+  mutable next_id : int;
+  mutable noalias : int list;
+      (** pointer parameters declared [restrict]: they never alias any
+          other pointer parameter (consumed by the auto-vectorizer's
+          dependence analysis) *)
+}
+
+let create ?spmd ?(noalias = []) name ~params ~ret =
+  let vty = Hashtbl.create 64 in
+  List.iter (fun (v, t) -> Hashtbl.replace vty v t) params;
+  let next_id =
+    List.fold_left (fun acc (v, _) -> max acc (v + 1)) 0 params
+  in
+  { fname = name; params; ret; blocks = []; spmd; vty; next_id; noalias }
+
+let fresh_id f =
+  let id = f.next_id in
+  f.next_id <- id + 1;
+  id
+
+let set_ty f v t = Hashtbl.replace f.vty v t
+
+let ty_of_var f v =
+  match Hashtbl.find_opt f.vty v with
+  | Some t -> t
+  | None -> Fmt.invalid_arg "Func.ty_of_var: unknown value %%%d in %s" v f.fname
+
+let ty_of_operand f = function
+  | Instr.Var v -> ty_of_var f v
+  | Instr.Const c -> Instr.ty_of_const c
+
+let entry f =
+  match f.blocks with
+  | b :: _ -> b
+  | [] -> Fmt.invalid_arg "Func.entry: %s has no blocks" f.fname
+
+let find_block f name =
+  match List.find_opt (fun b -> b.bname = name) f.blocks with
+  | Some b -> b
+  | None -> Fmt.invalid_arg "Func.find_block: no block %%%s in %s" name f.fname
+
+let iter_instrs f k = List.iter (fun b -> List.iter (k b) b.instrs) f.blocks
+
+let fold_instrs f init k =
+  List.fold_left
+    (fun acc b -> List.fold_left (fun acc i -> k acc b i) acc b.instrs)
+    init f.blocks
+
+(** Successor labels of a block's terminator. *)
+let successors b =
+  match b.term with
+  | Instr.Br l -> [ l ]
+  | Instr.CondBr (_, t, e) -> if t = e then [ t ] else [ t; e ]
+  | Instr.Ret _ | Instr.Unreachable -> []
+
+(** Instruction count, a crude size metric used in reports. *)
+let size f =
+  List.fold_left (fun acc b -> acc + List.length b.instrs + 1) 0 f.blocks
+
+(* -- Modules -- *)
+
+type modul = { mname : string; mutable funcs : t list }
+
+let create_module name = { mname = name; funcs = [] }
+
+let add_func m f = m.funcs <- m.funcs @ [ f ]
+
+let find_func m name =
+  match List.find_opt (fun f -> f.fname = name) m.funcs with
+  | Some f -> f
+  | None -> Fmt.invalid_arg "Func.find_func: no function %s in %s" name m.mname
+
+let find_func_opt m name = List.find_opt (fun f -> f.fname = name) m.funcs

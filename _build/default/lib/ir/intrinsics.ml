@@ -1,0 +1,63 @@
+(** Registry of the intrinsic functions understood by the tool-chain.
+
+    Two families exist:
+
+    - [psim.*] — the Parsimony programming-model API (paper §3).  In
+      scalar SPMD functions these represent per-thread queries and
+      horizontal operations; the vectorizer replaces them with vector IR
+      and the SPMD reference executor gives them their multi-threaded
+      semantics.
+
+    - [math.*] — scalar math library calls.  The vectorizer maps them to
+      vector math library calls: [sleef.*] in Parsimony mode (the SLEEF
+      library used by the prototype) or [ispc.*] in ispc mode (ispc's
+      built-in SIMD math library).  The cost model makes [ispc.pow.f32]
+      2.6x faster than [sleef.pow.f32], reproducing the paper's Binomial
+      Options gap (§6). *)
+
+(* -- Parsimony API -- *)
+
+let lane_num = "psim.lane_num"
+let gang_sync = "psim.gang_sync"
+let shuffle = "psim.shuffle"
+let sad_u8 = "psim.sad_u8"  (* the vpsadbw abstraction of paper §7 *)
+
+let is_psim name = String.length name > 5 && String.sub name 0 5 = "psim."
+
+(** Horizontal operations require all gang threads to participate; they
+    are the synchronization points of the SPMD reference executor. *)
+let is_horizontal name = name = gang_sync || name = shuffle || name = sad_u8
+
+(* -- Math library -- *)
+
+let math_unary = [ "sqrt"; "rsqrt"; "exp"; "log"; "sin"; "cos"; "tan"; "atan" ]
+let math_binary = [ "pow"; "atan2"; "fmod" ]
+
+let is_math name = String.length name > 5 && String.sub name 0 5 = "math."
+let is_sleef name = String.length name > 6 && String.sub name 0 6 = "sleef."
+let is_ispc name = String.length name > 5 && String.sub name 0 5 = "ispc."
+
+(** Vector math call produced from a scalar [math.op.fty] call.
+    [lib] is ["sleef"] or ["ispc"]. *)
+let vector_math_name ~lib scalar_name =
+  match String.index_opt scalar_name '.' with
+  | Some i -> lib ^ String.sub scalar_name i (String.length scalar_name - i)
+  | None -> invalid_arg "Intrinsics.vector_math_name"
+
+(** Base operation of a math call, e.g. ["pow"] from ["sleef.pow.f32"]. *)
+let math_op name =
+  match String.split_on_char '.' name with
+  | _ :: op :: _ -> op
+  | _ -> invalid_arg "Intrinsics.math_op"
+
+let math_name op (s : Types.scalar) =
+  Fmt.str "math.%s.%s" op (match s with Types.F32 -> "f32" | _ -> "f64")
+
+(** Is [name] any call with a known vector implementation? *)
+let has_vector_version name = is_math name
+
+(** Arity of a math operation. *)
+let math_arity op =
+  if List.mem op math_unary then 1
+  else if List.mem op math_binary then 2
+  else invalid_arg ("Intrinsics.math_arity: " ^ op)

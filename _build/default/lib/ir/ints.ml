@@ -1,0 +1,199 @@
+(** Two's-complement integer arithmetic at the narrow widths used by PIR.
+
+    Runtime integer values are stored as [int64] in a canonical
+    *zero-extended* form: the value occupies the low [w] bits and all
+    higher bits are zero.  Signed operations sign-extend internally and
+    re-normalize on the way out. *)
+
+let mask_of_bits w = if w >= 64 then -1L else Int64.(sub (shift_left 1L w) 1L)
+
+(** Canonicalize to the zero-extended representation at width [w]. *)
+let norm w x = Int64.logand x (mask_of_bits w)
+
+(** Sign-extend a canonical value of width [w] to a full [int64]. *)
+let sext w x =
+  if w >= 64 then x
+  else
+    let sign_bit = Int64.shift_left 1L (w - 1) in
+    if Int64.logand x sign_bit <> 0L then
+      Int64.logor x (Int64.lognot (mask_of_bits w))
+    else norm w x
+
+(** Interpret a canonical value of width [w] as an unsigned number.
+    Widths below 64 always fit; at width 64 the result may be negative
+    when viewed as an OCaml [int64], callers must use unsigned compares. *)
+let zext w x = norm w x
+
+let min_signed w = Int64.neg (Int64.shift_left 1L (w - 1))
+let max_signed w = Int64.sub (Int64.shift_left 1L (w - 1)) 1L
+let max_unsigned w = mask_of_bits w
+
+(* -- Comparisons on canonical values -- *)
+
+let ucompare w a b = Int64.unsigned_compare (zext w a) (zext w b)
+let scompare w a b = Int64.compare (sext w a) (sext w b)
+
+(* -- Arithmetic, all returning canonical values at width [w] -- *)
+
+let add w a b = norm w (Int64.add a b)
+let sub w a b = norm w (Int64.sub a b)
+let mul w a b = norm w (Int64.mul a b)
+let logand w a b = norm w (Int64.logand a b)
+let logor w a b = norm w (Int64.logor a b)
+let logxor w a b = norm w (Int64.logxor a b)
+let lognot w a = norm w (Int64.lognot a)
+let neg w a = norm w (Int64.neg a)
+
+let shl w a b =
+  let s = Int64.to_int (norm w b) mod 64 in
+  if s >= w then 0L else norm w (Int64.shift_left a s)
+
+let lshr w a b =
+  let s = Int64.to_int (norm w b) mod 64 in
+  if s >= w then 0L else norm w (Int64.shift_right_logical (zext w a) s)
+
+let ashr w a b =
+  let s = Int64.to_int (norm w b) mod 64 in
+  let s = if s >= w then w - 1 else s in
+  norm w (Int64.shift_right (sext w a) s)
+
+(** Unsigned division; division by zero yields all-ones, matching the
+    machine model's defined (rather than trapping) semantics. *)
+let udiv w a b =
+  if norm w b = 0L then mask_of_bits w
+  else norm w (Int64.unsigned_div (zext w a) (zext w b))
+
+let sdiv w a b =
+  if norm w b = 0L then mask_of_bits w else norm w (Int64.div (sext w a) (sext w b))
+
+let urem w a b =
+  if norm w b = 0L then norm w a
+  else norm w (Int64.unsigned_rem (zext w a) (zext w b))
+
+let srem w a b =
+  if norm w b = 0L then 0L else norm w (Int64.rem (sext w a) (sext w b))
+
+let smin w a b = if scompare w a b <= 0 then norm w a else norm w b
+let smax w a b = if scompare w a b >= 0 then norm w a else norm w b
+let umin w a b = if ucompare w a b <= 0 then norm w a else norm w b
+let umax w a b = if ucompare w a b >= 0 then norm w a else norm w b
+
+(* -- Saturating arithmetic (SIMD ISAs expose these directly) -- *)
+
+let uadd_sat w a b =
+  let r = Int64.add (zext w a) (zext w b) in
+  if w >= 64 then
+    (* overflow iff result unsigned-less-than an operand *)
+    if Int64.unsigned_compare r a < 0 then -1L else r
+  else if Int64.unsigned_compare r (max_unsigned w) > 0 then max_unsigned w
+  else r
+
+let usub_sat w a b = if ucompare w a b <= 0 then 0L else sub w a b
+
+let sadd_sat w a b =
+  let r = Int64.add (sext w a) (sext w b) in
+  if w >= 64 then
+    let sa = sext w a and sb = sext w b in
+    if sa >= 0L && sb >= 0L && r < 0L then max_signed 64
+    else if sa < 0L && sb < 0L && r >= 0L then min_signed 64
+    else r
+  else if r > max_signed w then norm w (max_signed w)
+  else if r < min_signed w then norm w (min_signed w)
+  else norm w r
+
+let ssub_sat w a b =
+  let r = Int64.sub (sext w a) (sext w b) in
+  if w >= 64 then
+    let sa = sext w a and sb = sext w b in
+    if sa >= 0L && sb < 0L && r < 0L then max_signed 64
+    else if sa < 0L && sb >= 0L && r >= 0L then min_signed 64
+    else r
+  else if r > max_signed w then norm w (max_signed w)
+  else if r < min_signed w then norm w (min_signed w)
+  else norm w r
+
+(** Rounded unsigned average [(a + b + 1) >> 1], the x86 [pavgb]/[pavgw]
+    operation. *)
+let avgr_u w a b =
+  let r = Int64.add (Int64.add (zext w a) (zext w b)) 1L in
+  if w >= 64 then Int64.shift_right_logical r 1 (* cannot overflow into bit 65 for w<64 only; for w=64 approximate *)
+  else norm w (Int64.shift_right_logical r 1)
+
+(** Unsigned absolute difference [|a - b|]. *)
+let abs_diff_u w a b = if ucompare w a b >= 0 then sub w a b else sub w b a
+
+(** Upper half of the signed [w x w -> 2w] product. *)
+let mulhi_s w a b =
+  if w <= 32 then
+    let p = Int64.mul (sext w a) (sext w b) in
+    norm w (Int64.shift_right p w)
+  else
+    (* 64x64 high half via 32-bit limbs *)
+    let a = sext w a and b = sext w b in
+    let alo = Int64.logand a 0xFFFFFFFFL and ahi = Int64.shift_right a 32 in
+    let blo = Int64.logand b 0xFFFFFFFFL and bhi = Int64.shift_right b 32 in
+    let ll = Int64.mul alo blo in
+    let lh = Int64.mul alo bhi in
+    let hl = Int64.mul ahi blo in
+    let hh = Int64.mul ahi bhi in
+    let carry =
+      Int64.add
+        (Int64.add (Int64.shift_right_logical ll 32) (Int64.logand lh 0xFFFFFFFFL))
+        (Int64.logand hl 0xFFFFFFFFL)
+    in
+    Int64.add
+      (Int64.add hh (Int64.shift_right lh 32))
+      (Int64.add (Int64.shift_right hl 32) (Int64.shift_right_logical carry 32))
+
+(** Upper half of the unsigned [w x w -> 2w] product. *)
+let mulhi_u w a b =
+  if w <= 32 then
+    let p = Int64.mul (zext w a) (zext w b) in
+    norm w (Int64.shift_right_logical p w)
+  else
+    let a = zext w a and b = zext w b in
+    let alo = Int64.logand a 0xFFFFFFFFL
+    and ahi = Int64.shift_right_logical a 32 in
+    let blo = Int64.logand b 0xFFFFFFFFL
+    and bhi = Int64.shift_right_logical b 32 in
+    let ll = Int64.mul alo blo in
+    let lh = Int64.mul alo bhi in
+    let hl = Int64.mul ahi blo in
+    let hh = Int64.mul ahi bhi in
+    let carry =
+      Int64.add
+        (Int64.add (Int64.shift_right_logical ll 32) (Int64.logand lh 0xFFFFFFFFL))
+        (Int64.logand hl 0xFFFFFFFFL)
+    in
+    Int64.add
+      (Int64.add hh (Int64.shift_right_logical lh 32))
+      (Int64.add
+         (Int64.shift_right_logical hl 32)
+         (Int64.shift_right_logical carry 32))
+
+let abs w a =
+  let s = sext w a in
+  if s >= 0L then norm w s else norm w (Int64.neg s)
+
+let clz w a =
+  if norm w a = 0L then Int64.of_int w
+  else
+    let rec find i =
+      if Int64.logand (lshr w a (Int64.of_int i)) 1L = 1L then i else find (i - 1)
+    in
+    Int64.of_int (w - 1 - find (w - 1))
+
+let ctz w a =
+  if norm w a = 0L then Int64.of_int w
+  else
+    let rec find i =
+      if Int64.logand (lshr w a (Int64.of_int i)) 1L = 1L then i else find (i + 1)
+    in
+    Int64.of_int (find 0)
+
+let popcnt w a =
+  let rec go acc i =
+    if i >= w then acc
+    else go (acc + Int64.to_int (Int64.logand (lshr w a (Int64.of_int i)) 1L)) (i + 1)
+  in
+  Int64.of_int (go 0 0)

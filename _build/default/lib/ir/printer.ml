@@ -1,0 +1,210 @@
+(** Textual form of PIR, LLVM-flavoured.  Used by the [psimc] driver's
+    [--emit-ir] modes and by tests. *)
+
+open Instr
+
+let pp_const ppf = function
+  | Cint (Types.I1, v) -> Fmt.pf ppf "%s" (if v = 0L then "false" else "true")
+  | Cint (s, v) -> Fmt.pf ppf "%Ld:%a" (Ints.sext (Types.scalar_bits s) v) Types.pp (Types.Scalar s)
+  | Cfloat (s, v) -> Fmt.pf ppf "%h:%a" v Types.pp (Types.Scalar s)
+  | Cvec (s, a) ->
+      Fmt.pf ppf "<%a>:%a"
+        Fmt.(array ~sep:(any ", ") (fun ppf v -> Fmt.pf ppf "%Ld" (Ints.sext (Types.scalar_bits s) v)))
+        a Types.pp (Types.Scalar s)
+
+let pp_operand ppf = function
+  | Var v -> Fmt.pf ppf "%%%d" v
+  | Const c -> pp_const ppf c
+
+let pp_ibin ppf k =
+  Fmt.string ppf
+    (match k with
+    | Add -> "add"
+    | Sub -> "sub"
+    | Mul -> "mul"
+    | UDiv -> "udiv"
+    | SDiv -> "sdiv"
+    | URem -> "urem"
+    | SRem -> "srem"
+    | And -> "and"
+    | Or -> "or"
+    | Xor -> "xor"
+    | Shl -> "shl"
+    | LShr -> "lshr"
+    | AShr -> "ashr"
+    | SMin -> "smin"
+    | SMax -> "smax"
+    | UMin -> "umin"
+    | UMax -> "umax"
+    | UAddSat -> "uadd.sat"
+    | SAddSat -> "sadd.sat"
+    | USubSat -> "usub.sat"
+    | SSubSat -> "ssub.sat"
+    | AvgrU -> "avgr.u"
+    | AbsDiffU -> "absdiff.u"
+    | MulHiS -> "mulhi.s"
+    | MulHiU -> "mulhi.u")
+
+let pp_fbin ppf k =
+  Fmt.string ppf
+    (match k with
+    | FAdd -> "fadd"
+    | FSub -> "fsub"
+    | FMul -> "fmul"
+    | FDiv -> "fdiv"
+    | FMin -> "fmin"
+    | FMax -> "fmax")
+
+let pp_iun ppf k =
+  Fmt.string ppf
+    (match k with
+    | INot -> "not"
+    | INeg -> "neg"
+    | IAbs -> "abs"
+    | Clz -> "clz"
+    | Ctz -> "ctz"
+    | Popcnt -> "popcnt")
+
+let pp_fun ppf k =
+  Fmt.string ppf
+    (match k with
+    | FNeg -> "fneg"
+    | FAbs -> "fabs"
+    | FSqrt -> "fsqrt"
+    | FFloor -> "ffloor"
+    | FCeil -> "fceil")
+
+let pp_ipred ppf p =
+  Fmt.string ppf
+    (match p with
+    | Eq -> "eq"
+    | Ne -> "ne"
+    | Ult -> "ult"
+    | Ule -> "ule"
+    | Ugt -> "ugt"
+    | Uge -> "uge"
+    | Slt -> "slt"
+    | Sle -> "sle"
+    | Sgt -> "sgt"
+    | Sge -> "sge")
+
+let pp_fpred ppf p =
+  Fmt.string ppf
+    (match p with
+    | Oeq -> "oeq"
+    | One -> "one"
+    | Olt -> "olt"
+    | Ole -> "ole"
+    | Ogt -> "ogt"
+    | Oge -> "oge")
+
+let pp_cast ppf k =
+  Fmt.string ppf
+    (match k with
+    | Trunc -> "trunc"
+    | ZExt -> "zext"
+    | SExt -> "sext"
+    | FPTrunc -> "fptrunc"
+    | FPExt -> "fpext"
+    | FPToSI -> "fptosi"
+    | FPToUI -> "fptoui"
+    | SIToFP -> "sitofp"
+    | UIToFP -> "uitofp"
+    | Bitcast -> "bitcast")
+
+let pp_reduce ppf k =
+  Fmt.string ppf
+    (match k with
+    | RAdd -> "add"
+    | RAnd -> "and"
+    | ROr -> "or"
+    | RXor -> "xor"
+    | RSMin -> "smin"
+    | RSMax -> "smax"
+    | RUMin -> "umin"
+    | RUMax -> "umax"
+    | RFAdd -> "fadd"
+    | RFMin -> "fmin"
+    | RFMax -> "fmax"
+    | RAny -> "any"
+    | RAll -> "all")
+
+let pp_mask ppf = function
+  | None -> ()
+  | Some m -> Fmt.pf ppf ", mask %a" pp_operand m
+
+let pp_op ppf (op : op) =
+  let p fmt = Fmt.pf ppf fmt in
+  let o = pp_operand in
+  match op with
+  | Ibin (k, a, b) -> p "%a %a, %a" pp_ibin k o a o b
+  | Fbin (k, a, b) -> p "%a %a, %a" pp_fbin k o a o b
+  | Iun (k, a) -> p "%a %a" pp_iun k o a
+  | Fun (k, a) -> p "%a %a" pp_fun k o a
+  | Icmp (pr, a, b) -> p "icmp %a %a, %a" pp_ipred pr o a o b
+  | Fcmp (pr, a, b) -> p "fcmp %a %a, %a" pp_fpred pr o a o b
+  | Select (c, a, b) -> p "select %a, %a, %a" o c o a o b
+  | Cast (k, a, t) -> p "%a %a to %a" pp_cast k o a Types.pp t
+  | Alloca (s, n) -> p "alloca %a x %d" Types.pp (Types.Scalar s) n
+  | Load a -> p "load %a" o a
+  | Store (v, a) -> p "store %a, %a" o v o a
+  | Gep (a, i) -> p "gep %a, %a" o a o i
+  | Call (f, args) -> p "call @%s(%a)" f Fmt.(list ~sep:(any ", ") o) args
+  | Phi inc ->
+      p "phi %a"
+        Fmt.(
+          list ~sep:(any ", ") (fun ppf (l, v) -> Fmt.pf ppf "[%s: %a]" l o v))
+        inc
+  | Splat (a, n) -> p "splat %a x %d" o a n
+  | VLoad (a, m) -> p "vload %a%a" o a pp_mask m
+  | VStore (v, a, m) -> p "vstore %a, %a%a" o v o a pp_mask m
+  | Gather (b, i, m) -> p "gather %a[%a]%a" o b o i pp_mask m
+  | Scatter (v, b, i, m) -> p "scatter %a, %a[%a]%a" o v o b o i pp_mask m
+  | Shuffle (a, b, idx) ->
+      p "shuffle %a, %a, <%a>" o a o b
+        Fmt.(array ~sep:(any ", ") int)
+        idx
+  | ShuffleDyn (a, i) -> p "shuffle.dyn %a, %a" o a o i
+  | ExtractLane (v, i) -> p "extractlane %a, %a" o v o i
+  | InsertLane (v, x, i) -> p "insertlane %a, %a, %a" o v o x o i
+  | Reduce (k, v) -> p "reduce.%a %a" pp_reduce k o v
+  | FirstLane m -> p "firstlane %a" o m
+  | Psadbw (a, b) -> p "psadbw %a, %a" o a o b
+
+let pp_instr ppf (i : instr) =
+  if i.ty = Types.Void then Fmt.pf ppf "  %a" pp_op i.op
+  else Fmt.pf ppf "  %%%d : %a = %a" i.id Types.pp i.ty pp_op i.op
+
+let pp_term ppf = function
+  | Br l -> Fmt.pf ppf "  br %%%s" l
+  | CondBr (c, t, e) -> Fmt.pf ppf "  br %a, %%%s, %%%s" pp_operand c t e
+  | Ret None -> Fmt.pf ppf "  ret"
+  | Ret (Some v) -> Fmt.pf ppf "  ret %a" pp_operand v
+  | Unreachable -> Fmt.pf ppf "  unreachable"
+
+let pp_block ppf (b : Func.block) =
+  Fmt.pf ppf "%s:@." b.bname;
+  List.iter (fun i -> Fmt.pf ppf "%a@." pp_instr i) b.instrs;
+  Fmt.pf ppf "%a@." pp_term b.term
+
+let pp_spmd ppf = function
+  | None -> ()
+  | Some { Func.gang_size; partial } ->
+      Fmt.pf ppf " spmd(gang_size=%d%s)" gang_size
+        (if partial then ", partial" else "")
+
+let pp_func ppf (f : Func.t) =
+  Fmt.pf ppf "func @%s(%a) -> %a%a {@."
+    f.fname
+    Fmt.(
+      list ~sep:(any ", ") (fun ppf (v, t) -> Fmt.pf ppf "%%%d: %a" v Types.pp t))
+    f.params Types.pp f.ret pp_spmd f.spmd;
+  List.iter (fun b -> pp_block ppf b) f.blocks;
+  Fmt.pf ppf "}@."
+
+let pp_module ppf (m : Func.modul) =
+  Fmt.pf ppf "; module %s@.@." m.mname;
+  List.iter (fun f -> Fmt.pf ppf "%a@." pp_func f) m.funcs
+
+let func_to_string f = Fmt.str "%a" pp_func f
+let module_to_string m = Fmt.str "%a" pp_module m

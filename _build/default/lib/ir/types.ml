@@ -1,0 +1,102 @@
+(** Types of the PIR intermediate representation.
+
+    PIR is a small LLVM-like typed SSA IR.  Types are either [Void], a
+    scalar, a typed pointer into the linear byte-addressed memory of the
+    machine model, or a fixed-width vector of scalars.  Vectors carry an
+    arbitrary lane count: before back-end legalization the lane count is
+    the SPMD gang size, which need not match the machine vector width. *)
+
+(** Scalar element kinds.  [I1] is the boolean / mask element type.
+    Signedness is a property of operations, not of types, as in LLVM. *)
+type scalar = I1 | I8 | I16 | I32 | I64 | F32 | F64
+[@@deriving show { with_path = false }, eq, ord]
+
+type t =
+  | Void
+  | Scalar of scalar
+  | Ptr of scalar  (** typed pointer to elements of the given scalar kind *)
+  | Vec of scalar * int  (** element kind, lane count *)
+[@@deriving show { with_path = false }, eq, ord]
+
+(* -- Scalar kind helpers -- *)
+
+let scalar_bits = function
+  | I1 -> 1
+  | I8 -> 8
+  | I16 -> 16
+  | I32 -> 32
+  | I64 -> 64
+  | F32 -> 32
+  | F64 -> 64
+
+(** Storage footprint in bytes ([I1] stores as one byte). *)
+let scalar_bytes = function
+  | I1 | I8 -> 1
+  | I16 -> 2
+  | I32 | F32 -> 4
+  | I64 | F64 -> 8
+
+let is_float_scalar = function F32 | F64 -> true | _ -> false
+let is_int_scalar s = not (is_float_scalar s)
+
+(* -- Type helpers -- *)
+
+let bool_ = Scalar I1
+let i8 = Scalar I8
+let i16 = Scalar I16
+let i32 = Scalar I32
+let i64 = Scalar I64
+let f32 = Scalar F32
+let f64 = Scalar F64
+
+(** Total bit width of a value of this type (pointers are 64-bit). *)
+let bits = function
+  | Void -> 0
+  | Scalar s -> scalar_bits s
+  | Ptr _ -> 64
+  | Vec (s, n) -> scalar_bits s * n
+
+let is_vector = function Vec _ -> true | _ -> false
+let is_scalar = function Scalar _ -> true | _ -> false
+let is_pointer = function Ptr _ -> true | _ -> false
+let is_float = function Scalar s | Vec (s, _) -> is_float_scalar s | _ -> false
+
+let is_int = function
+  | Scalar s | Vec (s, _) -> is_int_scalar s
+  | _ -> false
+
+(** Element kind of a scalar or vector type. *)
+let elem = function
+  | Scalar s | Vec (s, _) -> s
+  | Ptr _ -> I64
+  | Void -> invalid_arg "Types.elem: void"
+
+(** Lane count; scalars count as a single lane. *)
+let lanes = function Vec (_, n) -> n | Void -> 0 | _ -> 1
+
+(** [widen t n] turns a scalar type into its [n]-lane vector form.
+    Pointers widen to [I64] index vectors. *)
+let widen t n =
+  match t with
+  | Scalar s -> Vec (s, n)
+  | Ptr _ -> Vec (I64, n)
+  | Vec (s, _) -> Vec (s, n)
+  | Void -> Void
+
+(** Mask type for an [n]-lane gang. *)
+let mask n = Vec (I1, n)
+
+let rec pp ppf t =
+  match t with
+  | Void -> Fmt.string ppf "void"
+  | Scalar I1 -> Fmt.string ppf "i1"
+  | Scalar I8 -> Fmt.string ppf "i8"
+  | Scalar I16 -> Fmt.string ppf "i16"
+  | Scalar I32 -> Fmt.string ppf "i32"
+  | Scalar I64 -> Fmt.string ppf "i64"
+  | Scalar F32 -> Fmt.string ppf "f32"
+  | Scalar F64 -> Fmt.string ppf "f64"
+  | Ptr s -> Fmt.pf ppf "%a*" pp (Scalar s)
+  | Vec (s, n) -> Fmt.pf ppf "<%d x %a>" n pp (Scalar s)
+
+let to_string t = Fmt.str "%a" pp t

@@ -1,0 +1,1 @@
+lib/ispc_suite/suite.ml: Fmt Pir Pmachine Psimdlib

@@ -1,0 +1,534 @@
+(** The seven ispc example benchmarks ported to PsimC (paper Figure 4).
+
+    Each benchmark provides a plain serial version (the LLVM
+    auto-vectorization baseline compiles it; on most of these it fails
+    for the classic reasons — divergent inner loops, libm calls,
+    unprovable aliasing) and a Parsimony port.  The ispc bars of
+    Figure 4 run the same Parsimony port through the vectorizer in
+    ispc mode (gang-synchronous semantics cost nothing; the only
+    difference is ispc's built-in vector math library, §6). *)
+
+open Psimdlib.Workload
+
+let vf v = Pmachine.Value.F v
+
+let mk ~name ~family ~gang ~serial ~psim ~buffers ~scalars ~tol =
+  {
+    kname = name;
+    family;
+    gang;
+    psim_src = psim;
+    serial_src = serial;
+    hand = None;
+    buffers;
+    scalars;
+    float_tolerance = tol;
+  }
+
+let f32buf name seed len = { bname = name; elem = Pir.Types.F32; len; init = f32_pos seed; output = false }
+let f32outbuf name len = { bname = name; elem = Pir.Types.F32; len; init = zero32f; output = true }
+let i32outbuf name len = { bname = name; elem = Pir.Types.I32; len; init = (fun _ -> Pmachine.Value.I 0L); output = true }
+
+(* -- 1. mandelbrot: the canonical divergent-loop benchmark -- *)
+
+let mandel_w = 64
+let mandel_h = 24
+let mandel_iters = 48
+
+let mandelbrot =
+  let body =
+    Fmt.str
+      {|
+      float32 cx = -2.0 + (float32)(int32)x * (3.0 / %d.0);
+      float32 cy = -1.0 + (float32)(int32)y * (2.0 / %d.0);
+      float32 zx = 0.0;
+      float32 zy = 0.0;
+      int32 it = 0;
+      while (it < %d) {
+        if (zx * zx + zy * zy > 4.0) { break; }
+        float32 nzx = zx * zx - zy * zy + cx;
+        zy = 2.0 * zx * zy + cy;
+        zx = nzx;
+        it = it + 1;
+      }
+      counts[y * %d + x] = it;|}
+      mandel_w mandel_h mandel_iters mandel_w
+  in
+  let serial =
+    Fmt.str
+      {|
+void mandelbrot(int32* restrict counts, int64 w, int64 h) {
+  for (int64 y = 0; y < h; y = y + 1) {
+    for (int64 x = 0; x < w; x = x + 1) {
+%s
+    }
+  }
+}
+|}
+      body
+  in
+  let psim =
+    Fmt.str
+      {|
+void mandelbrot(int32* counts, int64 w, int64 h) {
+  for (int64 y = 0; y < h; y = y + 1) {
+    psim gang_size(16) num_spmd_threads(w) {
+      int64 x = psim_thread_num();
+%s
+    }
+  }
+}
+|}
+      body
+  in
+  mk ~name:"mandelbrot" ~family:"ispc" ~gang:16 ~serial ~psim
+    ~buffers:[ i32outbuf "counts" (mandel_w * mandel_h) ]
+    ~scalars:[ vi mandel_w; vi mandel_h ]
+    ~tol:0.0
+
+(* -- 2. black-scholes option pricing: libm-call heavy, no divergence -- *)
+
+let n_options = 512
+
+let black_scholes =
+  let body =
+    {|
+    float32 s = S[i];
+    float32 x = X[i];
+    float32 t = T[i] + 0.2;
+    float32 r = 0.02;
+    float32 v = 0.3;
+    float32 sqt = sqrtf(t);
+    float32 d1 = (logf(s / x) + (r + 0.5 * v * v) * t) / (v * sqt);
+    float32 d2 = d1 - v * sqt;
+    // cumulative normal distribution, Abramowitz-Stegun polynomial
+    float32 ad1 = fabsf(d1);
+    float32 k1 = 1.0 / (1.0 + 0.2316419 * ad1);
+    float32 w1 = 1.0 - 0.39894228 * expf(0.0 - 0.5 * d1 * d1)
+      * (k1 * (0.31938153 + k1 * (-0.356563782 + k1 * (1.781477937 + k1 * (-1.821255978 + k1 * 1.330274429)))));
+    float32 nd1 = d1 < 0.0 ? 1.0 - w1 : w1;
+    float32 ad2 = fabsf(d2);
+    float32 k2 = 1.0 / (1.0 + 0.2316419 * ad2);
+    float32 w2 = 1.0 - 0.39894228 * expf(0.0 - 0.5 * d2 * d2)
+      * (k2 * (0.31938153 + k2 * (-0.356563782 + k2 * (1.781477937 + k2 * (-1.821255978 + k2 * 1.330274429)))));
+    float32 nd2 = d2 < 0.0 ? 1.0 - w2 : w2;
+    result[i] = s * nd1 - x * expf(0.0 - r * t) * nd2;|}
+  in
+  let serial =
+    Fmt.str
+      {|
+void black_scholes(float32* restrict S, float32* restrict X, float32* restrict T, float32* restrict result, int64 n) {
+  for (int64 i = 0; i < n; i = i + 1) {
+%s
+  }
+}
+|}
+      body
+  in
+  let psim =
+    Fmt.str
+      {|
+void black_scholes(float32* S, float32* X, float32* T, float32* result, int64 n) {
+  psim gang_size(16) num_spmd_threads(n) {
+    int64 i = psim_thread_num();
+%s
+  }
+}
+|}
+      body
+  in
+  mk ~name:"black_scholes" ~family:"ispc" ~gang:16 ~serial ~psim
+    ~buffers:
+      [
+        f32buf "S" 701 n_options;
+        f32buf "X" 702 n_options;
+        f32buf "T" 703 n_options;
+        f32outbuf "result" n_options;
+      ]
+    ~scalars:[ vi n_options ]
+    ~tol:1e-5
+
+(* -- 3. binomial options: pow-dominated with a per-thread lattice array
+   (the Figure 4 benchmark where ispc's faster pow shows) -- *)
+
+let bin_steps = 12
+
+let binomial_options =
+  let body =
+    Fmt.str
+      {|
+    float32 s = S[i];
+    float32 x = X[i];
+    float32 t = T[i] + 0.2;
+    float32 r = 0.02;
+    float32 v = 0.3;
+    float32 dt = t / %d.0;
+    float32 u = expf(v * sqrtf(dt));
+    float32 d = 1.0 / u;
+    float32 disc = expf(0.0 - r * dt);
+    float32 pu = (expf(r * dt) - d) / (u - d);
+    float32 pd = 1.0 - pu;
+    float32 vals[%d];
+    for (int32 j = 0; j <= %d; j = j + 1) {
+      float32 price = s * powf(u, (float32)(2 * j - %d));
+      float32 ex = price - x;
+      vals[(int64)j] = ex > 0.0 ? ex : 0.0;
+    }
+    for (int32 step = %d; step >= 1; step = step - 1) {
+      for (int32 j = 0; j < step; j = j + 1) {
+        vals[(int64)j] = disc * (pd * vals[(int64)j] + pu * vals[(int64)j + 1]);
+      }
+    }
+    result[i] = vals[0];|}
+      bin_steps (bin_steps + 1) bin_steps bin_steps bin_steps
+  in
+  let serial =
+    Fmt.str
+      {|
+void binomial_options(float32* restrict S, float32* restrict X, float32* restrict T, float32* restrict result, int64 n) {
+  for (int64 i = 0; i < n; i = i + 1) {
+%s
+  }
+}
+|}
+      body
+  in
+  let psim =
+    Fmt.str
+      {|
+void binomial_options(float32* S, float32* X, float32* T, float32* result, int64 n) {
+  psim gang_size(16) num_spmd_threads(n) {
+    int64 i = psim_thread_num();
+%s
+  }
+}
+|}
+      body
+  in
+  mk ~name:"binomial_options" ~family:"ispc" ~gang:16 ~serial ~psim
+    ~buffers:
+      [
+        f32buf "S" 711 n_options;
+        f32buf "X" 712 n_options;
+        f32buf "T" 713 n_options;
+        f32outbuf "result" n_options;
+      ]
+    ~scalars:[ vi n_options ]
+    ~tol:1e-4
+
+(* -- 4. noise: gradient noise with a permutation-table hash -- *)
+
+let noise_w = 64
+let noise_h = 24
+
+let noise =
+  let body =
+    Fmt.str
+      {|
+      float32 fx = (float32)(int32)x * 0.17;
+      float32 fy = (float32)(int32)y * 0.23;
+      float32 flx = floorf(fx);
+      float32 fly = floorf(fy);
+      int32 ix = (int32)flx & 255;
+      int32 iy = (int32)fly & 255;
+      float32 rx = fx - flx;
+      float32 ry = fy - fly;
+      float32 ux = rx * rx * rx * (rx * (rx * 6.0 - 15.0) + 10.0);
+      float32 uy = ry * ry * ry * (ry * (ry * 6.0 - 15.0) + 10.0);
+      int32 h00 = (int32)perm[(int64)((perm[(int64)(ix & 255)] + iy) & 255)];
+      int32 h10 = (int32)perm[(int64)((perm[(int64)((ix + 1) & 255)] + iy) & 255)];
+      int32 h01 = (int32)perm[(int64)((perm[(int64)(ix & 255)] + iy + 1) & 255)];
+      int32 h11 = (int32)perm[(int64)((perm[(int64)((ix + 1) & 255)] + iy + 1) & 255)];
+      float32 g00 = (h00 & 1) == 0 ? rx + ry : rx - ry;
+      float32 g10 = (h10 & 1) == 0 ? rx - 1.0 + ry : rx - 1.0 - ry;
+      float32 g01 = (h01 & 1) == 0 ? rx + ry - 1.0 : rx - ry + 1.0;
+      float32 g11 = (h11 & 1) == 0 ? rx - 1.0 + ry - 1.0 : rx - 1.0 - ry + 1.0;
+      float32 lx0 = g00 + ux * (g10 - g00);
+      float32 lx1 = g01 + ux * (g11 - g01);
+      out[y * %d + x] = lx0 + uy * (lx1 - lx0);|}
+      noise_w
+  in
+  let serial =
+    Fmt.str
+      {|
+void noise(uint8* restrict perm, float32* restrict out, int64 w, int64 h) {
+  for (int64 y = 0; y < h; y = y + 1) {
+    for (int64 x = 0; x < w; x = x + 1) {
+%s
+    }
+  }
+}
+|}
+      body
+  in
+  let psim =
+    Fmt.str
+      {|
+void noise(uint8* perm, float32* out, int64 w, int64 h) {
+  for (int64 y = 0; y < h; y = y + 1) {
+    psim gang_size(16) num_spmd_threads(w) {
+      int64 x = psim_thread_num();
+%s
+    }
+  }
+}
+|}
+      body
+  in
+  mk ~name:"noise" ~family:"ispc" ~gang:16 ~serial ~psim
+    ~buffers:
+      [
+        { bname = "perm"; elem = Pir.Types.I8; len = 256; init = u8 720; output = false };
+        f32outbuf "out" (noise_w * noise_h);
+      ]
+    ~scalars:[ vi noise_w; vi noise_h ]
+    ~tol:1e-5
+
+(* -- 5. stencil: 5-point time-stepped Jacobi (ping-pong buffers; the
+   serial version cannot prove the buffers disjoint) -- *)
+
+let stencil_w = 96
+let stencil_h = 16
+
+let stencil =
+  let body =
+    {|
+      int64 o = rowbase + x;
+      xout[o] = 0.5 * xin[o]
+        + 0.125 * (xin[o - 1] + xin[o + 1] + xin[o - w] + xin[o + w]);|}
+  in
+  let serial =
+    Fmt.str
+      {|
+void stencil(float32* xin, float32* xout, int64 w, int64 h) {
+  for (int64 y = 1; y < h - 1; y = y + 1) {
+    int64 rowbase = y * w;
+    for (int64 x = 1; x < w - 1; x = x + 1) {
+%s
+    }
+  }
+}
+|}
+      body
+  in
+  let psim =
+    Fmt.str
+      {|
+void stencil(float32* xin, float32* xout, int64 w, int64 h) {
+  for (int64 y = 1; y < h - 1; y = y + 1) {
+    int64 rowbase = y * w;
+    psim gang_size(16) num_spmd_threads(w - 2) {
+      int64 x = psim_thread_num() + 1;
+%s
+    }
+  }
+}
+|}
+      body
+  in
+  mk ~name:"stencil" ~family:"ispc" ~gang:16 ~serial ~psim
+    ~buffers:
+      [
+        f32buf "xin" 730 (stencil_w * stencil_h);
+        f32outbuf "xout" (stencil_w * stencil_h);
+      ]
+    ~scalars:[ vi stencil_w; vi stencil_h ]
+    ~tol:1e-5
+
+(* -- 6. aobench: ambient occlusion over a 3-sphere + plane scene -- *)
+
+let ao_w = 32
+let ao_h = 16
+
+let aobench =
+  (* per-pixel: primary ray down the z axis; nearest sphere/plane hit;
+     8 fixed hemisphere directions tested for occlusion *)
+  let body =
+    Fmt.str
+      {|
+      float32 px = ((float32)(int32)x + 0.5) * (2.0 / %d.0) - 1.0;
+      float32 py = ((float32)(int32)y + 0.5) * (2.0 / %d.0) - 1.0;
+      // ray origin (px, py, 0), direction (0, 0, -1)
+      float32 best = 1.0e30;
+      float32 nx = 0.0;
+      float32 ny = 0.0;
+      float32 nz = 0.0;
+      float32 hx = 0.0;
+      float32 hy = 0.0;
+      float32 hz = 0.0;
+      bool hit = false;
+      for (int32 s = 0; s < 3; s = s + 1) {
+        float32 cx = (float32)(s - 1) * 1.0;
+        float32 cy = 0.0;
+        float32 cz = -2.0 - (float32)s * 0.4;
+        float32 radius = 0.5;
+        float32 ox = px - cx;
+        float32 oy = py - cy;
+        float32 oz = 0.0 - cz;
+        float32 bq = ox * 0.0 + oy * 0.0 + oz * (-1.0);
+        float32 cq = ox * ox + oy * oy + oz * oz - radius * radius;
+        float32 disc = bq * bq - cq;
+        if (disc > 0.0) {
+          float32 tq = 0.0 - bq - sqrtf(disc);
+          if (tq > 0.0 && tq < best) {
+            best = tq;
+            hit = true;
+            hx = px;
+            hy = py;
+            hz = 0.0 - tq;
+            nx = (hx - cx) / radius;
+            ny = (hy - cy) / radius;
+            nz = (hz - cz) / radius;
+          }
+        }
+      }
+      // ground plane y = -0.7
+      float32 tp = (py - (-0.7)) / 1.0;
+      if (tp > 0.0 && tp < best) {
+        best = tp;
+        hit = true;
+        hx = px;
+        hy = -0.7;
+        hz = 0.0 - tp;
+        nx = 0.0;
+        ny = 1.0;
+        nz = 0.0;
+      }
+      float32 occ = 0.0;
+      if (hit) {
+        // 8 fixed hemisphere samples around the normal
+        for (int32 k = 0; k < 8; k = k + 1) {
+          float32 a = (float32)k * 0.785398;
+          float32 dx0 = cosf(a) * 0.7;
+          float32 dz0 = sinf(a) * 0.7;
+          float32 dy0 = 0.714;
+          // flip into the normal's hemisphere
+          float32 dotn = dx0 * nx + dy0 * ny + dz0 * nz;
+          float32 sdx = dotn < 0.0 ? 0.0 - dx0 : dx0;
+          float32 sdy = dotn < 0.0 ? 0.0 - dy0 : dy0;
+          float32 sdz = dotn < 0.0 ? 0.0 - dz0 : dz0;
+          // occlusion test against the spheres
+          for (int32 s = 0; s < 3; s = s + 1) {
+            float32 cx = (float32)(s - 1) * 1.0;
+            float32 cz = -2.0 - (float32)s * 0.4;
+            float32 ox = hx - cx;
+            float32 oy = hy - 0.0;
+            float32 oz = hz - cz;
+            float32 bq = ox * sdx + oy * sdy + oz * sdz;
+            float32 cq = ox * ox + oy * oy + oz * oz - 0.25;
+            float32 disc = bq * bq - cq;
+            if (disc > 0.0 && (0.0 - bq - sqrtf(disc)) > 0.001) {
+              occ = occ + 0.125;
+            }
+          }
+        }
+      }
+      float32 shade = hit ? 1.0 - occ : 0.0;
+      img[y * %d + x] = shade;|}
+      ao_w ao_h ao_w
+  in
+  let wrap kind =
+    if kind = `Serial then
+      Fmt.str
+        {|
+void aobench(float32* restrict img, int64 w, int64 h) {
+  for (int64 y = 0; y < h; y = y + 1) {
+    for (int64 x = 0; x < w; x = x + 1) {
+%s
+    }
+  }
+}
+|}
+        body
+    else
+      Fmt.str
+        {|
+void aobench(float32* img, int64 w, int64 h) {
+  for (int64 y = 0; y < h; y = y + 1) {
+    psim gang_size(16) num_spmd_threads(w) {
+      int64 x = psim_thread_num();
+%s
+    }
+  }
+}
+|}
+        body
+  in
+  mk ~name:"aobench" ~family:"ispc" ~gang:16 ~serial:(wrap `Serial)
+    ~psim:(wrap `Psim)
+    ~buffers:[ f32outbuf "img" (ao_w * ao_h) ]
+    ~scalars:[ vi ao_w; vi ao_h ]
+    ~tol:1e-5
+
+(* -- 7. volume: ray marching with early termination and gathers -- *)
+
+let vol_w = 48
+let vol_h = 16
+let vol_grid = 32
+
+let volume =
+  let body =
+    Fmt.str
+      {|
+      float32 sx = (float32)(int32)x * (%d.0 / %d.0);
+      float32 sy = (float32)(int32)y * (%d.0 / %d.0);
+      float32 pz = 0.0;
+      float32 acc = 0.0;
+      float32 trans = 1.0;
+      int32 step = 0;
+      while (step < 24) {
+        if (trans < 0.05) { break; }
+        int32 gx = (int32)sx & (%d - 1);
+        int32 gy = (int32)sy & (%d - 1);
+        int32 gz = (int32)pz & (%d - 1);
+        float32 density = (float32)(int32)grid[(int64)((gz * %d + gy) * %d + gx)] * 0.00392;
+        float32 a = density * 0.35;
+        acc = acc + trans * a;
+        trans = trans * (1.0 - a);
+        pz = pz + 1.0;
+        sx = sx + 0.3;
+        sy = sy + 0.15;
+        step = step + 1;
+      }
+      img[y * %d + x] = acc;|}
+      vol_grid vol_w vol_grid vol_h vol_grid vol_grid vol_grid vol_grid
+      vol_grid vol_w
+  in
+  let serial =
+    Fmt.str
+      {|
+void volume(uint8* restrict grid, float32* restrict img, int64 w, int64 h) {
+  for (int64 y = 0; y < h; y = y + 1) {
+    for (int64 x = 0; x < w; x = x + 1) {
+%s
+    }
+  }
+}
+|}
+      body
+  in
+  let psim =
+    Fmt.str
+      {|
+void volume(uint8* grid, float32* img, int64 w, int64 h) {
+  for (int64 y = 0; y < h; y = y + 1) {
+    psim gang_size(16) num_spmd_threads(w) {
+      int64 x = psim_thread_num();
+%s
+    }
+  }
+}
+|}
+      body
+  in
+  mk ~name:"volume" ~family:"ispc" ~gang:16 ~serial ~psim
+    ~buffers:
+      [
+        { bname = "grid"; elem = Pir.Types.I8; len = vol_grid * vol_grid * vol_grid; init = u8 740; output = false };
+        f32outbuf "img" (vol_w * vol_h);
+      ]
+    ~scalars:[ vi vol_w; vi vol_h ]
+    ~tol:1e-5
+
+let all =
+  [ aobench; binomial_options; black_scholes; mandelbrot; noise; stencil; volume ]

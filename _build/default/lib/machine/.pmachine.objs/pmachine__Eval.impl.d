@@ -1,0 +1,1 @@
+lib/machine/eval.ml: Array Float Fmt Int32 Int64 Pir Value

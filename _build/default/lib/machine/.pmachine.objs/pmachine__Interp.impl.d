@@ -1,0 +1,1 @@
+lib/machine/interp.ml: Array Cost Eval Fmt Int64 List Mathlib Memory Option Pir Value

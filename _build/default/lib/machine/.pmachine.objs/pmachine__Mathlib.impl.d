@@ -1,0 +1,1 @@
+lib/machine/mathlib.ml: Array Float Fmt Pir String Value

@@ -1,0 +1,1 @@
+lib/machine/memory.ml: Array Bytes Fmt Int32 Int64 Pir Value

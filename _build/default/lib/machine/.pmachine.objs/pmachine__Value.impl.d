@@ -1,0 +1,1 @@
+lib/machine/value.ml: Array Float Fmt Int32 Int64 Pir

@@ -1,0 +1,211 @@
+(** Cycle-cost model of an AVX-512-class core.
+
+    The simulator stands in for the paper's Xeon Gold 6258R testbed; the
+    absolute numbers are synthetic but the *relative* properties that
+    drive the paper's results are preserved:
+
+    - a vector operation has the same throughput cost as its scalar
+      counterpart per 512-bit chunk, so ALU speedup scales with lane
+      count (paper §2.1);
+    - memory operations pay a per-byte bandwidth term, which bounds the
+      speedup of memory-bound kernels;
+    - gathers and scatters cost on the order of one access per lane —
+      "often no faster than performing each individual serialized scalar
+      access" (paper §4.2.2);
+    - masked vector operations cost the same as unmasked ones (AVX-512
+      native predication, paper §2.1);
+    - the SLEEF vector [pow] is 2.6x slower than ispc's built-in vector
+      [pow] (paper §6), while the two libraries match on every other
+      entry point. *)
+
+type model = {
+  vector_bits : int;
+  ialu : float;
+  imul : float;
+  idiv : float;
+  falu : float;
+  fmul : float;
+  fdiv : float;
+  fsqrt : float;
+  cmp : float;
+  select : float;
+  cast : float;
+  load_base : float;
+  store_base : float;
+  mem_per_byte : float;
+  gather_base : float;
+  gather_per_lane : float;
+  shuffle : float;
+  shuffle_dyn : float;
+  splat : float;
+  extract : float;
+  insert : float;
+  reduce_step : float;  (** per log2(lanes) step *)
+  branch : float;
+  call_overhead : float;
+  alloca : float;
+}
+
+let default =
+  {
+    vector_bits = 512;
+    ialu = 1.0;
+    imul = 3.0;
+    idiv = 20.0;
+    falu = 2.0;
+    fmul = 2.0;
+    fdiv = 10.0;
+    fsqrt = 12.0;
+    cmp = 1.0;
+    select = 1.0;
+    cast = 1.0;
+    load_base = 3.0;
+    store_base = 2.0;
+    mem_per_byte = 0.25;
+    gather_base = 4.0;
+    gather_per_lane = 3.5;
+    shuffle = 1.0;
+    shuffle_dyn = 3.0;
+    splat = 1.0;
+    extract = 2.0;
+    insert = 2.0;
+    reduce_step = 2.0;
+    branch = 1.0;
+    call_overhead = 15.0;
+    alloca = 2.0;
+  }
+
+(* extracted SPMD region functions follow the front-end's naming *)
+let is_extracted_region name =
+  let rec find i =
+    i + 6 <= String.length name
+    && (String.sub name i 6 = "__psim" || find (i + 1))
+  in
+  find 0
+
+(** Scalar latency of math library entry points (cycles). *)
+let math_cost op =
+  match op with
+  | "sqrt" -> 15.0
+  | "rsqrt" -> 4.0
+  | "exp" -> 30.0
+  | "log" -> 30.0
+  | "pow" -> 70.0
+  | "sin" | "cos" -> 35.0
+  | "tan" -> 45.0
+  | "atan" -> 35.0
+  | "atan2" -> 45.0
+  | "fmod" -> 25.0
+  | _ -> 40.0
+
+(** Per-512b-chunk cost of vector math library calls. *)
+let vector_math_cost ~lib op =
+  match (lib, op) with
+  | "ispc", "pow" -> 110.0
+  | "sleef", "pow" -> 286.0 (* 2.6x ispc's built-in pow, per paper §6 *)
+  | _, op -> math_cost op
+
+(** Number of machine vector registers a value of type [ty] occupies. *)
+let chunks m (ty : Pir.Types.t) =
+  match ty with
+  | Pir.Types.Vec (Pir.Types.I1, _) -> 1 (* mask register *)
+  | Pir.Types.Vec _ ->
+      max 1 ((Pir.Types.bits ty + m.vector_bits - 1) / m.vector_bits)
+  | _ -> 1
+
+let log2_ceil n =
+  let rec go acc k = if k >= n then acc else go (acc + 1) (k * 2) in
+  go 0 1
+
+let bytes_of ty = (Pir.Types.bits ty + 7) / 8
+
+(* fraction of lanes enabled by a compile-time-constant mask; dynamic
+   masks conservatively count as full *)
+let mask_fraction (mask : Pir.Instr.operand option) =
+  match mask with
+  | Some (Pir.Instr.Const (Pir.Instr.Cvec (_, bits))) ->
+      let active = Array.fold_left (fun acc b -> if b <> 0L then acc + 1 else acc) 0 bits in
+      float_of_int active /. float_of_int (max 1 (Array.length bits))
+  | _ -> 1.0
+
+(** Cost of executing instruction [i] once.  [operand_ty] resolves
+    operand types (needed where the result type under-determines the
+    operation, e.g. stores). *)
+let of_instr m ~(operand_ty : Pir.Instr.operand -> Pir.Types.t) (i : Pir.Instr.instr) : float
+    =
+  let open Pir.Instr in
+  let c = chunks m i.ty in
+  let fc = float_of_int c in
+  match i.op with
+  | Ibin ((Mul | MulHiS | MulHiU), _, _) -> m.imul *. fc
+  | Ibin ((UDiv | SDiv | URem | SRem), _, _) -> m.idiv *. fc
+  | Ibin (_, _, _) -> m.ialu *. fc
+  | Fbin ((FMul | FDiv), _, _) as op ->
+      (match op with
+      | Fbin (FMul, _, _) -> m.fmul *. fc
+      | _ -> m.fdiv *. fc)
+  | Fbin (_, _, _) -> m.falu *. fc
+  | Iun (_, _) -> m.ialu *. fc
+  | Fun (FSqrt, _) -> m.fsqrt *. fc
+  | Fun (_, _) -> m.falu *. fc
+  | Icmp _ | Fcmp _ -> m.cmp *. fc
+  | Select _ -> m.select *. fc
+  | Cast (_, a, _) -> m.cast *. float_of_int (max c (chunks m (operand_ty a)))
+  | Alloca _ -> m.alloca
+  | Load _ -> m.load_base +. (m.mem_per_byte *. float_of_int (bytes_of i.ty))
+  | Store (v, _) ->
+      m.store_base +. (m.mem_per_byte *. float_of_int (bytes_of (operand_ty v)))
+  | Gep _ -> m.ialu
+  | Call (name, args) ->
+      if Pir.Intrinsics.is_math name then math_cost (Pir.Intrinsics.math_op name)
+      else if Pir.Intrinsics.is_sleef name then
+        let arg_c =
+          List.fold_left (fun acc a -> max acc (chunks m (operand_ty a))) 1 args
+        in
+        vector_math_cost ~lib:"sleef" (Pir.Intrinsics.math_op name)
+        *. float_of_int arg_c
+      else if Pir.Intrinsics.is_ispc name then
+        let arg_c =
+          List.fold_left (fun acc a -> max acc (chunks m (operand_ty a))) 1 args
+        in
+        vector_math_cost ~lib:"ispc" (Pir.Intrinsics.math_op name)
+        *. float_of_int arg_c
+      else if Pir.Intrinsics.is_psim name then
+        (* horizontal API calls are rewritten by the vectorizer; in the
+           SPMD reference executor they model one cross-lane step *)
+        m.shuffle_dyn
+      else if is_extracted_region name then
+        (* calls to extracted SPMD region functions are re-inlined by the
+           back-end (paper §4.1); charge loop overhead only *)
+        2.0
+      else m.call_overhead
+  | Phi _ -> 0.0
+  | Splat _ -> m.splat *. fc
+  | VLoad (_, mask) ->
+      (m.load_base *. fc)
+      +. (m.mem_per_byte *. float_of_int (bytes_of i.ty) *. mask_fraction mask)
+  | VStore (v, _, mask) ->
+      (* masked stores only move their active bytes (write combining) *)
+      let tv = operand_ty v in
+      (m.store_base *. float_of_int (chunks m tv))
+      +. m.mem_per_byte
+         *. float_of_int (bytes_of tv)
+         *. mask_fraction mask
+  | Gather _ ->
+      m.gather_base +. (m.gather_per_lane *. float_of_int (Pir.Types.lanes i.ty))
+  | Scatter (v, _, _, _) ->
+      m.gather_base
+      +. m.gather_per_lane *. float_of_int (Pir.Types.lanes (operand_ty v))
+  | Shuffle _ -> m.shuffle *. fc
+  | ShuffleDyn _ -> m.shuffle_dyn *. fc
+  | ExtractLane _ -> m.extract
+  | InsertLane _ -> m.insert *. fc
+  | Reduce (_, v) ->
+      m.reduce_step *. float_of_int (log2_ceil (Pir.Types.lanes (operand_ty v)))
+  | FirstLane _ -> m.extract
+  | Psadbw (a, _) -> 2.0 *. float_of_int (chunks m (operand_ty a))
+
+let of_terminator m (t : Pir.Instr.terminator) =
+  match t with
+  | Pir.Instr.Br _ | Pir.Instr.CondBr _ -> m.branch
+  | Pir.Instr.Ret _ | Pir.Instr.Unreachable -> 0.0

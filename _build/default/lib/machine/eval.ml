@@ -1,0 +1,286 @@
+(** Pure operational semantics of PIR data operations.
+
+    Memory operations, calls, and phis need interpreter context and live
+    in [Interp]; everything value-to-value is here, shared by the scalar
+    interpreter and the SPMD reference executor. *)
+
+open Pir.Instr
+
+let ibin_scalar (k : ibin) (w : int) a b : int64 =
+  let open Pir.Ints in
+  match k with
+  | Add -> add w a b
+  | Sub -> sub w a b
+  | Mul -> mul w a b
+  | UDiv -> udiv w a b
+  | SDiv -> sdiv w a b
+  | URem -> urem w a b
+  | SRem -> srem w a b
+  | And -> logand w a b
+  | Or -> logor w a b
+  | Xor -> logxor w a b
+  | Shl -> shl w a b
+  | LShr -> lshr w a b
+  | AShr -> ashr w a b
+  | SMin -> smin w a b
+  | SMax -> smax w a b
+  | UMin -> umin w a b
+  | UMax -> umax w a b
+  | UAddSat -> uadd_sat w a b
+  | SAddSat -> sadd_sat w a b
+  | USubSat -> usub_sat w a b
+  | SSubSat -> ssub_sat w a b
+  | AvgrU -> avgr_u w a b
+  | AbsDiffU -> abs_diff_u w a b
+  | MulHiS -> mulhi_s w a b
+  | MulHiU -> mulhi_u w a b
+
+let fbin_scalar (k : fbin) (s : Pir.Types.scalar) a b : float =
+  let r = Value.round_float s in
+  let a = r a and b = r b in
+  r
+    (match k with
+    | FAdd -> a +. b
+    | FSub -> a -. b
+    | FMul -> a *. b
+    | FDiv -> a /. b
+    | FMin -> Float.min a b
+    | FMax -> Float.max a b)
+
+let iun_scalar (k : iun) (w : int) a : int64 =
+  let open Pir.Ints in
+  match k with
+  | INot -> lognot w a
+  | INeg -> neg w a
+  | IAbs -> abs w a
+  | Clz -> clz w a
+  | Ctz -> ctz w a
+  | Popcnt -> popcnt w a
+
+let fun_scalar (k : fun_) (s : Pir.Types.scalar) a : float =
+  let r = Value.round_float s in
+  let a = r a in
+  r
+    (match k with
+    | FNeg -> -.a
+    | FAbs -> Float.abs a
+    | FSqrt -> sqrt a
+    | FFloor -> Float.floor a
+    | FCeil -> Float.ceil a)
+
+let icmp_scalar (p : ipred) (w : int) a b : bool =
+  let open Pir.Ints in
+  match p with
+  | Eq -> norm w a = norm w b
+  | Ne -> norm w a <> norm w b
+  | Ult -> ucompare w a b < 0
+  | Ule -> ucompare w a b <= 0
+  | Ugt -> ucompare w a b > 0
+  | Uge -> ucompare w a b >= 0
+  | Slt -> scompare w a b < 0
+  | Sle -> scompare w a b <= 0
+  | Sgt -> scompare w a b > 0
+  | Sge -> scompare w a b >= 0
+
+let fcmp_scalar (p : fpred) a b : bool =
+  match p with
+  | Oeq -> a = b
+  | One -> a < b || a > b
+  | Olt -> a < b
+  | Ole -> a <= b
+  | Ogt -> a > b
+  | Oge -> a >= b
+
+(** Convert one scalar value between kinds. *)
+let cast_scalar (k : cast_kind) (src : Pir.Types.scalar) (dst : Pir.Types.scalar)
+    (v : Value.t) : Value.t =
+  let open Pir.Ints in
+  let ws = Pir.Types.scalar_bits src and wd = Pir.Types.scalar_bits dst in
+  match (k, v) with
+  | Trunc, Value.I x -> Value.I (norm wd x)
+  | ZExt, Value.I x -> Value.I (zext ws x)
+  | SExt, Value.I x -> Value.I (norm wd (sext ws x))
+  | (FPTrunc | FPExt), Value.F x -> Value.F (Value.round_float dst x)
+  | FPToSI, Value.F x ->
+      let x = Float.trunc x in
+      let i = if Float.is_nan x then 0L else Int64.of_float x in
+      Value.I (norm wd i)
+  | FPToUI, Value.F x ->
+      let x = Float.trunc x in
+      let i = if Float.is_nan x || x < 0.0 then 0L else Int64.of_float x in
+      Value.I (norm wd i)
+  | SIToFP, Value.I x -> Value.F (Value.round_float dst (Int64.to_float (sext ws x)))
+  | UIToFP, Value.I x ->
+      let x = zext ws x in
+      let f =
+        if x >= 0L then Int64.to_float x
+        else Int64.to_float x +. 18446744073709551616.0
+      in
+      Value.F (Value.round_float dst f)
+  | Bitcast, Value.I x when ws = wd && Pir.Types.is_float_scalar dst ->
+      Value.F
+        (if wd = 32 then Int32.float_of_bits (Int64.to_int32 x)
+         else Int64.float_of_bits x)
+  | Bitcast, Value.F x when ws = wd && Pir.Types.is_int_scalar dst ->
+      Value.I
+        (if ws = 32 then norm 32 (Int64.of_int32 (Int32.bits_of_float x))
+         else Int64.bits_of_float x)
+  | Bitcast, v -> v
+  | _, v ->
+      Fmt.invalid_arg "Eval.cast_scalar: %a %a -> %a" Value.pp v Pir.Types.pp
+        (Pir.Types.Scalar src) Pir.Types.pp (Pir.Types.Scalar dst)
+
+(* -- vector lifting -- *)
+
+let map2v (s : Pir.Types.scalar) f (a : Value.t) (b : Value.t) : Value.t =
+  match (a, b) with
+  | Value.VI x, Value.VI y -> Value.VI (Array.init (Array.length x) (fun i -> f x.(i) y.(i)))
+  | _ ->
+      ignore s;
+      Fmt.invalid_arg "Eval.map2v: %a, %a" Value.pp a Value.pp b
+
+let reduce_value (k : reduce_kind) (s : Pir.Types.scalar) (v : Value.t) : Value.t =
+  let w = Pir.Types.scalar_bits s in
+  let open Pir.Ints in
+  match (k, v) with
+  | RAny, Value.VI a -> Value.of_bool (Array.exists (fun x -> x <> 0L) a)
+  | RAll, Value.VI a -> Value.of_bool (Array.for_all (fun x -> x <> 0L) a)
+  | RAdd, Value.VI a -> Value.I (Array.fold_left (add w) 0L a)
+  | RAnd, Value.VI a -> Value.I (Array.fold_left (logand w) (mask_of_bits w) a)
+  | ROr, Value.VI a -> Value.I (Array.fold_left (logor w) 0L a)
+  | RXor, Value.VI a -> Value.I (Array.fold_left (logxor w) 0L a)
+  | RSMin, Value.VI a -> Value.I (Array.fold_left (smin w) a.(0) a)
+  | RSMax, Value.VI a -> Value.I (Array.fold_left (smax w) a.(0) a)
+  | RUMin, Value.VI a -> Value.I (Array.fold_left (umin w) a.(0) a)
+  | RUMax, Value.VI a -> Value.I (Array.fold_left (umax w) a.(0) a)
+  | RFAdd, Value.VF a ->
+      Value.F (Array.fold_left (fun acc x -> fbin_scalar FAdd s acc x) 0.0 a)
+  | RFMin, Value.VF a -> Value.F (Array.fold_left Float.min a.(0) a)
+  | RFMax, Value.VF a -> Value.F (Array.fold_left Float.max a.(0) a)
+  | _ -> Fmt.invalid_arg "Eval.reduce: %a" Value.pp v
+
+(** Evaluate a pure (non-memory, non-call, non-phi) operation.
+    [ty] is the result type; [operand_ty] and [get] resolve operands. *)
+let pure_op ~(ty : Pir.Types.t) ~(operand_ty : operand -> Pir.Types.t)
+    ~(get : operand -> Value.t) (op : op) : Value.t =
+  let scalar_of o = Pir.Types.elem (operand_ty o) in
+  match op with
+  | Ibin (k, a, b) -> (
+      let s = scalar_of a in
+      let w = Pir.Types.scalar_bits s in
+      match (get a, get b) with
+      | Value.I x, Value.I y -> Value.I (ibin_scalar k w x y)
+      | va, vb -> map2v s (ibin_scalar k w) va vb)
+  | Fbin (k, a, b) -> (
+      let s = scalar_of a in
+      match (get a, get b) with
+      | Value.F x, Value.F y -> Value.F (fbin_scalar k s x y)
+      | Value.VF x, Value.VF y ->
+          Value.VF (Array.init (Array.length x) (fun i -> fbin_scalar k s x.(i) y.(i)))
+      | va, vb -> Fmt.invalid_arg "Eval.fbin: %a, %a" Value.pp va Value.pp vb)
+  | Iun (k, a) -> (
+      let w = Pir.Types.scalar_bits (scalar_of a) in
+      match get a with
+      | Value.I x -> Value.I (iun_scalar k w x)
+      | Value.VI x -> Value.VI (Array.map (iun_scalar k w) x)
+      | v -> Fmt.invalid_arg "Eval.iun: %a" Value.pp v)
+  | Fun (k, a) -> (
+      let s = scalar_of a in
+      match get a with
+      | Value.F x -> Value.F (fun_scalar k s x)
+      | Value.VF x -> Value.VF (Array.map (fun_scalar k s) x)
+      | v -> Fmt.invalid_arg "Eval.fun: %a" Value.pp v)
+  | Icmp (p, a, b) -> (
+      let w = Pir.Types.scalar_bits (scalar_of a) in
+      match (get a, get b) with
+      | Value.I x, Value.I y -> Value.of_bool (icmp_scalar p w x y)
+      | Value.VI x, Value.VI y ->
+          Value.VI
+            (Array.init (Array.length x) (fun i ->
+                 if icmp_scalar p w x.(i) y.(i) then 1L else 0L))
+      | va, vb -> Fmt.invalid_arg "Eval.icmp: %a, %a" Value.pp va Value.pp vb)
+  | Fcmp (p, a, b) -> (
+      match (get a, get b) with
+      | Value.F x, Value.F y -> Value.of_bool (fcmp_scalar p x y)
+      | Value.VF x, Value.VF y ->
+          Value.VI
+            (Array.init (Array.length x) (fun i ->
+                 if fcmp_scalar p x.(i) y.(i) then 1L else 0L))
+      | va, vb -> Fmt.invalid_arg "Eval.fcmp: %a, %a" Value.pp va Value.pp vb)
+  | Select (c, a, b) -> (
+      match get c with
+      | Value.I cv -> if cv <> 0L then get a else get b
+      | Value.VI mask -> (
+          match (get a, get b) with
+          | Value.VI x, Value.VI y ->
+              Value.VI
+                (Array.init (Array.length x) (fun i ->
+                     if mask.(i) <> 0L then x.(i) else y.(i)))
+          | Value.VF x, Value.VF y ->
+              Value.VF
+                (Array.init (Array.length x) (fun i ->
+                     if mask.(i) <> 0L then x.(i) else y.(i)))
+          | va, vb -> Fmt.invalid_arg "Eval.select: %a, %a" Value.pp va Value.pp vb)
+      | v -> Fmt.invalid_arg "Eval.select cond: %a" Value.pp v)
+  | Cast (k, a, _) -> (
+      let src = scalar_of a and dst = Pir.Types.elem ty in
+      match get a with
+      | (Value.I _ | Value.F _) as v -> cast_scalar k src dst v
+      | Value.VI x ->
+          Value.of_lanes dst (Array.map (fun v -> cast_scalar k src dst (Value.I v)) x)
+      | Value.VF x ->
+          Value.of_lanes dst (Array.map (fun v -> cast_scalar k src dst (Value.F v)) x)
+      | v -> Fmt.invalid_arg "Eval.cast: %a" Value.pp v)
+  | Splat (a, n) -> Value.splat (Pir.Types.elem ty) n (get a)
+  | Shuffle (a, b, idx) -> (
+      let pick get_lane_a get_lane_b zero =
+        Array.map
+          (fun k ->
+            if k = -1 then zero
+            else if k < Value.lanes (get a) then get_lane_a k
+            else get_lane_b (k - Value.lanes (get a)))
+          idx
+      in
+      match (get a, get b) with
+      | Value.VI x, Value.VI y ->
+          Value.VI (pick (Array.get x) (Array.get y) 0L)
+      | Value.VF x, Value.VF y ->
+          Value.VF (pick (Array.get x) (Array.get y) 0.0)
+      | va, vb -> Fmt.invalid_arg "Eval.shuffle: %a, %a" Value.pp va Value.pp vb)
+  | ShuffleDyn (a, i) -> (
+      let idx = Value.as_ivec (get i) in
+      let n = Array.length idx in
+      let sel k = Int64.to_int (Int64.logand k (Int64.of_int (n - 1))) in
+      (* out-of-range indices wrap modulo the lane count (power-of-two
+         gangs), matching the psim_shuffle_sync specification *)
+      match get a with
+      | Value.VI x -> Value.VI (Array.init n (fun l -> x.(sel idx.(l) mod n)))
+      | Value.VF x -> Value.VF (Array.init n (fun l -> x.(sel idx.(l) mod n)))
+      | v -> Fmt.invalid_arg "Eval.shuffle_dyn: %a" Value.pp v)
+  | ExtractLane (v, i) ->
+      let idx = Int64.to_int (Value.as_int (get i)) in
+      Value.lane (get v) idx
+  | InsertLane (v, x, i) ->
+      let idx = Int64.to_int (Value.as_int (get i)) in
+      Value.set_lane (get v) idx (get x)
+  | Reduce (k, v) -> reduce_value k (Pir.Types.elem (operand_ty v)) (get v)
+  | FirstLane m -> (
+      let a = Value.as_ivec (get m) in
+      let rec find i =
+        if i >= Array.length a then -1 else if a.(i) <> 0L then i else find (i + 1)
+      in
+      Value.I (Int64.of_int (find 0)))
+  | Psadbw (a, b) ->
+      let x = Value.as_ivec (get a) and y = Value.as_ivec (get b) in
+      let groups = Array.length x / 8 in
+      Value.VI
+        (Array.init groups (fun g ->
+             let acc = ref 0L in
+             for k = 0 to 7 do
+               let i = (g * 8) + k in
+               acc := Int64.add !acc (Pir.Ints.abs_diff_u 8 x.(i) y.(i))
+             done;
+             !acc))
+  | Alloca _ | Load _ | Store _ | Gep _ | Call _ | Phi _ | VLoad _ | VStore _
+  | Gather _ | Scatter _ ->
+      invalid_arg "Eval.pure_op: not a pure operation"

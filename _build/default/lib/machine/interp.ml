@@ -1,0 +1,435 @@
+(** Execution engines for PIR on the simulated machine.
+
+    Two engines share this module:
+
+    - the single-thread interpreter, which executes ordinary (serial or
+      vectorized) functions and accumulates cycle costs from
+      [Cost.model]; and
+
+    - the SPMD reference executor, which gives SPMD-annotated scalar
+      functions their programming-model semantics (paper §3): a gang of
+      conceptually independent threads with weak forward-progress,
+      scheduled cooperatively and exchanging data only at explicit
+      horizontal operations.  It is the oracle that differential tests
+      compare the vectorizer's output against.
+
+    When the interpreter calls a function that still carries an SPMD
+    annotation it dispatches one gang to the reference executor, so the
+    same driver code runs before and after vectorization. *)
+
+open Pir.Instr
+
+exception Trap of string
+
+let trap fmt = Fmt.kstr (fun s -> raise (Trap s)) fmt
+
+type stats = {
+  mutable cycles : float;
+  mutable instrs : int;
+  mutable vector_instrs : int;
+  mutable gathers : int;
+  mutable scatters : int;
+  mutable packed_mem : int;
+  mutable scalar_mem : int;
+}
+
+let empty_stats () =
+  {
+    cycles = 0.0;
+    instrs = 0;
+    vector_instrs = 0;
+    gathers = 0;
+    scatters = 0;
+    packed_mem = 0;
+    scalar_mem = 0;
+  }
+
+type t = {
+  modul : Pir.Func.modul;
+  mem : Memory.t;
+  model : Cost.model;
+  stats : stats;
+  mutable fuel : int;
+  count_cost : bool;
+}
+
+let create ?(model = Cost.default) ?mem ?(fuel = 2_000_000_000) modul =
+  let mem = match mem with Some m -> m | None -> Memory.create () in
+  { modul; mem; model; stats = empty_stats (); fuel; count_cost = true }
+
+let charge t c = t.stats.cycles <- t.stats.cycles +. c
+
+let burn t =
+  t.fuel <- t.fuel - 1;
+  if t.fuel <= 0 then trap "out of fuel (infinite loop?)"
+
+(* -- environments -- *)
+
+type env = { vals : Value.t array }
+
+let make_env (f : Pir.Func.t) args =
+  let vals = Array.make (max 1 f.next_id) Value.Unit in
+  (try
+     List.iter2 (fun (v, _) a -> vals.(v) <- a) f.params args
+   with Invalid_argument _ ->
+     trap "call to %s with %d args (expected %d)" f.fname (List.length args)
+       (List.length f.params));
+  { vals }
+
+let get_operand env (o : operand) : Value.t =
+  match o with
+  | Var v -> env.vals.(v)
+  | Const (Cint (_, x)) -> Value.I x
+  | Const (Cfloat (s, x)) -> Value.F (Value.round_float s x)
+  | Const (Cvec (_, a)) -> Value.VI (Array.copy a)
+
+(* -- memory operation helpers -- *)
+
+let elem_size (f : Pir.Func.t) (p : operand) =
+  match Pir.Func.ty_of_operand f p with
+  | Pir.Types.Ptr s -> (s, Pir.Types.scalar_bytes s)
+  | ty -> trap "memory op through non-pointer (%a)" Pir.Types.pp ty
+
+let active_lanes mask n =
+  match mask with
+  | None -> Array.make n true
+  | Some (Value.VI m) -> Array.map (fun x -> x <> 0L) m
+  | Some v -> trap "bad mask %a" Value.pp v
+
+(* -- instruction execution (shared by both engines) --
+   [exec_call] handles Call ops; everything else is interpreted here. *)
+
+let rec exec_instr t (f : Pir.Func.t) env ~prev_label ~exec_call (i : instr) :
+    Value.t =
+  let get = get_operand env in
+  let operand_ty = Pir.Func.ty_of_operand f in
+  burn t;
+  t.stats.instrs <- t.stats.instrs + 1;
+  if Pir.Types.is_vector i.ty then
+    t.stats.vector_instrs <- t.stats.vector_instrs + 1;
+  if t.count_cost then charge t (Cost.of_instr t.model ~operand_ty i);
+  match i.op with
+  | Alloca (s, n) ->
+      Value.I (Int64.of_int (Memory.alloc t.mem (Pir.Types.scalar_bytes s * n)))
+  | Load p ->
+      let s, _ = elem_size f p in
+      t.stats.scalar_mem <- t.stats.scalar_mem + 1;
+      Memory.load_scalar t.mem s (Int64.to_int (Value.as_int (get p)))
+  | Store (v, p) ->
+      let s, _ = elem_size f p in
+      t.stats.scalar_mem <- t.stats.scalar_mem + 1;
+      Memory.store_scalar t.mem s (Int64.to_int (Value.as_int (get p))) (get v);
+      Value.Unit
+  | Gep (p, idx) ->
+      let _, esz = elem_size f p in
+      let base = Value.as_int (get p) in
+      let iw = Pir.Types.scalar_bits (Pir.Types.elem (operand_ty idx)) in
+      let off = Pir.Ints.sext iw (Value.as_int (get idx)) in
+      Value.I (Int64.add base (Int64.mul off (Int64.of_int esz)))
+  | VLoad (p, mask) ->
+      let s, esz = elem_size f p in
+      let n = Pir.Types.lanes i.ty in
+      let base = Int64.to_int (Value.as_int (get p)) in
+      let act = active_lanes (Option.map get mask) n in
+      t.stats.packed_mem <- t.stats.packed_mem + 1;
+      Value.of_lanes s
+        (Array.init n (fun l ->
+             if act.(l) then Memory.load_scalar t.mem s (base + (l * esz))
+             else Value.zero (Pir.Types.Scalar s)))
+  | VStore (v, p, mask) ->
+      let s, esz = elem_size f p in
+      let vv = get v in
+      let n = Value.lanes vv in
+      let base = Int64.to_int (Value.as_int (get p)) in
+      let act = active_lanes (Option.map get mask) n in
+      t.stats.packed_mem <- t.stats.packed_mem + 1;
+      for l = 0 to n - 1 do
+        if act.(l) then Memory.store_scalar t.mem s (base + (l * esz)) (Value.lane vv l)
+      done;
+      Value.Unit
+  | Gather (b, idx, mask) ->
+      let s, esz = elem_size f b in
+      let base = Value.as_int (get b) in
+      let idxs = Value.as_ivec (get idx) in
+      let iw = Pir.Types.scalar_bits (Pir.Types.elem (operand_ty idx)) in
+      let n = Array.length idxs in
+      let act = active_lanes (Option.map get mask) n in
+      t.stats.gathers <- t.stats.gathers + 1;
+      Value.of_lanes s
+        (Array.init n (fun l ->
+             if act.(l) then
+               let addr =
+                 Int64.add base (Int64.mul (Pir.Ints.sext iw idxs.(l)) (Int64.of_int esz))
+               in
+               Memory.load_scalar t.mem s (Int64.to_int addr)
+             else Value.zero (Pir.Types.Scalar s)))
+  | Scatter (v, b, idx, mask) ->
+      let s, esz = elem_size f b in
+      let vv = get v in
+      let base = Value.as_int (get b) in
+      let idxs = Value.as_ivec (get idx) in
+      let iw = Pir.Types.scalar_bits (Pir.Types.elem (operand_ty idx)) in
+      let n = Array.length idxs in
+      let act = active_lanes (Option.map get mask) n in
+      t.stats.scatters <- t.stats.scatters + 1;
+      for l = 0 to n - 1 do
+        if act.(l) then
+          let addr =
+            Int64.add base (Int64.mul (Pir.Ints.sext iw idxs.(l)) (Int64.of_int esz))
+          in
+          Memory.store_scalar t.mem s (Int64.to_int addr) (Value.lane vv l)
+      done;
+      Value.Unit
+  | Call (name, args) -> exec_call i name (List.map get args)
+  | Phi incoming -> (
+      match List.assoc_opt prev_label incoming with
+      | Some o -> get o
+      | None -> trap "phi in %s has no incoming for predecessor %s" f.fname prev_label)
+  | op -> Eval.pure_op ~ty:i.ty ~operand_ty ~get op
+
+(* -- single-thread interpreter -- *)
+
+and exec_func t (f : Pir.Func.t) (args : Value.t list) : Value.t =
+  match f.spmd with
+  | Some _ -> run_spmd_gang t f args
+  | None ->
+      let env = make_env f args in
+      let frame = Memory.mark t.mem in
+      let exec_call _instr name vargs = dispatch_call t name vargs in
+      let rec run (block : Pir.Func.block) prev_label =
+        (* Phis read their inputs simultaneously: evaluate all first. *)
+        let rec split_phis acc = function
+          | ({ op = Phi _; _ } as i) :: rest -> split_phis (i :: acc) rest
+          | rest -> (List.rev acc, rest)
+        in
+        let phis, body = split_phis [] block.instrs in
+        let phi_vals =
+          List.map (fun i -> (i.id, exec_instr t f env ~prev_label ~exec_call i)) phis
+        in
+        List.iter (fun (id, v) -> env.vals.(id) <- v) phi_vals;
+        List.iter
+          (fun i ->
+            let v = exec_instr t f env ~prev_label ~exec_call i in
+            if i.ty <> Pir.Types.Void then env.vals.(i.id) <- v)
+          body;
+        if t.count_cost then charge t (Cost.of_terminator t.model block.term);
+        match block.term with
+        | Br l -> run (Pir.Func.find_block f l) block.bname
+        | CondBr (c, l1, l2) ->
+            let target = if Value.as_bool (get_operand env c) then l1 else l2 in
+            run (Pir.Func.find_block f target) block.bname
+        | Ret None -> Value.Unit
+        | Ret (Some o) -> get_operand env o
+        | Unreachable -> trap "reached unreachable in %s" f.fname
+      in
+      let result = run (Pir.Func.entry f) "$entry" in
+      Memory.release t.mem frame;
+      result
+
+and dispatch_call t name args : Value.t =
+  if Pir.Intrinsics.is_math name || Pir.Intrinsics.is_sleef name
+     || Pir.Intrinsics.is_ispc name
+  then Mathlib.eval name args
+  else if Pir.Intrinsics.is_psim name then
+    trap "Parsimony intrinsic %s outside SPMD execution" name
+  else
+    match Pir.Func.find_func_opt t.modul name with
+    | Some callee -> exec_func t callee args
+    | None -> trap "call to unknown function %s" name
+
+(* -- SPMD reference executor -- *)
+
+(* A logical thread of the gang: its own environment and control
+   position; [AtSync] marks a thread parked at a horizontal operation
+   with its evaluated arguments. *)
+and run_spmd_gang t (f : Pir.Func.t) (args : Value.t list) : Value.t =
+  let { Pir.Func.gang_size; partial } =
+    match f.spmd with Some s -> s | None -> assert false
+  in
+  (* calling convention: ... captured params ..., gang_num, num_threads *)
+  let gang_num, num_threads =
+    match List.rev args with
+    | nt :: gn :: _ -> (Value.as_int gn, Value.as_int nt)
+    | _ -> trap "SPMD function %s called with too few arguments" f.fname
+  in
+  let active =
+    if partial then
+      let rem = Int64.sub num_threads (Int64.mul gang_num (Int64.of_int gang_size)) in
+      max 0 (min gang_size (Int64.to_int rem))
+    else gang_size
+  in
+  let module TS = struct
+    type status = Running | AtSync of instr * Value.t list | Finished
+
+    type thread = {
+      lane : int;
+      env : env;
+      mutable block : Pir.Func.block;
+      mutable idx : int;
+      mutable prev : string;
+      mutable status : status;
+    }
+  end in
+  let open TS in
+  let threads =
+    Array.init active (fun lane ->
+        {
+          lane;
+          env = make_env f args;
+          block = Pir.Func.entry f;
+          idx = 0;
+          prev = "$entry";
+          status = Running;
+        })
+  in
+  let frame = Memory.mark t.mem in
+  (* Step one thread until it parks or finishes.  On block entry the phi
+     prefix is evaluated atomically (phis read their inputs
+     simultaneously), so [idx] always points past the phis. *)
+  let step_thread th =
+    let exec_call instr name vargs =
+      if Pir.Intrinsics.is_horizontal name then begin
+        th.status <- AtSync (instr, vargs);
+        Value.Unit
+      end
+      else if name = Pir.Intrinsics.lane_num then Value.I (Int64.of_int th.lane)
+      else dispatch_call t name vargs
+    in
+    let enter_block name =
+      th.prev <- th.block.bname;
+      th.block <- Pir.Func.find_block f name;
+      let rec phis acc = function
+        | ({ op = Phi _; _ } as i) :: rest -> phis (i :: acc) rest
+        | _ -> List.rev acc
+      in
+      let phi_instrs = phis [] th.block.instrs in
+      let vals =
+        List.map
+          (fun i -> (i.id, exec_instr t f th.env ~prev_label:th.prev ~exec_call i))
+          phi_instrs
+      in
+      List.iter (fun (id, v) -> th.env.vals.(id) <- v) vals;
+      th.idx <- List.length phi_instrs
+    in
+    let continue = ref true in
+    while !continue && th.status = Running do
+      if th.idx < List.length th.block.instrs then begin
+        let i = List.nth th.block.instrs th.idx in
+        let v = exec_instr t f th.env ~prev_label:th.prev ~exec_call i in
+        match th.status with
+        | AtSync _ -> () (* parked; do not advance; re-run on wake *)
+        | _ ->
+            if i.ty <> Pir.Types.Void then th.env.vals.(i.id) <- v;
+            th.idx <- th.idx + 1
+      end
+      else begin
+        if t.count_cost then charge t (Cost.of_terminator t.model th.block.term);
+        match th.block.term with
+        | Br l -> enter_block l
+        | CondBr (c, l1, l2) ->
+            enter_block (if Value.as_bool (get_operand th.env c) then l1 else l2)
+        | Ret _ ->
+            th.status <- Finished;
+            continue := false
+        | Unreachable -> trap "SPMD thread reached unreachable in %s" f.fname
+      end
+    done
+  in
+  (* Resume all parked threads with per-lane results of the horizontal
+     operation they are parked at. *)
+  let resolve_sync () =
+    let parked =
+      Array.to_list threads
+      |> List.filter_map (fun th ->
+             match th.status with AtSync (i, args) -> Some (th, i, args) | _ -> None)
+    in
+    match parked with
+    | [] -> ()
+    | (_, i0, _) :: _ ->
+        if List.exists (fun (_, i, _) -> i.id <> i0.id) parked then
+          trap
+            "divergent horizontal operation: gang threads synchronized at \
+             different call sites in %s"
+            f.fname;
+        if List.length parked <> Array.length threads then
+          trap
+            "divergent horizontal operation: only %d of %d threads reached \
+             the synchronization in %s (weak forward progress violated)"
+            (List.length parked) (Array.length threads) f.fname;
+        let name = match i0.op with Call (n, _) -> n | _ -> assert false in
+        let results =
+          if name = Pir.Intrinsics.gang_sync then
+            List.map (fun _ -> Value.Unit) parked
+          else if name = Pir.Intrinsics.shuffle then
+            (* lane l receives the value contributed by lane idx(l) *)
+            let contributions = Array.make gang_size Value.Unit in
+            List.iter
+              (fun ((th : thread), _, args) ->
+                match args with
+                | [ v; _ ] -> contributions.(th.lane) <- v
+                | _ -> trap "psim.shuffle expects 2 arguments")
+              parked;
+            List.map
+              (fun ((_ : thread), _, args) ->
+                match args with
+                | [ _; idx ] ->
+                    let k = Int64.to_int (Value.as_int idx) land (gang_size - 1) in
+                    if k < active then contributions.(k)
+                    else Value.zero (Pir.Types.Scalar Pir.Types.I8)
+                | _ -> assert false)
+              parked
+          else if name = Pir.Intrinsics.sad_u8 then
+            (* per-8-lane-group sum of absolute differences; every lane of
+               a group receives the group's sum (paper §7 abstraction) *)
+            let a = Array.make gang_size 0L and b = Array.make gang_size 0L in
+            List.iter
+              (fun ((th : thread), _, args) ->
+                match args with
+                | [ x; y ] ->
+                    a.(th.lane) <- Value.as_int x;
+                    b.(th.lane) <- Value.as_int y
+                | _ -> trap "psim.sad_u8 expects 2 arguments")
+              parked;
+            List.map
+              (fun ((th : thread), _, _) ->
+                let g = th.lane / 8 in
+                let acc = ref 0L in
+                for k = 0 to 7 do
+                  let l = (g * 8) + k in
+                  if l < active then
+                    acc := Int64.add !acc (Pir.Ints.abs_diff_u 8 a.(l) b.(l))
+                done;
+                Value.I !acc)
+              parked
+          else trap "unknown horizontal operation %s" name
+        in
+        List.iter2
+          (fun ((th : thread), i, _) r ->
+            if i.ty <> Pir.Types.Void then th.env.vals.(i.id) <- r;
+            th.idx <- th.idx + 1;
+            th.status <- Running)
+          parked results
+  in
+  let rec scheduler () =
+    let ran = ref false in
+    Array.iter
+      (fun th ->
+        if th.status = Running then begin
+          ran := true;
+          step_thread th
+        end)
+      threads;
+    let unfinished = Array.exists (fun th -> th.status <> Finished) threads in
+    if unfinished then begin
+      resolve_sync ();
+      if (not !ran) && not (Array.exists (fun th -> th.status = Running) threads)
+      then trap "SPMD deadlock in %s" f.fname;
+      scheduler ()
+    end
+  in
+  if active > 0 then scheduler ();
+  Memory.release t.mem frame;
+  Value.Unit
+
+(** Run function [name] with [args]; returns its result. *)
+let run t name args = exec_func t (Pir.Func.find_func t.modul name) args

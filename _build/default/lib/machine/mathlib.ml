@@ -1,0 +1,50 @@
+(** Scalar semantics of the math intrinsics.
+
+    The same numeric definitions back the scalar [math.*] calls and the
+    vector [sleef.*] / [ispc.*] calls (applied per lane): the two vector
+    libraries differ only in cost, which reproduces the paper's finding
+    that the Binomial Options gap is a math-library artifact, not an
+    SPMD-semantics one (§6). *)
+
+let apply1 op x =
+  match op with
+  | "sqrt" -> sqrt x
+  | "rsqrt" -> 1.0 /. sqrt x
+  | "exp" -> exp x
+  | "log" -> log x
+  | "sin" -> sin x
+  | "cos" -> cos x
+  | "tan" -> tan x
+  | "atan" -> atan x
+  | _ -> invalid_arg ("Mathlib.apply1: " ^ op)
+
+let apply2 op x y =
+  match op with
+  | "pow" -> Float.pow x y
+  | "atan2" -> Float.atan2 x y
+  | "fmod" -> Float.rem x y
+  | _ -> invalid_arg ("Mathlib.apply2: " ^ op)
+
+(** Element scalar kind of a math call name like ["math.pow.f32"]. *)
+let scalar_of_name name : Pir.Types.scalar =
+  match String.split_on_char '.' name with
+  | [ _; _; "f32" ] -> Pir.Types.F32
+  | [ _; _; "f64" ] -> Pir.Types.F64
+  | _ -> invalid_arg ("Mathlib.scalar_of_name: " ^ name)
+
+(** Evaluate any math-family call ([math.], [sleef.], [ispc.]) on scalar
+    or vector arguments. *)
+let eval name (args : Value.t list) : Value.t =
+  let op = Pir.Intrinsics.math_op name in
+  let s = scalar_of_name name in
+  let rnd = Value.round_float s in
+  match args with
+  | [ Value.F x ] -> Value.F (rnd (apply1 op (rnd x)))
+  | [ Value.F x; Value.F y ] -> Value.F (rnd (apply2 op (rnd x) (rnd y)))
+  | [ Value.VF x ] -> Value.VF (Array.map (fun x -> rnd (apply1 op (rnd x))) x)
+  | [ Value.VF x; Value.VF y ] ->
+      Value.VF (Array.init (Array.length x) (fun i -> rnd (apply2 op (rnd x.(i)) (rnd y.(i)))))
+  | _ ->
+      Fmt.invalid_arg "Mathlib.eval %s: bad arguments %a" name
+        Fmt.(list ~sep:(any ", ") Value.pp)
+        args

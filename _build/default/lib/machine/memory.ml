@@ -1,0 +1,86 @@
+(** Byte-addressable linear memory with a bump allocator.
+
+    Address 0 is kept unmapped so it can serve as a null pointer.  All
+    accesses are bounds-checked; an out-of-bounds access raises [Fault],
+    which differential tests rely on to catch miscompiled masks. *)
+
+exception Fault of string
+
+type t = { mutable data : Bytes.t; mutable brk : int }
+
+let create ?(size = 1 lsl 20) () = { data = Bytes.make size '\000'; brk = 64 }
+
+let size t = Bytes.length t.data
+
+let ensure t cap =
+  if cap > Bytes.length t.data then begin
+    let n = max cap (2 * Bytes.length t.data) in
+    let data = Bytes.make n '\000' in
+    Bytes.blit t.data 0 data 0 (Bytes.length t.data);
+    t.data <- data
+  end
+
+(** Allocate [bytes] bytes, 64-byte aligned; returns the address. *)
+let alloc t bytes =
+  let addr = (t.brk + 63) / 64 * 64 in
+  ensure t (addr + bytes);
+  t.brk <- addr + bytes;
+  addr
+
+(** Current allocation mark; [release] rolls back to it (used for
+    function-frame allocas). *)
+let mark t = t.brk
+let release t m = t.brk <- m
+
+let check t addr len what =
+  if addr < 64 || addr + len > Bytes.length t.data then
+    raise (Fault (Fmt.str "%s of %d bytes at address %d out of bounds" what len addr))
+
+let load_scalar t (s : Pir.Types.scalar) addr : Value.t =
+  let len = Pir.Types.scalar_bytes s in
+  check t addr len "load";
+  match s with
+  | I1 -> Value.I (if Bytes.get_uint8 t.data addr <> 0 then 1L else 0L)
+  | I8 -> Value.I (Int64.of_int (Bytes.get_uint8 t.data addr))
+  | I16 -> Value.I (Int64.of_int (Bytes.get_uint16_le t.data addr))
+  | I32 -> Value.I (Int64.logand (Int64.of_int32 (Bytes.get_int32_le t.data addr)) 0xFFFFFFFFL)
+  | I64 -> Value.I (Bytes.get_int64_le t.data addr)
+  | F32 -> Value.F (Int32.float_of_bits (Bytes.get_int32_le t.data addr))
+  | F64 -> Value.F (Int64.float_of_bits (Bytes.get_int64_le t.data addr))
+
+let store_scalar t (s : Pir.Types.scalar) addr (v : Value.t) =
+  let len = Pir.Types.scalar_bytes s in
+  check t addr len "store";
+  match (s, v) with
+  | I1, Value.I x -> Bytes.set_uint8 t.data addr (if x = 0L then 0 else 1)
+  | I8, Value.I x -> Bytes.set_uint8 t.data addr (Int64.to_int (Int64.logand x 0xFFL))
+  | I16, Value.I x -> Bytes.set_uint16_le t.data addr (Int64.to_int (Int64.logand x 0xFFFFL))
+  | I32, Value.I x -> Bytes.set_int32_le t.data addr (Int64.to_int32 x)
+  | I64, Value.I x -> Bytes.set_int64_le t.data addr x
+  | F32, Value.F x -> Bytes.set_int32_le t.data addr (Int32.bits_of_float x)
+  | F64, Value.F x -> Bytes.set_int64_le t.data addr (Int64.bits_of_float x)
+  | _ -> Fmt.invalid_arg "Memory.store_scalar: %a as %a" Value.pp v Pir.Types.pp (Pir.Types.Scalar s)
+
+(* -- Bulk helpers used by workload setup and result checking -- *)
+
+let write_bytes t addr (b : bytes) =
+  check t addr (Bytes.length b) "write_bytes";
+  Bytes.blit b 0 t.data addr (Bytes.length b)
+
+let read_bytes t addr len =
+  check t addr len "read_bytes";
+  Bytes.sub t.data addr len
+
+(** Allocate and initialize an array of scalars; returns its address. *)
+let alloc_array t (s : Pir.Types.scalar) (vals : Value.t array) =
+  let esz = Pir.Types.scalar_bytes s in
+  let addr = alloc t (esz * Array.length vals) in
+  Array.iteri (fun i v -> store_scalar t s (addr + (i * esz)) v) vals;
+  addr
+
+let read_array t (s : Pir.Types.scalar) addr n =
+  let esz = Pir.Types.scalar_bytes s in
+  Array.init n (fun i -> load_scalar t s (addr + (i * esz)))
+
+(** Snapshot of the allocated region, for state comparison in tests. *)
+let snapshot t = Bytes.sub t.data 0 t.brk

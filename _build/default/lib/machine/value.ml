@@ -1,0 +1,104 @@
+(** Runtime values of the machine model.
+
+    Integers are stored in the canonical zero-extended form of
+    [Pir.Ints]; pointers are byte addresses stored as [I].  Vectors store
+    per-lane scalars; masks are integer vectors of 0/1. *)
+
+type t =
+  | Unit
+  | I of int64
+  | F of float
+  | VI of int64 array
+  | VF of float array
+
+let pp ppf = function
+  | Unit -> Fmt.string ppf "()"
+  | I v -> Fmt.pf ppf "%Ld" v
+  | F v -> Fmt.pf ppf "%g" v
+  | VI a -> Fmt.pf ppf "<%a>" Fmt.(array ~sep:(any ",") int64) a
+  | VF a -> Fmt.pf ppf "<%a>" Fmt.(array ~sep:(any ",") float) a
+
+let to_string v = Fmt.str "%a" pp v
+
+let as_int = function
+  | I v -> v
+  | v -> Fmt.invalid_arg "Value.as_int: %a" pp v
+
+let as_float = function
+  | F v -> v
+  | v -> Fmt.invalid_arg "Value.as_float: %a" pp v
+
+let as_ivec = function
+  | VI a -> a
+  | v -> Fmt.invalid_arg "Value.as_ivec: %a" pp v
+
+let as_fvec = function
+  | VF a -> a
+  | v -> Fmt.invalid_arg "Value.as_fvec: %a" pp v
+
+let as_bool = function
+  | I 0L -> false
+  | I _ -> true
+  | v -> Fmt.invalid_arg "Value.as_bool: %a" pp v
+
+let of_bool b = I (if b then 1L else 0L)
+
+let lanes = function
+  | VI a -> Array.length a
+  | VF a -> Array.length a
+  | _ -> 1
+
+(** Lane [i] of a vector as a scalar value. *)
+let lane v i =
+  match v with
+  | VI a -> I a.(i)
+  | VF a -> F a.(i)
+  | _ -> Fmt.invalid_arg "Value.lane: %a" pp v
+
+let set_lane v i x =
+  match (v, x) with
+  | VI a, I x ->
+      let a = Array.copy a in
+      a.(i) <- x;
+      VI a
+  | VF a, F x ->
+      let a = Array.copy a in
+      a.(i) <- x;
+      VF a
+  | _ -> Fmt.invalid_arg "Value.set_lane: %a <- %a" pp v pp x
+
+(** Build a vector of element kind [s] from per-lane scalar values. *)
+let of_lanes (s : Pir.Types.scalar) xs =
+  if Pir.Types.is_float_scalar s then VF (Array.map as_float xs)
+  else VI (Array.map as_int xs)
+
+let splat (s : Pir.Types.scalar) n v =
+  if Pir.Types.is_float_scalar s then VF (Array.make n (as_float v))
+  else VI (Array.make n (as_int v))
+
+(** Default (zero) value of a type. *)
+let zero (ty : Pir.Types.t) =
+  match ty with
+  | Pir.Types.Void -> Unit
+  | Pir.Types.Scalar s when Pir.Types.is_float_scalar s -> F 0.
+  | Pir.Types.Scalar _ | Pir.Types.Ptr _ -> I 0L
+  | Pir.Types.Vec (s, n) when Pir.Types.is_float_scalar s -> VF (Array.make n 0.)
+  | Pir.Types.Vec (_, n) -> VI (Array.make n 0L)
+
+let equal a b =
+  match (a, b) with
+  | Unit, Unit -> true
+  | I x, I y -> Int64.equal x y
+  | F x, F y -> x = y || (Float.is_nan x && Float.is_nan y)
+  | VI x, VI y -> Array.length x = Array.length y && Array.for_all2 Int64.equal x y
+  | VF x, VF y ->
+      Array.length x = Array.length y
+      && Array.for_all2 (fun a b -> a = b || (Float.is_nan a && Float.is_nan b)) x y
+  | _ -> false
+
+(** Round a float to the representable precision of [s] ([F32] rounds
+    through a 32-bit single). *)
+let round_float (s : Pir.Types.scalar) v =
+  match s with
+  | Pir.Types.F32 -> Int32.float_of_bits (Int32.bits_of_float v)
+  | _ -> v

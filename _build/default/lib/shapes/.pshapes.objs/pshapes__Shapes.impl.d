@@ -1,0 +1,1 @@
+lib/shapes/shapes.ml: Array Fmt Hashtbl Int64 List Option Panalysis Pir Psmt Sys

@@ -1,0 +1,1 @@
+lib/simdlib/hw.ml: Array Builder Func Instr List Pir Types

@@ -1,0 +1,1 @@
+lib/simdlib/kernels_convert.ml: Array Builder Fmt Hw Instr Int64 List Pir Pmachine Types Workload

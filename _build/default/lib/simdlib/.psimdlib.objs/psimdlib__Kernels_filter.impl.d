@@ -1,0 +1,1 @@
+lib/simdlib/kernels_filter.ml: Array Builder Fmt Hw Instr Int64 List Pir String Types Workload

@@ -1,0 +1,1 @@
+lib/simdlib/kernels_geom.ml: Array Builder Fmt Hw Instr List Pir Types Workload

@@ -1,0 +1,1 @@
+lib/simdlib/kernels_misc.ml: Builder Hw Instr Int64 List Pir Pmachine Types Workload

@@ -1,0 +1,1 @@
+lib/simdlib/kernels_neural.ml: Builder Fmt Hw Instr List Pir Pmachine String Types Workload

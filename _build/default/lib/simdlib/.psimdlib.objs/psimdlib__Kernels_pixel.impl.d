@@ -1,0 +1,1 @@
+lib/simdlib/kernels_pixel.ml: Array Builder Fmt Hw Instr List Option Pir String Types Workload

@@ -1,0 +1,1 @@
+lib/simdlib/kernels_stat.ml: Array Builder Fmt Hw Instr List Pir Pmachine String Types Workload

@@ -1,0 +1,1 @@
+lib/simdlib/registry.ml: Kernels_convert Kernels_filter Kernels_geom Kernels_misc Kernels_neural Kernels_pixel Kernels_stat List Workload

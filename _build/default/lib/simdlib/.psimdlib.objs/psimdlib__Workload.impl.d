@@ -1,0 +1,1 @@
+lib/simdlib/workload.ml: Int64 List Pir Pmachine String

@@ -1,0 +1,762 @@
+(** Color conversion and byte-reordering kernels: interleaved channel
+    access is the defining feature — stride-2/3/4 loads and stores that
+    Parsimony serves with packed loads + shuffles (§4.2.3's bounded
+    strided access optimization) and that classic loop vectorizers
+    typically punt on. *)
+
+open Workload
+
+let u8buf name seed len = { bname = name; elem = Pir.Types.I8; len; init = u8 seed; output = false }
+let u8out name len = { bname = name; elem = Pir.Types.I8; len; init = zero8; output = true }
+let u16buf name seed len = { bname = name; elem = Pir.Types.I16; len; init = u16 seed; output = false }
+let u16out name len = { bname = name; elem = Pir.Types.I16; len; init = zero16; output = true }
+let u32buf name seed len = { bname = name; elem = Pir.Types.I32; len; init = (fun i -> Pmachine.Value.I (Int64.logand (mix seed i) 0xFFFFFFFFL)); output = false }
+let u32out name len = { bname = name; elem = Pir.Types.I32; len; init = (fun _ -> Pmachine.Value.I 0L); output = true }
+let i16src name seed len = { bname = name; elem = Pir.Types.I16; len; init = i16 seed; output = false }
+
+(* -- bgra_to_gray: gray = (28b + 151g + 77r + 128) >> 8 -- *)
+
+let bgra_to_gray =
+  let serial_src =
+    {|
+void bgra_to_gray(uint8* restrict bgra, uint8* restrict gray, int64 n) {
+  for (int64 i = 0; i < n; i = i + 1) {
+    int32 blue = (int32)bgra[4 * i];
+    int32 green = (int32)bgra[4 * i + 1];
+    int32 red = (int32)bgra[4 * i + 2];
+    gray[i] = (uint8)((28 * blue + 151 * green + 77 * red + 128) >> 8);
+  }
+}
+|}
+  in
+  let psim_src =
+    {|
+void bgra_to_gray(uint8* bgra, uint8* gray, int64 n) {
+  psim gang_size(32) num_spmd_threads(n) {
+    int64 i = psim_thread_num();
+    uint16 blue = (uint16)bgra[4 * i];
+    uint16 green = (uint16)bgra[4 * i + 1];
+    uint16 red = (uint16)bgra[4 * i + 2];
+    gray[i] = (uint8)((28 * blue + 151 * green + 77 * red + 128) >> 8);
+  }
+}
+|}
+  in
+  let hand m =
+    let open Pir in
+    Hw.define m "bgra_to_gray" ~ptrs:[ Types.I8; Types.I8 ] ~scalars:[]
+      ~emit:(fun b ~ptrs ~scalars:_ ~n ->
+        let bgra, gray = match ptrs with [ a; g ] -> (a, g) | _ -> assert false in
+        let vl = 32 in
+        let w v = Builder.cast b Instr.ZExt v (Types.Vec (Types.I16, vl)) in
+        let k16 c = Instr.cvec Types.I16 (Array.make vl (Int64.of_int c)) in
+        Hw.strip_mined_loop b ~n ~vl
+          ~vec_body:(fun b i ->
+            match Hw.deinterleave_load b ~vl ~k:4 bgra i with
+            | [ blue; green; red; _alpha ] ->
+                let t =
+                  Builder.ibin b Instr.Add
+                    (Builder.ibin b Instr.Add
+                       (Builder.ibin b Instr.Mul (w blue) (k16 28))
+                       (Builder.ibin b Instr.Mul (w green) (k16 151)))
+                    (Builder.ibin b Instr.Add
+                       (Builder.ibin b Instr.Mul (w red) (k16 77))
+                       (k16 128))
+                in
+                let g = Builder.ibin b Instr.LShr t (k16 8) in
+                let g8 = Builder.cast b Instr.Trunc g (Types.Vec (Types.I8, vl)) in
+                Builder.vstore b g8 (Builder.gep b gray i)
+            | _ -> assert false)
+          ~scalar_body:(fun b j ->
+            let j4 = Builder.mul b j (Instr.ci64 4) in
+            let ld k =
+              Builder.cast b Instr.ZExt
+                (Builder.load b (Builder.gep b bgra (Builder.add b j4 (Instr.ci64 k))))
+                Types.i16
+            in
+            let blue = ld 0 and green = ld 1 and red = ld 2 in
+            let c x = Instr.cint Types.I16 (Int64.of_int x) in
+            let t =
+              Builder.ibin b Instr.Add
+                (Builder.ibin b Instr.Add
+                   (Builder.ibin b Instr.Mul blue (c 28))
+                   (Builder.ibin b Instr.Mul green (c 151)))
+                (Builder.ibin b Instr.Add (Builder.ibin b Instr.Mul red (c 77)) (c 128))
+            in
+            let g = Builder.ibin b Instr.LShr t (c 8) in
+            Builder.store b (Builder.cast b Instr.Trunc g Types.i8)
+              (Builder.gep b gray j)))
+  in
+  {
+    kname = "bgra_to_gray";
+    family = "BgraToGray";
+    gang = 32;
+    psim_src;
+    serial_src;
+    hand = Some hand;
+    buffers = [ u8buf "bgra" 101 (4 * pixels); u8out "gray" pixels ];
+    scalars = [ vi pixels ];
+    float_tolerance = 0.0;
+  }
+
+(* generic interleaved converter builder used by the remaining
+   conversion kernels: serial + psim sources are provided as text; the
+   hand implementation deinterleaves k_in channels, applies [vop], and
+   stores k_out channels *)
+let convert_kernel ~name ~family ~gang ~serial_src ~psim_src ~k_in ~k_out
+    ~in_len ~out_len ~vl ~vop ~sop =
+  let hand m =
+    let open Pir in
+    Hw.define m name ~ptrs:[ Types.I8; Types.I8 ] ~scalars:[]
+      ~emit:(fun b ~ptrs ~scalars:_ ~n ->
+        let src, dst = match ptrs with [ s; d ] -> (s, d) | _ -> assert false in
+        Hw.strip_mined_loop b ~n ~vl
+          ~vec_body:(fun b i ->
+            let channels =
+              if k_in = 1 then [ Builder.vload b (Builder.gep b src i) vl ]
+              else Hw.deinterleave_load b ~vl ~k:k_in src i
+            in
+            let outs = vop b channels in
+            if k_out = 1 then
+              Builder.vstore b (List.hd outs) (Builder.gep b dst i)
+            else Hw.interleave_store b ~vl ~k:k_out dst i outs)
+          ~scalar_body:(fun b j ->
+            let loads =
+              List.init k_in (fun c ->
+                  let idx =
+                    if k_in = 1 then j
+                    else Builder.add b (Builder.mul b j (Instr.ci64 k_in)) (Instr.ci64 c)
+                  in
+                  Builder.load b (Builder.gep b src idx))
+            in
+            let outs = sop b loads in
+            List.iteri
+              (fun c v ->
+                let idx =
+                  if k_out = 1 then j
+                  else Builder.add b (Builder.mul b j (Instr.ci64 k_out)) (Instr.ci64 c)
+                in
+                Builder.store b v (Builder.gep b dst idx))
+              outs))
+  in
+  {
+    kname = name;
+    family;
+    gang;
+    psim_src;
+    serial_src;
+    hand = Some hand;
+    buffers = [ u8buf "src" 103 in_len; u8out "dst" out_len ];
+    scalars = [ vi pixels ];
+    float_tolerance = 0.0;
+  }
+
+let gray_to_bgra =
+  convert_kernel ~name:"gray_to_bgra" ~family:"GrayToBgra" ~gang:32
+    ~serial_src:
+      {|
+void gray_to_bgra(uint8* restrict src, uint8* restrict dst, int64 n) {
+  for (int64 i = 0; i < n; i = i + 1) {
+    uint8 g = src[i];
+    dst[4 * i] = g;
+    dst[4 * i + 1] = g;
+    dst[4 * i + 2] = g;
+    dst[4 * i + 3] = 255;
+  }
+}
+|}
+    ~psim_src:
+      {|
+void gray_to_bgra(uint8* src, uint8* dst, int64 n) {
+  psim gang_size(32) num_spmd_threads(n) {
+    int64 i = psim_thread_num();
+    uint8 g = src[i];
+    dst[4 * i] = g;
+    dst[4 * i + 1] = g;
+    dst[4 * i + 2] = g;
+    dst[4 * i + 3] = 255;
+  }
+}
+|}
+    ~k_in:1 ~k_out:4 ~in_len:pixels ~out_len:(4 * pixels) ~vl:32
+    ~vop:(fun b chs ->
+      let g = List.hd chs in
+      let alpha =
+        Pir.Instr.cvec Pir.Types.I8
+          (Array.make (Pir.Types.lanes (Pir.Builder.ty_of b g)) 255L)
+      in
+      [ g; g; g; alpha ])
+    ~sop:(fun _ chs ->
+      let g = List.hd chs in
+      [ g; g; g; Pir.Instr.cint Pir.Types.I8 255L ])
+
+let bgr_to_gray =
+  convert_kernel ~name:"bgr_to_gray" ~family:"BgrToGray" ~gang:32
+    ~serial_src:
+      {|
+void bgr_to_gray(uint8* restrict src, uint8* restrict dst, int64 n) {
+  for (int64 i = 0; i < n; i = i + 1) {
+    int32 blue = (int32)src[3 * i];
+    int32 green = (int32)src[3 * i + 1];
+    int32 red = (int32)src[3 * i + 2];
+    dst[i] = (uint8)((28 * blue + 151 * green + 77 * red + 128) >> 8);
+  }
+}
+|}
+    ~psim_src:
+      {|
+void bgr_to_gray(uint8* src, uint8* dst, int64 n) {
+  psim gang_size(32) num_spmd_threads(n) {
+    int64 i = psim_thread_num();
+    uint16 blue = (uint16)src[3 * i];
+    uint16 green = (uint16)src[3 * i + 1];
+    uint16 red = (uint16)src[3 * i + 2];
+    dst[i] = (uint8)((28 * blue + 151 * green + 77 * red + 128) >> 8);
+  }
+}
+|}
+    ~k_in:3 ~k_out:1 ~in_len:(3 * pixels) ~out_len:pixels ~vl:32
+    ~vop:(fun b chs ->
+      match chs with
+      | [ blue; green; red ] ->
+          let vl = Pir.Types.lanes (Pir.Builder.ty_of b blue) in
+          let w v = Pir.Builder.cast b Pir.Instr.ZExt v (Pir.Types.Vec (Pir.Types.I16, vl)) in
+          let k c = Pir.Instr.cvec Pir.Types.I16 (Array.make vl (Int64.of_int c)) in
+          let t =
+            Pir.Builder.ibin b Pir.Instr.Add
+              (Pir.Builder.ibin b Pir.Instr.Add
+                 (Pir.Builder.ibin b Pir.Instr.Mul (w blue) (k 28))
+                 (Pir.Builder.ibin b Pir.Instr.Mul (w green) (k 151)))
+              (Pir.Builder.ibin b Pir.Instr.Add
+                 (Pir.Builder.ibin b Pir.Instr.Mul (w red) (k 77))
+                 (k 128))
+          in
+          let g = Pir.Builder.ibin b Pir.Instr.LShr t (k 8) in
+          [ Pir.Builder.cast b Pir.Instr.Trunc g (Pir.Types.Vec (Pir.Types.I8, vl)) ]
+      | _ -> assert false)
+    ~sop:(fun b chs ->
+      match chs with
+      | [ blue; green; red ] ->
+          let w v = Pir.Builder.cast b Pir.Instr.ZExt v Pir.Types.i16 in
+          let k c = Pir.Instr.cint Pir.Types.I16 (Int64.of_int c) in
+          let t =
+            Pir.Builder.ibin b Pir.Instr.Add
+              (Pir.Builder.ibin b Pir.Instr.Add
+                 (Pir.Builder.ibin b Pir.Instr.Mul (w blue) (k 28))
+                 (Pir.Builder.ibin b Pir.Instr.Mul (w green) (k 151)))
+              (Pir.Builder.ibin b Pir.Instr.Add
+                 (Pir.Builder.ibin b Pir.Instr.Mul (w red) (k 77))
+                 (k 128))
+          in
+          let g = Pir.Builder.ibin b Pir.Instr.LShr t (k 8) in
+          [ Pir.Builder.cast b Pir.Instr.Trunc g Pir.Types.i8 ]
+      | _ -> assert false)
+
+let bgra_to_bgr =
+  convert_kernel ~name:"bgra_to_bgr" ~family:"BgraToBgr" ~gang:32
+    ~serial_src:
+      {|
+void bgra_to_bgr(uint8* restrict src, uint8* restrict dst, int64 n) {
+  for (int64 i = 0; i < n; i = i + 1) {
+    dst[3 * i] = src[4 * i];
+    dst[3 * i + 1] = src[4 * i + 1];
+    dst[3 * i + 2] = src[4 * i + 2];
+  }
+}
+|}
+    ~psim_src:
+      {|
+void bgra_to_bgr(uint8* src, uint8* dst, int64 n) {
+  psim gang_size(64) num_spmd_threads(n) {
+    int64 i = psim_thread_num();
+    dst[3 * i] = src[4 * i];
+    dst[3 * i + 1] = src[4 * i + 1];
+    dst[3 * i + 2] = src[4 * i + 2];
+  }
+}
+|}
+    ~k_in:4 ~k_out:3 ~in_len:(4 * pixels) ~out_len:(3 * pixels) ~vl:64
+    ~vop:(fun _ chs ->
+      match chs with [ b'; g; r; _a ] -> [ b'; g; r ] | _ -> assert false)
+    ~sop:(fun _ chs ->
+      match chs with [ b'; g; r; _a ] -> [ b'; g; r ] | _ -> assert false)
+
+let bgr_to_bgra =
+  convert_kernel ~name:"bgr_to_bgra" ~family:"BgrToBgra" ~gang:32
+    ~serial_src:
+      {|
+void bgr_to_bgra(uint8* restrict src, uint8* restrict dst, int64 n) {
+  for (int64 i = 0; i < n; i = i + 1) {
+    dst[4 * i] = src[3 * i];
+    dst[4 * i + 1] = src[3 * i + 1];
+    dst[4 * i + 2] = src[3 * i + 2];
+    dst[4 * i + 3] = 255;
+  }
+}
+|}
+    ~psim_src:
+      {|
+void bgr_to_bgra(uint8* src, uint8* dst, int64 n) {
+  psim gang_size(64) num_spmd_threads(n) {
+    int64 i = psim_thread_num();
+    dst[4 * i] = src[3 * i];
+    dst[4 * i + 1] = src[3 * i + 1];
+    dst[4 * i + 2] = src[3 * i + 2];
+    dst[4 * i + 3] = 255;
+  }
+}
+|}
+    ~k_in:3 ~k_out:4 ~in_len:(3 * pixels) ~out_len:(4 * pixels) ~vl:64
+    ~vop:(fun b chs ->
+      match chs with
+      | [ b'; g; r ] ->
+          let alpha =
+            Pir.Instr.cvec Pir.Types.I8
+              (Array.make (Pir.Types.lanes (Pir.Builder.ty_of b b')) 255L)
+          in
+          [ b'; g; r; alpha ]
+      | _ -> assert false)
+    ~sop:(fun _ chs ->
+      match chs with
+      | [ b'; g; r ] -> [ b'; g; r; Pir.Instr.cint Pir.Types.I8 255L ]
+      | _ -> assert false)
+
+let deinterleave_uv =
+  let serial_src =
+    {|
+void deinterleave_uv(uint8* restrict uv, uint8* restrict u, uint8* restrict v, int64 n) {
+  for (int64 i = 0; i < n; i = i + 1) {
+    u[i] = uv[2 * i];
+    v[i] = uv[2 * i + 1];
+  }
+}
+|}
+  in
+  let psim_src =
+    {|
+void deinterleave_uv(uint8* uv, uint8* u, uint8* v, int64 n) {
+  psim gang_size(64) num_spmd_threads(n) {
+    int64 i = psim_thread_num();
+    u[i] = uv[2 * i];
+    v[i] = uv[2 * i + 1];
+  }
+}
+|}
+  in
+  let hand m =
+    let open Pir in
+    Hw.define m "deinterleave_uv" ~ptrs:[ Types.I8; Types.I8; Types.I8 ]
+      ~scalars:[]
+      ~emit:(fun b ~ptrs ~scalars:_ ~n ->
+        let uv, u, v = match ptrs with [ a; u; v ] -> (a, u, v) | _ -> assert false in
+        let vl = 64 in
+        Hw.strip_mined_loop b ~n ~vl
+          ~vec_body:(fun b i ->
+            match Hw.deinterleave_load b ~vl ~k:2 uv i with
+            | [ cu; cv ] ->
+                Builder.vstore b cu (Builder.gep b u i);
+                Builder.vstore b cv (Builder.gep b v i)
+            | _ -> assert false)
+          ~scalar_body:(fun b j ->
+            let j2 = Builder.mul b j (Instr.ci64 2) in
+            Builder.store b (Builder.load b (Builder.gep b uv j2)) (Builder.gep b u j);
+            Builder.store b
+              (Builder.load b (Builder.gep b uv (Builder.add b j2 (Instr.ci64 1))))
+              (Builder.gep b v j)))
+  in
+  {
+    kname = "deinterleave_uv";
+    family = "DeinterleaveUv";
+    gang = 64;
+    psim_src;
+    serial_src;
+    hand = Some hand;
+    buffers = [ u8buf "uv" 105 (2 * pixels); u8out "u" pixels; u8out "v" pixels ];
+    scalars = [ vi pixels ];
+    float_tolerance = 0.0;
+  }
+
+let interleave_uv =
+  let serial_src =
+    {|
+void interleave_uv(uint8* restrict u, uint8* restrict v, uint8* restrict uv, int64 n) {
+  for (int64 i = 0; i < n; i = i + 1) {
+    uv[2 * i] = u[i];
+    uv[2 * i + 1] = v[i];
+  }
+}
+|}
+  in
+  let psim_src =
+    {|
+void interleave_uv(uint8* u, uint8* v, uint8* uv, int64 n) {
+  psim gang_size(64) num_spmd_threads(n) {
+    int64 i = psim_thread_num();
+    uv[2 * i] = u[i];
+    uv[2 * i + 1] = v[i];
+  }
+}
+|}
+  in
+  let hand m =
+    let open Pir in
+    Hw.define m "interleave_uv" ~ptrs:[ Types.I8; Types.I8; Types.I8 ]
+      ~scalars:[]
+      ~emit:(fun b ~ptrs ~scalars:_ ~n ->
+        let u, v, uv = match ptrs with [ u; v; a ] -> (u, v, a) | _ -> assert false in
+        let vl = 64 in
+        Hw.strip_mined_loop b ~n ~vl
+          ~vec_body:(fun b i ->
+            let cu = Builder.vload b (Builder.gep b u i) vl in
+            let cv = Builder.vload b (Builder.gep b v i) vl in
+            Hw.interleave_store b ~vl ~k:2 uv i [ cu; cv ])
+          ~scalar_body:(fun b j ->
+            let j2 = Builder.mul b j (Instr.ci64 2) in
+            Builder.store b (Builder.load b (Builder.gep b u j)) (Builder.gep b uv j2);
+            Builder.store b (Builder.load b (Builder.gep b v j))
+              (Builder.gep b uv (Builder.add b j2 (Instr.ci64 1)))))
+  in
+  {
+    kname = "interleave_uv";
+    family = "InterleaveUv";
+    gang = 64;
+    psim_src;
+    serial_src;
+    hand = Some hand;
+    buffers = [ in_u8 "u" 106; in_u8 "v" 107; u8out "uv" (2 * pixels) ];
+    scalars = [ vi pixels ];
+    float_tolerance = 0.0;
+  }
+
+(* -- byte reordering at wider element widths -- *)
+
+let reorder_16bit =
+  let serial_src =
+    {|
+void reorder_16bit(uint16* restrict src, uint16* restrict dst, int64 n) {
+  for (int64 i = 0; i < n; i = i + 1) {
+    uint16 x = src[i];
+    dst[i] = (x >> 8) | (x << 8);
+  }
+}
+|}
+  in
+  let psim_src =
+    {|
+void reorder_16bit(uint16* src, uint16* dst, int64 n) {
+  psim gang_size(32) num_spmd_threads(n) {
+    int64 i = psim_thread_num();
+    uint16 x = src[i];
+    dst[i] = (x >> 8) | (x << 8);
+  }
+}
+|}
+  in
+  let hand m =
+    Hw.map m "reorder_16bit" ~elem:Pir.Types.I16 ~inputs:1
+      ~vop:(fun b vs ->
+        let x = List.hd vs in
+        let vl = Pir.Types.lanes (Pir.Builder.ty_of b x) in
+        let c8 = Pir.Instr.cvec Pir.Types.I16 (Array.make vl 8L) in
+        Pir.Builder.or_ b
+          (Pir.Builder.lshr b x c8)
+          (Pir.Builder.shl b x c8))
+      ~sop:(fun b vs ->
+        let x = List.hd vs in
+        let c8 = Pir.Instr.cint Pir.Types.I16 8L in
+        Pir.Builder.or_ b (Pir.Builder.lshr b x c8) (Pir.Builder.shl b x c8))
+  in
+  {
+    kname = "reorder_16bit";
+    family = "Reorder";
+    gang = 32;
+    psim_src;
+    serial_src;
+    hand = Some hand;
+    buffers = [ u16buf "src" 108 pixels; u16out "dst" pixels ];
+    scalars = [ vi pixels ];
+    float_tolerance = 0.0;
+  }
+
+let reorder_32bit =
+  let body_c =
+    "uint32 x = src[i];\n\
+    \    dst[i] = ((x & 255) << 24) | (((x >> 8) & 255) << 16) | (((x >> 16) & 255) << 8) | (x >> 24);"
+  in
+  let serial_src =
+    Fmt.str
+      {|
+void reorder_32bit(uint32* restrict src, uint32* restrict dst, int64 n) {
+  for (int64 i = 0; i < n; i = i + 1) {
+    %s
+  }
+}
+|}
+      body_c
+  in
+  let psim_src =
+    Fmt.str
+      {|
+void reorder_32bit(uint32* src, uint32* dst, int64 n) {
+  psim gang_size(16) num_spmd_threads(n) {
+    int64 i = psim_thread_num();
+    %s
+  }
+}
+|}
+      body_c
+  in
+  let hand m =
+    Hw.map m "reorder_32bit" ~elem:Pir.Types.I32 ~inputs:1
+      ~vop:(fun b vs ->
+        let x = List.hd vs in
+        let vl = Pir.Types.lanes (Pir.Builder.ty_of b x) in
+        let k v = Pir.Instr.cvec Pir.Types.I32 (Array.make vl v) in
+        let ( &* ) a c = Pir.Builder.and_ b a (k c) in
+        let ( <<* ) a c = Pir.Builder.shl b a (k c) in
+        let ( >>* ) a c = Pir.Builder.lshr b a (k c) in
+        let p1 = (x &* 255L) <<* 24L in
+        let p2 = ((x >>* 8L) &* 255L) <<* 16L in
+        let p3 = ((x >>* 16L) &* 255L) <<* 8L in
+        let p4 = x >>* 24L in
+        Pir.Builder.or_ b (Pir.Builder.or_ b p1 p2) (Pir.Builder.or_ b p3 p4))
+      ~sop:(fun b vs ->
+        let x = List.hd vs in
+        let k v = Pir.Instr.cint Pir.Types.I32 v in
+        let ( &* ) a c = Pir.Builder.and_ b a (k c) in
+        let ( <<* ) a c = Pir.Builder.shl b a (k c) in
+        let ( >>* ) a c = Pir.Builder.lshr b a (k c) in
+        let p1 = (x &* 255L) <<* 24L in
+        let p2 = ((x >>* 8L) &* 255L) <<* 16L in
+        let p3 = ((x >>* 16L) &* 255L) <<* 8L in
+        let p4 = x >>* 24L in
+        Pir.Builder.or_ b (Pir.Builder.or_ b p1 p2) (Pir.Builder.or_ b p3 p4))
+  in
+  {
+    kname = "reorder_32bit";
+    family = "Reorder";
+    gang = 16;
+    psim_src;
+    serial_src;
+    hand = Some hand;
+    buffers = [ u32buf "src" 109 pixels; u32out "dst" pixels ];
+    scalars = [ vi pixels ];
+    float_tolerance = 0.0;
+  }
+
+let int16_to_gray =
+  let serial_src =
+    {|
+void int16_to_gray(int16* restrict src, uint8* restrict dst, int64 n) {
+  for (int64 i = 0; i < n; i = i + 1) {
+    int32 v = (int32)src[i];
+    dst[i] = (uint8)(v < 0 ? 0 : (v > 255 ? 255 : v));
+  }
+}
+|}
+  in
+  let psim_src =
+    {|
+void int16_to_gray(int16* src, uint8* dst, int64 n) {
+  psim gang_size(32) num_spmd_threads(n) {
+    int64 i = psim_thread_num();
+    int16 v = src[i];
+    int16 lo = v < 0 ? (int16)0 : v;
+    dst[i] = (uint8)(lo > 255 ? (int16)255 : lo);
+  }
+}
+|}
+  in
+  let hand m =
+    let open Pir in
+    Hw.define m "int16_to_gray" ~ptrs:[ Types.I16; Types.I8 ] ~scalars:[]
+      ~emit:(fun b ~ptrs ~scalars:_ ~n ->
+        let src, dst = match ptrs with [ s; d ] -> (s, d) | _ -> assert false in
+        let vl = 32 in
+        Hw.strip_mined_loop b ~n ~vl
+          ~vec_body:(fun b i ->
+            let v = Builder.vload b (Builder.gep b src i) vl in
+            let z = Instr.cvec Types.I16 (Array.make vl 0L) in
+            let hi = Instr.cvec Types.I16 (Array.make vl 255L) in
+            let cl = Builder.ibin b Instr.SMin (Builder.ibin b Instr.SMax v z) hi in
+            Builder.vstore b
+              (Builder.cast b Instr.Trunc cl (Types.Vec (Types.I8, vl)))
+              (Builder.gep b dst i))
+          ~scalar_body:(fun b j ->
+            let v = Builder.load b (Builder.gep b src j) in
+            let cl =
+              Builder.ibin b Instr.SMin
+                (Builder.ibin b Instr.SMax v (Instr.cint Types.I16 0L))
+                (Instr.cint Types.I16 255L)
+            in
+            Builder.store b (Builder.cast b Instr.Trunc cl Types.i8)
+              (Builder.gep b dst j)))
+  in
+  {
+    kname = "int16_to_gray";
+    family = "Int16ToGray";
+    gang = 32;
+    psim_src;
+    serial_src;
+    hand = Some hand;
+    buffers = [ i16src "src" 110 pixels; u8out "dst" pixels ];
+    scalars = [ vi pixels ];
+    float_tolerance = 0.0;
+  }
+
+(* -- BGRA -> YUV444 (BT.601 integer approximation) -- *)
+
+let bgra_to_yuv444 =
+  let formulas_serial =
+    {|
+    int32 blue = (int32)bgra[4 * i];
+    int32 green = (int32)bgra[4 * i + 1];
+    int32 red = (int32)bgra[4 * i + 2];
+    y[i] = (uint8)(((66 * red + 129 * green + 25 * blue + 128) >> 8) + 16);
+    int32 uv1 = ((112 * blue - 38 * red - 74 * green + 128) >> 8) + 128;
+    int32 vv1 = ((112 * red - 94 * green - 18 * blue + 128) >> 8) + 128;
+    u[i] = (uint8)(uv1 < 0 ? 0 : (uv1 > 255 ? 255 : uv1));
+    v[i] = (uint8)(vv1 < 0 ? 0 : (vv1 > 255 ? 255 : vv1));|}
+  in
+  let serial_src =
+    Fmt.str
+      {|
+void bgra_to_yuv444(uint8* restrict bgra, uint8* restrict y, uint8* restrict u, uint8* restrict v, int64 n) {
+  for (int64 i = 0; i < n; i = i + 1) {
+%s
+  }
+}
+|}
+      formulas_serial
+  in
+  let psim_src =
+    Fmt.str
+      {|
+void bgra_to_yuv444(uint8* bgra, uint8* y, uint8* u, uint8* v, int64 n) {
+  psim gang_size(16) num_spmd_threads(n) {
+    int64 i = psim_thread_num();
+%s
+  }
+}
+|}
+      formulas_serial
+  in
+  let hand m =
+    let open Pir in
+    Hw.define m "bgra_to_yuv444" ~ptrs:[ Types.I8; Types.I8; Types.I8; Types.I8 ]
+      ~scalars:[]
+      ~emit:(fun b ~ptrs ~scalars:_ ~n ->
+        let bgra, y, u, v =
+          match ptrs with [ a; y; u; v ] -> (a, y, u, v) | _ -> assert false
+        in
+        let vl = 16 in
+        let wide x = Builder.cast b Instr.ZExt x (Types.Vec (Types.I32, vl)) in
+        let k c = Instr.cvec Types.I32 (Array.make vl (Int64.of_int c)) in
+        let narrow x = Builder.cast b Instr.Trunc x (Types.Vec (Types.I8, vl)) in
+        Hw.strip_mined_loop b ~n ~vl
+          ~vec_body:(fun b i ->
+            match Hw.deinterleave_load b ~vl ~k:4 bgra i with
+            | [ blue8; green8; red8; _ ] ->
+                let blue = wide blue8 and green = wide green8 and red = wide red8 in
+                let mul a c = Builder.ibin b Instr.Mul a (k c) in
+                let add a c = Builder.ibin b Instr.Add a c in
+                let yv =
+                  add
+                    (Builder.ibin b Instr.AShr
+                       (add (add (mul red 66) (mul green 129)) (add (mul blue 25) (k 128)))
+                       (k 8))
+                    (k 16)
+                in
+                Builder.vstore b (narrow yv) (Builder.gep b y i);
+                let clamp x =
+                  Builder.ibin b Instr.SMin (Builder.ibin b Instr.SMax x (k 0)) (k 255)
+                in
+                let sub a c = Builder.ibin b Instr.Sub a c in
+                let uv =
+                  add
+                    (Builder.ibin b Instr.AShr
+                       (add (sub (sub (mul blue 112) (mul red 38)) (mul green 74)) (k 128))
+                       (k 8))
+                    (k 128)
+                in
+                let vv =
+                  add
+                    (Builder.ibin b Instr.AShr
+                       (add (sub (sub (mul red 112) (mul green 94)) (mul blue 18)) (k 128))
+                       (k 8))
+                    (k 128)
+                in
+                Builder.vstore b (narrow (clamp uv)) (Builder.gep b u i);
+                Builder.vstore b (narrow (clamp vv)) (Builder.gep b v i)
+            | _ -> assert false)
+          ~scalar_body:(fun b j ->
+            let j4 = Builder.mul b j (Instr.ci64 4) in
+            let ld c =
+              Builder.cast b Instr.ZExt
+                (Builder.load b (Builder.gep b bgra (Builder.add b j4 (Instr.ci64 c))))
+                Types.i32
+            in
+            let blue = ld 0 and green = ld 1 and red = ld 2 in
+            let k c = Instr.ci32 c in
+            let mul a c = Builder.ibin b Instr.Mul a (k c) in
+            let add a c = Builder.ibin b Instr.Add a c in
+            let sub a c = Builder.ibin b Instr.Sub a c in
+            let yv =
+              add
+                (Builder.ibin b Instr.AShr
+                   (add (add (mul red 66) (mul green 129)) (add (mul blue 25) (k 128)))
+                   (k 8))
+                (k 16)
+            in
+            Builder.store b (Builder.cast b Instr.Trunc yv Types.i8) (Builder.gep b y j);
+            let clamp x =
+              Builder.ibin b Instr.SMin (Builder.ibin b Instr.SMax x (k 0)) (k 255)
+            in
+            let uv =
+              add
+                (Builder.ibin b Instr.AShr
+                   (add (sub (sub (mul blue 112) (mul red 38)) (mul green 74)) (k 128))
+                   (k 8))
+                (k 128)
+            in
+            let vv =
+              add
+                (Builder.ibin b Instr.AShr
+                   (add (sub (sub (mul red 112) (mul green 94)) (mul blue 18)) (k 128))
+                   (k 8))
+                (k 128)
+            in
+            Builder.store b
+              (Builder.cast b Instr.Trunc (clamp uv) Types.i8)
+              (Builder.gep b u j);
+            Builder.store b
+              (Builder.cast b Instr.Trunc (clamp vv) Types.i8)
+              (Builder.gep b v j)))
+  in
+  {
+    kname = "bgra_to_yuv444";
+    family = "BgraToYuv";
+    gang = 16;
+    psim_src;
+    serial_src;
+    hand = Some hand;
+    buffers =
+      [ u8buf "bgra" 111 (4 * pixels); u8out "y" pixels; u8out "u" pixels; u8out "v" pixels ];
+    scalars = [ vi pixels ];
+    float_tolerance = 0.0;
+  }
+
+let kernels =
+  [
+    bgra_to_gray;
+    bgr_to_gray;
+    gray_to_bgra;
+    bgra_to_bgr;
+    bgr_to_bgra;
+    deinterleave_uv;
+    interleave_uv;
+    reorder_16bit;
+    reorder_32bit;
+    int16_to_gray;
+    bgra_to_yuv444;
+  ]

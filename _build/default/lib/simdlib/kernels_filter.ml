@@ -1,0 +1,463 @@
+(** Neighborhood filters and geometric kernels: 3x3 stencils (blur,
+    median, Sobel, Laplace), gradients, bilinear shift, and 2x2
+    reduce/stretch.  Row-structured: the host iterates rows, the SPMD
+    region covers the interior columns — packed loads at small constant
+    offsets, the vectorizer's bread and butter. *)
+
+open Workload
+
+let u8img name seed = { bname = name; elem = Pir.Types.I8; len = pixels; init = u8 seed; output = false }
+let u8outimg name = { bname = name; elem = Pir.Types.I8; len = pixels; init = zero8; output = true }
+let i16outimg name = { bname = name; elem = Pir.Types.I16; len = pixels; init = zero16; output = true }
+
+(* interior-only outputs: boundary pixels are left untouched by every
+   implementation, so whole-buffer comparison remains valid *)
+
+(* -- generic source templates for 3x3-neighborhood kernels -- *)
+
+(* [expr_serial]/[expr_psim] compute the output from taps bound as
+   pNM (N=row 0..2, M=col 0..2) around (y, x). *)
+let stencil_srcs ~name ~out_ty ~gang ~decl_serial ~decl_psim ~store =
+  let taps_serial =
+    String.concat "\n"
+      (List.concat_map
+         (fun r ->
+           List.map
+             (fun c ->
+               Fmt.str "    int32 p%d%d = (int32)src[o + %d + %d];" r c
+                 ((r - 1) * width) (c - 1))
+             [ 0; 1; 2 ])
+         [ 0; 1; 2 ])
+  in
+  let taps_psim =
+    String.concat "\n"
+      (List.concat_map
+         (fun r ->
+           List.map
+             (fun c ->
+               Fmt.str "    int32 p%d%d = (int32)src[o + %d + %d];" r c
+                 ((r - 1) * width) (c - 1))
+             [ 0; 1; 2 ])
+         [ 0; 1; 2 ])
+  in
+  let serial =
+    Fmt.str
+      {|
+void %s(uint8* restrict src, %s* restrict dst, int64 w, int64 h) {
+  for (int64 y = 1; y < h - 1; y = y + 1) {
+    for (int64 x = 1; x < w - 1; x = x + 1) {
+      int64 o = y * w + x;
+%s
+%s
+      %s
+    }
+  }
+}
+|}
+      name out_ty taps_serial decl_serial store
+  in
+  let psim =
+    Fmt.str
+      {|
+void %s(uint8* src, %s* dst, int64 w, int64 h) {
+  for (int64 y = 1; y < h - 1; y = y + 1) {
+    int64 rowbase = y * w;
+    psim gang_size(%d) num_spmd_threads(w - 2) {
+      int64 x = psim_thread_num() + 1;
+      int64 o = rowbase + x;
+%s
+%s
+      %s
+    }
+  }
+}
+|}
+      name out_ty gang taps_psim decl_psim store
+  in
+  (serial, psim)
+
+(* polymorphic tap context so each hand-written kernel formula is
+   written once and instantiated for the vector loop and scalar tail *)
+type taps = {
+  tap : int -> int -> Pir.Instr.operand;  (** widened (i32) tap r, c in 0..2 *)
+  k : int -> Pir.Instr.operand;  (** i32 constant *)
+  bin : Pir.Instr.ibin -> Pir.Instr.operand -> Pir.Instr.operand -> Pir.Instr.operand;
+  store_u8 : Pir.Instr.operand -> unit;  (** clamp-free narrow store *)
+  store_i16 : Pir.Instr.operand -> unit;
+}
+
+(* hand implementation scaffold: (src: u8*, dst: out*, w, h=n) *)
+let hand_stencil ~name ~out_elem ~formula m =
+  let open Pir in
+  Hw.define m name ~ptrs:[ Types.I8; out_elem ] ~scalars:[ Types.i64 ]
+    ~emit:(fun b ~ptrs ~scalars ~n ->
+      let src, dst = match ptrs with [ s; d ] -> (s, d) | _ -> assert false in
+      let w = List.hd scalars in
+      let h = n in
+      let vl = 16 in
+      (* rows [1, h-1) *)
+      ignore
+        (Hw.counted_loop b ~start:(Instr.ci64 1)
+           ~stop:(Builder.sub b h (Instr.ci64 1))
+           ~step:1 ~accs:[]
+           ~body:(fun b ~iv:y ~accs ->
+             let rowbase = Builder.mul b y w in
+             let xs = Builder.sub b w (Instr.ci64 2) in
+             let xvec = Builder.and_ b xs (Instr.ci64 (lnot (vl - 1))) in
+             let mk_ctx ~vector ~mask x =
+               let o = Builder.add b rowbase x in
+               let addr r c =
+                 let off =
+                   Builder.add b o
+                     (Instr.ci64 (((r - 1) * Workload.width) + (c - 1)))
+                 in
+                 Builder.gep b src off
+               in
+               let tap r c =
+                 if vector then
+                   Builder.cast b Instr.ZExt
+                     (Builder.vload b ?mask (addr r c) vl)
+                     (Types.Vec (Types.I32, vl))
+                 else Builder.cast b Instr.ZExt (Builder.load b (addr r c)) Types.i32
+               in
+               let k v =
+                 if vector then Instr.cvec Types.I32 (Array.make vl (Int64.of_int v))
+                 else Instr.ci32 v
+               in
+               let bin op a c = Builder.ibin b op a c in
+               let out_addr = Builder.gep b dst o in
+               let store_u8 v =
+                 if vector then
+                   Builder.vstore b ?mask
+                     (Builder.cast b Instr.Trunc v (Types.Vec (Types.I8, vl)))
+                     out_addr
+                 else Builder.store b (Builder.cast b Instr.Trunc v Types.i8) out_addr
+               in
+               let store_i16 v =
+                 if vector then
+                   Builder.vstore b ?mask
+                     (Builder.cast b Instr.Trunc v (Types.Vec (Types.I16, vl)))
+                     out_addr
+                 else
+                   Builder.store b (Builder.cast b Instr.Trunc v Types.i16) out_addr
+               in
+               { tap; k; bin; store_u8; store_i16 }
+             in
+             ignore
+               (Hw.counted_loop b ~start:(Instr.ci64 0) ~stop:xvec ~step:vl
+                  ~accs:[]
+                  ~body:(fun b ~iv:x0 ~accs ->
+                    let x = Builder.add b x0 (Instr.ci64 1) in
+                    formula b (mk_ctx ~vector:true ~mask:None x);
+                    accs));
+             (* row tail: one masked vector iteration, as real AVX-512
+                code does with k-registers (not a scalar loop) *)
+             let rem = Builder.sub b xs xvec in
+             let remv = Builder.splat b rem vl in
+             let tail_mask =
+               Builder.icmp b Instr.Slt (Instr.iota Types.I64 vl) remv
+             in
+             let x = Builder.add b xvec (Instr.ci64 1) in
+             formula b (mk_ctx ~vector:true ~mask:(Some tail_mask) x);
+             accs)))
+
+let stencil_kernel ~name ~family ~out ~decl ~store ~formula =
+  let out_ty, out_elem, out_buf =
+    match out with
+    | `U8 -> ("uint8", Pir.Types.I8, u8outimg "dst")
+    | `I16 -> ("int16", Pir.Types.I16, i16outimg "dst")
+  in
+  let serial_src, psim_src =
+    stencil_srcs ~name ~out_ty ~gang:16 ~decl_serial:decl ~decl_psim:decl ~store
+  in
+  {
+    kname = name;
+    family;
+    gang = 16;
+    psim_src;
+    serial_src;
+    hand = Some (hand_stencil ~name ~out_elem ~formula);
+    buffers = [ u8img "src" 201; out_buf ];
+    scalars = [ vi width; vi height ];
+    float_tolerance = 0.0;
+  }
+
+(* -- the 3x3 kernels -- *)
+
+let gaussian_blur_3x3 =
+  stencil_kernel ~name:"gaussian_blur_3x3" ~family:"GaussianBlur3x3" ~out:`U8
+    ~decl:
+      {|
+      int32 acc = p00 + 2*p01 + p02 + 2*p10 + 4*p11 + 2*p12 + p20 + 2*p21 + p22;
+      int32 r = (acc + 8) >> 4;|}
+    ~store:"dst[o] = (uint8)r;"
+    ~formula:(fun _b t ->
+      let ( + ) a c = t.bin Pir.Instr.Add a c in
+      let ( * ) c a = t.bin Pir.Instr.Mul (t.k c) a in
+      let acc =
+        t.tap 0 0 + (2 * t.tap 0 1) + t.tap 0 2 + (2 * t.tap 1 0)
+        + (4 * t.tap 1 1) + (2 * t.tap 1 2) + t.tap 2 0 + (2 * t.tap 2 1)
+        + t.tap 2 2
+      in
+      t.store_u8 (t.bin Pir.Instr.LShr (acc + t.k 8) (t.k 4)))
+
+let mean_filter_3x3 =
+  stencil_kernel ~name:"mean_filter_3x3" ~family:"MeanFilter3x3" ~out:`U8
+    ~decl:
+      {|
+      int32 acc = p00 + p01 + p02 + p10 + p11 + p12 + p20 + p21 + p22;
+      int32 r = (acc * 7282 + 32768) >> 16;|}
+    ~store:"dst[o] = (uint8)r;"
+    ~formula:(fun _b t ->
+      let ( + ) a c = t.bin Pir.Instr.Add a c in
+      let acc =
+        t.tap 0 0 + t.tap 0 1 + t.tap 0 2 + t.tap 1 0 + t.tap 1 1 + t.tap 1 2
+        + t.tap 2 0 + t.tap 2 1 + t.tap 2 2
+      in
+      let scaled = t.bin Pir.Instr.Mul acc (t.k 7282) in
+      t.store_u8 (t.bin Pir.Instr.LShr (scaled + t.k 32768) (t.k 16)))
+
+(* median of the 5-point rhomb via a min/max network *)
+let median_filter_rhomb_3x3 =
+  stencil_kernel ~name:"median_filter_rhomb_3x3" ~family:"MedianFilter" ~out:`U8
+    ~decl:
+      {|
+      int32 a0 = p01; int32 a1 = p10; int32 a2 = p11; int32 a3 = p12; int32 a4 = p21;
+      int32 t0 = min(a0, a1); int32 t1 = max(a0, a1); a0 = t0; a1 = t1;
+      int32 t2 = min(a3, a4); int32 t3 = max(a3, a4); a3 = t2; a4 = t3;
+      int32 u0 = max(a0, a3);
+      int32 u1 = min(a1, a4);
+      int32 m0 = min(u0, u1); int32 m1 = max(u0, u1);
+      int32 mid = max(m0, min(a2, m1));
+      int32 r = mid;|}
+    ~store:"dst[o] = (uint8)r;"
+    ~formula:(fun _b t ->
+      let mn a c = t.bin Pir.Instr.SMin a c and mx a c = t.bin Pir.Instr.SMax a c in
+      let a0 = t.tap 0 1 and a1 = t.tap 1 0 and a2 = t.tap 1 1 and a3 = t.tap 1 2
+      and a4 = t.tap 2 1 in
+      let a0' = mn a0 a1 and a1' = mx a0 a1 in
+      let a3' = mn a3 a4 and a4' = mx a3 a4 in
+      let u0 = mx a0' a3' and u1 = mn a1' a4' in
+      let m0 = mn u0 u1 and m1 = mx u0 u1 in
+      t.store_u8 (mx m0 (mn a2 m1)))
+
+(* median of 9 with Paeth's 19-operation network *)
+let median_filter_square_3x3 =
+  let net_src =
+    {|
+      int32 q0 = p00; int32 q1 = p01; int32 q2 = p02;
+      int32 q3 = p10; int32 q4 = p11; int32 q5 = p12;
+      int32 q6 = p20; int32 q7 = p21; int32 q8 = p22;
+      int32 s = 0;
+      s = min(q1, q2); q2 = max(q1, q2); q1 = s;
+      s = min(q4, q5); q5 = max(q4, q5); q4 = s;
+      s = min(q7, q8); q8 = max(q7, q8); q7 = s;
+      s = min(q0, q1); q1 = max(q0, q1); q0 = s;
+      s = min(q3, q4); q4 = max(q3, q4); q3 = s;
+      s = min(q6, q7); q7 = max(q6, q7); q6 = s;
+      s = min(q1, q2); q2 = max(q1, q2); q1 = s;
+      s = min(q4, q5); q5 = max(q4, q5); q4 = s;
+      s = min(q7, q8); q8 = max(q7, q8); q7 = s;
+      q3 = max(q0, q3);
+      q5 = min(q5, q8);
+      s = min(q4, q7); q7 = max(q4, q7); q4 = s;
+      q6 = max(q3, q6);
+      q4 = max(q1, q4);
+      q2 = min(q2, q5);
+      q4 = min(q4, q7);
+      s = min(q4, q2); q2 = max(q4, q2); q4 = s;
+      q4 = max(q6, q4);
+      q4 = min(q4, q2);
+      int32 r = q4;|}
+  in
+  stencil_kernel ~name:"median_filter_square_3x3" ~family:"MedianFilter"
+    ~out:`U8 ~decl:net_src ~store:"dst[o] = (uint8)r;"
+    ~formula:(fun _b t ->
+      let mn a c = t.bin Pir.Instr.SMin a c and mx a c = t.bin Pir.Instr.SMax a c in
+      let q = Array.init 3 (fun r -> Array.init 3 (fun c -> t.tap r c)) in
+      let q = [| q.(0).(0); q.(0).(1); q.(0).(2); q.(1).(0); q.(1).(1); q.(1).(2); q.(2).(0); q.(2).(1); q.(2).(2) |] in
+      let sort2 i j =
+        let a = q.(i) and b = q.(j) in
+        q.(i) <- mn a b;
+        q.(j) <- mx a b
+      in
+      sort2 1 2; sort2 4 5; sort2 7 8;
+      sort2 0 1; sort2 3 4; sort2 6 7;
+      sort2 1 2; sort2 4 5; sort2 7 8;
+      q.(3) <- mx q.(0) q.(3);
+      q.(5) <- mn q.(5) q.(8);
+      sort2 4 7;
+      q.(6) <- mx q.(3) q.(6);
+      q.(4) <- mx q.(1) q.(4);
+      q.(2) <- mn q.(2) q.(5);
+      q.(4) <- mn q.(4) q.(7);
+      sort2 4 2;
+      q.(4) <- mx q.(6) q.(4);
+      q.(4) <- mn q.(4) q.(2);
+      t.store_u8 q.(4))
+
+let sobel ~name ~dx ~abs_out =
+  let expr =
+    if dx then "(p02 + 2*p12 + p22) - (p00 + 2*p10 + p20)"
+    else "(p20 + 2*p21 + p22) - (p00 + 2*p01 + p02)"
+  in
+  let decl =
+    if abs_out then
+      Fmt.str {|
+      int32 g = %s;
+      int32 r = g < 0 ? 0 - g : g;|} expr
+    else Fmt.str {|
+      int32 r = %s;|} expr
+  in
+  stencil_kernel ~name
+    ~family:(if dx then "SobelDx" else "SobelDy")
+    ~out:`I16 ~decl ~store:"dst[o] = (int16)r;"
+    ~formula:(fun _b t ->
+      let ( + ) a c = t.bin Pir.Instr.Add a c in
+      let ( - ) a c = t.bin Pir.Instr.Sub a c in
+      let two a = t.bin Pir.Instr.Mul (t.k 2) a in
+      let g =
+        if dx then
+          t.tap 0 2 + two (t.tap 1 2) + t.tap 2 2
+          - (t.tap 0 0 + two (t.tap 1 0) + t.tap 2 0)
+        else
+          t.tap 2 0 + two (t.tap 2 1) + t.tap 2 2
+          - (t.tap 0 0 + two (t.tap 0 1) + t.tap 0 2)
+      in
+      let r = if abs_out then t.bin Pir.Instr.SMax g (t.bin Pir.Instr.Sub (t.k 0) g) else g in
+      t.store_i16 r)
+
+let sobel_dx = sobel ~name:"sobel_dx" ~dx:true ~abs_out:false
+let sobel_dy = sobel ~name:"sobel_dy" ~dx:false ~abs_out:false
+let sobel_dx_abs = sobel ~name:"sobel_dx_abs" ~dx:true ~abs_out:true
+let sobel_dy_abs = sobel ~name:"sobel_dy_abs" ~dx:false ~abs_out:true
+
+let laplace ~name ~abs_out =
+  let decl =
+    let expr = "8*p11 - (p00 + p01 + p02 + p10 + p12 + p20 + p21 + p22)" in
+    if abs_out then
+      Fmt.str {|
+      int32 g = %s;
+      int32 r = g < 0 ? 0 - g : g;|} expr
+    else Fmt.str {|
+      int32 r = %s;|} expr
+  in
+  stencil_kernel ~name ~family:"Laplace" ~out:`I16 ~decl
+    ~store:"dst[o] = (int16)r;"
+    ~formula:(fun _b t ->
+      let ( + ) a c = t.bin Pir.Instr.Add a c in
+      let sum =
+        t.tap 0 0 + t.tap 0 1 + t.tap 0 2 + t.tap 1 0 + t.tap 1 2 + t.tap 2 0
+        + t.tap 2 1 + t.tap 2 2
+      in
+      let g = t.bin Pir.Instr.Sub (t.bin Pir.Instr.Mul (t.k 8) (t.tap 1 1)) sum in
+      let r =
+        if abs_out then t.bin Pir.Instr.SMax g (t.bin Pir.Instr.Sub (t.k 0) g)
+        else g
+      in
+      t.store_i16 r)
+
+let laplace_k = laplace ~name:"laplace" ~abs_out:false
+let laplace_abs = laplace ~name:"laplace_abs" ~abs_out:true
+
+let contour_metrics =
+  stencil_kernel ~name:"contour_metrics" ~family:"ContourMetrics" ~out:`I16
+    ~decl:
+      {|
+      int32 gx = (p02 + 2*p12 + p22) - (p00 + 2*p10 + p20);
+      int32 gy = (p20 + 2*p21 + p22) - (p00 + 2*p01 + p02);
+      int32 ax = gx < 0 ? 0 - gx : gx;
+      int32 ay = gy < 0 ? 0 - gy : gy;
+      int32 r = ax + ay;|}
+    ~store:"dst[o] = (int16)r;"
+    ~formula:(fun _b t ->
+      let ( + ) a c = t.bin Pir.Instr.Add a c in
+      let ( - ) a c = t.bin Pir.Instr.Sub a c in
+      let two a = t.bin Pir.Instr.Mul (t.k 2) a in
+      let gx =
+        t.tap 0 2 + two (t.tap 1 2) + t.tap 2 2
+        - (t.tap 0 0 + two (t.tap 1 0) + t.tap 2 0)
+      in
+      let gy =
+        t.tap 2 0 + two (t.tap 2 1) + t.tap 2 2
+        - (t.tap 0 0 + two (t.tap 0 1) + t.tap 0 2)
+      in
+      let abs g = t.bin Pir.Instr.SMax g (t.k 0 - g) in
+      t.store_i16 (abs gx + abs gy))
+
+let abs_gradient_saturated_sum =
+  stencil_kernel ~name:"abs_gradient_saturated_sum" ~family:"AbsGradient"
+    ~out:`U8
+    ~decl:
+      {|
+      int32 dx = p12 - p10;
+      int32 dy = p21 - p01;
+      int32 ax = dx < 0 ? 0 - dx : dx;
+      int32 ay = dy < 0 ? 0 - dy : dy;
+      int32 s0 = ax + ay;
+      int32 r = s0 > 255 ? 255 : s0;|}
+    ~store:"dst[o] = (uint8)r;"
+    ~formula:(fun _b t ->
+      let ( - ) a c = t.bin Pir.Instr.Sub a c in
+      let abs g = t.bin Pir.Instr.SMax g (t.k 0 - g) in
+      let s = t.bin Pir.Instr.Add (abs (t.tap 1 2 - t.tap 1 0)) (abs (t.tap 2 1 - t.tap 0 1)) in
+      t.store_u8 (t.bin Pir.Instr.SMin s (t.k 255)))
+
+let texture_boosted_saturated_gradient =
+  stencil_kernel ~name:"texture_boosted_saturated_gradient"
+    ~family:"TextureBoosted" ~out:`U8
+    ~decl:
+      {|
+      int32 g = 4 * (p12 - p10) + 128;
+      int32 r = g < 0 ? 0 : (g > 255 ? 255 : g);|}
+    ~store:"dst[o] = (uint8)r;"
+    ~formula:(fun _b t ->
+      let g =
+        t.bin Pir.Instr.Add
+          (t.bin Pir.Instr.Mul (t.k 4)
+             (t.bin Pir.Instr.Sub (t.tap 1 2) (t.tap 1 0)))
+          (t.k 128)
+      in
+      let cl = t.bin Pir.Instr.SMin (t.bin Pir.Instr.SMax g (t.k 0)) (t.k 255) in
+      t.store_u8 cl)
+
+let shift_bilinear =
+  (* sample at (x + 0.25, y + 0.5): fx = 64, fy = 128 in 1/256 units *)
+  stencil_kernel ~name:"shift_bilinear" ~family:"ShiftBilinear" ~out:`U8
+    ~decl:
+      {|
+      int32 w00 = (256 - 64) * (256 - 128);
+      int32 w01 = 64 * (256 - 128);
+      int32 w10 = (256 - 64) * 128;
+      int32 w11 = 64 * 128;
+      int32 acc = p11 * w00 + p12 * w01 + p21 * w10 + p22 * w11;
+      int32 r = (acc + 32768) >> 16;|}
+    ~store:"dst[o] = (uint8)r;"
+    ~formula:(fun _b t ->
+      let ( + ) a c = t.bin Pir.Instr.Add a c in
+      let mulk a c = t.bin Pir.Instr.Mul a (t.k c) in
+      let acc =
+        mulk (t.tap 1 1) (192 * 128)
+        + mulk (t.tap 1 2) (64 * 128)
+        + mulk (t.tap 2 1) (192 * 128)
+        + mulk (t.tap 2 2) (64 * 128)
+      in
+      t.store_u8 (t.bin Pir.Instr.LShr (acc + t.k 32768) (t.k 16)))
+
+let kernels =
+  [
+    gaussian_blur_3x3;
+    mean_filter_3x3;
+    median_filter_rhomb_3x3;
+    median_filter_square_3x3;
+    sobel_dx;
+    sobel_dy;
+    sobel_dx_abs;
+    sobel_dy_abs;
+    laplace_k;
+    laplace_abs;
+    contour_metrics;
+    abs_gradient_saturated_sum;
+    texture_boosted_saturated_gradient;
+    shift_bilinear;
+  ]

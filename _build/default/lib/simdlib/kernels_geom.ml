@@ -1,0 +1,329 @@
+(** Geometric kernels: 2x2 stretch/reduce (stride-2 interleaved access)
+    and bilinear resize (data-dependent gathers — slow for everyone, the
+    pattern where gather-based vectorization barely pays, paper
+    §4.2.2). *)
+
+open Workload
+
+let u8buf name seed len = { bname = name; elem = Pir.Types.I8; len; init = u8 seed; output = false }
+let u8out name len = { bname = name; elem = Pir.Types.I8; len; init = zero8; output = true }
+
+(* -- stretch_gray_2x2: each input pixel becomes a 2x2 block -- *)
+
+let stretch_gray_2x2 =
+  let serial_src =
+    {|
+void stretch_gray_2x2(uint8* restrict src, uint8* restrict dst, int64 w, int64 h) {
+  for (int64 y = 0; y < h; y = y + 1) {
+    for (int64 x = 0; x < w; x = x + 1) {
+      uint8 g = src[y * w + x];
+      int64 o = 2 * y * 2 * w + 2 * x;
+      dst[o] = g;
+      dst[o + 1] = g;
+      dst[o + 2 * w] = g;
+      dst[o + 2 * w + 1] = g;
+    }
+  }
+}
+|}
+  in
+  let psim_src =
+    {|
+void stretch_gray_2x2(uint8* src, uint8* dst, int64 w, int64 h) {
+  for (int64 y = 0; y < h; y = y + 1) {
+    int64 inrow = y * w;
+    int64 outrow = 2 * y * 2 * w;
+    psim gang_size(64) num_spmd_threads(w) {
+      int64 x = psim_thread_num();
+      uint8 g = src[inrow + x];
+      int64 o = outrow + 2 * x;
+      dst[o] = g;
+      dst[o + 1] = g;
+      dst[o + 2 * w] = g;
+      dst[o + 2 * w + 1] = g;
+    }
+  }
+}
+|}
+  in
+  let hand m =
+    let open Pir in
+    Hw.define m "stretch_gray_2x2" ~ptrs:[ Types.I8; Types.I8 ]
+      ~scalars:[ Types.i64 ]
+      ~emit:(fun b ~ptrs ~scalars ~n ->
+        let src, dst = match ptrs with [ s; d ] -> (s, d) | _ -> assert false in
+        let w = List.hd scalars in
+        let h = n in
+        let vl = 64 in
+        ignore
+          (Hw.counted_loop b ~start:(Instr.ci64 0) ~stop:h ~step:1 ~accs:[]
+             ~body:(fun b ~iv:y ~accs ->
+               let inrow = Builder.mul b y w in
+               let outrow =
+                 Builder.mul b (Builder.mul b y (Instr.ci64 2))
+                   (Builder.mul b w (Instr.ci64 2))
+               in
+               let row0 = Builder.gep b dst outrow in
+               let row1 =
+                 Builder.gep b dst
+                   (Builder.add b outrow (Builder.mul b w (Instr.ci64 2)))
+               in
+               Hw.strip_mined_loop b ~n:w ~vl
+                 ~vec_body:(fun b x ->
+                   let g = Builder.vload b (Builder.gep b src (Builder.add b inrow x)) vl in
+                   Hw.interleave_store b ~vl ~k:2 row0 x [ g; g ];
+                   Hw.interleave_store b ~vl ~k:2 row1 x [ g; g ])
+                 ~scalar_body:(fun b x ->
+                   let g = Builder.load b (Builder.gep b src (Builder.add b inrow x)) in
+                   let o = Builder.mul b x (Instr.ci64 2) in
+                   Builder.store b g (Builder.gep b row0 o);
+                   Builder.store b g (Builder.gep b row0 (Builder.add b o (Instr.ci64 1)));
+                   Builder.store b g (Builder.gep b row1 o);
+                   Builder.store b g (Builder.gep b row1 (Builder.add b o (Instr.ci64 1))));
+               accs)))
+  in
+  {
+    kname = "stretch_gray_2x2";
+    family = "StretchGray2x2";
+    gang = 64;
+    psim_src;
+    serial_src;
+    hand = Some hand;
+    buffers = [ u8buf "src" 301 pixels; u8out "dst" (4 * pixels) ];
+    scalars = [ vi width; vi height ];
+    float_tolerance = 0.0;
+  }
+
+(* -- reduce_gray_2x2: average 2x2 blocks -- *)
+
+let reduce_gray_2x2 =
+  let serial_src =
+    {|
+void reduce_gray_2x2(uint8* restrict src, uint8* restrict dst, int64 w, int64 h) {
+  for (int64 y = 0; y < h / 2; y = y + 1) {
+    for (int64 x = 0; x < w / 2; x = x + 1) {
+      int64 i = 2 * y * w + 2 * x;
+      int32 s = (int32)src[i] + (int32)src[i + 1] + (int32)src[i + w] + (int32)src[i + w + 1];
+      dst[y * (w / 2) + x] = (uint8)((s + 2) >> 2);
+    }
+  }
+}
+|}
+  in
+  let psim_src =
+    {|
+void reduce_gray_2x2(uint8* src, uint8* dst, int64 w, int64 h) {
+  for (int64 y = 0; y < h / 2; y = y + 1) {
+    int64 inrow = 2 * y * w;
+    int64 outrow = y * (w / 2);
+    psim gang_size(32) num_spmd_threads(w / 2) {
+      int64 x = psim_thread_num();
+      int64 i = inrow + 2 * x;
+      int32 s = (int32)src[i] + (int32)src[i + 1] + (int32)src[i + w] + (int32)src[i + w + 1];
+      dst[outrow + x] = (uint8)((s + 2) >> 2);
+    }
+  }
+}
+|}
+  in
+  let hand m =
+    let open Pir in
+    Hw.define m "reduce_gray_2x2" ~ptrs:[ Types.I8; Types.I8 ]
+      ~scalars:[ Types.i64 ]
+      ~emit:(fun b ~ptrs ~scalars ~n ->
+        let src, dst = match ptrs with [ s; d ] -> (s, d) | _ -> assert false in
+        let w = List.hd scalars in
+        let h = n in
+        let vl = 32 in
+        let h2 = Builder.ibin b Instr.SDiv h (Instr.ci64 2) in
+        let w2 = Builder.ibin b Instr.SDiv w (Instr.ci64 2) in
+        ignore
+          (Hw.counted_loop b ~start:(Instr.ci64 0) ~stop:h2 ~step:1 ~accs:[]
+             ~body:(fun b ~iv:y ~accs ->
+               let inrow = Builder.mul b (Builder.mul b y (Instr.ci64 2)) w in
+               let outrow = Builder.mul b y w2 in
+               let row0 = Builder.gep b src inrow in
+               let row1 = Builder.gep b src (Builder.add b inrow w) in
+               Hw.strip_mined_loop b ~n:w2 ~vl
+                 ~vec_body:(fun b x ->
+                   let top = Hw.deinterleave_load b ~vl ~k:2 row0 x in
+                   let bot = Hw.deinterleave_load b ~vl ~k:2 row1 x in
+                   match (top, bot) with
+                   | [ t0; t1 ], [ b0; b1 ] ->
+                       (* avg of 4 with rounding via two pavg-style steps *)
+                       let a1 = Builder.ibin b Instr.AvgrU t0 t1 in
+                       let a2 = Builder.ibin b Instr.AvgrU b0 b1 in
+                       (* (a1 + a2) / 2 without extra rounding bias:
+                          match the (s + 2) >> 2 formula exactly by
+                          recomputing at 16 bits *)
+                       ignore (a1, a2);
+                       let w16 v =
+                         Builder.cast b Instr.ZExt v (Types.Vec (Types.I16, vl))
+                       in
+                       let s =
+                         Builder.ibin b Instr.Add
+                           (Builder.ibin b Instr.Add (w16 t0) (w16 t1))
+                           (Builder.ibin b Instr.Add (w16 b0) (w16 b1))
+                       in
+                       let r =
+                         Builder.ibin b Instr.LShr
+                           (Builder.ibin b Instr.Add s
+                              (Instr.cvec Types.I16 (Array.make vl 2L)))
+                           (Instr.cvec Types.I16 (Array.make vl 2L))
+                       in
+                       Builder.vstore b
+                         (Builder.cast b Instr.Trunc r (Types.Vec (Types.I8, vl)))
+                         (Builder.gep b dst (Builder.add b outrow x))
+                   | _ -> assert false)
+                 ~scalar_body:(fun b x ->
+                   let i = Builder.add b inrow (Builder.mul b x (Instr.ci64 2)) in
+                   let ld off =
+                     Builder.cast b Instr.ZExt
+                       (Builder.load b (Builder.gep b src (Builder.add b i (Instr.ci64 off))))
+                       Types.i16
+                   in
+                   let s =
+                     Builder.ibin b Instr.Add
+                       (Builder.ibin b Instr.Add (ld 0) (ld 1))
+                       (Builder.ibin b Instr.Add
+                          (Builder.cast b Instr.ZExt
+                             (Builder.load b
+                                (Builder.gep b src (Builder.add b i w)))
+                             Types.i16)
+                          (Builder.cast b Instr.ZExt
+                             (Builder.load b
+                                (Builder.gep b src
+                                   (Builder.add b (Builder.add b i w) (Instr.ci64 1))))
+                             Types.i16))
+                   in
+                   let r =
+                     Builder.ibin b Instr.LShr
+                       (Builder.ibin b Instr.Add s (Instr.cint Types.I16 2L))
+                       (Instr.cint Types.I16 2L)
+                   in
+                   Builder.store b
+                     (Builder.cast b Instr.Trunc r Types.i8)
+                     (Builder.gep b dst (Builder.add b outrow x)));
+               accs)))
+  in
+  {
+    kname = "reduce_gray_2x2";
+    family = "ReduceGray2x2";
+    gang = 32;
+    psim_src;
+    serial_src;
+    hand = Some hand;
+    buffers = [ u8buf "src" 302 pixels; u8out "dst" (pixels / 4) ];
+    scalars = [ vi width; vi height ];
+    float_tolerance = 0.0;
+  }
+
+(* -- resize_bilinear (horizontal pass, fixed 4/3 downscale):
+   out[i] samples src at i*0.75 with 8-bit fractional weights -- *)
+
+let resize_bilinear =
+  let body =
+    {|
+    int64 t = i * 192;
+    int64 ix = t >> 8;
+    int32 f = (int32)(t & 255);
+    int32 a = (int32)src[ix];
+    int32 c = (int32)src[ix + 1];
+    dst[i] = (uint8)(((256 - f) * a + f * c + 128) >> 8);|}
+  in
+  let serial_src =
+    Fmt.str
+      {|
+void resize_bilinear(uint8* restrict src, uint8* restrict dst, int64 n) {
+  for (int64 i = 0; i < n; i = i + 1) {
+%s
+  }
+}
+|}
+      body
+  in
+  let psim_src =
+    Fmt.str
+      {|
+void resize_bilinear(uint8* src, uint8* dst, int64 n) {
+  psim gang_size(16) num_spmd_threads(n) {
+    int64 i = psim_thread_num();
+%s
+  }
+}
+|}
+      body
+  in
+  let hand m =
+    let open Pir in
+    Hw.define m "resize_bilinear" ~ptrs:[ Types.I8; Types.I8 ] ~scalars:[]
+      ~emit:(fun b ~ptrs ~scalars:_ ~n ->
+        let src, dst = match ptrs with [ s; d ] -> (s, d) | _ -> assert false in
+        let vl = 16 in
+        Hw.strip_mined_loop b ~n ~vl
+          ~vec_body:(fun b i ->
+            let iv =
+              Builder.ibin b Instr.Add (Builder.splat b i vl)
+                (Instr.iota Types.I64 vl)
+            in
+            let t = Builder.ibin b Instr.Mul iv (Instr.cvec Types.I64 (Array.make vl 192L)) in
+            let ix = Builder.ibin b Instr.LShr t (Instr.cvec Types.I64 (Array.make vl 8L)) in
+            let f64 = Builder.ibin b Instr.And t (Instr.cvec Types.I64 (Array.make vl 255L)) in
+            let f = Builder.cast b Instr.Trunc f64 (Types.Vec (Types.I32, vl)) in
+            (* even hand-tuned code needs gathers here *)
+            let a = Builder.gather b src ix in
+            let ix1 = Builder.ibin b Instr.Add ix (Instr.cvec Types.I64 (Array.make vl 1L)) in
+            let c = Builder.gather b src ix1 in
+            let w v = Builder.cast b Instr.ZExt v (Types.Vec (Types.I32, vl)) in
+            let k v = Instr.cvec Types.I32 (Array.make vl v) in
+            let r =
+              Builder.ibin b Instr.LShr
+                (Builder.ibin b Instr.Add
+                   (Builder.ibin b Instr.Add
+                      (Builder.ibin b Instr.Mul (Builder.ibin b Instr.Sub (k 256L) f) (w a))
+                      (Builder.ibin b Instr.Mul f (w c)))
+                   (k 128L))
+                (k 8L)
+            in
+            Builder.vstore b
+              (Builder.cast b Instr.Trunc r (Types.Vec (Types.I8, vl)))
+              (Builder.gep b dst i))
+          ~scalar_body:(fun b i ->
+            let t = Builder.mul b i (Instr.ci64 192) in
+            let ix = Builder.lshr b t (Instr.ci64 8) in
+            let f =
+              Builder.cast b Instr.Trunc
+                (Builder.and_ b t (Instr.ci64 255))
+                Types.i32
+            in
+            let ld p = Builder.cast b Instr.ZExt (Builder.load b p) Types.i32 in
+            let a = ld (Builder.gep b src ix) in
+            let c = ld (Builder.gep b src (Builder.add b ix (Instr.ci64 1))) in
+            let k v = Instr.ci32 v in
+            let r =
+              Builder.lshr b
+                (Builder.add b
+                   (Builder.add b
+                      (Builder.mul b (Builder.sub b (k 256) f) a)
+                      (Builder.mul b f c))
+                   (k 128))
+                (k 8)
+            in
+            Builder.store b
+              (Builder.cast b Instr.Trunc r Types.i8)
+              (Builder.gep b dst i)))
+  in
+  {
+    kname = "resize_bilinear";
+    family = "ResizeBilinear";
+    gang = 16;
+    psim_src;
+    serial_src;
+    hand = Some hand;
+    (* output length n with source long enough for ix+1 at i=n-1 *)
+    buffers = [ u8buf "src" 303 pixels; u8out "dst" pixels ];
+    scalars = [ vi (pixels - pixels / 4) ];
+    float_tolerance = 0.0;
+  }
+
+let kernels = [ stretch_gray_2x2; reduce_gray_2x2; resize_bilinear ]

@@ -1,0 +1,237 @@
+(** Bulk data movement kernels: copy, fill (u8/u32), and widening copy.
+    The memory-bound end of the suite — every implementation saturates
+    the same bandwidth, so speedups flatten here (the left tail of the
+    paper's Figure 5). *)
+
+open Workload
+
+let copy_u8 =
+  let serial_src =
+    {|
+void copy_u8(uint8* restrict src, uint8* restrict dst, int64 n) {
+  for (int64 i = 0; i < n; i = i + 1) {
+    dst[i] = src[i];
+  }
+}
+|}
+  in
+  let psim_src =
+    {|
+void copy_u8(uint8* src, uint8* dst, int64 n) {
+  psim gang_size(64) num_spmd_threads(n) {
+    int64 i = psim_thread_num();
+    dst[i] = src[i];
+  }
+}
+|}
+  in
+  let hand m =
+    Hw.map m "copy_u8" ~elem:Pir.Types.I8 ~inputs:1
+      ~vop:(fun _ vs -> List.hd vs)
+      ~sop:(fun _ vs -> List.hd vs)
+  in
+  {
+    kname = "copy_u8";
+    family = "Copy";
+    gang = 64;
+    psim_src;
+    serial_src;
+    hand = Some hand;
+    buffers = [ in_u8 "src" 601; out_u8 "dst" ];
+    scalars = [ vi pixels ];
+    float_tolerance = 0.0;
+  }
+
+let fill_u8 =
+  let serial_src =
+    {|
+void fill_u8(uint8* restrict dst, uint8 value, int64 n) {
+  for (int64 i = 0; i < n; i = i + 1) {
+    dst[i] = value;
+  }
+}
+|}
+  in
+  let psim_src =
+    {|
+void fill_u8(uint8* dst, uint8 value, int64 n) {
+  psim gang_size(64) num_spmd_threads(n) {
+    dst[psim_thread_num()] = value;
+  }
+}
+|}
+  in
+  let hand m =
+    let open Pir in
+    Hw.define m "fill_u8" ~ptrs:[ Types.I8 ] ~scalars:[ Types.i8 ]
+      ~emit:(fun b ~ptrs ~scalars ~n ->
+        let dst = List.hd ptrs and v = List.hd scalars in
+        let vl = 64 in
+        let vv = Builder.splat b v vl in
+        Hw.strip_mined_loop b ~n ~vl
+          ~vec_body:(fun b i -> Builder.vstore b vv (Builder.gep b dst i))
+          ~scalar_body:(fun b j -> Builder.store b v (Builder.gep b dst j)))
+  in
+  {
+    kname = "fill_u8";
+    family = "Fill";
+    gang = 64;
+    psim_src;
+    serial_src;
+    hand = Some hand;
+    buffers = [ out_u8 "dst" ];
+    scalars = [ vi 0xA5; vi pixels ];
+    float_tolerance = 0.0;
+  }
+
+let fill_bgra =
+  let serial_src =
+    {|
+void fill_bgra(uint32* restrict dst, uint32 value, int64 n) {
+  for (int64 i = 0; i < n; i = i + 1) {
+    dst[i] = value;
+  }
+}
+|}
+  in
+  let psim_src =
+    {|
+void fill_bgra(uint32* dst, uint32 value, int64 n) {
+  psim gang_size(16) num_spmd_threads(n) {
+    dst[psim_thread_num()] = value;
+  }
+}
+|}
+  in
+  let hand m =
+    let open Pir in
+    Hw.define m "fill_bgra" ~ptrs:[ Types.I32 ] ~scalars:[ Types.i32 ]
+      ~emit:(fun b ~ptrs ~scalars ~n ->
+        let dst = List.hd ptrs and v = List.hd scalars in
+        let vl = 16 in
+        let vv = Builder.splat b v vl in
+        Hw.strip_mined_loop b ~n ~vl
+          ~vec_body:(fun b i -> Builder.vstore b vv (Builder.gep b dst i))
+          ~scalar_body:(fun b j -> Builder.store b v (Builder.gep b dst j)))
+  in
+  {
+    kname = "fill_bgra";
+    family = "Fill";
+    gang = 16;
+    psim_src;
+    serial_src;
+    hand = Some hand;
+    buffers =
+      [ { bname = "dst"; elem = Pir.Types.I32; len = pixels; init = (fun _ -> Pmachine.Value.I 0L); output = true } ];
+    scalars = [ vi 0x40E0D0FF; vi pixels ];
+    float_tolerance = 0.0;
+  }
+
+let gray_to_int16 =
+  let serial_src =
+    {|
+void gray_to_int16(uint8* restrict src, int16* restrict dst, int64 n) {
+  for (int64 i = 0; i < n; i = i + 1) {
+    dst[i] = (int16)(int32)src[i];
+  }
+}
+|}
+  in
+  let psim_src =
+    {|
+void gray_to_int16(uint8* src, int16* dst, int64 n) {
+  psim gang_size(32) num_spmd_threads(n) {
+    int64 i = psim_thread_num();
+    dst[i] = (int16)(int32)src[i];
+  }
+}
+|}
+  in
+  let hand m =
+    let open Pir in
+    Hw.define m "gray_to_int16" ~ptrs:[ Types.I8; Types.I16 ] ~scalars:[]
+      ~emit:(fun b ~ptrs ~scalars:_ ~n ->
+        let src, dst = match ptrs with [ s; d ] -> (s, d) | _ -> assert false in
+        let vl = 32 in
+        Hw.strip_mined_loop b ~n ~vl
+          ~vec_body:(fun b i ->
+            let v = Builder.vload b (Builder.gep b src i) vl in
+            let w = Builder.cast b Instr.ZExt v (Types.Vec (Types.I16, vl)) in
+            Builder.vstore b w (Builder.gep b dst i))
+          ~scalar_body:(fun b j ->
+            let v = Builder.load b (Builder.gep b src j) in
+            Builder.store b
+              (Builder.cast b Instr.ZExt v Types.i16)
+              (Builder.gep b dst j)))
+  in
+  {
+    kname = "gray_to_int16";
+    family = "Convert";
+    gang = 32;
+    psim_src;
+    serial_src;
+    hand = Some hand;
+    buffers = [ in_u8 "src" 602; out_i16 "dst" ];
+    scalars = [ vi pixels ];
+    float_tolerance = 0.0;
+  }
+
+(* segmentation: mask relabeling (ternary select on equality) *)
+let segmentation_change_index =
+  let serial_src =
+    {|
+void segmentation_change_index(uint8* restrict mask, uint8 old_index, uint8 new_index, int64 n) {
+  for (int64 i = 0; i < n; i = i + 1) {
+    int32 m = (int32)mask[i];
+    mask[i] = (uint8)(m == (int32)old_index ? (int32)new_index : m);
+  }
+}
+|}
+  in
+  let psim_src =
+    {|
+void segmentation_change_index(uint8* mask, uint8 old_index, uint8 new_index, int64 n) {
+  psim gang_size(64) num_spmd_threads(n) {
+    int64 i = psim_thread_num();
+    uint8 m = mask[i];
+    mask[i] = m == old_index ? new_index : m;
+  }
+}
+|}
+  in
+  let hand m =
+    let open Pir in
+    Hw.define m "segmentation_change_index" ~ptrs:[ Types.I8 ]
+      ~scalars:[ Types.i8; Types.i8 ]
+      ~emit:(fun b ~ptrs ~scalars ~n ->
+        let mask = List.hd ptrs in
+        let old_i, new_i =
+          match scalars with [ o; nw ] -> (o, nw) | _ -> assert false
+        in
+        let vl = 64 in
+        Hw.strip_mined_loop b ~n ~vl
+          ~vec_body:(fun b i ->
+            let addr = Builder.gep b mask i in
+            let v = Builder.vload b addr vl in
+            let c = Builder.icmp b Instr.Eq v (Builder.splat b old_i vl) in
+            let r = Builder.select b c (Builder.splat b new_i vl) v in
+            Builder.vstore b r addr)
+          ~scalar_body:(fun b j ->
+            let addr = Builder.gep b mask j in
+            let v = Builder.load b addr in
+            let c = Builder.icmp b Instr.Eq v old_i in
+            Builder.store b (Builder.select b c new_i v) addr))
+  in
+  {
+    kname = "segmentation_change_index";
+    family = "Segmentation";
+    gang = 64;
+    psim_src;
+    serial_src;
+    hand = Some hand;
+    buffers = [ { (inout_u8 "mask" 603) with init = (fun i -> Pmachine.Value.I (Int64.of_int (i mod 7))) } ];
+    scalars = [ vi 3; vi 5; vi pixels ];
+    float_tolerance = 0.0;
+  }
+
+let kernels = [ copy_u8; fill_u8; fill_bgra; gray_to_int16; segmentation_change_index ]

@@ -1,0 +1,447 @@
+(** Neural kernels (f32, gang 16): conversion, dot products, sigmoids,
+    weight updates, and [pow] — the math-library-bound kernel where the
+    hand-written implementation links a faster vector [pow] than SLEEF
+    (the same effect behind the paper's Binomial Options gap, §6). *)
+
+open Workload
+
+let f32img name seed = in_f32 name seed
+let f32outimg name = out_f32 name
+let vf v = Pmachine.Value.F v
+
+let f32_map_kernel ~name ~family ~inputs ~extra_scalars ~serial_body ~psim_body
+    ~hand =
+  let serial_params =
+    String.concat ", "
+      (List.map (fun a -> Fmt.str "float32* restrict %s" a) (inputs @ [ "dst" ]))
+  in
+  let psim_params =
+    String.concat ", " (List.map (fun a -> Fmt.str "float32* %s" a) (inputs @ [ "dst" ]))
+  in
+  let scalar_params =
+    String.concat ""
+      (List.map (fun s -> Fmt.str ", float32 %s" s) extra_scalars)
+  in
+  let serial_src =
+    Fmt.str
+      {|
+void %s(%s%s, int64 n) {
+  for (int64 i = 0; i < n; i = i + 1) {
+%s
+  }
+}
+|}
+      name serial_params scalar_params serial_body
+  in
+  let psim_src =
+    Fmt.str
+      {|
+void %s(%s%s, int64 n) {
+  psim gang_size(16) num_spmd_threads(n) {
+    int64 i = psim_thread_num();
+%s
+  }
+}
+|}
+      name psim_params scalar_params psim_body
+  in
+  {
+    kname = name;
+    family;
+    gang = 16;
+    psim_src;
+    serial_src;
+    hand;
+    buffers =
+      List.mapi (fun idx a -> f32img a (500 + idx)) inputs @ [ f32outimg "dst" ];
+    scalars = [];
+    float_tolerance = 0.0;
+  }
+
+(* -- conversion: u8 -> f32 scaled -- *)
+
+let neural_convert =
+  let serial_src =
+    {|
+void neural_convert(uint8* restrict src, float32* restrict dst, int64 n) {
+  for (int64 i = 0; i < n; i = i + 1) {
+    dst[i] = (float32)(int32)src[i] * 0.003922;
+  }
+}
+|}
+  in
+  let psim_src =
+    {|
+void neural_convert(uint8* src, float32* dst, int64 n) {
+  psim gang_size(16) num_spmd_threads(n) {
+    int64 i = psim_thread_num();
+    dst[i] = (float32)(int32)src[i] * 0.003922;
+  }
+}
+|}
+  in
+  let hand m =
+    let open Pir in
+    Hw.define m "neural_convert" ~ptrs:[ Types.I8; Types.F32 ] ~scalars:[]
+      ~emit:(fun b ~ptrs ~scalars:_ ~n ->
+        let src, dst = match ptrs with [ s; d ] -> (s, d) | _ -> assert false in
+        let vl = 16 in
+        let kf =
+          Pmachine.Value.round_float Types.F32 0.003922
+        in
+        Hw.strip_mined_loop b ~n ~vl
+          ~vec_body:(fun b i ->
+            let v = Builder.vload b (Builder.gep b src i) vl in
+            let w = Builder.cast b Instr.ZExt v (Types.Vec (Types.I32, vl)) in
+            let f = Builder.cast b Instr.UIToFP w (Types.Vec (Types.F32, vl)) in
+            let s =
+              Builder.fbin b Instr.FMul f
+                (Builder.splat b (Instr.Const (Instr.Cfloat (Types.F32, kf))) vl)
+            in
+            Builder.vstore b s (Builder.gep b dst i))
+          ~scalar_body:(fun b j ->
+            let v = Builder.load b (Builder.gep b src j) in
+            let w = Builder.cast b Instr.ZExt v Types.i32 in
+            let f = Builder.cast b Instr.UIToFP w Types.f32 in
+            let s =
+              Builder.fbin b Instr.FMul f (Instr.Const (Instr.Cfloat (Types.F32, kf)))
+            in
+            Builder.store b s (Builder.gep b dst j)))
+  in
+  {
+    kname = "neural_convert";
+    family = "Neural";
+    gang = 16;
+    psim_src;
+    serial_src;
+    hand = Some hand;
+    buffers = [ in_u8 "src" 510; f32outimg "dst" ];
+    scalars = [ vi pixels ];
+    float_tolerance = 1e-6;
+  }
+
+(* -- float map kernels with a shared hand scaffold -- *)
+
+let hand_f32_map name ~inputs ~extra_scalars ~vop ~sop m =
+  let open Pir in
+  Hw.define m name
+    ~ptrs:(List.init inputs (fun _ -> Types.F32) @ [ Types.F32 ])
+    ~scalars:(List.map (fun _ -> Types.f32) extra_scalars)
+    ~emit:(fun b ~ptrs ~scalars ~n ->
+      let ins, dst =
+        match List.rev ptrs with
+        | d :: ri -> (List.rev ri, d)
+        | [] -> assert false
+      in
+      let vl = 16 in
+      Hw.strip_mined_loop b ~n ~vl
+        ~vec_body:(fun b i ->
+          let vs = List.map (fun p -> Builder.vload b (Builder.gep b p i) vl) ins in
+          let dst_addr = Builder.gep b dst i in
+          let dv = Builder.vload b dst_addr vl in
+          let ks = List.map (fun s -> Builder.splat b s vl) scalars in
+          Builder.vstore b (vop b ~vl vs dv ks) dst_addr)
+        ~scalar_body:(fun b j ->
+          let vs = List.map (fun p -> Builder.load b (Builder.gep b p j)) ins in
+          let dst_addr = Builder.gep b dst j in
+          let dv = Builder.load b dst_addr in
+          Builder.store b (sop b vs dv scalars) dst_addr))
+
+let neural_add_vector_multiplied_by_value =
+  let k =
+    f32_map_kernel ~name:"neural_add_vector_multiplied_by_value"
+      ~family:"Neural" ~inputs:[ "src" ] ~extra_scalars:[ "value" ]
+      ~serial_body:"    dst[i] = dst[i] + src[i] * value;"
+      ~psim_body:"    dst[i] = dst[i] + src[i] * value;"
+      ~hand:
+        (Some
+           (hand_f32_map "neural_add_vector_multiplied_by_value" ~inputs:1
+              ~extra_scalars:[ "value" ]
+              ~vop:(fun b ~vl:_ vs dv ks ->
+                Pir.Builder.fadd b dv
+                  (Pir.Builder.fmul b (List.hd vs) (List.hd ks)))
+              ~sop:(fun b vs dv ks ->
+                Pir.Builder.fadd b dv
+                  (Pir.Builder.fmul b (List.hd vs) (List.hd ks)))))
+  in
+  {
+    k with
+    buffers = [ f32img "src" 511; { (f32outimg "dst") with init = Workload.f32 512 } ];
+    scalars = [ vf 0.75; vi pixels ];
+  }
+
+let neural_update_weights =
+  let k =
+    f32_map_kernel ~name:"neural_update_weights" ~family:"Neural"
+      ~inputs:[ "d1"; "d2" ] ~extra_scalars:[ "a"; "b" ]
+      ~serial_body:"    dst[i] = dst[i] * a + d1[i] * b + d2[i];"
+      ~psim_body:"    dst[i] = dst[i] * a + d1[i] * b + d2[i];"
+      ~hand:
+        (Some
+           (hand_f32_map "neural_update_weights" ~inputs:2
+              ~extra_scalars:[ "a"; "b" ]
+              ~vop:(fun bld ~vl:_ vs dv ks ->
+                match (vs, ks) with
+                | [ d1; d2 ], [ a; b ] ->
+                    Pir.Builder.fadd bld
+                      (Pir.Builder.fadd bld
+                         (Pir.Builder.fmul bld dv a)
+                         (Pir.Builder.fmul bld d1 b))
+                      d2
+                | _ -> assert false)
+              ~sop:(fun bld vs dv ks ->
+                match (vs, ks) with
+                | [ d1; d2 ], [ a; b ] ->
+                    Pir.Builder.fadd bld
+                      (Pir.Builder.fadd bld
+                         (Pir.Builder.fmul bld dv a)
+                         (Pir.Builder.fmul bld d1 b))
+                      d2
+                | _ -> assert false)))
+  in
+  {
+    k with
+    buffers =
+      [ f32img "d1" 513; f32img "d2" 514; { (f32outimg "dst") with init = Workload.f32 515 } ];
+    scalars = [ vf 0.9; vf 0.1; vi pixels ];
+  }
+
+let neural_sigmoid =
+  let body = "    dst[i] = 1.0 / (1.0 + expf(0.0 - src[i] * slope));" in
+  let k =
+    f32_map_kernel ~name:"neural_sigmoid" ~family:"Neural" ~inputs:[ "src" ]
+      ~extra_scalars:[ "slope" ] ~serial_body:body ~psim_body:body
+      ~hand:
+        (Some
+           (hand_f32_map "neural_sigmoid" ~inputs:1 ~extra_scalars:[ "slope" ]
+              ~vop:(fun b ~vl vs _dv ks ->
+                let open Pir in
+                let x = Builder.fmul b (List.hd vs) (List.hd ks) in
+                let nx =
+                  Builder.fsub b
+                    (Builder.splat b (Instr.cf32 0.0) vl)
+                    x
+                in
+                let e =
+                  Builder.call b (Types.Vec (Types.F32, vl)) "ispc.exp.f32" [ nx ]
+                in
+                let one = Builder.splat b (Instr.cf32 1.0) vl in
+                Builder.fdiv b one (Builder.fadd b one e))
+              ~sop:(fun b vs _dv ks ->
+                let open Pir in
+                let x = Builder.fmul b (List.hd vs) (List.hd ks) in
+                let nx = Builder.fsub b (Instr.cf32 0.0) x in
+                let e = Builder.call b Types.f32 "math.exp.f32" [ nx ] in
+                Builder.fdiv b (Instr.cf32 1.0)
+                  (Builder.fadd b (Instr.cf32 1.0) e))))
+  in
+  { k with scalars = [ vf 1.5; vi pixels ]; float_tolerance = 1e-5 }
+
+let neural_rough_sigmoid =
+  (* (1 + x/8)^8 exponential approximation, sign-folded: pure arithmetic *)
+  let body =
+    {|
+    float32 x = src[i] * slope;
+    float32 ax = fabsf(x);
+    float32 e1 = 1.0 + ax * 0.125;
+    float32 e2 = e1 * e1;
+    float32 e4 = e2 * e2;
+    float32 e8 = e4 * e4;
+    float32 s = 1.0 / (1.0 + e8);
+    dst[i] = x > 0.0 ? 1.0 - s : s;|}
+  in
+  let k =
+    f32_map_kernel ~name:"neural_rough_sigmoid" ~family:"Neural"
+      ~inputs:[ "src" ] ~extra_scalars:[ "slope" ] ~serial_body:body
+      ~psim_body:body
+      ~hand:
+        (Some
+           (hand_f32_map "neural_rough_sigmoid" ~inputs:1
+              ~extra_scalars:[ "slope" ]
+              ~vop:(fun b ~vl vs _dv ks ->
+                let open Pir in
+                let kf v = Builder.splat b (Instr.cf32 v) vl in
+                let x = Builder.fmul b (List.hd vs) (List.hd ks) in
+                let ax = Builder.fun_ b Instr.FAbs x in
+                let e1 = Builder.fadd b (kf 1.0) (Builder.fmul b ax (kf 0.125)) in
+                let e2 = Builder.fmul b e1 e1 in
+                let e4 = Builder.fmul b e2 e2 in
+                let e8 = Builder.fmul b e4 e4 in
+                let s = Builder.fdiv b (kf 1.0) (Builder.fadd b (kf 1.0) e8) in
+                let pos = Builder.fcmp b Instr.Ogt x (kf 0.0) in
+                Builder.select b pos (Builder.fsub b (kf 1.0) s) s)
+              ~sop:(fun b vs _dv ks ->
+                let open Pir in
+                let kf v = Instr.cf32 v in
+                let x = Builder.fmul b (List.hd vs) (List.hd ks) in
+                let ax = Builder.fun_ b Instr.FAbs x in
+                let e1 = Builder.fadd b (kf 1.0) (Builder.fmul b ax (kf 0.125)) in
+                let e2 = Builder.fmul b e1 e1 in
+                let e4 = Builder.fmul b e2 e2 in
+                let e8 = Builder.fmul b e4 e4 in
+                let s = Builder.fdiv b (kf 1.0) (Builder.fadd b (kf 1.0) e8) in
+                let pos = Builder.fcmp b Instr.Ogt x (kf 0.0) in
+                Builder.select b pos (Builder.fsub b (kf 1.0) s) s)))
+  in
+  { k with scalars = [ vf 1.5; vi pixels ] }
+
+let neural_derivative_sigmoid =
+  let body = "    float32 s = src[i];\n    dst[i] = slope * s * (1.0 - s);" in
+  let k =
+    f32_map_kernel ~name:"neural_derivative_sigmoid" ~family:"Neural"
+      ~inputs:[ "src" ] ~extra_scalars:[ "slope" ] ~serial_body:body
+      ~psim_body:body
+      ~hand:
+        (Some
+           (hand_f32_map "neural_derivative_sigmoid" ~inputs:1
+              ~extra_scalars:[ "slope" ]
+              ~vop:(fun b ~vl vs _dv ks ->
+                let open Pir in
+                let s = List.hd vs in
+                let one = Builder.splat b (Instr.cf32 1.0) vl in
+                Builder.fmul b
+                  (Builder.fmul b (List.hd ks) s)
+                  (Builder.fsub b one s))
+              ~sop:(fun b vs _dv ks ->
+                let open Pir in
+                let s = List.hd vs in
+                Builder.fmul b
+                  (Builder.fmul b (List.hd ks) s)
+                  (Builder.fsub b (Instr.cf32 1.0) s))))
+  in
+  { k with scalars = [ vf 1.5; vi pixels ] }
+
+let neural_pow =
+  (* math-library bound: Parsimony links SLEEF's pow, the hand-written
+     version its own tuned vector pow (2.6x faster, per the paper) *)
+  let body = "    dst[i] = powf(src[i] + 1.5, e);" in
+  let k =
+    f32_map_kernel ~name:"neural_pow" ~family:"Neural" ~inputs:[ "src" ]
+      ~extra_scalars:[ "e" ] ~serial_body:body ~psim_body:body
+      ~hand:
+        (Some
+           (hand_f32_map "neural_pow" ~inputs:1 ~extra_scalars:[ "e" ]
+              ~vop:(fun b ~vl vs _dv ks ->
+                let open Pir in
+                let x =
+                  Builder.fadd b (List.hd vs) (Builder.splat b (Instr.cf32 1.5) vl)
+                in
+                Builder.call b (Types.Vec (Types.F32, vl)) "ispc.pow.f32"
+                  [ x; List.hd ks ])
+              ~sop:(fun b vs _dv ks ->
+                let open Pir in
+                let x = Builder.fadd b (List.hd vs) (Instr.cf32 1.5) in
+                Builder.call b Types.f32 "math.pow.f32" [ x; List.hd ks ])))
+  in
+  { k with scalars = [ vf 1.75; vi pixels ]; float_tolerance = 1e-5 }
+
+(* -- float reductions -- *)
+
+let f32_reduce_kernel ~name ~serial_expr ~psim_expr ~vcontrib ~scontrib =
+  let serial_src =
+    Fmt.str
+      {|
+void %s(float32* restrict a, float32* restrict b, float32* restrict partial, float32* restrict out, int64 n) {
+  float32 acc = 0.0;
+  for (int64 i = 0; i < n; i = i + 1) {
+    acc = acc + (%s);
+  }
+  out[0] = acc;
+}
+|}
+      name serial_expr
+  in
+  let psim_src =
+    Fmt.str
+      {|
+void %s(float32* a, float32* b, float32* partial, float32* out, int64 n) {
+  psim gang_size(16) num_spmd_threads(16) {
+    uint64 l = psim_lane_num();
+    float32 acc = 0.0;
+    for (int64 k = 0; k < n / 16; k = k + 1) {
+      int64 i = k * 16 + (int64)l;
+      acc = acc + (%s);
+    }
+    uint64 off = 8;
+    while (off > 0) {
+      acc = acc + psim_shuffle(acc, l ^ off);
+      off = off >> 1;
+    }
+    out[0] = acc;
+  }
+}
+|}
+      name psim_expr
+  in
+  let hand m =
+    let open Pir in
+    Hw.define m name ~ptrs:[ Types.F32; Types.F32; Types.F32; Types.F32 ]
+      ~scalars:[]
+      ~emit:(fun b ~ptrs ~scalars:_ ~n ->
+        let a = List.nth ptrs 0
+        and b' = List.nth ptrs 1
+        and out = List.nth ptrs 3 in
+        let vl = 16 in
+        let zero = Builder.splat b (Instr.cf32 0.0) vl in
+        Hw.strip_mined_reduce b ~n ~vl
+          ~acc_specs:[ (Types.Vec (Types.F32, vl), zero) ]
+          ~reduce_kinds:[ Instr.RFAdd ]
+          ~vec_body:(fun bld ~iv ~accs ->
+            let va = Builder.vload bld (Builder.gep bld a iv) vl in
+            let vb = Builder.vload bld (Builder.gep bld b' iv) vl in
+            [ Builder.fadd bld (List.hd accs) (vcontrib bld va vb) ])
+          ~scalar_body:(fun bld ~iv ~accs ->
+            let la = Builder.load bld (Builder.gep bld a iv) in
+            let lb = Builder.load bld (Builder.gep bld b' iv) in
+            [ Builder.fadd bld (List.hd accs) (scontrib bld la lb) ])
+          ~finish:(fun bld finals ->
+            Builder.store bld (List.hd finals) (Builder.gep bld out (Instr.ci64 0))))
+  in
+  {
+    kname = name;
+    family = "Neural";
+    gang = 16;
+    psim_src;
+    serial_src;
+    hand = Some hand;
+    buffers =
+      [
+        f32img "a" 520;
+        f32img "b" 521;
+        { bname = "partial"; elem = Pir.Types.F32; len = pixels / 16; init = zero32f; output = false };
+        { bname = "out"; elem = Pir.Types.F32; len = 1; init = zero32f; output = true };
+      ];
+    scalars = [ vi pixels ];
+    (* reduction orders differ across implementations *)
+    float_tolerance = 1e-3;
+  }
+
+let neural_product_sum =
+  f32_reduce_kernel ~name:"neural_product_sum" ~serial_expr:"a[i] * b[i]"
+    ~psim_expr:"a[i] * b[i]"
+    ~vcontrib:(fun b va vb -> Pir.Builder.fmul b va vb)
+    ~scontrib:(fun b la lb -> Pir.Builder.fmul b la lb)
+
+let squared_difference_sum_32f =
+  f32_reduce_kernel ~name:"squared_difference_sum_32f"
+    ~serial_expr:"(a[i] - b[i]) * (a[i] - b[i])"
+    ~psim_expr:"(a[i] - b[i]) * (a[i] - b[i])"
+    ~vcontrib:(fun b va vb ->
+      let d = Pir.Builder.fsub b va vb in
+      Pir.Builder.fmul b d d)
+    ~scontrib:(fun b la lb ->
+      let d = Pir.Builder.fsub b la lb in
+      Pir.Builder.fmul b d d)
+
+let kernels =
+  [
+    neural_convert;
+    neural_add_vector_multiplied_by_value;
+    neural_update_weights;
+    neural_sigmoid;
+    neural_rough_sigmoid;
+    neural_derivative_sigmoid;
+    neural_pow;
+    neural_product_sum;
+    squared_difference_sum_32f;
+  ]

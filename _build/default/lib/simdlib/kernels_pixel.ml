@@ -1,0 +1,741 @@
+(** Per-pixel kernels ported from the Simd Library: binary u8 operations,
+    alpha blending, binarization, feature difference, and the background
+    maintenance family.
+
+    For each kernel we provide the serial C-like source (scalar and
+    auto-vectorizer baselines), the Parsimony port (gang size 64 for u8
+    pixels — wider than any per-lane 32-bit intermediate would allow a
+    loop vectorizer to go), and a hand-written AVX-512-style
+    implementation instantiating [Hw.map]. *)
+
+open Workload
+
+(* -- source templates -- *)
+
+(* [body] assigns "dst" from u8 inputs bound to a, b, ... *)
+(* the serial source is standard C: saturating/rounding u8 operations
+   must be spelled with widened arithmetic and clamps (C has no
+   saturating operators), which also caps the auto-vectorizer's VF at
+   the 32-bit intermediate width.  The Parsimony port uses the psim API's
+   saturating operations directly (paper: "APIs for operations not
+   typically exposed in standard language APIs"). *)
+let binary_u8_srcs ?serial_body ~name ~body () =
+  let serial =
+    Fmt.str
+      {|
+void %s(uint8* restrict a, uint8* restrict b, uint8* restrict dst, int64 n) {
+  for (int64 i = 0; i < n; i = i + 1) {
+    int32 va = (int32)a[i];
+    int32 vb = (int32)b[i];
+    %s
+    dst[i] = (uint8)r;
+  }
+}
+|}
+      name (Option.value ~default:body serial_body)
+  in
+  let psim =
+    Fmt.str
+      {|
+void %s(uint8* a, uint8* b, uint8* dst, int64 n) {
+  psim gang_size(64) num_spmd_threads(n) {
+    int64 i = psim_thread_num();
+    uint8 va = a[i];
+    uint8 vb = b[i];
+    %s
+    dst[i] = r;
+  }
+}
+|}
+      name body
+  in
+  (serial, psim)
+
+let binary_u8 ~name ~family ?serial_body ~body ~vop () =
+  let serial_src, psim_src = binary_u8_srcs ?serial_body ~name ~body () in
+  {
+    kname = name;
+    family;
+    gang = 64;
+    psim_src;
+    serial_src;
+    hand =
+      Some
+        (fun m ->
+          Hw.map m name ~elem:Pir.Types.I8 ~inputs:2
+            ~vop:(fun b vs -> vop b (List.nth vs 0) (List.nth vs 1))
+            ~sop:(fun b vs -> vop b (List.nth vs 0) (List.nth vs 1)));
+    buffers = [ in_u8 "a" 11; in_u8 "b" 22; out_u8 "dst" ];
+    scalars = [ vi pixels ];
+    float_tolerance = 0.0;
+  }
+
+let ib k a b' bld = Pir.Builder.ibin bld k a b'
+let op2 k = fun bld a b' -> ib k a b' bld
+
+(* 1-8: OperationBinary8u family + AbsDifference + Average *)
+let operation_binary_8u =
+  [
+    binary_u8 ~name:"operation_binary8u_and" ~family:"OperationBinary8u"
+      ~body:"uint8 r = va & vb;" ~serial_body:"int32 r = va & vb;"
+      ~vop:(op2 Pir.Instr.And) ();
+    binary_u8 ~name:"operation_binary8u_or" ~family:"OperationBinary8u"
+      ~body:"uint8 r = va | vb;" ~serial_body:"int32 r = va | vb;"
+      ~vop:(op2 Pir.Instr.Or) ();
+    binary_u8 ~name:"operation_binary8u_xor" ~family:"OperationBinary8u"
+      ~body:"uint8 r = va ^ vb;" ~serial_body:"int32 r = va ^ vb;"
+      ~vop:(op2 Pir.Instr.Xor) ();
+    binary_u8 ~name:"operation_binary8u_max" ~family:"OperationBinary8u"
+      ~body:"uint8 r = max(va, vb);"
+      ~serial_body:"int32 r = va > vb ? va : vb;"
+      ~vop:(op2 Pir.Instr.UMax) ();
+    binary_u8 ~name:"operation_binary8u_min" ~family:"OperationBinary8u"
+      ~body:"uint8 r = min(va, vb);"
+      ~serial_body:"int32 r = va < vb ? va : vb;"
+      ~vop:(op2 Pir.Instr.UMin) ();
+    binary_u8 ~name:"operation_binary8u_saturated_add"
+      ~family:"OperationBinary8u" ~body:"uint8 r = add_sat(va, vb);"
+      ~serial_body:"int32 s = va + vb; int32 r = s > 255 ? 255 : s;"
+      ~vop:(op2 Pir.Instr.UAddSat) ();
+    binary_u8 ~name:"operation_binary8u_saturated_sub"
+      ~family:"OperationBinary8u" ~body:"uint8 r = sub_sat(va, vb);"
+      ~serial_body:"int32 s = va - vb; int32 r = s < 0 ? 0 : s;"
+      ~vop:(op2 Pir.Instr.USubSat) ();
+    binary_u8 ~name:"operation_binary8u_average" ~family:"OperationBinary8u"
+      ~body:"uint8 r = avg_u(va, vb);"
+      ~serial_body:"int32 r = (va + vb + 1) >> 1;"
+      ~vop:(op2 Pir.Instr.AvgrU) ();
+    binary_u8 ~name:"abs_difference" ~family:"AbsDifference"
+      ~body:"uint8 r = absdiff_u(va, vb);"
+      ~serial_body:"int32 d = va - vb; int32 r = d < 0 ? 0 - d : d;"
+      ~vop:(op2 Pir.Instr.AbsDiffU) ();
+  ]
+
+(* -- alpha blending: dst = (src*alpha + dst*(255-alpha) + 128) / 255,
+   with the standard DivideBy255 trick (x + (x >> 8) + 1) >> 8 -- *)
+
+let div255_src = {|
+inline uint16 div255(uint16 x) {
+  return (x + ((x + 128) >> 8) + 128) >> 8;
+}
+|}
+
+let alpha_blending =
+  let body =
+    {|
+    uint16 s16 = (uint16)s;
+    uint16 d16 = (uint16)d;
+    uint16 a16 = (uint16)av;
+    uint16 blended = div255(s16 * a16 + d16 * (255 - a16));
+    dst[i] = (uint8)blended;|}
+  in
+  let serial_src =
+    div255_src
+    ^ Fmt.str
+        {|
+void alpha_blending(uint8* restrict src, uint8* restrict alpha, uint8* restrict dst, int64 n) {
+  for (int64 i = 0; i < n; i = i + 1) {
+    uint8 s = src[i];
+    uint8 av = alpha[i];
+    uint8 d = dst[i];
+%s
+  }
+}
+|}
+        body
+  in
+  let psim_src =
+    div255_src
+    ^ Fmt.str
+        {|
+void alpha_blending(uint8* src, uint8* alpha, uint8* dst, int64 n) {
+  psim gang_size(32) num_spmd_threads(n) {
+    int64 i = psim_thread_num();
+    uint8 s = src[i];
+    uint8 av = alpha[i];
+    uint8 d = dst[i];
+%s
+  }
+}
+|}
+        body
+  in
+  let hand m =
+    (* 16-bit math at 32 lanes, exactly like the AVX-512 original *)
+    let open Pir in
+    let u16 x = x in
+    ignore u16;
+    Hw.define m "alpha_blending" ~ptrs:[ Types.I8; Types.I8; Types.I8 ]
+      ~scalars:[]
+      ~emit:(fun b ~ptrs ~scalars:_ ~n ->
+        let src, alpha, dst =
+          match ptrs with [ s; a; d ] -> (s, a, d) | _ -> assert false
+        in
+        let vl = 32 in
+        let widen v =
+          Builder.cast b Instr.ZExt v (Types.Vec (Types.I16, vl))
+        in
+        let blend b' vs =
+          ignore b';
+          match vs with
+          | [ s; a; d ] ->
+              let s16 = widen s and a16 = widen a and d16 = widen d in
+              let na =
+                Builder.ibin b Instr.Sub
+                  (Instr.cvec Types.I16 (Array.make vl 255L))
+                  a16
+              in
+              let t =
+                Builder.ibin b Instr.Add
+                  (Builder.ibin b Instr.Mul s16 a16)
+                  (Builder.ibin b Instr.Mul d16 na)
+              in
+              let c128 = Instr.cvec Types.I16 (Array.make vl 128L) in
+              let t1 = Builder.ibin b Instr.Add t c128 in
+              let t2 =
+                Builder.ibin b Instr.LShr t1 (Instr.cvec Types.I16 (Array.make vl 8L))
+              in
+              let t3 = Builder.ibin b Instr.Add (Builder.ibin b Instr.Add t t2) c128 in
+              let r16 =
+                Builder.ibin b Instr.LShr t3 (Instr.cvec Types.I16 (Array.make vl 8L))
+              in
+              Builder.cast b Instr.Trunc r16 (Types.Vec (Types.I8, vl))
+          | _ -> assert false
+        in
+        let blend_scalar b' vs =
+          ignore b';
+          match vs with
+          | [ s; a; d ] ->
+              let w v = Builder.cast b Instr.ZExt v Types.i16 in
+              let s16 = w s and a16 = w a and d16 = w d in
+              let na = Builder.ibin b Instr.Sub (Instr.cint Types.I16 255L) a16 in
+              let t =
+                Builder.ibin b Instr.Add
+                  (Builder.ibin b Instr.Mul s16 a16)
+                  (Builder.ibin b Instr.Mul d16 na)
+              in
+              let c128 = Instr.cint Types.I16 128L in
+              let t1 = Builder.ibin b Instr.Add t c128 in
+              let t2 = Builder.ibin b Instr.LShr t1 (Instr.cint Types.I16 8L) in
+              let t3 = Builder.ibin b Instr.Add (Builder.ibin b Instr.Add t t2) c128 in
+              let r16 = Builder.ibin b Instr.LShr t3 (Instr.cint Types.I16 8L) in
+              Builder.cast b Instr.Trunc r16 Types.i8
+          | _ -> assert false
+        in
+        Hw.strip_mined_loop b ~n ~vl
+          ~vec_body:(fun b i ->
+            let addr_d = Builder.gep b dst i in
+            let vs =
+              [
+                Builder.vload b (Builder.gep b src i) vl;
+                Builder.vload b (Builder.gep b alpha i) vl;
+                Builder.vload b addr_d vl;
+              ]
+            in
+            Builder.vstore b (blend b vs) addr_d)
+          ~scalar_body:(fun b j ->
+            let addr_d = Builder.gep b dst j in
+            let vs =
+              [
+                Builder.load b (Builder.gep b src j);
+                Builder.load b (Builder.gep b alpha j);
+                Builder.load b addr_d;
+              ]
+            in
+            Builder.store b (blend_scalar b vs) addr_d))
+  in
+  {
+    kname = "alpha_blending";
+    family = "AlphaBlending";
+    gang = 32;
+    psim_src;
+    serial_src;
+    hand = Some hand;
+    buffers = [ in_u8 "src" 31; in_u8 "alpha" 32; inout_u8 "dst" 33 ];
+    scalars = [ vi pixels ];
+    float_tolerance = 0.0;
+  }
+
+(* the formula is div255(x*a) with a from the alpha plane *)
+let alpha_premultiply =
+  let serial_src =
+    div255_src
+    ^ {|
+void alpha_premultiply(uint8* restrict src, uint8* restrict alpha, uint8* restrict dst, int64 n) {
+  for (int64 i = 0; i < n; i = i + 1) {
+    uint16 p = (uint16)src[i] * (uint16)alpha[i];
+    dst[i] = (uint8)div255(p);
+  }
+}
+|}
+  in
+  let psim_src =
+    div255_src
+    ^ {|
+void alpha_premultiply(uint8* src, uint8* alpha, uint8* dst, int64 n) {
+  psim gang_size(32) num_spmd_threads(n) {
+    int64 i = psim_thread_num();
+    uint16 p = (uint16)src[i] * (uint16)alpha[i];
+    dst[i] = (uint8)div255(p);
+  }
+}
+|}
+  in
+  let hand m =
+    let open Pir in
+    Hw.define m "alpha_premultiply" ~ptrs:[ Types.I8; Types.I8; Types.I8 ]
+      ~scalars:[]
+      ~emit:(fun b ~ptrs ~scalars:_ ~n ->
+        let src, alpha, dst =
+          match ptrs with [ s; a; d ] -> (s, a, d) | _ -> assert false
+        in
+        let vl = 32 in
+        let div255 t =
+          let c128 = Instr.cvec Types.I16 (Array.make vl 128L) in
+          let sh8 = Instr.cvec Types.I16 (Array.make vl 8L) in
+          let t1 = Builder.ibin b Instr.Add t c128 in
+          let t2 = Builder.ibin b Instr.LShr t1 sh8 in
+          let t3 = Builder.ibin b Instr.Add (Builder.ibin b Instr.Add t t2) c128 in
+          Builder.ibin b Instr.LShr t3 sh8
+        in
+        let div255s t =
+          let c128 = Instr.cint Types.I16 128L in
+          let sh8 = Instr.cint Types.I16 8L in
+          let t1 = Builder.ibin b Instr.Add t c128 in
+          let t2 = Builder.ibin b Instr.LShr t1 sh8 in
+          let t3 = Builder.ibin b Instr.Add (Builder.ibin b Instr.Add t t2) c128 in
+          Builder.ibin b Instr.LShr t3 sh8
+        in
+        Hw.strip_mined_loop b ~n ~vl
+          ~vec_body:(fun b i ->
+            let s = Builder.vload b (Builder.gep b src i) vl in
+            let a = Builder.vload b (Builder.gep b alpha i) vl in
+            let w v = Builder.cast b Instr.ZExt v (Types.Vec (Types.I16, vl)) in
+            let p = Builder.ibin b Instr.Mul (w s) (w a) in
+            let r = Builder.cast b Instr.Trunc (div255 p) (Types.Vec (Types.I8, vl)) in
+            Builder.vstore b r (Builder.gep b dst i))
+          ~scalar_body:(fun b j ->
+            let s = Builder.load b (Builder.gep b src j) in
+            let a = Builder.load b (Builder.gep b alpha j) in
+            let w v = Builder.cast b Instr.ZExt v Types.i16 in
+            let p = Builder.ibin b Instr.Mul (w s) (w a) in
+            let r = Builder.cast b Instr.Trunc (div255s p) Types.i8 in
+            Builder.store b r (Builder.gep b dst j)))
+  in
+  {
+    kname = "alpha_premultiply";
+    family = "AlphaBlending";
+    gang = 32;
+    psim_src;
+    serial_src;
+    hand = Some hand;
+    buffers = [ in_u8 "src" 41; in_u8 "alpha" 42; out_u8 "dst" ];
+    scalars = [ vi pixels ];
+    float_tolerance = 0.0;
+  }
+
+(* binarization: dst = a > t ? positive : negative *)
+let binarization =
+  let body = "dst[i] = a[i] > t ? (uint8)255 : (uint8)0;" in
+  let serial_src =
+    Fmt.str
+      {|
+void binarization(uint8* restrict a, uint8* restrict dst, uint8 t, int64 n) {
+  for (int64 i = 0; i < n; i = i + 1) {
+    %s
+  }
+}
+|}
+      body
+  in
+  let psim_src =
+    Fmt.str
+      {|
+void binarization(uint8* a, uint8* dst, uint8 t, int64 n) {
+  psim gang_size(64) num_spmd_threads(n) {
+    int64 i = psim_thread_num();
+    %s
+  }
+}
+|}
+      body
+  in
+  let hand m =
+    let open Pir in
+    Hw.define m "binarization" ~ptrs:[ Types.I8; Types.I8 ]
+      ~scalars:[ Types.i8 ]
+      ~emit:(fun b ~ptrs ~scalars ~n ->
+        let a, dst =
+          match ptrs with [ a; d ] -> (a, d) | _ -> assert false
+        in
+        let t = List.hd scalars in
+        let vl = 64 in
+        Hw.strip_mined_loop b ~n ~vl
+          ~vec_body:(fun b i ->
+            let v = Builder.vload b (Builder.gep b a i) vl in
+            let tv = Builder.splat b t vl in
+            let c = Builder.icmp b Instr.Ugt v tv in
+            let r =
+              Builder.select b c
+                (Instr.cvec Types.I8 (Array.make vl 255L))
+                (Instr.cvec Types.I8 (Array.make vl 0L))
+            in
+            Builder.vstore b r (Builder.gep b dst i))
+          ~scalar_body:(fun b j ->
+            let v = Builder.load b (Builder.gep b a j) in
+            let c = Builder.icmp b Instr.Ugt v t in
+            let r =
+              Builder.select b c (Instr.cint Types.I8 255L) (Instr.cint Types.I8 0L)
+            in
+            Builder.store b r (Builder.gep b dst j)))
+  in
+  {
+    kname = "binarization";
+    family = "Binarization";
+    gang = 64;
+    psim_src;
+    serial_src;
+    hand = Some hand;
+    buffers = [ in_u8 "a" 51; out_u8 "dst" ];
+    scalars = [ vi 127; vi pixels ];
+    float_tolerance = 0.0;
+  }
+
+(* add feature difference:
+   dst = sat_add(dst, shifted excess of |value-lo|,|hi-value|) *)
+let add_feature_difference =
+  let body =
+    {|
+    uint8 v = value[i];
+    uint8 l = lo[i];
+    uint8 h = hi[i];
+    uint8 excess = add_sat(sub_sat(v, h), sub_sat(l, v));
+    uint16 weighted = ((uint16)excess * (uint16)excess) >> 8;
+    dst[i] = add_sat(dst[i], (uint8)weighted);|}
+  in
+  let serial_src =
+    Fmt.str
+      {|
+void add_feature_difference(uint8* restrict value, uint8* restrict lo, uint8* restrict hi, uint8* restrict dst, int64 n) {
+  for (int64 i = 0; i < n; i = i + 1) {
+%s
+  }
+}
+|}
+      body
+  in
+  let psim_src =
+    Fmt.str
+      {|
+void add_feature_difference(uint8* value, uint8* lo, uint8* hi, uint8* dst, int64 n) {
+  psim gang_size(32) num_spmd_threads(n) {
+    int64 i = psim_thread_num();
+%s
+  }
+}
+|}
+      body
+  in
+  let hand m =
+    let open Pir in
+    Hw.map_inplace m "add_feature_difference" ~elem:Types.I8 ~inputs:3
+      ~vop:(fun b vs ->
+        match vs with
+        | [ v; l; h; d ] ->
+            let vl = 32 in
+            let e1 = Builder.ibin b Instr.USubSat v h in
+            let e2 = Builder.ibin b Instr.USubSat l v in
+            let excess = Builder.ibin b Instr.UAddSat e1 e2 in
+            let w v = Builder.cast b Instr.ZExt v (Types.Vec (Types.I16, Types.lanes (Builder.ty_of b v))) in
+            let sq = Builder.ibin b Instr.Mul (w excess) (w excess) in
+            let sh =
+              Builder.ibin b Instr.LShr sq
+                (Instr.cvec Types.I16 (Array.make (Types.lanes (Builder.ty_of b sq)) 8L))
+            in
+            let weighted =
+              Builder.cast b Instr.Trunc sh (Types.Vec (Types.I8, Types.lanes (Builder.ty_of b sh)))
+            in
+            ignore vl;
+            Builder.ibin b Instr.UAddSat d weighted
+        | _ -> assert false)
+      ~sop:(fun b vs ->
+        match vs with
+        | [ v; l; h; d ] ->
+            let e1 = Builder.ibin b Instr.USubSat v h in
+            let e2 = Builder.ibin b Instr.USubSat l v in
+            let excess = Builder.ibin b Instr.UAddSat e1 e2 in
+            let w v = Builder.cast b Instr.ZExt v Types.i16 in
+            let sq = Builder.ibin b Instr.Mul (w excess) (w excess) in
+            let sh = Builder.ibin b Instr.LShr sq (Instr.cint Types.I16 8L) in
+            let weighted = Builder.cast b Instr.Trunc sh Types.i8 in
+            Builder.ibin b Instr.UAddSat d weighted
+        | _ -> assert false)
+  in
+  {
+    kname = "add_feature_difference";
+    family = "AddFeatureDifference";
+    gang = 32;
+    psim_src;
+    serial_src;
+    hand = Some hand;
+    buffers =
+      [ in_u8 "value" 61; in_u8 "lo" 62; in_u8 "hi" 63; inout_u8 "dst" 64 ];
+    scalars = [ vi pixels ];
+    float_tolerance = 0.0;
+  }
+
+(* -- background maintenance family (per-pixel u8 state updates) -- *)
+
+let bg_kernel ~name ~family ~arrays ?serial_body ~body ~hand_inputs ~vop ~sop ~inplace () =
+  let params_serial =
+    String.concat ", "
+      (List.map (fun a -> Fmt.str "uint8* restrict %s" a) arrays)
+  in
+  let params_psim =
+    String.concat ", " (List.map (fun a -> Fmt.str "uint8* %s" a) arrays)
+  in
+  let serial_src =
+    Fmt.str
+      {|
+void %s(%s, int64 n) {
+  for (int64 i = 0; i < n; i = i + 1) {
+%s
+  }
+}
+|}
+      name params_serial
+      (Option.value ~default:body serial_body)
+  in
+  let psim_src =
+    Fmt.str
+      {|
+void %s(%s, int64 n) {
+  psim gang_size(64) num_spmd_threads(n) {
+    int64 i = psim_thread_num();
+%s
+  }
+}
+|}
+      name params_psim body
+  in
+  let hand m =
+    if inplace then Hw.map_inplace m name ~elem:Pir.Types.I8 ~inputs:hand_inputs ~vop ~sop
+    else Hw.map m name ~elem:Pir.Types.I8 ~inputs:hand_inputs ~vop ~sop
+  in
+  let buffers =
+    List.mapi
+      (fun idx a ->
+        if idx = List.length arrays - 1 then inout_u8 a (70 + idx)
+        else in_u8 a (70 + idx))
+      arrays
+  in
+  {
+    kname = name;
+    family;
+    gang = 64;
+    psim_src;
+    serial_src;
+    hand = Some hand;
+    buffers;
+    scalars = [ vi pixels ];
+    float_tolerance = 0.0;
+  }
+
+let background_family =
+  [
+    (* lo = v < lo ? lo - 1 : lo  (saturating grow downward) *)
+    bg_kernel ~name:"background_grow_range_slow" ~family:"Background"
+      ~arrays:[ "value"; "lo" ]
+      ~serial_body:
+        {|
+    int32 v = (int32)value[i];
+    int32 l = (int32)lo[i];
+    int32 d = l - 1 < 0 ? 0 : l - 1;
+    lo[i] = (uint8)(v < l ? d : l);|}
+      ~body:
+        {|
+    uint8 v = value[i];
+    uint8 l = lo[i];
+    lo[i] = v < l ? sub_sat(l, (uint8)1) : l;|}
+      ~hand_inputs:1 ~inplace:true
+      ~vop:(fun b vs ->
+        match vs with
+        | [ v; l ] ->
+            let c = Pir.Builder.icmp b Pir.Instr.Ult v l in
+            let dec =
+              Pir.Builder.ibin b Pir.Instr.USubSat l
+                (Pir.Instr.cvec Pir.Types.I8
+                   (Array.make (Pir.Types.lanes (Pir.Builder.ty_of b l)) 1L))
+            in
+            Pir.Builder.select b c dec l
+        | _ -> assert false)
+      ~sop:(fun b vs ->
+        match vs with
+        | [ v; l ] ->
+            let c = Pir.Builder.icmp b Pir.Instr.Ult v l in
+            let dec =
+              Pir.Builder.ibin b Pir.Instr.USubSat l (Pir.Instr.cint Pir.Types.I8 1L)
+            in
+            Pir.Builder.select b c dec l
+        | _ -> assert false)
+      ();
+    (* lo = min(v, lo): the "fast" variant *)
+    bg_kernel ~name:"background_grow_range_fast" ~family:"Background"
+      ~arrays:[ "value"; "lo" ]
+      ~serial_body:
+        {|
+    int32 v = (int32)value[i];
+    int32 l = (int32)lo[i];
+    lo[i] = (uint8)(v < l ? v : l);|}
+      ~body:
+        {|
+    lo[i] = min(value[i], lo[i]);|}
+      ~hand_inputs:1 ~inplace:true
+      ~vop:(fun b vs ->
+        match vs with
+        | [ v; l ] -> Pir.Builder.ibin b Pir.Instr.UMin v l
+        | _ -> assert false)
+      ~sop:(fun b vs ->
+        match vs with
+        | [ v; l ] -> Pir.Builder.ibin b Pir.Instr.UMin v l
+        | _ -> assert false)
+      ();
+    (* cnt = sat_add(cnt, v < lo || v > hi) *)
+    bg_kernel ~name:"background_increment_count" ~family:"Background"
+      ~arrays:[ "value"; "lo"; "hi"; "cnt" ]
+      ~serial_body:
+        {|
+    int32 v = (int32)value[i];
+    bool outside = v < (int32)lo[i] || v > (int32)hi[i];
+    int32 nc = (int32)cnt[i] + (outside ? 1 : 0);
+    cnt[i] = (uint8)(nc > 255 ? 255 : nc);|}
+      ~body:
+        {|
+    uint8 v = value[i];
+    bool outside = v < lo[i] || v > hi[i];
+    cnt[i] = add_sat(cnt[i], outside ? (uint8)1 : (uint8)0);|}
+      ~hand_inputs:3 ~inplace:true
+      ~vop:(fun b vs ->
+        match vs with
+        | [ v; l; h; c ] ->
+            let lanes = Pir.Types.lanes (Pir.Builder.ty_of b v) in
+            let c1 = Pir.Builder.icmp b Pir.Instr.Ult v l in
+            let c2 = Pir.Builder.icmp b Pir.Instr.Ugt v h in
+            let o = Pir.Builder.or_ b c1 c2 in
+            let one = Pir.Instr.cvec Pir.Types.I8 (Array.make lanes 1L) in
+            let zero = Pir.Instr.cvec Pir.Types.I8 (Array.make lanes 0L) in
+            let inc = Pir.Builder.select b o one zero in
+            Pir.Builder.ibin b Pir.Instr.UAddSat c inc
+        | _ -> assert false)
+      ~sop:(fun b vs ->
+        match vs with
+        | [ v; l; h; c ] ->
+            let c1 = Pir.Builder.icmp b Pir.Instr.Ult v l in
+            let c2 = Pir.Builder.icmp b Pir.Instr.Ugt v h in
+            let o = Pir.Builder.or_ b c1 c2 in
+            let inc =
+              Pir.Builder.select b o (Pir.Instr.cint Pir.Types.I8 1L)
+                (Pir.Instr.cint Pir.Types.I8 0L)
+            in
+            Pir.Builder.ibin b Pir.Instr.UAddSat c inc
+        | _ -> assert false)
+      ();
+    (* hi = v > hi ? sat(hi+1) : hi  — shift range upward *)
+    bg_kernel ~name:"background_shift_range" ~family:"Background"
+      ~arrays:[ "value"; "hi" ]
+      ~serial_body:
+        {|
+    int32 v = (int32)value[i];
+    int32 h = (int32)hi[i];
+    int32 u = h + 1 > 255 ? 255 : h + 1;
+    hi[i] = (uint8)(v > h ? u : h);|}
+      ~body:
+        {|
+    uint8 v = value[i];
+    uint8 h = hi[i];
+    hi[i] = v > h ? add_sat(h, (uint8)1) : h;|}
+      ~hand_inputs:1 ~inplace:true
+      ~vop:(fun b vs ->
+        match vs with
+        | [ v; h ] ->
+            let c = Pir.Builder.icmp b Pir.Instr.Ugt v h in
+            let inc =
+              Pir.Builder.ibin b Pir.Instr.UAddSat h
+                (Pir.Instr.cvec Pir.Types.I8
+                   (Array.make (Pir.Types.lanes (Pir.Builder.ty_of b h)) 1L))
+            in
+            Pir.Builder.select b c inc h
+        | _ -> assert false)
+      ~sop:(fun b vs ->
+        match vs with
+        | [ v; h ] ->
+            let c = Pir.Builder.icmp b Pir.Instr.Ugt v h in
+            let inc =
+              Pir.Builder.ibin b Pir.Instr.UAddSat h (Pir.Instr.cint Pir.Types.I8 1L)
+            in
+            Pir.Builder.select b c inc h
+        | _ -> assert false)
+      ();
+    (* adjust range by count against threshold (two saturating nudges) *)
+    bg_kernel ~name:"background_adjust_range" ~family:"Background"
+      ~arrays:[ "cnt"; "lo"; "hi" ]
+      ~serial_body:
+        {|
+    int32 c = (int32)cnt[i];
+    int32 l = (int32)lo[i];
+    int32 h = (int32)hi[i];
+    int32 up = c > 16 ? 1 : 0;
+    int32 dn = c < 16 ? 1 : 0;
+    int32 nl = l - up < 0 ? 0 : l - up;
+    int32 nh0 = h + up > 255 ? 255 : h + up;
+    int32 nh = nh0 - dn < 0 ? 0 : nh0 - dn;
+    lo[i] = (uint8)nl;
+    hi[i] = (uint8)nh;|}
+      ~body:
+        {|
+    uint8 c = cnt[i];
+    uint8 l = lo[i];
+    uint8 h = hi[i];
+    uint8 up = c > 16 ? (uint8)1 : (uint8)0;
+    uint8 dn = c < 16 ? (uint8)1 : (uint8)0;
+    lo[i] = sub_sat(l, up);
+    hi[i] = sub_sat(add_sat(h, up), dn);|}
+      ~hand_inputs:2 ~inplace:true
+      ~vop:(fun b vs ->
+        match vs with
+        | [ c; l; h ] ->
+            (* the in-place combinator updates only the last array; the
+               psim/serial sources update both lo and hi, so the hand
+               version mirrors the final hi formula (lo is handled by a
+               separate map below in the same function) *)
+            let lanes = Pir.Types.lanes (Pir.Builder.ty_of b c) in
+            let k16 = Pir.Instr.cvec Pir.Types.I8 (Array.make lanes 16L) in
+            let one = Pir.Instr.cvec Pir.Types.I8 (Array.make lanes 1L) in
+            let zero = Pir.Instr.cvec Pir.Types.I8 (Array.make lanes 0L) in
+            let up = Pir.Builder.select b (Pir.Builder.icmp b Pir.Instr.Ugt c k16) one zero in
+            let dn = Pir.Builder.select b (Pir.Builder.icmp b Pir.Instr.Ult c k16) one zero in
+            ignore l;
+            Pir.Builder.ibin b Pir.Instr.USubSat
+              (Pir.Builder.ibin b Pir.Instr.UAddSat h up)
+              dn
+        | _ -> assert false)
+      ~sop:(fun b vs ->
+        match vs with
+        | [ c; l; h ] ->
+            let k16 = Pir.Instr.cint Pir.Types.I8 16L in
+            let one = Pir.Instr.cint Pir.Types.I8 1L in
+            let zero = Pir.Instr.cint Pir.Types.I8 0L in
+            let up = Pir.Builder.select b (Pir.Builder.icmp b Pir.Instr.Ugt c k16) one zero in
+            let dn = Pir.Builder.select b (Pir.Builder.icmp b Pir.Instr.Ult c k16) one zero in
+            ignore l;
+            Pir.Builder.ibin b Pir.Instr.USubSat
+              (Pir.Builder.ibin b Pir.Instr.UAddSat h up)
+              dn
+        | _ -> assert false)
+      ();
+  ]
+
+let kernels =
+  operation_binary_8u
+  @ [ alpha_blending; alpha_premultiply; binarization; add_feature_difference ]
+  @ background_family

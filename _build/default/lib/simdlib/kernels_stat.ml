@@ -1,0 +1,864 @@
+(** Reduction kernels (sums, counts, statistics).
+
+    Serial code expresses these as scalar accumulator loops (the
+    auto-vectorizer reduces at the 64-bit accumulator width, VF=8).
+    The Parsimony ports reduce across the gang with explicit horizontal
+    operations — butterfly exchanges via [psim_shuffle], and the
+    [psim_sad_u8] abstraction of AVX-512's [vpsadbw] (paper §7) for
+    byte-absolute-difference sums.  Hand-written versions use vector
+    accumulators and [psadbw] directly. *)
+
+open Workload
+
+let gangs = pixels / 64
+
+let partial_buf =
+  { bname = "partial"; elem = Pir.Types.I64; len = gangs + width; init = zero64; output = false }
+
+(* butterfly add across the 64-lane gang *)
+let butterfly_add =
+  {|
+    uint64 off = 32;
+    while (off > 0) {
+      acc = acc + psim_shuffle(acc, l ^ off);
+      off = off >> 1;
+    }|}
+
+(* per-lane strided accumulation: lane l sums elements l, l+64, ... then
+   one butterfly combines the gang (requires 64 | n, which the workload
+   guarantees) *)
+let psim_loop_sum ~ins ~expr =
+  Fmt.str
+    {|
+  psim gang_size(64) num_spmd_threads(64) {
+    uint64 l = psim_lane_num();
+    uint64 acc = 0;
+    for (int64 k = 0; k < n / 64; k = k + 1) {
+      int64 i = k * 64 + (int64)l;
+      acc = acc + (%s);
+    }
+%s
+    out[0] = acc;
+  }|}
+    expr butterfly_add
+  |> fun body ->
+  Fmt.str
+    {|
+void %%s(%s, uint64* partial, uint64* out, int64 n) {
+%s
+}
+|}
+    ins body
+
+(* u8 contributions can be summed with the vpsadbw abstraction: every
+   lane of an 8-lane group carries the group sum, so the final butterfly
+   over-counts by exactly 8 *)
+let psim_sad_sum ~ins ~expr_u8 =
+  Fmt.str
+    {|
+  psim gang_size(64) num_spmd_threads(64) {
+    uint64 l = psim_lane_num();
+    uint64 acc = 0;
+    for (int64 k = 0; k < n / 64; k = k + 1) {
+      int64 i = k * 64 + (int64)l;
+      uint8 contrib = %s;
+      acc = acc + psim_sad_u8(contrib, 0);
+    }
+%s
+    out[0] = acc >> 3;
+  }|}
+    expr_u8 butterfly_add
+  |> fun body ->
+  Fmt.str
+    {|
+void %%s(%s, uint64* partial, uint64* out, int64 n) {
+%s
+}
+|}
+    ins body
+
+(* -- generic sum-over-pixels kernel -- *)
+
+let sum_kernel ~name ~family ~inputs ?(sad = `Loop) ~serial_expr ~psim_expr
+    ~hand () =
+  let in_ptrs_serial =
+    String.concat ", " (List.map (fun a -> Fmt.str "uint8* restrict %s" a) inputs)
+  in
+  let in_ptrs_psim =
+    String.concat ", " (List.map (fun a -> Fmt.str "uint8* %s" a) inputs)
+  in
+  let serial_src =
+    Fmt.str
+      {|
+void %s(%s, uint64* restrict partial, uint64* restrict out, int64 n) {
+  uint64 acc = 0;
+  for (int64 i = 0; i < n; i = i + 1) {
+    acc = acc + (%s);
+  }
+  out[0] = acc;
+}
+|}
+      name in_ptrs_serial serial_expr
+  in
+  let psim_template =
+    match sad with
+    | `Sad -> psim_sad_sum ~ins:in_ptrs_psim ~expr_u8:psim_expr
+    | `Loop -> psim_loop_sum ~ins:in_ptrs_psim ~expr:psim_expr
+  in
+  let psim_src = replace_once ~sub:"%s" ~by:name psim_template in
+  {
+    kname = name;
+    family;
+    gang = 64;
+    psim_src;
+    serial_src;
+    hand;
+    buffers =
+      List.mapi (fun idx a -> in_u8 a (400 + idx)) inputs
+      @ [ partial_buf; out_u64 "out" 1 ];
+    scalars = [ vi pixels ];
+    float_tolerance = 0.0;
+  }
+
+(* hand reduction scaffold over u8 inputs at 16 lanes of i64-safe i32
+   math; [vexpr] produces the per-lane i32 contribution *)
+let hand_sum name ~inputs ~vexpr ~sexpr m =
+  let open Pir in
+  Hw.define m name
+    ~ptrs:(List.init inputs (fun _ -> Types.I8) @ [ Types.I64; Types.I64 ])
+    ~scalars:[]
+    ~emit:(fun b ~ptrs ~scalars:_ ~n ->
+      let ins = List.filteri (fun i _ -> i < inputs) ptrs in
+      let out = List.nth ptrs (inputs + 1) in
+      let vl = 16 in
+      Hw.strip_mined_reduce b ~n ~vl
+        ~acc_specs:
+          [ (Types.Vec (Types.I64, vl), Instr.cvec Types.I64 (Array.make vl 0L)) ]
+        ~reduce_kinds:[ Instr.RAdd ]
+        ~vec_body:(fun b ~iv ~accs ->
+          let vs =
+            List.map
+              (fun p ->
+                Builder.cast b Instr.ZExt
+                  (Builder.vload b (Builder.gep b p iv) vl)
+                  (Types.Vec (Types.I32, vl)))
+              ins
+          in
+          let contrib = vexpr b vs in
+          let wide = Builder.cast b Instr.ZExt contrib (Types.Vec (Types.I64, vl)) in
+          [ Builder.ibin b Instr.Add (List.hd accs) wide ])
+        ~scalar_body:(fun b ~iv ~accs ->
+          let vs =
+            List.map
+              (fun p ->
+                Builder.cast b Instr.ZExt
+                  (Builder.load b (Builder.gep b p iv))
+                  Types.i32)
+              ins
+          in
+          let contrib = sexpr b vs in
+          let wide = Builder.cast b Instr.ZExt contrib Types.i64 in
+          [ Builder.ibin b Instr.Add (List.hd accs) wide ])
+        ~finish:(fun b finals ->
+          Builder.store b (List.hd finals) (Builder.gep b out (Instr.ci64 0))))
+
+let value_sum =
+  sum_kernel ~name:"value_sum" ~family:"ValueSum" ~inputs:[ "a" ] ~sad:`Sad
+    ~serial_expr:"(uint64)a[i]" ~psim_expr:"a[i]"
+    ~hand:
+      (Some
+         (fun m ->
+           (* sum of bytes = SAD against zero, the classic trick *)
+           let open Pir in
+           Hw.define m "value_sum" ~ptrs:[ Types.I8; Types.I64; Types.I64 ]
+             ~scalars:[]
+             ~emit:(fun b ~ptrs ~scalars:_ ~n ->
+               let a = List.nth ptrs 0 and out = List.nth ptrs 2 in
+               let vl = 64 in
+               Hw.strip_mined_reduce b ~n ~vl
+                 ~acc_specs:
+                   [ (Types.Vec (Types.I64, 8), Instr.cvec Types.I64 (Array.make 8 0L)) ]
+                 ~reduce_kinds:[ Instr.RAdd ]
+                 ~vec_body:(fun b ~iv ~accs ->
+                   let v = Builder.vload b (Builder.gep b a iv) vl in
+                   let zero = Instr.cvec Types.I8 (Array.make vl 0L) in
+                   let sums = Builder.psadbw b v zero in
+                   [ Builder.ibin b Instr.Add (List.hd accs) sums ])
+                 ~scalar_body:(fun b ~iv ~accs ->
+                   let v =
+                     Builder.cast b Instr.ZExt
+                       (Builder.load b (Builder.gep b a iv))
+                       Types.i64
+                   in
+                   [ Builder.ibin b Instr.Add (List.hd accs) v ])
+                 ~finish:(fun b finals ->
+                   Builder.store b (List.hd finals) (Builder.gep b out (Instr.ci64 0))))))
+    ()
+
+let square_sum =
+  sum_kernel ~name:"square_sum" ~family:"SquareSum" ~inputs:[ "a" ]
+    ~serial_expr:"(uint64)((int32)a[i] * (int32)a[i])"
+    ~psim_expr:"(uint64)((int32)a[i] * (int32)a[i])"
+    ~hand:
+      (Some
+         (hand_sum "square_sum" ~inputs:1
+            ~vexpr:(fun b vs ->
+              let v = List.hd vs in
+              Pir.Builder.ibin b Pir.Instr.Mul v v)
+            ~sexpr:(fun b vs ->
+              let v = List.hd vs in
+              Pir.Builder.ibin b Pir.Instr.Mul v v)))
+    ()
+
+let correlation_sum =
+  sum_kernel ~name:"correlation_sum" ~family:"CorrelationSum"
+    ~inputs:[ "a"; "b" ]
+    ~serial_expr:"(uint64)((int32)a[i] * (int32)b[i])"
+    ~psim_expr:"(uint64)((int32)a[i] * (int32)b[i])"
+    ~hand:
+      (Some
+         (hand_sum "correlation_sum" ~inputs:2
+            ~vexpr:(fun b vs ->
+              Pir.Builder.ibin b Pir.Instr.Mul (List.nth vs 0) (List.nth vs 1))
+            ~sexpr:(fun b vs ->
+              Pir.Builder.ibin b Pir.Instr.Mul (List.nth vs 0) (List.nth vs 1))))
+    ()
+
+(* -- SAD: the vpsadbw story (paper §7) -- *)
+
+let abs_difference_sum =
+  let serial_src =
+    {|
+void abs_difference_sum(uint8* restrict a, uint8* restrict b, uint64* restrict partial, uint64* restrict out, int64 n) {
+  uint64 acc = 0;
+  for (int64 i = 0; i < n; i = i + 1) {
+    int32 d = (int32)a[i] - (int32)b[i];
+    acc = acc + (uint64)(d < 0 ? 0 - d : d);
+  }
+  out[0] = acc;
+}
+|}
+  in
+  let psim_src =
+    {|
+void abs_difference_sum(uint8* a, uint8* b, uint64* partial, uint64* out, int64 n) {
+  psim gang_size(64) num_spmd_threads(64) {
+    uint64 l = psim_lane_num();
+    uint64 acc = 0;
+    for (int64 k = 0; k < n / 64; k = k + 1) {
+      int64 i = k * 64 + (int64)l;
+      // per-8-lane-group sums of absolute differences (vpsadbw abstraction)
+      acc = acc + psim_sad_u8(a[i], b[i]);
+    }
+    uint64 off = 32;
+    while (off > 0) {
+      acc = acc + psim_shuffle(acc, l ^ off);
+      off = off >> 1;
+    }
+    // every lane of an 8-group carries the group sum
+    out[0] = acc >> 3;
+  }
+}
+|}
+  in
+  let hand m =
+    let open Pir in
+    Hw.define m "abs_difference_sum"
+      ~ptrs:[ Types.I8; Types.I8; Types.I64; Types.I64 ]
+      ~scalars:[]
+      ~emit:(fun b ~ptrs ~scalars:_ ~n ->
+        let a = List.nth ptrs 0
+        and b' = List.nth ptrs 1
+        and out = List.nth ptrs 3 in
+        let vl = 64 in
+        Hw.strip_mined_reduce b ~n ~vl
+          ~acc_specs:
+            [ (Types.Vec (Types.I64, 8), Instr.cvec Types.I64 (Array.make 8 0L)) ]
+          ~reduce_kinds:[ Instr.RAdd ]
+          ~vec_body:(fun b ~iv ~accs ->
+            let va = Builder.vload b (Builder.gep b a iv) vl in
+            let vb = Builder.vload b (Builder.gep b b' iv) vl in
+            let sums = Builder.psadbw b va vb in
+            [ Builder.ibin b Instr.Add (List.hd accs) sums ])
+          ~scalar_body:(fun b ~iv ~accs ->
+            let la =
+              Builder.cast b Instr.ZExt (Builder.load b (Builder.gep b a iv)) Types.i64
+            in
+            let lb =
+              Builder.cast b Instr.ZExt (Builder.load b (Builder.gep b b' iv)) Types.i64
+            in
+            [ Builder.ibin b Instr.Add (List.hd accs) (Builder.ibin b Instr.AbsDiffU la lb) ])
+          ~finish:(fun b finals ->
+            Builder.store b (List.hd finals) (Builder.gep b out (Instr.ci64 0))))
+  in
+  {
+    kname = "abs_difference_sum";
+    family = "AbsDifferenceSum";
+    gang = 64;
+    psim_src;
+    serial_src;
+    hand = Some hand;
+    buffers = [ in_u8 "a" 410; in_u8 "b" 411; partial_buf; out_u64 "out" 1 ];
+    scalars = [ vi pixels ];
+    float_tolerance = 0.0;
+  }
+
+let abs_difference_sum_masked =
+  sum_kernel ~name:"abs_difference_sum_masked" ~family:"AbsDifferenceSum"
+    ~inputs:[ "a"; "b"; "mask" ] ~sad:`Sad
+    ~serial_expr:
+      "(uint64)(mask[i] == 255 ? ((int32)a[i] > (int32)b[i] ? (int32)a[i] - (int32)b[i] : (int32)b[i] - (int32)a[i]) : 0)"
+    ~psim_expr:"mask[i] == 255 ? absdiff_u(a[i], b[i]) : (uint8)0"
+    ~hand:
+      (Some
+         (hand_sum "abs_difference_sum_masked" ~inputs:3
+            ~vexpr:(fun b vs ->
+              match vs with
+              | [ a; b'; m ] ->
+                  let vl = Pir.Types.lanes (Pir.Builder.ty_of b a) in
+                  let d = Pir.Builder.ibin b Pir.Instr.AbsDiffU a b' in
+                  let sel =
+                    Pir.Builder.icmp b Pir.Instr.Eq m
+                      (Pir.Instr.cvec Pir.Types.I32 (Array.make vl 255L))
+                  in
+                  Pir.Builder.select b sel d
+                    (Pir.Instr.cvec Pir.Types.I32 (Array.make vl 0L))
+              | _ -> assert false)
+            ~sexpr:(fun b vs ->
+              match vs with
+              | [ a; b'; m ] ->
+                  let d = Pir.Builder.ibin b Pir.Instr.AbsDiffU a b' in
+                  let sel =
+                    Pir.Builder.icmp b Pir.Instr.Eq m (Pir.Instr.ci32 255)
+                  in
+                  Pir.Builder.select b sel d (Pir.Instr.ci32 0)
+              | _ -> assert false)))
+    ()
+
+(* -- conditional family -- *)
+
+let conditional_count8u =
+  sum_kernel ~name:"conditional_count8u" ~family:"Conditional" ~inputs:[ "a" ]
+    ~sad:`Sad
+    ~serial_expr:"(uint64)((int32)a[i] > 127 ? 1 : 0)"
+    ~psim_expr:"a[i] > 127 ? (uint8)1 : (uint8)0"
+    ~hand:
+      (Some
+         (hand_sum "conditional_count8u" ~inputs:1
+            ~vexpr:(fun b vs ->
+              let v = List.hd vs in
+              let vl = Pir.Types.lanes (Pir.Builder.ty_of b v) in
+              let c =
+                Pir.Builder.icmp b Pir.Instr.Sgt v
+                  (Pir.Instr.cvec Pir.Types.I32 (Array.make vl 127L))
+              in
+              Pir.Builder.select b c
+                (Pir.Instr.cvec Pir.Types.I32 (Array.make vl 1L))
+                (Pir.Instr.cvec Pir.Types.I32 (Array.make vl 0L)))
+            ~sexpr:(fun b vs ->
+              let c =
+                Pir.Builder.icmp b Pir.Instr.Sgt (List.hd vs) (Pir.Instr.ci32 127)
+              in
+              Pir.Builder.select b c (Pir.Instr.ci32 1) (Pir.Instr.ci32 0))))
+    ()
+
+let conditional_sum =
+  sum_kernel ~name:"conditional_sum" ~family:"Conditional" ~inputs:[ "a"; "b" ]
+    ~sad:`Sad
+    ~serial_expr:"(uint64)((int32)a[i] > 127 ? (int32)b[i] : 0)"
+    ~psim_expr:"a[i] > 127 ? b[i] : (uint8)0"
+    ~hand:
+      (Some
+         (hand_sum "conditional_sum" ~inputs:2
+            ~vexpr:(fun b vs ->
+              match vs with
+              | [ a; b' ] ->
+                  let vl = Pir.Types.lanes (Pir.Builder.ty_of b a) in
+                  let c =
+                    Pir.Builder.icmp b Pir.Instr.Sgt a
+                      (Pir.Instr.cvec Pir.Types.I32 (Array.make vl 127L))
+                  in
+                  Pir.Builder.select b c b'
+                    (Pir.Instr.cvec Pir.Types.I32 (Array.make vl 0L))
+              | _ -> assert false)
+            ~sexpr:(fun b vs ->
+              match vs with
+              | [ a; b' ] ->
+                  let c = Pir.Builder.icmp b Pir.Instr.Sgt a (Pir.Instr.ci32 127) in
+                  Pir.Builder.select b c b' (Pir.Instr.ci32 0)
+              | _ -> assert false)))
+    ()
+
+let conditional_square_sum =
+  sum_kernel ~name:"conditional_square_sum" ~family:"Conditional"
+    ~inputs:[ "a"; "b" ]
+    ~serial_expr:"(uint64)((int32)a[i] > 127 ? (int32)b[i] * (int32)b[i] : 0)"
+    ~psim_expr:"(uint64)(a[i] > 127 ? (int32)b[i] * (int32)b[i] : 0)"
+    ~hand:
+      (Some
+         (hand_sum "conditional_square_sum" ~inputs:2
+            ~vexpr:(fun b vs ->
+              match vs with
+              | [ a; b' ] ->
+                  let vl = Pir.Types.lanes (Pir.Builder.ty_of b a) in
+                  let c =
+                    Pir.Builder.icmp b Pir.Instr.Sgt a
+                      (Pir.Instr.cvec Pir.Types.I32 (Array.make vl 127L))
+                  in
+                  let sq = Pir.Builder.ibin b Pir.Instr.Mul b' b' in
+                  Pir.Builder.select b c sq
+                    (Pir.Instr.cvec Pir.Types.I32 (Array.make vl 0L))
+              | _ -> assert false)
+            ~sexpr:(fun b vs ->
+              match vs with
+              | [ a; b' ] ->
+                  let c = Pir.Builder.icmp b Pir.Instr.Sgt a (Pir.Instr.ci32 127) in
+                  let sq = Pir.Builder.ibin b Pir.Instr.Mul b' b' in
+                  Pir.Builder.select b c sq (Pir.Instr.ci32 0)
+              | _ -> assert false)))
+    ()
+
+(* -- min / max / sum in one pass -- *)
+
+let get_statistic =
+  let serial_src =
+    {|
+void get_statistic(uint8* restrict a, uint64* restrict partial, uint64* restrict out, int64 n) {
+  uint64 sum = 0;
+  int64 mn = 255;
+  int64 mx = 0;
+  for (int64 i = 0; i < n; i = i + 1) {
+    int64 v = (int64)a[i];
+    sum = sum + (uint64)v;
+    mn = v < mn ? v : mn;
+    mx = v > mx ? v : mx;
+  }
+  out[0] = sum;
+  out[1] = (uint64)mn;
+  out[2] = (uint64)mx;
+}
+|}
+  in
+  let psim_src =
+    {|
+void get_statistic(uint8* a, uint64* partial, uint64* out, int64 n) {
+  psim gang_size(64) num_spmd_threads(64) {
+    uint64 l = psim_lane_num();
+    uint64 acc = 0;
+    uint8 mn = 255;
+    uint8 mx = 0;
+    for (int64 k = 0; k < n / 64; k = k + 1) {
+      int64 i = k * 64 + (int64)l;
+      uint8 v = a[i];
+      acc = acc + psim_sad_u8(v, 0);
+      mn = min(mn, v);
+      mx = max(mx, v);
+    }
+    uint64 off = 32;
+    while (off > 0) {
+      acc = acc + psim_shuffle(acc, l ^ off);
+      mn = min(mn, psim_shuffle(mn, l ^ off));
+      mx = max(mx, psim_shuffle(mx, l ^ off));
+      off = off >> 1;
+    }
+    out[0] = acc >> 3;
+    out[1] = (uint64)mn;
+    out[2] = (uint64)mx;
+  }
+}
+|}
+  in
+  let hand m =
+    let open Pir in
+    Hw.define m "get_statistic" ~ptrs:[ Types.I8; Types.I64; Types.I64 ]
+      ~scalars:[]
+      ~emit:(fun b ~ptrs ~scalars:_ ~n ->
+        let a = List.nth ptrs 0 and out = List.nth ptrs 2 in
+        let vl = 64 in
+        Hw.strip_mined_reduce b ~n ~vl
+          ~acc_specs:
+            [
+              (Types.Vec (Types.I64, 8), Instr.cvec Types.I64 (Array.make 8 0L));
+              (Types.Vec (Types.I8, vl), Instr.cvec Types.I8 (Array.make vl 255L));
+              (Types.Vec (Types.I8, vl), Instr.cvec Types.I8 (Array.make vl 0L));
+            ]
+          ~reduce_kinds:[ Instr.RAdd; Instr.RUMin; Instr.RUMax ]
+          ~vec_body:(fun b ~iv ~accs ->
+            match accs with
+            | [ s; mn; mx ] ->
+                let v = Builder.vload b (Builder.gep b a iv) vl in
+                let zero = Instr.cvec Types.I8 (Array.make vl 0L) in
+                [
+                  Builder.ibin b Instr.Add s (Builder.psadbw b v zero);
+                  Builder.ibin b Instr.UMin mn v;
+                  Builder.ibin b Instr.UMax mx v;
+                ]
+            | _ -> assert false)
+          ~scalar_body:(fun b ~iv ~accs ->
+            match accs with
+            | [ s; mn; mx ] ->
+                let v8 = Builder.load b (Builder.gep b a iv) in
+                let v = Builder.cast b Instr.ZExt v8 Types.i64 in
+                [
+                  Builder.ibin b Instr.Add s v;
+                  Builder.ibin b Instr.UMin mn v8;
+                  Builder.ibin b Instr.UMax mx v8;
+                ]
+            | _ -> assert false)
+          ~finish:(fun b finals ->
+            match finals with
+            | [ s; mn; mx ] ->
+                Builder.store b s (Builder.gep b out (Instr.ci64 0));
+                Builder.store b
+                  (Builder.cast b Instr.ZExt mn Types.i64)
+                  (Builder.gep b out (Instr.ci64 1));
+                Builder.store b
+                  (Builder.cast b Instr.ZExt mx Types.i64)
+                  (Builder.gep b out (Instr.ci64 2))
+            | _ -> assert false))
+  in
+  {
+    kname = "get_statistic";
+    family = "Statistic";
+    gang = 64;
+    psim_src;
+    serial_src;
+    hand = Some hand;
+    buffers =
+      [ in_u8 "a" 420; { partial_buf with len = 3 * gangs }; out_u64 "out" 3 ];
+    scalars = [ vi pixels ];
+    float_tolerance = 0.0;
+  }
+
+(* -- column sums (per-column accumulation over rows) -- *)
+
+let get_col_sums =
+  let serial_src =
+    {|
+void get_col_sums(uint8* restrict src, uint32* restrict sums, int64 w, int64 h) {
+  for (int64 y = 0; y < h; y = y + 1) {
+    for (int64 x = 0; x < w; x = x + 1) {
+      sums[x] = sums[x] + (uint32)src[y * w + x];
+    }
+  }
+}
+|}
+  in
+  let psim_src =
+    {|
+void get_col_sums(uint8* src, uint32* sums, int64 w, int64 h) {
+  psim gang_size(16) num_spmd_threads(w) {
+    int64 x = psim_thread_num();
+    uint32 acc = 0;
+    for (int64 y = 0; y < h; y = y + 1) {
+      acc = acc + (uint32)src[y * w + x];
+    }
+    sums[x] = acc;
+  }
+}
+|}
+  in
+  let hand m =
+    let open Pir in
+    Hw.define m "get_col_sums" ~ptrs:[ Types.I8; Types.I32 ]
+      ~scalars:[ Types.i64 ]
+      ~emit:(fun b ~ptrs ~scalars ~n ->
+        let src, sums = match ptrs with [ s; d ] -> (s, d) | _ -> assert false in
+        let w = List.hd scalars in
+        let h = n in
+        let vl = 16 in
+        (* per column chunk: keep the accumulator in a register across
+           rows (the workload width is a multiple of the vector length) *)
+        ignore
+          (Hw.counted_loop b ~start:(Instr.ci64 0) ~stop:w ~step:vl ~accs:[]
+             ~body:(fun b ~iv:x ~accs ->
+               let final =
+                 Hw.counted_loop b ~start:(Instr.ci64 0) ~stop:h ~step:1
+                   ~accs:
+                     [ (Types.Vec (Types.I32, vl), Instr.cvec Types.I32 (Array.make vl 0L)) ]
+                   ~body:(fun b ~iv:y ~accs ->
+                     let row = Builder.gep b src (Builder.mul b y w) in
+                     let v =
+                       Builder.cast b Instr.ZExt
+                         (Builder.vload b (Builder.gep b row x) vl)
+                         (Types.Vec (Types.I32, vl))
+                     in
+                     [ Builder.ibin b Instr.Add (List.hd accs) v ])
+               in
+               let addr = Builder.gep b sums x in
+               let cur = Builder.vload b addr vl in
+               Builder.vstore b (Builder.ibin b Instr.Add cur (List.hd final)) addr;
+               accs)))
+  in
+  {
+    kname = "get_col_sums";
+    family = "Statistic";
+    gang = 16;
+    psim_src;
+    serial_src;
+    hand = Some hand;
+    buffers =
+      [
+        in_u8 "src" 421;
+        { bname = "sums"; elem = Pir.Types.I32; len = width; init = (fun _ -> Pmachine.Value.I 0L); output = true };
+      ];
+    scalars = [ vi width; vi height ];
+    float_tolerance = 0.0;
+  }
+
+let get_abs_dy_col_sums =
+  let serial_src =
+    {|
+void get_abs_dy_col_sums(uint8* restrict src, uint32* restrict sums, int64 w, int64 h) {
+  for (int64 y = 0; y < h - 1; y = y + 1) {
+    for (int64 x = 0; x < w; x = x + 1) {
+      int32 d = (int32)src[(y + 1) * w + x] - (int32)src[y * w + x];
+      sums[x] = sums[x] + (uint32)(d < 0 ? 0 - d : d);
+    }
+  }
+}
+|}
+  in
+  let psim_src =
+    {|
+void get_abs_dy_col_sums(uint8* src, uint32* sums, int64 w, int64 h) {
+  psim gang_size(16) num_spmd_threads(w) {
+    int64 x = psim_thread_num();
+    uint32 acc = 0;
+    for (int64 y = 0; y < h - 1; y = y + 1) {
+      acc = acc + (uint32)absdiff_u(src[(y + 1) * w + x], src[y * w + x]);
+    }
+    sums[x] = acc;
+  }
+}
+|}
+  in
+  let hand m =
+    let open Pir in
+    Hw.define m "get_abs_dy_col_sums" ~ptrs:[ Types.I8; Types.I32 ]
+      ~scalars:[ Types.i64 ]
+      ~emit:(fun b ~ptrs ~scalars ~n ->
+        let src, sums = match ptrs with [ s; d ] -> (s, d) | _ -> assert false in
+        let w = List.hd scalars in
+        let h = n in
+        let vl = 16 in
+        ignore
+          (Hw.counted_loop b ~start:(Instr.ci64 0) ~stop:w ~step:vl ~accs:[]
+             ~body:(fun b ~iv:x ~accs ->
+               let final =
+                 Hw.counted_loop b ~start:(Instr.ci64 0)
+                   ~stop:(Builder.sub b h (Instr.ci64 1))
+                   ~step:1
+                   ~accs:
+                     [ (Types.Vec (Types.I32, vl), Instr.cvec Types.I32 (Array.make vl 0L)) ]
+                   ~body:(fun b ~iv:y ~accs ->
+                     let row = Builder.gep b src (Builder.mul b y w) in
+                     let row1 =
+                       Builder.gep b src
+                         (Builder.mul b (Builder.add b y (Instr.ci64 1)) w)
+                     in
+                     let v0 = Builder.vload b (Builder.gep b row x) vl in
+                     let v1 = Builder.vload b (Builder.gep b row1 x) vl in
+                     let d =
+                       Builder.cast b Instr.ZExt
+                         (Builder.ibin b Instr.AbsDiffU v1 v0)
+                         (Types.Vec (Types.I32, vl))
+                     in
+                     [ Builder.ibin b Instr.Add (List.hd accs) d ])
+               in
+               let addr = Builder.gep b sums x in
+               let cur = Builder.vload b addr vl in
+               Builder.vstore b (Builder.ibin b Instr.Add cur (List.hd final)) addr;
+               accs)))
+  in
+  {
+    kname = "get_abs_dy_col_sums";
+    family = "Statistic";
+    gang = 16;
+    psim_src;
+    serial_src;
+    hand = Some hand;
+    buffers =
+      [
+        in_u8 "src" 422;
+        { bname = "sums"; elem = Pir.Types.I32; len = width; init = (fun _ -> Pmachine.Value.I 0L); output = true };
+      ];
+    scalars = [ vi width; vi height ];
+    float_tolerance = 0.0;
+  }
+
+(* -- Laplace magnitude sum over the interior (stencil + reduction) -- *)
+
+let laplace_abs_sum =
+  let serial_src =
+    {|
+void laplace_abs_sum(uint8* restrict src, uint64* restrict partial, uint64* restrict out, int64 w, int64 h) {
+  uint64 acc = 0;
+  for (int64 y = 1; y < h - 1; y = y + 1) {
+    for (int64 x = 1; x < w - 1; x = x + 1) {
+      int64 o = y * w + x;
+      int32 g = 8 * (int32)src[o]
+        - ((int32)src[o - w - 1] + (int32)src[o - w] + (int32)src[o - w + 1]
+         + (int32)src[o - 1] + (int32)src[o + 1]
+         + (int32)src[o + w - 1] + (int32)src[o + w] + (int32)src[o + w + 1]);
+      acc = acc + (uint64)(g < 0 ? 0 - g : g);
+    }
+  }
+  out[0] = acc;
+}
+|}
+  in
+  let psim_src =
+    {|
+void laplace_abs_sum(uint8* src, uint64* partial, uint64* out, int64 w, int64 h) {
+  int64 gangs_per_row = (w - 2 + 63) / 64;
+  for (int64 y = 1; y < h - 1; y = y + 1) {
+    int64 rowbase = y * w;
+    int64 prow = (y - 1) * gangs_per_row;
+    psim gang_size(64) num_spmd_threads(w - 2) {
+      int64 x = psim_thread_num() + 1;
+      int64 o = rowbase + x;
+      uint64 l = psim_lane_num();
+      int32 g = 8 * (int32)src[o]
+        - ((int32)src[o - w - 1] + (int32)src[o - w] + (int32)src[o - w + 1]
+         + (int32)src[o - 1] + (int32)src[o + 1]
+         + (int32)src[o + w - 1] + (int32)src[o + w] + (int32)src[o + w + 1]);
+      uint64 v = (uint64)(g < 0 ? 0 - g : g);
+      uint64 off = 32;
+      while (off > 0) {
+        v = v + psim_shuffle(v, l ^ off);
+        off = off >> 1;
+      }
+      partial[prow + (int64)psim_gang_num()] = v;
+    }
+  }
+  uint64 acc = 0;
+  for (int64 p = 0; p < (h - 2) * gangs_per_row; p = p + 1) {
+    acc = acc + partial[p];
+  }
+  out[0] = acc;
+}
+|}
+  in
+  let hand m =
+    let open Pir in
+    Hw.define m "laplace_abs_sum" ~ptrs:[ Types.I8; Types.I64; Types.I64 ]
+      ~scalars:[ Types.i64 ]
+      ~emit:(fun b ~ptrs ~scalars ~n ->
+        let src = List.nth ptrs 0 and out = List.nth ptrs 2 in
+        let w = List.hd scalars in
+        let h = n in
+        let vl = 16 in
+        let total0 =
+          Builder.ins b (Types.Vec (Types.I64, vl))
+            (Instr.Splat (Instr.ci64 0, vl))
+        in
+        let final =
+          Hw.counted_loop b ~start:(Instr.ci64 1)
+            ~stop:(Builder.sub b h (Instr.ci64 1))
+            ~step:1
+            ~accs:[ (Types.Vec (Types.I64, vl), total0) ]
+            ~body:(fun b ~iv:y ~accs ->
+              let acc0 = List.hd accs in
+              let rowbase = Builder.mul b y w in
+              let xs = Builder.sub b w (Instr.ci64 2) in
+              let xvec = Builder.and_ b xs (Instr.ci64 (lnot (vl - 1))) in
+              let tap ~vector o off =
+                let addr = Builder.gep b src (Builder.add b o (Instr.ci64 off)) in
+                if vector then
+                  Builder.cast b Instr.ZExt (Builder.vload b addr vl)
+                    (Types.Vec (Types.I32, vl))
+                else Builder.cast b Instr.ZExt (Builder.load b addr) Types.i32
+              in
+              let wd = Workload.width in
+              let inner =
+                Hw.counted_loop b ~start:(Instr.ci64 0) ~stop:xvec ~step:vl
+                  ~accs:[ (Types.Vec (Types.I64, vl), acc0) ]
+                  ~body:(fun b ~iv:x0 ~accs ->
+                    let a = List.hd accs in
+                    let x = Builder.add b x0 (Instr.ci64 1) in
+                    let o = Builder.add b rowbase x in
+                    let t = tap ~vector:true o in
+                    let k v = Instr.cvec Types.I32 (Array.make vl v) in
+                    let sum =
+                      List.fold_left
+                        (fun acc off -> Builder.ibin b Instr.Add acc (t off))
+                        (t (-wd - 1))
+                        [ -wd; -wd + 1; -1; 1; wd - 1; wd; wd + 1 ]
+                    in
+                    let g =
+                      Builder.ibin b Instr.Sub
+                        (Builder.ibin b Instr.Mul (k 8L) (t 0))
+                        sum
+                    in
+                    let ag =
+                      Builder.ibin b Instr.SMax g (Builder.ibin b Instr.Sub (k 0L) g)
+                    in
+                    let wide =
+                      Builder.cast b Instr.ZExt ag (Types.Vec (Types.I64, vl))
+                    in
+                    [ Builder.ibin b Instr.Add a wide ])
+              in
+              let acc1 = List.hd inner in
+              (* scalar tail of the row *)
+              let tail =
+                Hw.counted_loop b ~start:xvec ~stop:xs ~step:1
+                  ~accs:[ (Types.Vec (Types.I64, vl), acc1) ]
+                  ~body:(fun b ~iv:x0 ~accs ->
+                    let a = List.hd accs in
+                    let x = Builder.add b x0 (Instr.ci64 1) in
+                    let o = Builder.add b rowbase x in
+                    let t = tap ~vector:false o in
+                    let sum =
+                      List.fold_left
+                        (fun acc off -> Builder.ibin b Instr.Add acc (t off))
+                        (t (-wd - 1))
+                        [ -wd; -wd + 1; -1; 1; wd - 1; wd; wd + 1 ]
+                    in
+                    let g =
+                      Builder.ibin b Instr.Sub
+                        (Builder.ibin b Instr.Mul (Instr.ci32 8) (t 0))
+                        sum
+                    in
+                    let ag =
+                      Builder.ibin b Instr.SMax g
+                        (Builder.ibin b Instr.Sub (Instr.ci32 0) g)
+                    in
+                    let wide = Builder.cast b Instr.ZExt ag Types.i64 in
+                    (* add into lane 0 of the vector accumulator *)
+                    let lane0 = Builder.extract b a (Instr.ci32 0) in
+                    [ Builder.insert b a (Builder.ibin b Instr.Add lane0 wide) (Instr.ci32 0) ])
+              in
+              tail)
+        in
+        let total = Builder.reduce b Instr.RAdd (List.hd final) in
+        Builder.store b total (Builder.gep b out (Instr.ci64 0)))
+  in
+  {
+    kname = "laplace_abs_sum";
+    family = "Laplace";
+    gang = 64;
+    psim_src;
+    serial_src;
+    hand = Some hand;
+    buffers =
+      [ in_u8 "src" 423; { partial_buf with len = height * 2 }; out_u64 "out" 1 ];
+    scalars = [ vi width; vi height ];
+    float_tolerance = 0.0;
+  }
+
+let kernels =
+  [
+    value_sum;
+    square_sum;
+    correlation_sum;
+    abs_difference_sum;
+    abs_difference_sum_masked;
+    conditional_count8u;
+    conditional_sum;
+    conditional_square_sum;
+    get_statistic;
+    get_col_sums;
+    get_abs_dy_col_sums;
+    laplace_abs_sum;
+  ]

@@ -1,0 +1,8 @@
+(** All Simd Library benchmark kernels, in suite order. *)
+
+let all : Workload.kernel list =
+  Kernels_pixel.kernels @ Kernels_convert.kernels @ Kernels_filter.kernels @ Kernels_geom.kernels @ Kernels_stat.kernels @ Kernels_neural.kernels
+  @ Kernels_misc.kernels
+
+let find name =
+  List.find_opt (fun (k : Workload.kernel) -> k.kname = name) all

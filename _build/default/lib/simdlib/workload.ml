@@ -1,0 +1,102 @@
+(** Kernel and workload descriptions for the benchmark suites.
+
+    Every benchmark provides up to four implementations of one function
+    with an identical signature (buffer pointers first, then scalar
+    arguments):
+
+    - [serial_src]: plain serial PsimC — compiled as-is for the scalar
+      baseline, and through [Pautovec] for the auto-vectorized baseline;
+    - [psim_src]: the Parsimony port (explicit [psim] regions);
+    - [hand]: a hand-written implementation built directly as vector PIR
+      at machine width, playing the role of the Simd Library's AVX-512
+      intrinsics code.
+
+    Buffers are allocated with 64 bytes of slack beyond their logical
+    length so strided shuffle loads may touch (but never modify) the
+    padding — the same row-padding contract the Simd Library uses. *)
+
+type buffer = {
+  bname : string;
+  elem : Pir.Types.scalar;
+  len : int;
+  init : int -> Pmachine.Value.t;
+  output : bool;  (** compared across implementations *)
+}
+
+type kernel = {
+  kname : string;  (** function name defined by every implementation *)
+  family : string;
+  gang : int;  (** gang size the Parsimony port chose *)
+  psim_src : string;
+  serial_src : string;
+  hand : (Pir.Func.modul -> unit) option;
+  buffers : buffer list;
+  scalars : Pmachine.Value.t list;
+  float_tolerance : float;  (** 0. = bitwise comparison *)
+}
+
+(* -- deterministic data generation -- *)
+
+(* split-mix style PRNG so workloads are reproducible *)
+let mix seed i =
+  let z = Int64.add (Int64.of_int seed) (Int64.mul 0x9E3779B97F4A7C15L (Int64.of_int (i + 1))) in
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 30)) 0xBF58476D1CE4E5B9L in
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 27)) 0x94D049BB133111EBL in
+  Int64.logxor z (Int64.shift_right_logical z 31)
+
+let u8 seed i = Pmachine.Value.I (Int64.logand (mix seed i) 0xFFL)
+let u16 seed i = Pmachine.Value.I (Int64.logand (mix seed i) 0xFFFFL)
+let i16 seed i = Pmachine.Value.I (Int64.logand (mix seed i) 0xFFFFL)
+
+let f32 seed i =
+  let v = Int64.to_float (Int64.logand (mix seed i) 0xFFFFL) /. 65536.0 in
+  Pmachine.Value.F (Pmachine.Value.round_float Pir.Types.F32 ((v *. 2.0) -. 1.0))
+
+let f32_pos seed i =
+  let v = Int64.to_float (Int64.logand (mix seed i) 0xFFFFL) /. 65536.0 in
+  Pmachine.Value.F (Pmachine.Value.round_float Pir.Types.F32 (v +. 0.001))
+
+let zero8 _ = Pmachine.Value.I 0L
+let zero16 _ = Pmachine.Value.I 0L
+let zero32f _ = Pmachine.Value.F 0.0
+let zero64 _ = Pmachine.Value.I 0L
+
+(* -- standard image geometry -- *)
+
+(* Logical image: [width] x [height], row stride [width] (tight), with
+   allocation slack handled by the runner. Small enough to interpret
+   quickly, large enough that gang-loop overheads are amortized. *)
+let width = 128
+let height = 16
+let pixels = width * height
+
+let in_u8 name seed = { bname = name; elem = Pir.Types.I8; len = pixels; init = u8 seed; output = false }
+let out_u8 name = { bname = name; elem = Pir.Types.I8; len = pixels; init = zero8; output = true }
+let inout_u8 name seed =
+  { bname = name; elem = Pir.Types.I8; len = pixels; init = u8 seed; output = true }
+let in_f32 name seed = { bname = name; elem = Pir.Types.F32; len = pixels; init = f32 seed; output = false }
+let out_f32 name = { bname = name; elem = Pir.Types.F32; len = pixels; init = zero32f; output = true }
+let out_i16 name = { bname = name; elem = Pir.Types.I16; len = pixels; init = zero16; output = true }
+let out_u64 name len = { bname = name; elem = Pir.Types.I64; len; init = zero64; output = true }
+
+let vi v = Pmachine.Value.I (Int64.of_int v)
+
+(** Count non-empty, non-comment lines — the code-size metric. *)
+let source_lines src =
+  String.split_on_char '\n' src
+  |> List.filter (fun l ->
+         let l = String.trim l in
+         String.length l > 0 && not (String.length l >= 2 && String.sub l 0 2 = "//"))
+  |> List.length
+
+(** Replace the first occurrence of [sub] in [s] with [by]. *)
+let replace_once ~sub ~by s =
+  let n = String.length s and m = String.length sub in
+  let rec find i =
+    if i + m > n then None
+    else if String.sub s i m = sub then Some i
+    else find (i + 1)
+  in
+  match find 0 with
+  | None -> s
+  | Some i -> String.sub s 0 i ^ by ^ String.sub s (i + m) (n - i - m)

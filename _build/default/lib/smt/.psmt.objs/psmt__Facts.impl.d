@@ -1,0 +1,1 @@
+lib/smt/facts.ml: Int64 Option Pir

@@ -1,0 +1,1 @@
+lib/smt/rules.ml: Array Facts Int64 List Option Pir

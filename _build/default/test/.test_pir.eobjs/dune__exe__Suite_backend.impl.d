@@ -1,0 +1,1 @@
+test/suite_backend.ml: Alcotest Array Fmt Func Int64 List Option Panalysis Parsimony Pbackend Pfrontend Pir Pmachine Psimdlib Types

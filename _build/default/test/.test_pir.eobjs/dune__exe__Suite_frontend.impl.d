@@ -1,0 +1,1 @@
+test/suite_frontend.ml: Alcotest Array Fmt Int64 List Panalysis Parsimony Pfrontend Pir Pmachine Types

@@ -1,0 +1,1 @@
+test/suite_ir.ml: Alcotest Astring_contains Builder Fmt Func Instr Int64 Ints List Panalysis Pir Printer QCheck QCheck_alcotest Types Verifier

@@ -1,0 +1,1 @@
+test/suite_ispc.ml: Alcotest List Pharness Pispc Psimdlib

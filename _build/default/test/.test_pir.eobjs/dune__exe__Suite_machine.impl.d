@@ -1,0 +1,1 @@
+test/suite_machine.ml: Alcotest Array Astring_contains Builder Fmt Func Instr Int64 Intrinsics List Panalysis Pir Pmachine Types

@@ -1,0 +1,1 @@
+test/suite_random.ml: Array Fmt Gen Int64 List Panalysis Parsimony Pfrontend Pir Pmachine QCheck QCheck_alcotest String Test

@@ -1,0 +1,1 @@
+test/suite_shapes.ml: Alcotest Func Hashtbl Instr Intrinsics List Option Panalysis Parsimony Pfrontend Pir Pshapes Types

@@ -1,0 +1,1 @@
+test/suite_simdlib.ml: Alcotest List Pharness Psimdlib

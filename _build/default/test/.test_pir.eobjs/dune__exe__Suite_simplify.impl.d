@@ -1,0 +1,1 @@
+test/suite_simplify.ml: Alcotest Array Builder Fmt Func Instr Int64 List Panalysis Parsimony Pfrontend Pir Pmachine Types

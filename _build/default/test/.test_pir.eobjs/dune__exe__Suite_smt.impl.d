@@ -1,0 +1,1 @@
+test/suite_smt.ml: Alcotest Array Facts Fmt Int64 List Pir Psmt QCheck QCheck_alcotest Rules Verify

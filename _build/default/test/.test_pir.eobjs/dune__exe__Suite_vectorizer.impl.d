@@ -1,0 +1,1 @@
+test/suite_vectorizer.ml: Alcotest Array Builder Func Instr Int64 Intrinsics List Option Panalysis Parsimony Pir Pmachine Types

@@ -1,0 +1,123 @@
+(* Differential tests for the back-end legalizer: vectorized functions
+   with gang-width vectors (wider than one 512-bit register) must
+   compute the same results after being split to machine width, and the
+   legalized function must contain no over-wide vector. *)
+
+open Pir
+
+let valt = Alcotest.testable Pmachine.Value.pp Pmachine.Value.equal
+
+let run_module m host args ~bufspec =
+  let t = Pmachine.Interp.create m in
+  let mem = t.Pmachine.Interp.mem in
+  let addrs =
+    List.map
+      (fun (s, vals) -> Pmachine.Memory.alloc_array mem s vals)
+      bufspec
+  in
+  let vargs =
+    List.map (fun a -> Pmachine.Value.I (Int64.of_int a)) addrs @ args
+  in
+  ignore (Pmachine.Interp.run t host vargs);
+  List.map2
+    (fun addr (s, vals) ->
+      Pmachine.Memory.read_array mem s addr (Array.length vals))
+    addrs bufspec
+
+let differential_legalize src host args ~bufspec =
+  let compile () =
+    let m = Pfrontend.Lower.compile src in
+    ignore (Parsimony.Vectorizer.run_module m);
+    m
+  in
+  let m1 = compile () in
+  let wide =
+    List.fold_left (fun acc f -> max acc (Pbackend.Legalize.max_vector_bits f)) 0 m1.funcs
+  in
+  Alcotest.(check bool) "program uses wider-than-machine vectors" true (wide > 512);
+  let before = run_module m1 host args ~bufspec in
+  let m2 = compile () in
+  Pbackend.Legalize.legalize_module m2;
+  List.iter
+    (fun f ->
+      let w = Pbackend.Legalize.max_vector_bits f in
+      if w > 512 then
+        Alcotest.failf "%s still has a %d-bit vector after legalization"
+          f.Func.fname w)
+    m2.funcs;
+  Panalysis.Check.check_module m2;
+  let after = run_module m2 host args ~bufspec in
+  List.iteri
+    (fun i (x, y) ->
+      Alcotest.check (Alcotest.array valt) (Fmt.str "buffer %d" i) x y)
+    (List.combine before after)
+
+let i32s = Array.map (fun x -> Pmachine.Value.I (Int64.of_int x))
+
+(* gang 64 of u8 widened to u16: 1024-bit virtual vectors *)
+let test_widening_map () =
+  differential_legalize
+    {|
+void widen(uint8* a, uint8* dst, int64 n) {
+  psim gang_size(64) num_spmd_threads(n) {
+    int64 i = psim_thread_num();
+    uint16 v = (uint16)a[i] * 3;
+    dst[i] = (uint8)(v >> 2);
+  }
+}
+|}
+    "widen"
+    [ Pmachine.Value.I 128L ]
+    ~bufspec:
+      [
+        (Types.I8, i32s (Array.init 128 (fun i -> (i * 7) mod 256)));
+        (Types.I8, i32s (Array.make 128 0));
+      ]
+
+(* divergent control flow at gang 64 with i32 math: 2048-bit vectors,
+   masks, selects, and a masked loop all get split *)
+let test_divergent_wide () =
+  differential_legalize
+    {|
+void steps(uint8* a, uint8* dst, int64 n) {
+  psim gang_size(64) num_spmd_threads(n) {
+    int64 i = psim_thread_num();
+    int32 x = (int32)a[i];
+    int32 c = 0;
+    while (x > 1) {
+      if (x % 2 == 0) { x = x / 2; } else { x = x + 1; }
+      c = c + 1;
+    }
+    dst[i] = (uint8)c;
+  }
+}
+|}
+    "steps"
+    [ Pmachine.Value.I 64L ]
+    ~bufspec:
+      [
+        (Types.I8, i32s (Array.init 64 (fun i -> (i * 13) mod 200)));
+        (Types.I8, i32s (Array.make 64 0));
+      ]
+
+(* reductions: psadbw + wide adds split across chunks *)
+let test_reduction_wide () =
+  differential_legalize
+    (Option.get (Psimdlib.Registry.find "value_sum")).psim_src "value_sum"
+    [ Pmachine.Value.I 128L ]
+    ~bufspec:
+      [
+        (Types.I8, i32s (Array.init 128 (fun i -> (i * 11) mod 256)));
+        (Types.I64, i32s (Array.make 8 0));
+        (Types.I64, i32s [| 0 |]);
+      ]
+
+let suites =
+  [
+    ( "backend.legalize",
+      [
+        Alcotest.test_case "widening map (1024b)" `Quick test_widening_map;
+        Alcotest.test_case "divergent masked loop (2048b)" `Quick test_divergent_wide;
+        Alcotest.test_case "psadbw reduction" `Quick test_reduction_wide;
+      ] );
+  ]

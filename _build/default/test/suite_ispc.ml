@@ -1,0 +1,15 @@
+(* Verify the 7 ispc benchmarks across scalar / autovec / Parsimony /
+   ispc-mode implementations. *)
+
+let verify_kernel (k : Psimdlib.Workload.kernel) () =
+  try Pharness.Runner.verify k
+  with Failure msg -> Alcotest.fail msg
+
+let suites =
+  [
+    ( "ispc.verify",
+      List.map
+        (fun (k : Psimdlib.Workload.kernel) ->
+          Alcotest.test_case k.kname `Quick (verify_kernel k))
+        Pispc.Suite.all );
+  ]

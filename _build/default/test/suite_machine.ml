@@ -1,0 +1,386 @@
+(* Tests for the machine substrate: memory, math library, scalar
+   interpreter, vector operations, cost accounting, and the SPMD
+   reference executor's synchronization semantics. *)
+
+open Pir
+
+let i64t = Alcotest.testable (Fmt.of_to_string Int64.to_string) Int64.equal
+let valt = Alcotest.testable Pmachine.Value.pp Pmachine.Value.equal
+
+(* -- Memory -- *)
+
+let test_memory_rw () =
+  let m = Pmachine.Memory.create () in
+  let a = Pmachine.Memory.alloc m 64 in
+  Alcotest.(check bool) "aligned" true (a mod 64 = 0);
+  Pmachine.Memory.store_scalar m Types.I16 a (Pmachine.Value.I 0xBEEFL);
+  Alcotest.check valt "i16 roundtrip" (Pmachine.Value.I 0xBEEFL)
+    (Pmachine.Memory.load_scalar m Types.I16 a);
+  Pmachine.Memory.store_scalar m Types.F32 (a + 8) (Pmachine.Value.F 1.5);
+  Alcotest.check valt "f32 roundtrip" (Pmachine.Value.F 1.5)
+    (Pmachine.Memory.load_scalar m Types.F32 (a + 8));
+  Pmachine.Memory.store_scalar m Types.I8 (a + 2) (Pmachine.Value.I 0x1FFL);
+  Alcotest.check valt "i8 truncates" (Pmachine.Value.I 0xFFL)
+    (Pmachine.Memory.load_scalar m Types.I8 (a + 2))
+
+let test_memory_fault () =
+  let m = Pmachine.Memory.create () in
+  Alcotest.check_raises "null deref"
+    (Pmachine.Memory.Fault "load of 4 bytes at address 0 out of bounds")
+    (fun () -> ignore (Pmachine.Memory.load_scalar m Types.I32 0))
+
+let test_memory_frames () =
+  let m = Pmachine.Memory.create () in
+  let mark = Pmachine.Memory.mark m in
+  let _ = Pmachine.Memory.alloc m 1024 in
+  Pmachine.Memory.release m mark;
+  let a1 = Pmachine.Memory.alloc m 16 in
+  Pmachine.Memory.release m mark;
+  let a2 = Pmachine.Memory.alloc m 16 in
+  Alcotest.(check int) "frame reuse" a1 a2
+
+(* -- Interpreter on straight-line and branchy code -- *)
+
+let run_fn f args =
+  let m = Func.create_module "t" in
+  Func.add_func m f;
+  let t = Pmachine.Interp.create m in
+  (Pmachine.Interp.run t f.Func.fname args, t)
+
+let test_interp_arith () =
+  let f = Func.create "arith" ~params:[ (0, Types.i32); (1, Types.i32) ] ~ret:Types.i32 in
+  let b = Builder.create f in
+  let s = Builder.add b (Instr.Var 0) (Instr.Var 1) in
+  let p = Builder.mul b s (Instr.ci32 3) in
+  Builder.ret b (Some p);
+  let r, _ = run_fn f [ Pmachine.Value.I 4L; Pmachine.Value.I 5L ] in
+  Alcotest.check valt "(4+5)*3" (Pmachine.Value.I 27L) r
+
+let test_interp_branch_loop () =
+  (* sum of 0..n-1 via loop *)
+  let f = Func.create "sumn" ~params:[ (0, Types.i32) ] ~ret:Types.i32 in
+  let b = Builder.create f in
+  Builder.br b "h";
+  let bh = Builder.add_block b "h" in
+  Builder.position b bh;
+  (* reserve ids by creating phis with self references patched later *)
+  let i = Builder.phi b Types.i32 [ ("entry", Instr.ci32 0) ] in
+  let s = Builder.phi b Types.i32 [ ("entry", Instr.ci32 0) ] in
+  let c = Builder.icmp b Instr.Slt i (Instr.Var 0) in
+  Builder.condbr b c "body" "x";
+  let bb = Builder.add_block b "body" in
+  Builder.position b bb;
+  let s' = Builder.add b s i in
+  let i' = Builder.add b i (Instr.ci32 1) in
+  Builder.br b "h";
+  let bx = Builder.add_block b "x" in
+  Builder.position b bx;
+  Builder.ret b (Some s);
+  (* complete the phis *)
+  bh.instrs <-
+    List.map
+      (fun inst ->
+        match inst.Instr.op with
+        | Instr.Phi [ ("entry", init) ] ->
+            let upd = if Instr.equal_operand (Instr.Var inst.Instr.id) i then i' else s' in
+            { inst with Instr.op = Instr.Phi [ ("entry", init); ("body", upd) ] }
+        | _ -> inst)
+      bh.instrs;
+  Panalysis.Check.check_func f;
+  let r, t = run_fn f [ Pmachine.Value.I 10L ] in
+  Alcotest.check valt "sum 0..9" (Pmachine.Value.I 45L) r;
+  Alcotest.(check bool) "cycles accumulated" true (t.Pmachine.Interp.stats.cycles > 0.0)
+
+let test_interp_vector_ops () =
+  let f = Func.create "vec" ~params:[ (0, Types.Ptr Types.I32) ] ~ret:Types.i32 in
+  let b = Builder.create f in
+  let v = Builder.vload b (Instr.Var 0) 4 in
+  let w = Builder.ibin b Instr.Mul v (Instr.cvec Types.I32 [| 1L; 2L; 3L; 4L |]) in
+  let r = Builder.reduce b Instr.RAdd w in
+  Builder.ret b (Some r);
+  let m = Func.create_module "t" in
+  Func.add_func m f;
+  let t = Pmachine.Interp.create m in
+  let addr =
+    Pmachine.Memory.alloc_array t.Pmachine.Interp.mem Types.I32
+      (Array.map (fun x -> Pmachine.Value.I x) [| 10L; 20L; 30L; 40L |])
+  in
+  let r = Pmachine.Interp.run t "vec" [ Pmachine.Value.I (Int64.of_int addr) ] in
+  (* 10*1 + 20*2 + 30*3 + 40*4 = 300 *)
+  Alcotest.check valt "dot" (Pmachine.Value.I 300L) r
+
+let test_interp_masked_store () =
+  let f = Func.create "mst" ~params:[ (0, Types.Ptr Types.I32) ] ~ret:Types.Void in
+  let b = Builder.create f in
+  let v = Builder.ins b (Types.Vec (Types.I32, 4)) (Instr.Splat (Instr.ci32 7, 4)) in
+  let mask = Instr.cvec Types.I1 [| 1L; 0L; 1L; 0L |] in
+  Builder.vstore b ~mask v (Instr.Var 0);
+  Builder.ret_void b;
+  let m = Func.create_module "t" in
+  Func.add_func m f;
+  let t = Pmachine.Interp.create m in
+  let addr =
+    Pmachine.Memory.alloc_array t.Pmachine.Interp.mem Types.I32
+      (Array.make 4 (Pmachine.Value.I 1L))
+  in
+  ignore (Pmachine.Interp.run t "mst" [ Pmachine.Value.I (Int64.of_int addr) ]);
+  let out = Pmachine.Memory.read_array t.Pmachine.Interp.mem Types.I32 addr 4 in
+  Alcotest.check (Alcotest.array valt) "masked lanes untouched"
+    [| Pmachine.Value.I 7L; Pmachine.Value.I 1L; Pmachine.Value.I 7L; Pmachine.Value.I 1L |]
+    out
+
+let test_interp_gather_cost_exceeds_packed () =
+  let mk use_gather =
+    let f =
+      Func.create (if use_gather then "g" else "p")
+        ~params:[ (0, Types.Ptr Types.F32) ] ~ret:Types.Void
+    in
+    let b = Builder.create f in
+    (if use_gather then
+       let idx = Instr.cvec Types.I64 (Array.init 16 Int64.of_int) in
+       ignore (Builder.gather b (Instr.Var 0) idx)
+     else ignore (Builder.vload b (Instr.Var 0) 16));
+    Builder.ret_void b;
+    f
+  in
+  let run f =
+    let m = Func.create_module "t" in
+    Func.add_func m f;
+    let t = Pmachine.Interp.create m in
+    let addr =
+      Pmachine.Memory.alloc_array t.Pmachine.Interp.mem Types.F32
+        (Array.make 16 (Pmachine.Value.F 0.))
+    in
+    ignore (Pmachine.Interp.run t f.Func.fname [ Pmachine.Value.I (Int64.of_int addr) ]);
+    t.Pmachine.Interp.stats.cycles
+  in
+  let cg = run (mk true) and cp = run (mk false) in
+  Alcotest.(check bool)
+    (Fmt.str "gather (%g) much slower than packed (%g)" cg cp)
+    true
+    (cg > 3.0 *. cp)
+
+let test_mathlib () =
+  Alcotest.check valt "pow" (Pmachine.Value.F 8.)
+    (Pmachine.Mathlib.eval "math.pow.f64" [ Pmachine.Value.F 2.; Pmachine.Value.F 3. ]);
+  match Pmachine.Mathlib.eval "sleef.sqrt.f32" [ Pmachine.Value.VF [| 4.0; 9.0 |] ] with
+  | Pmachine.Value.VF [| a; b |] ->
+      Alcotest.(check (float 1e-6)) "sqrt4" 2.0 a;
+      Alcotest.(check (float 1e-6)) "sqrt9" 3.0 b
+  | v -> Alcotest.failf "unexpected %a" Pmachine.Value.pp v
+
+(* -- SPMD reference executor -- *)
+
+(* SPMD function: a[i] = lane; then sync; then b[i] = a[(i+1) % G] read
+   through memory — the Listing 3 pattern (explicit synchronization). *)
+let build_spmd_listing3 gang =
+  let f =
+    Func.create "spmd3"
+      ~params:[ (0, Types.Ptr Types.I32); (1, Types.Ptr Types.I32); (2, Types.i64); (3, Types.i64) ]
+      ~ret:Types.Void
+      ~spmd:{ Func.gang_size = gang; partial = false }
+  in
+  let b = Builder.create f in
+  let lane = Builder.call b Types.i64 Intrinsics.lane_num [] in
+  let p = Builder.gep b (Instr.Var 0) lane in
+  let lv = Builder.cast b Instr.Trunc lane Types.i32 in
+  Builder.store b lv p;
+  Builder.call_unit b Intrinsics.gang_sync [];
+  let nxt = Builder.add b lane (Instr.ci64 1) in
+  let nxt = Builder.ibin b Instr.URem nxt (Instr.ci64 gang) in
+  let p2 = Builder.gep b (Instr.Var 0) nxt in
+  let v = Builder.load b p2 in
+  let q = Builder.gep b (Instr.Var 1) lane in
+  Builder.store b v q;
+  Builder.ret_void b;
+  f
+
+let test_spmd_sync_through_memory () =
+  let gang = 8 in
+  let f = build_spmd_listing3 gang in
+  Panalysis.Check.check_func f;
+  let m = Func.create_module "t" in
+  Func.add_func m f;
+  let t = Pmachine.Interp.create m in
+  let mem = t.Pmachine.Interp.mem in
+  let a = Pmachine.Memory.alloc mem (4 * gang) in
+  let bb = Pmachine.Memory.alloc mem (4 * gang) in
+  ignore
+    (Pmachine.Interp.run t "spmd3"
+       [
+         Pmachine.Value.I (Int64.of_int a);
+         Pmachine.Value.I (Int64.of_int bb);
+         Pmachine.Value.I 0L;
+         Pmachine.Value.I (Int64.of_int gang);
+       ]);
+  let out = Pmachine.Memory.read_array mem Types.I32 bb gang in
+  Array.iteri
+    (fun i v ->
+      Alcotest.check valt
+        (Fmt.str "lane %d reads neighbour" i)
+        (Pmachine.Value.I (Int64.of_int ((i + 1) mod gang)))
+        v)
+    out
+
+(* Without the gang_sync, the round-robin reference scheduler runs each
+   thread to completion in turn, so lane i reads a stale neighbour value:
+   the data race of Listing 1 made observable. *)
+let test_spmd_race_without_sync () =
+  let gang = 8 in
+  let f = build_spmd_listing3 gang in
+  (* strip the sync call *)
+  List.iter
+    (fun (bl : Func.block) ->
+      bl.instrs <-
+        List.filter
+          (fun i ->
+            match i.Instr.op with
+            | Instr.Call (n, _) -> n <> Intrinsics.gang_sync
+            | _ -> true)
+          bl.instrs)
+    f.Func.blocks;
+  let m = Func.create_module "t" in
+  Func.add_func m f;
+  let t = Pmachine.Interp.create m in
+  let mem = t.Pmachine.Interp.mem in
+  let a = Pmachine.Memory.alloc mem (4 * gang) in
+  let bb = Pmachine.Memory.alloc mem (4 * gang) in
+  ignore
+    (Pmachine.Interp.run t "spmd3"
+       [
+         Pmachine.Value.I (Int64.of_int a);
+         Pmachine.Value.I (Int64.of_int bb);
+         Pmachine.Value.I 0L;
+         Pmachine.Value.I (Int64.of_int gang);
+       ]);
+  let out = Pmachine.Memory.read_array mem Types.I32 bb 1 in
+  (* thread 0 runs to completion first and reads a[1] before thread 1
+     wrote it: observes 0, not 1 *)
+  Alcotest.check valt "lane 0 observes stale value" (Pmachine.Value.I 0L) out.(0)
+
+let test_spmd_shuffle () =
+  let gang = 8 in
+  let f =
+    Func.create "shuf"
+      ~params:[ (0, Types.Ptr Types.I32); (1, Types.i64); (2, Types.i64) ]
+      ~ret:Types.Void
+      ~spmd:{ Func.gang_size = gang; partial = false }
+  in
+  let b = Builder.create f in
+  let lane = Builder.call b Types.i64 Intrinsics.lane_num [] in
+  let v = Builder.mul b lane (Instr.ci64 10) in
+  let src = Builder.xor b lane (Instr.ci64 1) in
+  (* butterfly exchange: lane l gets value of lane l^1 *)
+  let got = Builder.call b Types.i64 Intrinsics.shuffle [ v; src ] in
+  let p = Builder.gep b (Instr.Var 0) lane in
+  let g32 = Builder.cast b Instr.Trunc got Types.i32 in
+  Builder.store b g32 p;
+  Builder.ret_void b;
+  let m = Func.create_module "t" in
+  Func.add_func m f;
+  let t = Pmachine.Interp.create m in
+  let mem = t.Pmachine.Interp.mem in
+  let a = Pmachine.Memory.alloc mem (4 * gang) in
+  ignore
+    (Pmachine.Interp.run t "shuf"
+       [ Pmachine.Value.I (Int64.of_int a); Pmachine.Value.I 0L; Pmachine.Value.I (Int64.of_int gang) ]);
+  let out = Pmachine.Memory.read_array mem Types.I32 a gang in
+  Array.iteri
+    (fun i v ->
+      Alcotest.check valt (Fmt.str "lane %d" i)
+        (Pmachine.Value.I (Int64.of_int ((i lxor 1) * 10)))
+        v)
+    out
+
+(* Divergent sync: half the gang syncs, half does not -> the executor
+   must report the weak-forward-progress violation. *)
+let test_spmd_divergent_sync_detected () =
+  let gang = 4 in
+  let f =
+    Func.create "div"
+      ~params:[ (0, Types.i64); (1, Types.i64) ]
+      ~ret:Types.Void
+      ~spmd:{ Func.gang_size = gang; partial = false }
+  in
+  let b = Builder.create f in
+  let lane = Builder.call b Types.i64 Intrinsics.lane_num [] in
+  let c = Builder.icmp b Instr.Ult lane (Instr.ci64 2) in
+  Builder.condbr b c "s" "n";
+  let bs = Builder.add_block b "s" in
+  Builder.position b bs;
+  Builder.call_unit b Intrinsics.gang_sync [];
+  Builder.br b "j";
+  let bn = Builder.add_block b "n" in
+  Builder.position b bn;
+  Builder.br b "j";
+  let bj = Builder.add_block b "j" in
+  Builder.position b bj;
+  Builder.ret_void b;
+  let m = Func.create_module "t" in
+  Func.add_func m f;
+  let t = Pmachine.Interp.create m in
+  match Pmachine.Interp.run t "div" [ Pmachine.Value.I 0L; Pmachine.Value.I 4L ] with
+  | exception Pmachine.Interp.Trap msg ->
+      Alcotest.(check bool) "mentions divergence" true
+        (Astring_contains.contains msg "divergent")
+  | _ -> Alcotest.fail "divergent sync not detected"
+
+(* Partial gangs: only threads below num_threads run. *)
+let test_spmd_partial_gang () =
+  let gang = 8 in
+  let f =
+    Func.create "part"
+      ~params:[ (0, Types.Ptr Types.I32); (1, Types.i64); (2, Types.i64) ]
+      ~ret:Types.Void
+      ~spmd:{ Func.gang_size = gang; partial = true }
+  in
+  let b = Builder.create f in
+  let lane = Builder.call b Types.i64 Intrinsics.lane_num [] in
+  let p = Builder.gep b (Instr.Var 0) lane in
+  Builder.store b (Instr.ci32 1) p;
+  Builder.ret_void b;
+  let m = Func.create_module "t" in
+  Func.add_func m f;
+  let t = Pmachine.Interp.create m in
+  let mem = t.Pmachine.Interp.mem in
+  let a =
+    Pmachine.Memory.alloc_array mem Types.I32 (Array.make gang (Pmachine.Value.I 0L))
+  in
+  (* gang 0 of a 5-thread region: only lanes 0..4 active *)
+  ignore
+    (Pmachine.Interp.run t "part"
+       [ Pmachine.Value.I (Int64.of_int a); Pmachine.Value.I 0L; Pmachine.Value.I 5L ]);
+  let out = Pmachine.Memory.read_array mem Types.I32 a gang in
+  Array.iteri
+    (fun i v ->
+      Alcotest.check valt (Fmt.str "lane %d" i)
+        (Pmachine.Value.I (if i < 5 then 1L else 0L))
+        v)
+    out
+
+let suites =
+  [
+    ( "machine.memory",
+      [
+        Alcotest.test_case "read/write" `Quick test_memory_rw;
+        Alcotest.test_case "faults" `Quick test_memory_fault;
+        Alcotest.test_case "frames" `Quick test_memory_frames;
+      ] );
+    ( "machine.interp",
+      [
+        Alcotest.test_case "arith" `Quick test_interp_arith;
+        Alcotest.test_case "branch+loop" `Quick test_interp_branch_loop;
+        Alcotest.test_case "vector ops" `Quick test_interp_vector_ops;
+        Alcotest.test_case "masked store" `Quick test_interp_masked_store;
+        Alcotest.test_case "gather cost" `Quick test_interp_gather_cost_exceeds_packed;
+        Alcotest.test_case "mathlib" `Quick test_mathlib;
+      ] );
+    ( "machine.spmd_ref",
+      [
+        Alcotest.test_case "sync through memory (Listing 3)" `Quick test_spmd_sync_through_memory;
+        Alcotest.test_case "race without sync (Listing 1)" `Quick test_spmd_race_without_sync;
+        Alcotest.test_case "shuffle exchange" `Quick test_spmd_shuffle;
+        Alcotest.test_case "divergent sync detected" `Quick test_spmd_divergent_sync_detected;
+        Alcotest.test_case "partial gang" `Quick test_spmd_partial_gang;
+      ] );
+  ]

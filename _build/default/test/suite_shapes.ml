@@ -1,0 +1,206 @@
+(* Focused tests for shape analysis: classification of the paper's
+   §4.2.2 examples, rule-driven indexed propagation, divergence forcing,
+   and the SoA alloca layout. *)
+
+open Pir
+
+let compile_spmd src =
+  let m = Pfrontend.Lower.compile src in
+  List.find (fun f -> f.Func.spmd <> None) m.Func.funcs
+
+let shapes_of src =
+  let f = compile_spmd src in
+  let info = Pshapes.Shapes.analyze f in
+  (f, info)
+
+(* find the shape of the value stored to out[...] (the last store's
+   value operand) *)
+let stored_shape (f : Func.t) info =
+  let result = ref None in
+  Func.iter_instrs f (fun _ i ->
+      match i.Instr.op with
+      | Instr.Store (v, _) -> result := Some (Pshapes.Shapes.shape_of info v)
+      | _ -> ());
+  Option.get !result
+
+let check_uniform what s =
+  Alcotest.(check bool) (what ^ " is uniform") true (Pshapes.Shapes.is_uniform s)
+
+let check_stride what expected s =
+  match Pshapes.Shapes.stride_of s with
+  | Some d -> Alcotest.(check int64) (what ^ " stride") expected d
+  | None -> Alcotest.failf "%s is not strided (%a)" what Pshapes.Shapes.pp_shape s
+
+let check_varying what s =
+  Alcotest.(check bool) (what ^ " is varying") true (not (Pshapes.Shapes.is_indexed s))
+
+let test_basic_classification () =
+  let f, info =
+    shapes_of
+      {|
+void k(int32* a, int32* out, int64 n) {
+  psim gang_size(8) num_spmd_threads(n) {
+    int64 i = psim_thread_num();
+    int64 two_i = 2 * i;
+    int64 masked = i & 7;
+    int64 uni = psim_num_threads() * 3;
+    int32 data = a[i];
+    out[i] = (int32)(two_i + masked + uni) + data;
+  }
+}
+|}
+  in
+  let shape_by_op pred =
+    let r = ref None in
+    Func.iter_instrs f (fun _ i ->
+        if pred i then r := Some (Pshapes.Shapes.shape_of info (Instr.Var i.Instr.id)));
+    Option.get !r
+  in
+  (* thread_num = gang*G + lane: stride 1 *)
+  let tn =
+    shape_by_op (fun i ->
+        match i.Instr.op with
+        | Instr.Ibin (Instr.Add, _, _) when i.Instr.ty = Types.i64 -> false
+        | Instr.Call (n, _) -> n = Intrinsics.lane_num
+        | _ -> false)
+  in
+  check_stride "lane_num" 1L tn;
+  (* 2 * i: stride 2 via mul.const *)
+  let mul2 =
+    shape_by_op (fun i ->
+        match i.Instr.op with
+        | Instr.Ibin (Instr.Mul, Instr.Const (Instr.Cint (_, 2L)), _) -> true
+        | Instr.Ibin (Instr.Mul, _, Instr.Const (Instr.Cint (_, 2L))) -> true
+        | _ -> false)
+  in
+  check_stride "2*i" 2L mul2;
+  (* i & 7 with gang 8: lane bits exactly -> indexed iota (and.low_mask) *)
+  let anded =
+    shape_by_op (fun i ->
+        match i.Instr.op with Instr.Ibin (Instr.And, _, _) -> true | _ -> false)
+  in
+  check_stride "i & 7" 1L anded;
+  (* loads of per-lane addresses are varying *)
+  let loaded =
+    shape_by_op (fun i ->
+        match i.Instr.op with Instr.Load _ -> true | _ -> false)
+  in
+  check_varying "a[i]" loaded;
+  Alcotest.(check bool) "and.low_mask fired" true
+    (Hashtbl.mem info.Pshapes.Shapes.rule_hits "and.low_mask")
+
+let test_uniform_propagation () =
+  let f, info =
+    shapes_of
+      {|
+void k(int32* out, int64 n) {
+  psim gang_size(8) num_spmd_threads(n) {
+    int64 g = (int64)psim_gang_num();
+    int64 u = g * 12 + (int64)psim_gang_size();
+    int32 acc = 0;
+    for (int32 j = 0; j < 5; j = j + 1) {
+      acc = acc + (int32)u;
+    }
+    out[psim_thread_num()] = acc;
+  }
+}
+|}
+  in
+  (* the loop counter and the accumulator are uniform: the loop stays a
+     scalar loop *)
+  Func.iter_instrs f (fun _ i ->
+      match i.Instr.op with
+      | Instr.Phi _ ->
+          check_uniform "loop-carried phi"
+            (Pshapes.Shapes.shape_of info (Instr.Var i.Instr.id))
+      | _ -> ());
+  ignore (stored_shape f info)
+
+let test_divergence_forcing () =
+  let f, info =
+    shapes_of
+      {|
+void k(int32* a, int32* out, int64 n) {
+  psim gang_size(8) num_spmd_threads(n) {
+    int64 i = psim_thread_num();
+    int32 x = a[i];
+    int32 c = 0;
+    while (c < x) {
+      c = c + 1;
+    }
+    out[i] = c;
+  }
+}
+|}
+  in
+  (* varying exit condition: the loop-carried counter must be varying
+     (it needs per-lane exit blending) *)
+  Func.iter_instrs f (fun _ i ->
+      match i.Instr.op with
+      | Instr.Phi _ when i.Instr.ty = Types.i32 ->
+          check_varying "divergent loop phi"
+            (Pshapes.Shapes.shape_of info (Instr.Var i.Instr.id))
+      | _ -> ())
+
+let test_soa_alloca_shape () =
+  let f, info =
+    shapes_of
+      {|
+void k(int32* out, int64 n) {
+  psim gang_size(8) num_spmd_threads(n) {
+    int32 tmp[4];
+    for (int32 j = 0; j < 4; j = j + 1) {
+      tmp[(int64)j] = j * 2;
+    }
+    out[psim_thread_num()] = tmp[2];
+  }
+}
+|}
+  in
+  (* the alloca pointer is lane-strided at element size (SoA layout) and
+     geps at uniform indices preserve that, so accesses stay packed *)
+  Func.iter_instrs f (fun _ i ->
+      match i.Instr.op with
+      | Instr.Alloca _ ->
+          check_stride "alloca pointer" 4L
+            (Pshapes.Shapes.shape_of info (Instr.Var i.Instr.id))
+      | _ -> ());
+  (* and the vectorizer turns them into packed accesses, not gathers *)
+  let nf, report = Parsimony.Vectorizer.vectorize_func f in
+  Panalysis.Check.check_func nf;
+  Alcotest.(check int) "no gathers" 0 report.Parsimony.Vectorizer.gathers;
+  Alcotest.(check int) "no scatters" 0 report.Parsimony.Vectorizer.scatters
+
+(* the §4.2.2 multiplication example: indexed*indexed only with constant
+   bases *)
+let test_mul_indexed_needs_const_bases () =
+  let _, info =
+    shapes_of
+      {|
+void k(int32* out, int64 n) {
+  psim gang_size(8) num_spmd_threads(n) {
+    int64 l = (int64)psim_lane_num();
+    int64 sq = l * l;        // both bases are the constant 0: stays indexed
+    int64 t = psim_thread_num();
+    int64 bad = t * t;       // base gang*G is not a compile-time constant
+    out[t] = (int32)(sq + bad);
+  }
+}
+|}
+  in
+  Alcotest.(check bool) "mul.both_const_bases fired" true
+    (Hashtbl.mem info.Pshapes.Shapes.rule_hits "mul.both_const_bases")
+
+let suites =
+  [
+    ( "shapes",
+      [
+        Alcotest.test_case "uniform / strided / varying classification" `Quick
+          test_basic_classification;
+        Alcotest.test_case "uniform loops stay scalar" `Quick test_uniform_propagation;
+        Alcotest.test_case "divergent loop forcing" `Quick test_divergence_forcing;
+        Alcotest.test_case "SoA alloca stays packed" `Quick test_soa_alloca_shape;
+        Alcotest.test_case "indexed multiply needs constant bases" `Quick
+          test_mul_indexed_needs_const_bases;
+      ] );
+  ]

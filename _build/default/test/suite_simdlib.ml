@@ -1,0 +1,17 @@
+(* Cross-implementation verification of every Simd Library kernel: the
+   scalar, auto-vectorized, Parsimony (sleef + ispc modes), and
+   hand-written implementations must produce identical outputs (within
+   tolerance for float reductions). *)
+
+let verify_kernel (k : Psimdlib.Workload.kernel) () =
+  try Pharness.Runner.verify k
+  with Failure msg -> Alcotest.fail msg
+
+let suites =
+  [
+    ( "simdlib.verify",
+      List.map
+        (fun (k : Psimdlib.Workload.kernel) ->
+          Alcotest.test_case k.kname `Quick (verify_kernel k))
+        Psimdlib.Registry.all );
+  ]

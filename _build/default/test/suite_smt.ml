@@ -1,0 +1,122 @@
+(* Tests for the z3 stand-in: fact inference soundness (property-based)
+   and the two-phase validation of the shape-transformation rules. *)
+
+open Psmt
+
+(* -- offline phase: every shipped rule verifies, and tampering with a
+   precondition is caught -- *)
+
+let test_all_rules_verify () =
+  let reports = Verify.check_all () in
+  List.iter
+    (fun (r : Verify.report) ->
+      match r.counterexample with
+      | Some c -> Alcotest.failf "rule %s refuted: %s" r.rule c
+      | None ->
+          Alcotest.(check bool)
+            (Fmt.str "rule %s fired at least once" r.rule)
+            true (r.cases_checked > 0))
+    reports
+
+let test_checker_catches_broken_rule () =
+  (* an unsound "rule": claims (b+o) >> 1 = (b >> 1) + (o >> 1)
+     unconditionally (false when b and o have low bits that carry) *)
+  let broken =
+    {
+      Rules.name = "lshr.broken";
+      op = Pir.Instr.LShr;
+      apply =
+        (fun ~w a b ->
+          match b.Rules.facts.Facts.const with
+          | Some 1L ->
+              Some (Array.map (fun o -> Pir.Ints.lshr w o 1L) a.Rules.offsets)
+          | _ -> None);
+    }
+  in
+  let report = Verify.check_rule broken in
+  Alcotest.(check bool) "counterexample found" true (report.counterexample <> None)
+
+(* -- facts: every abstract transfer must over-approximate the concrete
+   operation (alignment and range soundness) -- *)
+
+let ops =
+  [
+    Pir.Instr.Add; Pir.Instr.Sub; Pir.Instr.Mul; Pir.Instr.And; Pir.Instr.Or;
+    Pir.Instr.Xor; Pir.Instr.Shl; Pir.Instr.LShr; Pir.Instr.UDiv;
+    Pir.Instr.URem; Pir.Instr.UMin;
+  ]
+
+let prop_facts_sound =
+  QCheck.Test.make ~name:"fact transfer over-approximates concrete values"
+    ~count:2000
+    QCheck.(triple (oneofl ops) (int_bound 255) (int_bound 255))
+    (fun (op, a, b) ->
+      let w = 8 in
+      let a64 = Int64.of_int a and b64 = Int64.of_int b in
+      let fa = Facts.of_const w a64 and fb = Facts.of_const w b64 in
+      let fr = Facts.ibin op w fa fb in
+      let concrete = Pir.Fold.ibin op w a64 b64 in
+      (* alignment claim: concrete must be a multiple of 2^align *)
+      let align_ok =
+        fr.Facts.align >= 64
+        || Int64.rem concrete (Int64.shift_left 1L (min 62 fr.Facts.align)) = 0L
+      in
+      (* range claim: concrete within [lo, hi] *)
+      let range_ok =
+        match fr.Facts.range with
+        | None -> true
+        | Some (lo, hi) ->
+            Int64.unsigned_compare lo concrete <= 0
+            && Int64.unsigned_compare concrete hi <= 0
+      in
+      (* const claim: exact *)
+      let const_ok =
+        match fr.Facts.const with None -> true | Some c -> c = concrete
+      in
+      align_ok && range_ok && const_ok)
+
+let test_fact_helpers () =
+  let f = Facts.of_const 8 48L in
+  Alcotest.(check bool) "align of 48 is 4" true (Facts.align_at_least f 4);
+  Alcotest.(check bool) "align of 48 is not 5" false (Facts.align_at_least f 5);
+  Alcotest.(check bool) "48+208 doesn't fit u8" false (Facts.max_plus_fits f 208L 8);
+  Alcotest.(check bool) "48+207 fits u8" true (Facts.max_plus_fits f 207L 8);
+  let j = Facts.join (Facts.of_const 8 16L) (Facts.of_const 8 32L) in
+  Alcotest.(check bool) "join keeps common alignment" true (Facts.align_at_least j 4);
+  Alcotest.(check bool) "join drops constant" true (j.Facts.const = None)
+
+(* online phase: rules fire only when their preconditions hold *)
+let test_online_preconditions () =
+  let w = 8 in
+  let iota = Array.init 4 Int64.of_int in
+  let aligned_base = { Rules.offsets = iota; facts = Facts.of_const w 64L } in
+  let unaligned_base = { Rules.offsets = iota; facts = Facts.of_const w 65L } in
+  let mask = { Rules.offsets = Array.make 4 0L; facts = Facts.of_const w 7L } in
+  (match Rules.try_apply ~w Pir.Instr.And aligned_base mask with
+  | Some ("and.low_mask", offs) ->
+      Alcotest.(check bool) "offsets preserved" true (offs = iota)
+  | other ->
+      Alcotest.failf "expected and.low_mask, got %s"
+        (match other with Some (n, _) -> n | None -> "nothing"));
+  (match Rules.try_apply ~w Pir.Instr.And unaligned_base mask with
+  | None -> ()
+  | Some (n, _) -> Alcotest.failf "rule %s fired despite misaligned base" n);
+  (* unknown base facts: must not fire either *)
+  let unknown = { Rules.offsets = iota; facts = Facts.top } in
+  match Rules.try_apply ~w Pir.Instr.And unknown mask with
+  | None -> ()
+  | Some (n, _) -> Alcotest.failf "rule %s fired with no facts" n
+
+let suites =
+  [
+    ( "smt",
+      [
+        Alcotest.test_case "all shipped rules verify" `Quick test_all_rules_verify;
+        Alcotest.test_case "checker refutes a broken rule" `Quick
+          test_checker_catches_broken_rule;
+        Alcotest.test_case "fact helpers" `Quick test_fact_helpers;
+        Alcotest.test_case "online preconditions gate rules" `Quick
+          test_online_preconditions;
+        QCheck_alcotest.to_alcotest prop_facts_sound;
+      ] );
+  ]
