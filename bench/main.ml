@@ -3,24 +3,82 @@
    AVX-512 machine, then runs Bechamel micro-benchmarks of the compiler
    itself (pass time, shape analysis, rule verification, interpreter).
 
-   Usage: dune exec bench/main.exe [--] [fast]
-   "fast" skips the Bechamel wall-clock section. *)
+   Usage: dune exec bench/main.exe [--] [fast] [--jobs N] [--json FILE]
+   - "fast" skips the Bechamel wall-clock section.
+   - "--jobs N" sets the worker-domain count for the figure sweeps
+     (default: PARSIMONY_JOBS, else the runtime's recommendation capped
+     at 8).  The tables are byte-identical for every N.
+   - "--json FILE" additionally writes rows, geomeans and harness
+     wall-clock timings to FILE as JSON. *)
 
 let pr fmt = Fmt.pr fmt
 
-let run_figures () =
+let usage () =
+  Fmt.epr "usage: main.exe [fast] [--jobs N] [--json FILE]@.";
+  exit 2
+
+type cli = { fast : bool; jobs : int; json : string option }
+
+let parse_cli () =
+  let jobs =
+    (* a malformed PARSIMONY_JOBS raises; report it as a usage error *)
+    try Pparallel.Pool.default_jobs ()
+    with Invalid_argument msg ->
+      Fmt.epr "%s@." msg;
+      usage ()
+  in
+  let cli = ref { fast = false; jobs; json = None } in
+  let rec go = function
+    | [] -> ()
+    | "fast" :: rest -> cli := { !cli with fast = true }; go rest
+    | "--jobs" :: n :: rest -> (
+        match int_of_string_opt n with
+        | Some j when j >= 1 -> cli := { !cli with jobs = j }; go rest
+        | _ ->
+            Fmt.epr "--jobs %s: expected a positive integer@." n;
+            usage ())
+    | "--json" :: file :: rest -> cli := { !cli with json = Some file }; go rest
+    | [ (("--jobs" | "--json") as flag) ] ->
+        Fmt.epr "%s requires a value@." flag;
+        usage ()
+    | arg :: _ ->
+        Fmt.epr "unknown argument %S@." arg;
+        usage ()
+  in
+  go (List.tl (Array.to_list Sys.argv));
+  (* fail on an unwritable --json target now, not after the sweep *)
+  Option.iter
+    (fun file ->
+      try close_out (open_out file)
+      with Sys_error msg ->
+        Fmt.epr "--json %s: %s@." file msg;
+        exit 2)
+    !cli.json;
+  !cli
+
+(* Wall-clock accounting per harness section, reported at the end and
+   in the JSON output. *)
+let timings : (string * float) list ref = ref []
+
+let timed section f =
+  let t0 = Unix.gettimeofday () in
+  let r = f () in
+  timings := !timings @ [ (section, Unix.gettimeofday () -. t0) ];
+  r
+
+let run_figures pool =
   pr "Parsimony reproduction benchmark harness@.";
   pr "(simulated AVX-512-class machine; see lib/machine/cost.ml)@.";
 
   (* -- Figure 4 -- *)
-  let f4 = Pharness.Figures.figure4 () in
+  let f4 = timed "figure4" (fun () -> Pharness.Figures.figure4 ~pool ()) in
   Pharness.Figures.pp_table Fmt.stdout
     ~title:"Figure 4: ispc benchmarks, speedup over LLVM auto-vectorization"
     ~unit:"speedup factor vs auto-vectorized serial C" f4;
   pr "summary: %s@." (Pharness.Figures.summary_figure4 f4);
 
   (* -- Figure 5 -- *)
-  let f5 = Pharness.Figures.figure5 () in
+  let f5 = timed "figure5" (fun () -> Pharness.Figures.figure5 ~pool ()) in
   Pharness.Figures.pp_table Fmt.stdout
     ~title:
       "Figure 5: 72 Simd Library benchmarks, speedup over LLVM scalar \
@@ -41,13 +99,14 @@ let run_figures () =
   pr "summary: %s@." (Pharness.Figures.summary_code_size cs);
 
   (* -- ablations (DESIGN.md design-choice index) -- *)
-  let ab = Pharness.Figures.ablations () in
+  let ab = timed "ablations" (fun () -> Pharness.Figures.ablations ~pool ()) in
   Pharness.Figures.pp_table Fmt.stdout
     ~title:"Ablations: slowdown vs default Parsimony configuration"
     ~unit:"cycle ratio (>1 means the design choice matters)" ab;
 
   (* -- compile time (paper §4.2.2: online checks are cheap) -- *)
-  pr "@.== Compile time ==@.%s@." (Pharness.Figures.compile_time_stats ())
+  pr "@.== Compile time ==@.%s@." (Pharness.Figures.compile_time_stats ());
+  (f4, f5, ab)
 
 (* -- Bechamel micro-benchmarks of the toolchain itself -- *)
 
@@ -111,8 +170,33 @@ let bechamel_benches () =
         results)
     [ test_frontend; test_shapes; test_vectorize; test_rules; test_interp ]
 
+let emit_json file (f4, f5, ab) jobs =
+  let open Pharness.Json_out in
+  let hits, misses = Pharness.Runner.Compile_cache.stats () in
+  let v =
+    Obj
+      [
+        ("jobs", Int jobs);
+        ("figure4", of_rows f4);
+        ("figure5", of_rows f5);
+        ("ablations", of_rows ab);
+        ( "timings_s",
+          Obj (List.map (fun (s, dt) -> (s, Float dt)) !timings) );
+        ( "compile_cache",
+          Obj [ ("hits", Int hits); ("misses", Int misses) ] );
+      ]
+  in
+  write file v;
+  pr "wrote %s@." file
+
 let () =
-  let fast = Array.exists (fun a -> a = "fast") Sys.argv in
-  run_figures ();
-  if not fast then bechamel_benches ();
+  let cli = parse_cli () in
+  let figs =
+    Pparallel.Pool.with_pool cli.jobs (fun pool ->
+        timed "figures_total" (fun () -> run_figures pool))
+  in
+  if not cli.fast then bechamel_benches ();
+  pr "@.== Harness timings (wall clock, --jobs %d) ==@." cli.jobs;
+  List.iter (fun (s, dt) -> pr "%-36s %9.3fs@." s dt) !timings;
+  Option.iter (fun file -> emit_json file figs cli.jobs) cli.json;
   pr "@.done.@."

@@ -9,6 +9,24 @@ let geomean = Runner.geomean
 
 type row = { name : string; series : (string * float) list }
 
+(** Per-series geometric means, in the column order of the head row.
+    One pass over the rows (the old per-cell [List.nth] walk was
+    quadratic in table size); log-summation stays in row order per
+    column, so the result is bit-identical to folding each column
+    independently. *)
+let geomeans (rows : row list) : (string * float) list =
+  match rows with
+  | [] -> []
+  | r0 :: _ ->
+      let n = List.length r0.series in
+      let sums = Array.make n 0.0 in
+      let count = float_of_int (List.length rows) in
+      List.iter
+        (fun r ->
+          List.iteri (fun i (_, v) -> sums.(i) <- sums.(i) +. log v) r.series)
+        rows;
+      List.mapi (fun i (s, _) -> (s, exp (sums.(i) /. count))) r0.series
+
 let pp_table ppf ~title ~unit rows =
   Fmt.pf ppf "@.== %s ==@." title;
   (match rows with
@@ -26,53 +44,89 @@ let pp_table ppf ~title ~unit rows =
   (* geomeans per series *)
   (match rows with
   | [] -> ()
-  | r0 :: _ ->
+  | _ ->
       Fmt.pf ppf "%-36s" "geomean";
-      List.iteri
-        (fun i _ ->
-          let vals = List.map (fun r -> snd (List.nth r.series i)) rows in
-          Fmt.pf ppf "%12.2f" (geomean vals))
-        r0.series;
+      List.iter (fun (_, g) -> Fmt.pf ppf "%12.2f" g) (geomeans rows);
       Fmt.pf ppf "@.");
   Fmt.pf ppf "(%s)@." unit
 
+(* -- parallel fan-out --
+
+   Each figure flattens its sweep into independent (kernel, impl) runs
+   and maps them across the pool; [Pool.map] is order-preserving, so
+   reassembling rows from consecutive result slices yields byte-for-byte
+   the serial tables.  Every run builds its own module copy (see
+   [Runner.Compile_cache]), interpreter and memory, so tasks share no
+   mutable state. *)
+
+let pmap ?pool f xs =
+  match pool with Some p -> Pparallel.Pool.map p f xs | None -> List.map f xs
+
+(** Split [cycles] into consecutive [width]-sized slices, one per kernel
+    of [kernels], and build a row from each. *)
+let reassemble ~width kernels cycles mk =
+  let arr = Array.of_list cycles in
+  assert (Array.length arr = width * List.length kernels);
+  List.mapi
+    (fun i (k : Workload.kernel) ->
+      mk k (Array.to_list (Array.sub arr (i * width) width)))
+    kernels
+
 (* -- Figure 4: ispc suite, normalized to LLVM auto-vectorization -- *)
 
-let figure4 ?(kernels = Pispc.Suite.all) () : row list =
-  List.map
-    (fun (k : Workload.kernel) ->
-      let auto = (Runner.run k Runner.Autovec).cycles in
-      let pars = (Runner.run k (Runner.ParsimonyImpl Parsimony.Options.default)).cycles in
-      let ispc = (Runner.run k (Runner.ParsimonyImpl Parsimony.Options.ispc)).cycles in
-      {
-        name = k.kname;
-        series = [ ("ispc", auto /. ispc); ("parsimony", auto /. pars) ];
-      })
-    kernels
+let figure4 ?pool ?(kernels = Pispc.Suite.all) () : row list =
+  let impls =
+    [
+      Runner.Autovec;
+      Runner.ParsimonyImpl Parsimony.Options.default;
+      Runner.ParsimonyImpl Parsimony.Options.ispc;
+    ]
+  in
+  let jobs =
+    List.concat_map (fun k -> List.map (fun i -> (k, i)) impls) kernels
+  in
+  let cycles = pmap ?pool (fun (k, i) -> (Runner.run k i).cycles) jobs in
+  reassemble ~width:3 kernels cycles (fun k -> function
+    | [ auto; pars; ispc ] ->
+        {
+          name = k.kname;
+          series = [ ("ispc", auto /. ispc); ("parsimony", auto /. pars) ];
+        }
+    | _ -> assert false)
 
 (* -- Figure 5: Simd Library suite, normalized to LLVM scalar -- *)
 
-let figure5 ?(kernels = Registry.all) () : row list =
-  List.map
-    (fun (k : Workload.kernel) ->
-      let scalar = (Runner.run k Runner.Scalar).cycles in
-      let auto = (Runner.run k Runner.Autovec).cycles in
-      let pars = (Runner.run k (Runner.ParsimonyImpl Parsimony.Options.default)).cycles in
-      let hand =
-        match k.hand with
-        | Some _ -> scalar /. (Runner.run k Runner.Hand).cycles
-        | None -> nan
-      in
-      {
-        name = k.kname;
-        series =
-          [
-            ("autovec", scalar /. auto);
-            ("parsimony", scalar /. pars);
-            ("hand", hand);
-          ];
-      })
-    kernels
+let figure5 ?pool ?(kernels = Registry.all) () : row list =
+  let jobs =
+    List.concat_map
+      (fun (k : Workload.kernel) ->
+        [
+          (k, Some Runner.Scalar);
+          (k, Some Runner.Autovec);
+          (k, Some (Runner.ParsimonyImpl Parsimony.Options.default));
+          (k, if k.hand <> None then Some Runner.Hand else None);
+        ])
+      kernels
+  in
+  let cycles =
+    pmap ?pool
+      (fun (k, impl) ->
+        match impl with Some i -> (Runner.run k i).cycles | None -> nan)
+      jobs
+  in
+  reassemble ~width:4 kernels cycles (fun k -> function
+    | [ scalar; auto; pars; hand ] ->
+        {
+          name = k.kname;
+          series =
+            [
+              ("autovec", scalar /. auto);
+              ("parsimony", scalar /. pars);
+              (* nan cycles (no hand implementation) stays nan *)
+              ("hand", scalar /. hand);
+            ];
+        }
+    | _ -> assert false)
 
 (* headline numbers of §6 derived from the figure data *)
 let summary_figure5 rows =
@@ -162,21 +216,24 @@ let ablation_kernels () =
       (fun (k : Workload.kernel) -> k.kname = "mandelbrot")
       Pispc.Suite.all
 
-let ablations () : row list =
-  List.map
-    (fun (k : Workload.kernel) ->
-      let base = (Runner.run k (Runner.ParsimonyImpl Parsimony.Options.default)).cycles in
-      {
-        name = k.kname;
-        series =
-          List.map
-            (fun (label, opts) ->
-              let c = (Runner.run k (Runner.ParsimonyImpl opts)).cycles in
-              (* slowdown relative to the default configuration *)
-              (label, c /. base))
-            ablation_cases;
-      })
-    (ablation_kernels ())
+let ablations ?pool () : row list =
+  let kernels = ablation_kernels () in
+  let optss = Parsimony.Options.default :: List.map snd ablation_cases in
+  let jobs =
+    List.concat_map (fun k -> List.map (fun o -> (k, o)) optss) kernels
+  in
+  let cycles =
+    pmap ?pool (fun (k, o) -> (Runner.run k (Runner.ParsimonyImpl o)).cycles) jobs
+  in
+  reassemble ~width:(List.length optss) kernels cycles (fun k -> function
+    | base :: rest ->
+        {
+          name = k.kname;
+          series =
+            (* slowdown relative to the default configuration *)
+            List.map2 (fun (label, _) c -> (label, c /. base)) ablation_cases rest;
+        }
+    | [] -> assert false)
 
 (* -- compile time: the pass (including online precondition checks) -- *)
 

@@ -26,16 +26,63 @@ type result = {
 
 exception Unavailable of string
 
+(** Compile-once cache for frontend lowering.
+
+    Every strategy starts from [Pfrontend.Lower.compile] of either the
+    serial or the psim source, and the figure sweep revisits the same
+    kernel under several strategies (and several option sets), so the
+    identical lowering used to be redone up to four times per kernel.
+    The cache memoizes the *pristine* lowering per (kernel, source) and
+    hands out a [Pir.Func.copy_module] deep copy, because every
+    downstream pass (autovec, vectorizer, simplify) mutates the module
+    in place.  A mutex makes lookups safe from pool workers; a
+    concurrent miss may compile twice, and the first stored entry wins
+    (both are deterministic, so either is correct). *)
+module Compile_cache = struct
+  let table : (string * string, Pir.Func.modul) Hashtbl.t = Hashtbl.create 97
+  let lock = Mutex.create ()
+  let hits = Atomic.make 0
+  let misses = Atomic.make 0
+
+  let compile ~name src : Pir.Func.modul =
+    let key = (name, src) in
+    let cached =
+      Mutex.lock lock;
+      let r = Hashtbl.find_opt table key in
+      Mutex.unlock lock;
+      r
+    in
+    match cached with
+    | Some m ->
+        Atomic.incr hits;
+        Pir.Func.copy_module m
+    | None ->
+        Atomic.incr misses;
+        let m = Pfrontend.Lower.compile ~name src in
+        Mutex.lock lock;
+        if not (Hashtbl.mem table key) then Hashtbl.add table key m;
+        Mutex.unlock lock;
+        Pir.Func.copy_module m
+
+  (** (hits, misses) over the process lifetime. *)
+  let stats () = (Atomic.get hits, Atomic.get misses)
+
+  let clear () =
+    Mutex.lock lock;
+    Hashtbl.reset table;
+    Mutex.unlock lock
+end
+
 let build_module (k : Workload.kernel) (impl : impl) : Pir.Func.modul =
   let m =
     match impl with
-    | Scalar -> Pfrontend.Lower.compile ~name:k.kname k.serial_src
+    | Scalar -> Compile_cache.compile ~name:k.kname k.serial_src
     | Autovec ->
-        let m = Pfrontend.Lower.compile ~name:k.kname k.serial_src in
+        let m = Compile_cache.compile ~name:k.kname k.serial_src in
         ignore (Pautovec.Autovec.run_module m);
         m
     | ParsimonyImpl opts ->
-        let m = Pfrontend.Lower.compile ~name:k.kname k.psim_src in
+        let m = Compile_cache.compile ~name:k.kname k.psim_src in
         ignore (Parsimony.Vectorizer.run_module ~opts m);
         m
     | Hand -> (
@@ -54,7 +101,7 @@ let build_module (k : Workload.kernel) (impl : impl) : Pir.Func.modul =
 
 (** Auto-vectorization outcome for a kernel (which loops vectorized). *)
 let autovec_report (k : Workload.kernel) =
-  let m = Pfrontend.Lower.compile ~name:k.kname k.serial_src in
+  let m = Compile_cache.compile ~name:k.kname k.serial_src in
   Pautovec.Autovec.run_module m
 
 let run ?(check = false) (k : Workload.kernel) (impl : impl) : result =

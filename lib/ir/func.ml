@@ -87,11 +87,38 @@ let successors b =
 let size f =
   List.fold_left (fun acc b -> acc + List.length b.instrs + 1) 0 f.blocks
 
+(* -- Copies -- *)
+
+(** Fresh mutable shell for a block.  Instruction records (and the
+    arrays inside their operations) are treated as immutable by every
+    pass — passes rebuild instruction lists rather than updating
+    records — so they are shared between the copy and the original. *)
+let copy_block b = { bname = b.bname; instrs = b.instrs; term = b.term }
+
+let copy_func f =
+  {
+    fname = f.fname;
+    params = f.params;
+    ret = f.ret;
+    blocks = List.map copy_block f.blocks;
+    spmd = f.spmd;
+    vty = Hashtbl.copy f.vty;
+    next_id = f.next_id;
+    noalias = f.noalias;
+  }
+
 (* -- Modules -- *)
 
 type modul = { mname : string; mutable funcs : t list }
 
 let create_module name = { mname = name; funcs = [] }
+
+(** Deep copy of a module's mutable structure: new function, block and
+    type-table shells throughout, so the mutating passes (vectorizer,
+    autovec, simplify, legalizer) can run on the copy while the
+    original — e.g. a compile-cache entry shared across domains — stays
+    byte-identical.  See [copy_block] for the sharing contract. *)
+let copy_module m = { mname = m.mname; funcs = List.map copy_func m.funcs }
 
 let add_func m f = m.funcs <- m.funcs @ [ f ]
 

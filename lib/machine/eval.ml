@@ -35,6 +35,38 @@ let ibin_scalar (k : ibin) (w : int) a b : int64 =
   | MulHiS -> mulhi_s w a b
   | MulHiU -> mulhi_u w a b
 
+(* One-shot dispatch on the opcode, returning the scalar operation as a
+   closure: the vector paths below resolve the opcode (and width) once
+   per instruction execution instead of once per lane. *)
+let ibin_fn (k : ibin) (w : int) : int64 -> int64 -> int64 =
+  let open Pir.Ints in
+  match k with
+  | Add -> add w
+  | Sub -> sub w
+  | Mul -> mul w
+  | UDiv -> udiv w
+  | SDiv -> sdiv w
+  | URem -> urem w
+  | SRem -> srem w
+  | And -> logand w
+  | Or -> logor w
+  | Xor -> logxor w
+  | Shl -> shl w
+  | LShr -> lshr w
+  | AShr -> ashr w
+  | SMin -> smin w
+  | SMax -> smax w
+  | UMin -> umin w
+  | UMax -> umax w
+  | UAddSat -> uadd_sat w
+  | SAddSat -> sadd_sat w
+  | USubSat -> usub_sat w
+  | SSubSat -> ssub_sat w
+  | AvgrU -> avgr_u w
+  | AbsDiffU -> abs_diff_u w
+  | MulHiS -> mulhi_s w
+  | MulHiU -> mulhi_u w
+
 let fbin_scalar (k : fbin) (s : Pir.Types.scalar) a b : float =
   let r = Value.round_float s in
   let a = r a and b = r b in
@@ -46,6 +78,16 @@ let fbin_scalar (k : fbin) (s : Pir.Types.scalar) a b : float =
     | FDiv -> a /. b
     | FMin -> Float.min a b
     | FMax -> Float.max a b)
+
+let fbin_fn (k : fbin) (s : Pir.Types.scalar) : float -> float -> float =
+  let r = Value.round_float s in
+  match k with
+  | FAdd -> fun a b -> r (r a +. r b)
+  | FSub -> fun a b -> r (r a -. r b)
+  | FMul -> fun a b -> r (r a *. r b)
+  | FDiv -> fun a b -> r (r a /. r b)
+  | FMin -> fun a b -> r (Float.min (r a) (r b))
+  | FMax -> fun a b -> r (Float.max (r a) (r b))
 
 let iun_scalar (k : iun) (w : int) a : int64 =
   let open Pir.Ints in
@@ -68,6 +110,25 @@ let fun_scalar (k : fun_) (s : Pir.Types.scalar) a : float =
     | FFloor -> Float.floor a
     | FCeil -> Float.ceil a)
 
+let iun_fn (k : iun) (w : int) : int64 -> int64 =
+  let open Pir.Ints in
+  match k with
+  | INot -> lognot w
+  | INeg -> neg w
+  | IAbs -> abs w
+  | Clz -> clz w
+  | Ctz -> ctz w
+  | Popcnt -> popcnt w
+
+let fun_fn (k : fun_) (s : Pir.Types.scalar) : float -> float =
+  let r = Value.round_float s in
+  match k with
+  | FNeg -> fun a -> r (-.r a)
+  | FAbs -> fun a -> r (Float.abs (r a))
+  | FSqrt -> fun a -> r (sqrt (r a))
+  | FFloor -> fun a -> r (Float.floor (r a))
+  | FCeil -> fun a -> r (Float.ceil (r a))
+
 let icmp_scalar (p : ipred) (w : int) a b : bool =
   let open Pir.Ints in
   match p with
@@ -82,6 +143,20 @@ let icmp_scalar (p : ipred) (w : int) a b : bool =
   | Sgt -> scompare w a b > 0
   | Sge -> scompare w a b >= 0
 
+let icmp_fn (p : ipred) (w : int) : int64 -> int64 -> bool =
+  let open Pir.Ints in
+  match p with
+  | Eq -> fun a b -> norm w a = norm w b
+  | Ne -> fun a b -> norm w a <> norm w b
+  | Ult -> fun a b -> ucompare w a b < 0
+  | Ule -> fun a b -> ucompare w a b <= 0
+  | Ugt -> fun a b -> ucompare w a b > 0
+  | Uge -> fun a b -> ucompare w a b >= 0
+  | Slt -> fun a b -> scompare w a b < 0
+  | Sle -> fun a b -> scompare w a b <= 0
+  | Sgt -> fun a b -> scompare w a b > 0
+  | Sge -> fun a b -> scompare w a b >= 0
+
 let fcmp_scalar (p : fpred) a b : bool =
   match p with
   | Oeq -> a = b
@@ -90,6 +165,15 @@ let fcmp_scalar (p : fpred) a b : bool =
   | Ole -> a <= b
   | Ogt -> a > b
   | Oge -> a >= b
+
+let fcmp_fn (p : fpred) : float -> float -> bool =
+  match p with
+  | Oeq -> fun a b -> a = b
+  | One -> fun a b -> a < b || a > b
+  | Olt -> fun a b -> a < b
+  | Ole -> fun a b -> a <= b
+  | Ogt -> fun a b -> a > b
+  | Oge -> fun a b -> a >= b
 
 (** Convert one scalar value between kinds. *)
 let cast_scalar (k : cast_kind) (src : Pir.Types.scalar) (dst : Pir.Types.scalar)
@@ -130,14 +214,52 @@ let cast_scalar (k : cast_kind) (src : Pir.Types.scalar) (dst : Pir.Types.scalar
       Fmt.invalid_arg "Eval.cast_scalar: %a %a -> %a" Value.pp v Pir.Types.pp
         (Pir.Types.Scalar src) Pir.Types.pp (Pir.Types.Scalar dst)
 
-(* -- vector lifting -- *)
+(* -- vector lifting --
 
-let map2v (s : Pir.Types.scalar) f (a : Value.t) (b : Value.t) : Value.t =
-  match (a, b) with
-  | Value.VI x, Value.VI y -> Value.VI (Array.init (Array.length x) (fun i -> f x.(i) y.(i)))
-  | _ ->
-      ignore s;
-      Fmt.invalid_arg "Eval.map2v: %a, %a" Value.pp a Value.pp b
+   Tight loops over preallocated result arrays: no per-lane closures,
+   no [Array.init] allocation of the element function. *)
+
+let map2i f x y =
+  let n = Array.length x in
+  let r = Array.make n 0L in
+  for i = 0 to n - 1 do
+    Array.unsafe_set r i (f (Array.unsafe_get x i) (Array.unsafe_get y i))
+  done;
+  r
+
+let map2f f x y =
+  let n = Array.length x in
+  let r = Array.make n 0.0 in
+  for i = 0 to n - 1 do
+    Array.unsafe_set r i (f (Array.unsafe_get x i) (Array.unsafe_get y i))
+  done;
+  r
+
+let map1i f x =
+  let n = Array.length x in
+  let r = Array.make n 0L in
+  for i = 0 to n - 1 do
+    Array.unsafe_set r i (f (Array.unsafe_get x i))
+  done;
+  r
+
+let map1f f x =
+  let n = Array.length x in
+  let r = Array.make n 0.0 in
+  for i = 0 to n - 1 do
+    Array.unsafe_set r i (f (Array.unsafe_get x i))
+  done;
+  r
+
+(* lane-wise predicate to an i1-per-lane mask vector *)
+let map2_mask f x y =
+  let n = Array.length x in
+  let r = Array.make n 0L in
+  for i = 0 to n - 1 do
+    if f (Array.unsafe_get x i) (Array.unsafe_get y i) then
+      Array.unsafe_set r i 1L
+  done;
+  r
 
 let reduce_value (k : reduce_kind) (s : Pir.Types.scalar) (v : Value.t) : Value.t =
   let w = Pir.Types.scalar_bits s in
@@ -153,8 +275,7 @@ let reduce_value (k : reduce_kind) (s : Pir.Types.scalar) (v : Value.t) : Value.
   | RSMax, Value.VI a -> Value.I (Array.fold_left (smax w) a.(0) a)
   | RUMin, Value.VI a -> Value.I (Array.fold_left (umin w) a.(0) a)
   | RUMax, Value.VI a -> Value.I (Array.fold_left (umax w) a.(0) a)
-  | RFAdd, Value.VF a ->
-      Value.F (Array.fold_left (fun acc x -> fbin_scalar FAdd s acc x) 0.0 a)
+  | RFAdd, Value.VF a -> Value.F (Array.fold_left (fbin_fn FAdd s) 0.0 a)
   | RFMin, Value.VF a -> Value.F (Array.fold_left Float.min a.(0) a)
   | RFMax, Value.VF a -> Value.F (Array.fold_left Float.max a.(0) a)
   | _ -> Fmt.invalid_arg "Eval.reduce: %a" Value.pp v
@@ -170,42 +291,36 @@ let pure_op ~(ty : Pir.Types.t) ~(operand_ty : operand -> Pir.Types.t)
       let w = Pir.Types.scalar_bits s in
       match (get a, get b) with
       | Value.I x, Value.I y -> Value.I (ibin_scalar k w x y)
-      | va, vb -> map2v s (ibin_scalar k w) va vb)
+      | Value.VI x, Value.VI y -> Value.VI (map2i (ibin_fn k w) x y)
+      | va, vb -> Fmt.invalid_arg "Eval.map2v: %a, %a" Value.pp va Value.pp vb)
   | Fbin (k, a, b) -> (
       let s = scalar_of a in
       match (get a, get b) with
       | Value.F x, Value.F y -> Value.F (fbin_scalar k s x y)
-      | Value.VF x, Value.VF y ->
-          Value.VF (Array.init (Array.length x) (fun i -> fbin_scalar k s x.(i) y.(i)))
+      | Value.VF x, Value.VF y -> Value.VF (map2f (fbin_fn k s) x y)
       | va, vb -> Fmt.invalid_arg "Eval.fbin: %a, %a" Value.pp va Value.pp vb)
   | Iun (k, a) -> (
       let w = Pir.Types.scalar_bits (scalar_of a) in
       match get a with
       | Value.I x -> Value.I (iun_scalar k w x)
-      | Value.VI x -> Value.VI (Array.map (iun_scalar k w) x)
+      | Value.VI x -> Value.VI (map1i (iun_fn k w) x)
       | v -> Fmt.invalid_arg "Eval.iun: %a" Value.pp v)
   | Fun (k, a) -> (
       let s = scalar_of a in
       match get a with
       | Value.F x -> Value.F (fun_scalar k s x)
-      | Value.VF x -> Value.VF (Array.map (fun_scalar k s) x)
+      | Value.VF x -> Value.VF (map1f (fun_fn k s) x)
       | v -> Fmt.invalid_arg "Eval.fun: %a" Value.pp v)
   | Icmp (p, a, b) -> (
       let w = Pir.Types.scalar_bits (scalar_of a) in
       match (get a, get b) with
       | Value.I x, Value.I y -> Value.of_bool (icmp_scalar p w x y)
-      | Value.VI x, Value.VI y ->
-          Value.VI
-            (Array.init (Array.length x) (fun i ->
-                 if icmp_scalar p w x.(i) y.(i) then 1L else 0L))
+      | Value.VI x, Value.VI y -> Value.VI (map2_mask (icmp_fn p w) x y)
       | va, vb -> Fmt.invalid_arg "Eval.icmp: %a, %a" Value.pp va Value.pp vb)
   | Fcmp (p, a, b) -> (
       match (get a, get b) with
       | Value.F x, Value.F y -> Value.of_bool (fcmp_scalar p x y)
-      | Value.VF x, Value.VF y ->
-          Value.VI
-            (Array.init (Array.length x) (fun i ->
-                 if fcmp_scalar p x.(i) y.(i) then 1L else 0L))
+      | Value.VF x, Value.VF y -> Value.VI (map2_mask (fcmp_fn p) x y)
       | va, vb -> Fmt.invalid_arg "Eval.fcmp: %a, %a" Value.pp va Value.pp vb)
   | Select (c, a, b) -> (
       match get c with
@@ -213,13 +328,23 @@ let pure_op ~(ty : Pir.Types.t) ~(operand_ty : operand -> Pir.Types.t)
       | Value.VI mask -> (
           match (get a, get b) with
           | Value.VI x, Value.VI y ->
-              Value.VI
-                (Array.init (Array.length x) (fun i ->
-                     if mask.(i) <> 0L then x.(i) else y.(i)))
+              let n = Array.length x in
+              let r = Array.make n 0L in
+              for i = 0 to n - 1 do
+                Array.unsafe_set r i
+                  (if Array.unsafe_get mask i <> 0L then Array.unsafe_get x i
+                   else Array.unsafe_get y i)
+              done;
+              Value.VI r
           | Value.VF x, Value.VF y ->
-              Value.VF
-                (Array.init (Array.length x) (fun i ->
-                     if mask.(i) <> 0L then x.(i) else y.(i)))
+              let n = Array.length x in
+              let r = Array.make n 0.0 in
+              for i = 0 to n - 1 do
+                Array.unsafe_set r i
+                  (if Array.unsafe_get mask i <> 0L then Array.unsafe_get x i
+                   else Array.unsafe_get y i)
+              done;
+              Value.VF r
           | va, vb -> Fmt.invalid_arg "Eval.select: %a, %a" Value.pp va Value.pp vb)
       | v -> Fmt.invalid_arg "Eval.select cond: %a" Value.pp v)
   | Cast (k, a, _) -> (
@@ -233,19 +358,19 @@ let pure_op ~(ty : Pir.Types.t) ~(operand_ty : operand -> Pir.Types.t)
       | v -> Fmt.invalid_arg "Eval.cast: %a" Value.pp v)
   | Splat (a, n) -> Value.splat (Pir.Types.elem ty) n (get a)
   | Shuffle (a, b, idx) -> (
-      let pick get_lane_a get_lane_b zero =
+      let pick na get_lane_a get_lane_b zero =
         Array.map
           (fun k ->
             if k = -1 then zero
-            else if k < Value.lanes (get a) then get_lane_a k
-            else get_lane_b (k - Value.lanes (get a)))
+            else if k < na then get_lane_a k
+            else get_lane_b (k - na))
           idx
       in
       match (get a, get b) with
       | Value.VI x, Value.VI y ->
-          Value.VI (pick (Array.get x) (Array.get y) 0L)
+          Value.VI (pick (Array.length x) (Array.get x) (Array.get y) 0L)
       | Value.VF x, Value.VF y ->
-          Value.VF (pick (Array.get x) (Array.get y) 0.0)
+          Value.VF (pick (Array.length x) (Array.get x) (Array.get y) 0.0)
       | va, vb -> Fmt.invalid_arg "Eval.shuffle: %a, %a" Value.pp va Value.pp vb)
   | ShuffleDyn (a, i) -> (
       let idx = Value.as_ivec (get i) in

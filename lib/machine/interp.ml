@@ -44,28 +44,206 @@ let empty_stats () =
     scalar_mem = 0;
   }
 
+(* -- execution caches --
+
+   The interpreter spends most of its time navigating module structure:
+   [find_block] per branch, [List.nth] per SPMD step, one
+   [List.assoc_opt] per phi per block entry, and [find_func] plus
+   intrinsic string tests per call.  All of that is precomputed here,
+   once per function per interpreter, on first call:
+
+   - every block's instructions as an array ([all]), with the phi
+     prefix length;
+   - per predecessor label, the operand each phi takes from that edge;
+   - the terminator's targets resolved to block records;
+   - a name -> callee table replacing intrinsic prefix checks and the
+     linear module scan.
+
+   Caches key on the function record and its block-list spine, so a
+   module must not be structurally modified between [run]s on the same
+   interpreter (every pass runs before [create] in practice; create a
+   fresh interpreter after further transformation). *)
+
+type bexec = {
+  blk : Pir.Func.block;  (** underlying block (name, terminator) *)
+  all : Pir.Instr.instr array;  (** full instruction sequence *)
+  costs : float array;
+      (** [Cost.of_instr] per instruction — static given the model and
+          the function's type table, so paid once instead of per
+          execution (the [Call] case scans strings) *)
+  term_cost : float;
+  nphis : int;  (** length of the phi prefix of [all] *)
+  phis_by_pred : (string * operand option array) list;
+      (** for each incoming label: the operand each phi in the prefix
+          takes from that edge ([None] = phi lacks that edge) *)
+  mutable targets : targets;
+}
+
+and targets = Tnone | Tbr of bexec | Tcond of bexec * bexec
+
+type fexec = {
+  fn : Pir.Func.t;
+  blocks : Pir.Func.block list;  (** spine at build time (staleness check) *)
+  entry_be : bexec;
+}
+
+type callee =
+  | CMath  (** math / SLEEF / ispc library entry: [Mathlib.eval] *)
+  | CPsim  (** Parsimony intrinsic: traps outside SPMD execution *)
+  | CFunc of Pir.Func.t
+  | CUnknown
+
 type t = {
   modul : Pir.Func.modul;
   mem : Memory.t;
   model : Cost.model;
   stats : stats;
+  cyc : floatarray;
+      (** running cycle count: unboxed accumulator behind [charge],
+          flushed to [stats.cycles] when [run] returns ([stats.cycles]
+          is a float field of a mixed record, so adding to it directly
+          would box a fresh float per executed instruction) *)
   mutable fuel : int;
   count_cost : bool;
+  fexecs : (string, fexec) Hashtbl.t;
+  callees : (string, callee) Hashtbl.t;
 }
 
 let create ?(model = Cost.default) ?mem ?(fuel = 2_000_000_000) modul =
   let mem = match mem with Some m -> m | None -> Memory.create () in
-  { modul; mem; model; stats = empty_stats (); fuel; count_cost = true }
+  {
+    modul;
+    mem;
+    model;
+    stats = empty_stats ();
+    cyc = Float.Array.make 1 0.0;
+    fuel;
+    count_cost = true;
+    fexecs = Hashtbl.create 16;
+    callees = Hashtbl.create 32;
+  }
 
-let charge t c = t.stats.cycles <- t.stats.cycles +. c
+let build_fexec model (f : Pir.Func.t) : fexec =
+  let operand_ty = Pir.Func.ty_of_operand f in
+  let bexecs =
+    List.map
+      (fun (b : Pir.Func.block) ->
+        let all = Array.of_list b.instrs in
+        let costs = Array.map (Cost.of_instr model ~operand_ty) all in
+        let term_cost = Cost.of_terminator model b.term in
+        let n = Array.length all in
+        let nphis =
+          let i = ref 0 in
+          while
+            !i < n && match all.(!i).op with Phi _ -> true | _ -> false
+          do
+            incr i
+          done;
+          !i
+        in
+        let preds =
+          (* union of incoming labels across the phi prefix, in
+             first-appearance order *)
+          let seen = ref [] in
+          for j = 0 to nphis - 1 do
+            match all.(j).op with
+            | Phi incoming ->
+                List.iter
+                  (fun (l, _) ->
+                    if not (List.mem l !seen) then seen := l :: !seen)
+                  incoming
+            | _ -> assert false
+          done;
+          List.rev !seen
+        in
+        let phis_by_pred =
+          List.map
+            (fun p ->
+              ( p,
+                Array.init nphis (fun j ->
+                    match all.(j).op with
+                    | Phi incoming -> List.assoc_opt p incoming
+                    | _ -> assert false) ))
+            preds
+        in
+        { blk = b; all; costs; term_cost; nphis; phis_by_pred; targets = Tnone })
+      f.blocks
+  in
+  let tbl = Hashtbl.create 16 in
+  List.iter (fun be -> Hashtbl.replace tbl be.blk.bname be) bexecs;
+  let resolve l =
+    match Hashtbl.find_opt tbl l with
+    | Some be -> be
+    | None ->
+        Fmt.invalid_arg "Func.find_block: no block %%%s in %s" l f.fname
+  in
+  List.iter
+    (fun be ->
+      be.targets <-
+        (match be.blk.term with
+        | Br l -> Tbr (resolve l)
+        | CondBr (_, l1, l2) -> Tcond (resolve l1, resolve l2)
+        | Ret _ | Unreachable -> Tnone))
+    bexecs;
+  match bexecs with
+  | [] -> Fmt.invalid_arg "Func.entry: %s has no blocks" f.fname
+  | entry_be :: _ -> { fn = f; blocks = f.blocks; entry_be }
+
+let fexec_of t (f : Pir.Func.t) : fexec =
+  match Hashtbl.find_opt t.fexecs f.fname with
+  | Some fe when fe.fn == f && fe.blocks == f.blocks -> fe
+  | _ ->
+      let fe = build_fexec t.model f in
+      Hashtbl.replace t.fexecs f.fname fe;
+      fe
+
+let callee_of t name : callee =
+  match Hashtbl.find_opt t.callees name with
+  | Some c -> c
+  | None ->
+      let c =
+        if
+          Pir.Intrinsics.is_math name || Pir.Intrinsics.is_sleef name
+          || Pir.Intrinsics.is_ispc name
+        then CMath
+        else if Pir.Intrinsics.is_psim name then CPsim
+        else
+          match Pir.Func.find_func_opt t.modul name with
+          | Some callee -> CFunc callee
+          | None -> CUnknown
+      in
+      Hashtbl.replace t.callees name c;
+      c
+
+let charge t c =
+  Float.Array.unsafe_set t.cyc 0 (Float.Array.unsafe_get t.cyc 0 +. c)
+
+(** Make [stats.cycles] reflect the unboxed accumulator (see [cyc]). *)
+let flush_cycles t = t.stats.cycles <- Float.Array.get t.cyc 0
 
 let burn t =
   t.fuel <- t.fuel - 1;
   if t.fuel <= 0 then trap "out of fuel (infinite loop?)"
 
-(* -- environments -- *)
+(* -- environments --
 
-type env = { vals : Value.t array }
+   The [get]/[oty] resolvers live in the environment so the interpreter
+   allocates them once per function invocation instead of once per
+   executed instruction (they are passed to [Eval.pure_op] on every
+   data operation). *)
+
+type env = {
+  vals : Value.t array;
+  get : operand -> Value.t;
+  oty : operand -> Pir.Types.t;
+}
+
+let get_operand env (o : operand) : Value.t =
+  match o with
+  | Var v -> env.vals.(v)
+  | Const (Cint (_, x)) -> Value.I x
+  | Const (Cfloat (s, x)) -> Value.F (Value.round_float s x)
+  | Const (Cvec (_, a)) -> Value.VI (Array.copy a)
 
 let make_env (f : Pir.Func.t) args =
   let vals = Array.make (max 1 f.next_id) Value.Unit in
@@ -74,14 +252,10 @@ let make_env (f : Pir.Func.t) args =
    with Invalid_argument _ ->
      trap "call to %s with %d args (expected %d)" f.fname (List.length args)
        (List.length f.params));
-  { vals }
-
-let get_operand env (o : operand) : Value.t =
-  match o with
-  | Var v -> env.vals.(v)
-  | Const (Cint (_, x)) -> Value.I x
-  | Const (Cfloat (s, x)) -> Value.F (Value.round_float s x)
-  | Const (Cvec (_, a)) -> Value.VI (Array.copy a)
+  let rec env =
+    { vals; get = (fun o -> get_operand env o); oty = Pir.Func.ty_of_operand f }
+  in
+  env
 
 (* -- memory operation helpers -- *)
 
@@ -96,18 +270,50 @@ let active_lanes mask n =
   | Some (Value.VI m) -> Array.map (fun x -> x <> 0L) m
   | Some v -> trap "bad mask %a" Value.pp v
 
+(* Evaluate a block's phi prefix on entry from [prev_label], with the
+   same fuel/stat/cost accounting as [exec_instr] per phi.  Phis read
+   their inputs simultaneously: all operands are evaluated before any
+   result is assigned. *)
+let exec_phis t (f : Pir.Func.t) env (be : bexec) ~prev_label =
+  if be.nphis > 0 then begin
+    let ops =
+      match List.assoc_opt prev_label be.phis_by_pred with
+      | Some ops -> ops
+      | None ->
+          trap "phi in %s has no incoming for predecessor %s" f.fname
+            prev_label
+    in
+    let vals = Array.make be.nphis Value.Unit in
+    for j = 0 to be.nphis - 1 do
+      let i = be.all.(j) in
+      burn t;
+      t.stats.instrs <- t.stats.instrs + 1;
+      if Pir.Types.is_vector i.ty then
+        t.stats.vector_instrs <- t.stats.vector_instrs + 1;
+      if t.count_cost then charge t be.costs.(j);
+      match ops.(j) with
+      | Some o -> vals.(j) <- get_operand env o
+      | None ->
+          trap "phi in %s has no incoming for predecessor %s" f.fname
+            prev_label
+    done;
+    for j = 0 to be.nphis - 1 do
+      env.vals.(be.all.(j).id) <- vals.(j)
+    done
+  end
+
 (* -- instruction execution (shared by both engines) --
    [exec_call] handles Call ops; everything else is interpreted here. *)
 
-let rec exec_instr t (f : Pir.Func.t) env ~prev_label ~exec_call (i : instr) :
-    Value.t =
-  let get = get_operand env in
-  let operand_ty = Pir.Func.ty_of_operand f in
+let rec exec_instr t (f : Pir.Func.t) env ~prev_label ~exec_call ~cost
+    (i : instr) : Value.t =
+  let get = env.get in
+  let operand_ty = env.oty in
   burn t;
   t.stats.instrs <- t.stats.instrs + 1;
   if Pir.Types.is_vector i.ty then
     t.stats.vector_instrs <- t.stats.vector_instrs + 1;
-  if t.count_cost then charge t (Cost.of_instr t.model ~operand_ty i);
+  if t.count_cost then charge t cost;
   match i.op with
   | Alloca (s, n) ->
       Value.I (Int64.of_int (Memory.alloc t.mem (Pir.Types.scalar_bytes s * n)))
@@ -126,60 +332,117 @@ let rec exec_instr t (f : Pir.Func.t) env ~prev_label ~exec_call (i : instr) :
       let iw = Pir.Types.scalar_bits (Pir.Types.elem (operand_ty idx)) in
       let off = Pir.Ints.sext iw (Value.as_int (get idx)) in
       Value.I (Int64.add base (Int64.mul off (Int64.of_int esz)))
-  | VLoad (p, mask) ->
+  | VLoad (p, mask) -> (
       let s, esz = elem_size f p in
       let n = Pir.Types.lanes i.ty in
       let base = Int64.to_int (Value.as_int (get p)) in
-      let act = active_lanes (Option.map get mask) n in
       t.stats.packed_mem <- t.stats.packed_mem + 1;
-      Value.of_lanes s
-        (Array.init n (fun l ->
-             if act.(l) then Memory.load_scalar t.mem s (base + (l * esz))
-             else Value.zero (Pir.Types.Scalar s)))
-  | VStore (v, p, mask) ->
+      (* unmasked packed loads fill the lane array unboxed *)
+      match mask with
+      | None when Pir.Types.is_float_scalar s ->
+          let r = Array.make n 0.0 in
+          for l = 0 to n - 1 do
+            Array.unsafe_set r l (Memory.load_float t.mem s (base + (l * esz)))
+          done;
+          Value.VF r
+      | None ->
+          let r = Array.make n 0L in
+          for l = 0 to n - 1 do
+            Array.unsafe_set r l (Memory.load_int t.mem s (base + (l * esz)))
+          done;
+          Value.VI r
+      | Some _ ->
+          let act = active_lanes (Option.map get mask) n in
+          Value.of_lanes s
+            (Array.init n (fun l ->
+                 if act.(l) then Memory.load_scalar t.mem s (base + (l * esz))
+                 else Value.zero (Pir.Types.Scalar s))))
+  | VStore (v, p, mask) -> (
       let s, esz = elem_size f p in
       let vv = get v in
-      let n = Value.lanes vv in
       let base = Int64.to_int (Value.as_int (get p)) in
-      let act = active_lanes (Option.map get mask) n in
       t.stats.packed_mem <- t.stats.packed_mem + 1;
-      for l = 0 to n - 1 do
-        if act.(l) then Memory.store_scalar t.mem s (base + (l * esz)) (Value.lane vv l)
-      done;
-      Value.Unit
-  | Gather (b, idx, mask) ->
+      match (mask, vv) with
+      | None, Value.VI x when not (Pir.Types.is_float_scalar s) ->
+          for l = 0 to Array.length x - 1 do
+            Memory.store_int t.mem s (base + (l * esz)) (Array.unsafe_get x l)
+          done;
+          Value.Unit
+      | None, Value.VF x when Pir.Types.is_float_scalar s ->
+          for l = 0 to Array.length x - 1 do
+            Memory.store_float t.mem s (base + (l * esz)) (Array.unsafe_get x l)
+          done;
+          Value.Unit
+      | _ ->
+          let n = Value.lanes vv in
+          let act = active_lanes (Option.map get mask) n in
+          for l = 0 to n - 1 do
+            if act.(l) then
+              Memory.store_scalar t.mem s (base + (l * esz)) (Value.lane vv l)
+          done;
+          Value.Unit)
+  | Gather (b, idx, mask) -> (
       let s, esz = elem_size f b in
       let base = Value.as_int (get b) in
       let idxs = Value.as_ivec (get idx) in
       let iw = Pir.Types.scalar_bits (Pir.Types.elem (operand_ty idx)) in
       let n = Array.length idxs in
-      let act = active_lanes (Option.map get mask) n in
       t.stats.gathers <- t.stats.gathers + 1;
-      Value.of_lanes s
-        (Array.init n (fun l ->
-             if act.(l) then
-               let addr =
-                 Int64.add base (Int64.mul (Pir.Ints.sext iw idxs.(l)) (Int64.of_int esz))
-               in
-               Memory.load_scalar t.mem s (Int64.to_int addr)
-             else Value.zero (Pir.Types.Scalar s)))
-  | Scatter (v, b, idx, mask) ->
+      let lane_addr l =
+        Int64.to_int
+          (Int64.add base
+             (Int64.mul (Pir.Ints.sext iw idxs.(l)) (Int64.of_int esz)))
+      in
+      match mask with
+      | None when Pir.Types.is_float_scalar s ->
+          let r = Array.make n 0.0 in
+          for l = 0 to n - 1 do
+            Array.unsafe_set r l (Memory.load_float t.mem s (lane_addr l))
+          done;
+          Value.VF r
+      | None ->
+          let r = Array.make n 0L in
+          for l = 0 to n - 1 do
+            Array.unsafe_set r l (Memory.load_int t.mem s (lane_addr l))
+          done;
+          Value.VI r
+      | Some _ ->
+          let act = active_lanes (Option.map get mask) n in
+          Value.of_lanes s
+            (Array.init n (fun l ->
+                 if act.(l) then Memory.load_scalar t.mem s (lane_addr l)
+                 else Value.zero (Pir.Types.Scalar s))))
+  | Scatter (v, b, idx, mask) -> (
       let s, esz = elem_size f b in
       let vv = get v in
       let base = Value.as_int (get b) in
       let idxs = Value.as_ivec (get idx) in
       let iw = Pir.Types.scalar_bits (Pir.Types.elem (operand_ty idx)) in
       let n = Array.length idxs in
-      let act = active_lanes (Option.map get mask) n in
       t.stats.scatters <- t.stats.scatters + 1;
-      for l = 0 to n - 1 do
-        if act.(l) then
-          let addr =
-            Int64.add base (Int64.mul (Pir.Ints.sext iw idxs.(l)) (Int64.of_int esz))
-          in
-          Memory.store_scalar t.mem s (Int64.to_int addr) (Value.lane vv l)
-      done;
-      Value.Unit
+      let lane_addr l =
+        Int64.to_int
+          (Int64.add base
+             (Int64.mul (Pir.Ints.sext iw idxs.(l)) (Int64.of_int esz)))
+      in
+      match (mask, vv) with
+      | None, Value.VI x when not (Pir.Types.is_float_scalar s) ->
+          for l = 0 to n - 1 do
+            Memory.store_int t.mem s (lane_addr l) (Array.unsafe_get x l)
+          done;
+          Value.Unit
+      | None, Value.VF x when Pir.Types.is_float_scalar s ->
+          for l = 0 to n - 1 do
+            Memory.store_float t.mem s (lane_addr l) (Array.unsafe_get x l)
+          done;
+          Value.Unit
+      | _ ->
+          let act = active_lanes (Option.map get mask) n in
+          for l = 0 to n - 1 do
+            if act.(l) then
+              Memory.store_scalar t.mem s (lane_addr l) (Value.lane vv l)
+          done;
+          Value.Unit)
   | Call (name, args) -> exec_call i name (List.map get args)
   | Phi incoming -> (
       match List.assoc_opt prev_label incoming with
@@ -193,49 +456,48 @@ and exec_func t (f : Pir.Func.t) (args : Value.t list) : Value.t =
   match f.spmd with
   | Some _ -> run_spmd_gang t f args
   | None ->
+      let fe = fexec_of t f in
       let env = make_env f args in
       let frame = Memory.mark t.mem in
       let exec_call _instr name vargs = dispatch_call t name vargs in
-      let rec run (block : Pir.Func.block) prev_label =
-        (* Phis read their inputs simultaneously: evaluate all first. *)
-        let rec split_phis acc = function
-          | ({ op = Phi _; _ } as i) :: rest -> split_phis (i :: acc) rest
-          | rest -> (List.rev acc, rest)
-        in
-        let phis, body = split_phis [] block.instrs in
-        let phi_vals =
-          List.map (fun i -> (i.id, exec_instr t f env ~prev_label ~exec_call i)) phis
-        in
-        List.iter (fun (id, v) -> env.vals.(id) <- v) phi_vals;
-        List.iter
-          (fun i ->
-            let v = exec_instr t f env ~prev_label ~exec_call i in
-            if i.ty <> Pir.Types.Void then env.vals.(i.id) <- v)
-          body;
-        if t.count_cost then charge t (Cost.of_terminator t.model block.term);
-        match block.term with
-        | Br l -> run (Pir.Func.find_block f l) block.bname
-        | CondBr (c, l1, l2) ->
-            let target = if Value.as_bool (get_operand env c) then l1 else l2 in
-            run (Pir.Func.find_block f target) block.bname
+      let rec run (be : bexec) prev_label =
+        exec_phis t f env be ~prev_label;
+        let all = be.all and costs = be.costs in
+        for k = be.nphis to Array.length all - 1 do
+          let i = Array.unsafe_get all k in
+          let v =
+            exec_instr t f env ~prev_label ~exec_call
+              ~cost:(Array.unsafe_get costs k) i
+          in
+          if i.ty <> Pir.Types.Void then env.vals.(i.id) <- v
+        done;
+        if t.count_cost then charge t be.term_cost;
+        match be.blk.term with
+        | Br _ -> (
+            match be.targets with
+            | Tbr nb -> run nb be.blk.bname
+            | _ -> assert false)
+        | CondBr (c, _, _) -> (
+            match be.targets with
+            | Tcond (bt, bf) ->
+                run
+                  (if Value.as_bool (get_operand env c) then bt else bf)
+                  be.blk.bname
+            | _ -> assert false)
         | Ret None -> Value.Unit
         | Ret (Some o) -> get_operand env o
         | Unreachable -> trap "reached unreachable in %s" f.fname
       in
-      let result = run (Pir.Func.entry f) "$entry" in
+      let result = run fe.entry_be "$entry" in
       Memory.release t.mem frame;
       result
 
 and dispatch_call t name args : Value.t =
-  if Pir.Intrinsics.is_math name || Pir.Intrinsics.is_sleef name
-     || Pir.Intrinsics.is_ispc name
-  then Mathlib.eval name args
-  else if Pir.Intrinsics.is_psim name then
-    trap "Parsimony intrinsic %s outside SPMD execution" name
-  else
-    match Pir.Func.find_func_opt t.modul name with
-    | Some callee -> exec_func t callee args
-    | None -> trap "call to unknown function %s" name
+  match callee_of t name with
+  | CMath -> Mathlib.eval name args
+  | CPsim -> trap "Parsimony intrinsic %s outside SPMD execution" name
+  | CFunc callee -> exec_func t callee args
+  | CUnknown -> trap "call to unknown function %s" name
 
 (* -- SPMD reference executor -- *)
 
@@ -258,13 +520,14 @@ and run_spmd_gang t (f : Pir.Func.t) (args : Value.t list) : Value.t =
       max 0 (min gang_size (Int64.to_int rem))
     else gang_size
   in
+  let fe = fexec_of t f in
   let module TS = struct
     type status = Running | AtSync of instr * Value.t list | Finished
 
     type thread = {
       lane : int;
       env : env;
-      mutable block : Pir.Func.block;
+      mutable be : bexec;
       mutable idx : int;
       mutable prev : string;
       mutable status : status;
@@ -276,7 +539,7 @@ and run_spmd_gang t (f : Pir.Func.t) (args : Value.t list) : Value.t =
         {
           lane;
           env = make_env f args;
-          block = Pir.Func.entry f;
+          be = fe.entry_be;
           idx = 0;
           prev = "$entry";
           status = Running;
@@ -295,27 +558,21 @@ and run_spmd_gang t (f : Pir.Func.t) (args : Value.t list) : Value.t =
       else if name = Pir.Intrinsics.lane_num then Value.I (Int64.of_int th.lane)
       else dispatch_call t name vargs
     in
-    let enter_block name =
-      th.prev <- th.block.bname;
-      th.block <- Pir.Func.find_block f name;
-      let rec phis acc = function
-        | ({ op = Phi _; _ } as i) :: rest -> phis (i :: acc) rest
-        | _ -> List.rev acc
-      in
-      let phi_instrs = phis [] th.block.instrs in
-      let vals =
-        List.map
-          (fun i -> (i.id, exec_instr t f th.env ~prev_label:th.prev ~exec_call i))
-          phi_instrs
-      in
-      List.iter (fun (id, v) -> th.env.vals.(id) <- v) vals;
-      th.idx <- List.length phi_instrs
+    let enter_bexec (nb : bexec) =
+      th.prev <- th.be.blk.bname;
+      th.be <- nb;
+      exec_phis t f th.env nb ~prev_label:th.prev;
+      th.idx <- nb.nphis
     in
     let continue = ref true in
     while !continue && th.status = Running do
-      if th.idx < List.length th.block.instrs then begin
-        let i = List.nth th.block.instrs th.idx in
-        let v = exec_instr t f th.env ~prev_label:th.prev ~exec_call i in
+      let all = th.be.all in
+      if th.idx < Array.length all then begin
+        let i = Array.unsafe_get all th.idx in
+        let v =
+          exec_instr t f th.env ~prev_label:th.prev ~exec_call
+            ~cost:(Array.unsafe_get th.be.costs th.idx) i
+        in
         match th.status with
         | AtSync _ -> () (* parked; do not advance; re-run on wake *)
         | _ ->
@@ -323,11 +580,18 @@ and run_spmd_gang t (f : Pir.Func.t) (args : Value.t list) : Value.t =
             th.idx <- th.idx + 1
       end
       else begin
-        if t.count_cost then charge t (Cost.of_terminator t.model th.block.term);
-        match th.block.term with
-        | Br l -> enter_block l
-        | CondBr (c, l1, l2) ->
-            enter_block (if Value.as_bool (get_operand th.env c) then l1 else l2)
+        if t.count_cost then charge t th.be.term_cost;
+        match th.be.blk.term with
+        | Br _ -> (
+            match th.be.targets with
+            | Tbr nb -> enter_bexec nb
+            | _ -> assert false)
+        | CondBr (c, _, _) -> (
+            match th.be.targets with
+            | Tcond (bt, bf) ->
+                enter_bexec
+                  (if Value.as_bool (get_operand th.env c) then bt else bf)
+            | _ -> assert false)
         | Ret _ ->
             th.status <- Finished;
             continue := false
@@ -432,4 +696,11 @@ and run_spmd_gang t (f : Pir.Func.t) (args : Value.t list) : Value.t =
   Value.Unit
 
 (** Run function [name] with [args]; returns its result. *)
-let run t name args = exec_func t (Pir.Func.find_func t.modul name) args
+let run t name args =
+  match exec_func t (Pir.Func.find_func t.modul name) args with
+  | v ->
+      flush_cycles t;
+      v
+  | exception e ->
+      flush_cycles t;
+      raise e

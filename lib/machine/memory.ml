@@ -61,6 +61,47 @@ let store_scalar t (s : Pir.Types.scalar) addr (v : Value.t) =
   | F64, Value.F x -> Bytes.set_int64_le t.data addr (Int64.bits_of_float x)
   | _ -> Fmt.invalid_arg "Memory.store_scalar: %a as %a" Value.pp v Pir.Types.pp (Pir.Types.Scalar s)
 
+(* -- Unboxed scalar accessors --
+
+   Same semantics (bounds checks, canonical zero-extension, rounding)
+   as [load_scalar]/[store_scalar] but without boxing each element in a
+   [Value.t]; the interpreter's packed/gather fast paths use these to
+   fill lane arrays directly. *)
+
+let load_int t (s : Pir.Types.scalar) addr : int64 =
+  check t addr (Pir.Types.scalar_bytes s) "load";
+  match s with
+  | I1 -> if Bytes.get_uint8 t.data addr <> 0 then 1L else 0L
+  | I8 -> Int64.of_int (Bytes.get_uint8 t.data addr)
+  | I16 -> Int64.of_int (Bytes.get_uint16_le t.data addr)
+  | I32 -> Int64.logand (Int64.of_int32 (Bytes.get_int32_le t.data addr)) 0xFFFFFFFFL
+  | I64 -> Bytes.get_int64_le t.data addr
+  | F32 | F64 -> Fmt.invalid_arg "Memory.load_int: %a" Pir.Types.pp (Pir.Types.Scalar s)
+
+let load_float t (s : Pir.Types.scalar) addr : float =
+  check t addr (Pir.Types.scalar_bytes s) "load";
+  match s with
+  | F32 -> Int32.float_of_bits (Bytes.get_int32_le t.data addr)
+  | F64 -> Int64.float_of_bits (Bytes.get_int64_le t.data addr)
+  | _ -> Fmt.invalid_arg "Memory.load_float: %a" Pir.Types.pp (Pir.Types.Scalar s)
+
+let store_int t (s : Pir.Types.scalar) addr (x : int64) =
+  check t addr (Pir.Types.scalar_bytes s) "store";
+  match s with
+  | I1 -> Bytes.set_uint8 t.data addr (if x = 0L then 0 else 1)
+  | I8 -> Bytes.set_uint8 t.data addr (Int64.to_int (Int64.logand x 0xFFL))
+  | I16 -> Bytes.set_uint16_le t.data addr (Int64.to_int (Int64.logand x 0xFFFFL))
+  | I32 -> Bytes.set_int32_le t.data addr (Int64.to_int32 x)
+  | I64 -> Bytes.set_int64_le t.data addr x
+  | F32 | F64 -> Fmt.invalid_arg "Memory.store_int: %a" Pir.Types.pp (Pir.Types.Scalar s)
+
+let store_float t (s : Pir.Types.scalar) addr (x : float) =
+  check t addr (Pir.Types.scalar_bytes s) "store";
+  match s with
+  | F32 -> Bytes.set_int32_le t.data addr (Int32.bits_of_float x)
+  | F64 -> Bytes.set_int64_le t.data addr (Int64.bits_of_float x)
+  | _ -> Fmt.invalid_arg "Memory.store_float: %a" Pir.Types.pp (Pir.Types.Scalar s)
+
 (* -- Bulk helpers used by workload setup and result checking -- *)
 
 let write_bytes t addr (b : bytes) =

@@ -1,0 +1,171 @@
+(** Fixed-size OCaml 5 [Domain] worker pool for the benchmark harness.
+
+    The environment has no domainslib, so this is a small, dependency-free
+    work-sharing pool: a task queue protected by a mutex/condition pair,
+    drained by [size] worker domains that live for the lifetime of the
+    pool.  The one aggregate operation the harness needs is
+    [map]: a chunked, order-preserving parallel map with exception
+    propagation.
+
+    Design constraints (see DESIGN.md "Parallel harness"):
+
+    - *Order preservation*: [map p f xs] returns results positionally,
+      exactly as [List.map f xs] would, no matter how work is scheduled.
+    - *Exception propagation*: if any [f x] raises, the first exception
+      in input order is re-raised (with its backtrace) on the calling
+      domain after all in-flight work drains.  Remaining items still
+      run; the pool stays usable.
+    - *Degenerate sizes*: a pool of size <= 1 spawns no domains and
+      [map] runs inline, so [--jobs 1] is exactly the serial harness.
+    - *No nesting*: calling [map] from inside a task of the same pool
+      is not supported (workers never execute nested maps and the
+      caller would deadlock waiting for occupied workers). *)
+
+type task = unit -> unit
+
+type t = {
+  size : int;
+  mutex : Mutex.t;
+  nonempty : Condition.t;
+  queue : task Queue.t;
+  mutable stopped : bool;
+  mutable workers : unit Domain.t list;
+}
+
+let size t = t.size
+
+let rec worker_loop (t : t) =
+  Mutex.lock t.mutex;
+  while Queue.is_empty t.queue && not t.stopped do
+    Condition.wait t.nonempty t.mutex
+  done;
+  if Queue.is_empty t.queue && t.stopped then Mutex.unlock t.mutex
+  else begin
+    let task = Queue.pop t.queue in
+    Mutex.unlock t.mutex;
+    task ();
+    worker_loop t
+  end
+
+let create size =
+  let t =
+    {
+      size;
+      mutex = Mutex.create ();
+      nonempty = Condition.create ();
+      queue = Queue.create ();
+      stopped = false;
+      workers = [];
+    }
+  in
+  if size > 1 then
+    t.workers <- List.init size (fun _ -> Domain.spawn (fun () -> worker_loop t));
+  t
+
+let submit t task =
+  Mutex.lock t.mutex;
+  if t.stopped then begin
+    Mutex.unlock t.mutex;
+    invalid_arg "Pool.submit: pool is shut down"
+  end;
+  Queue.push task t.queue;
+  Condition.signal t.nonempty;
+  Mutex.unlock t.mutex
+
+let shutdown t =
+  Mutex.lock t.mutex;
+  t.stopped <- true;
+  Condition.broadcast t.nonempty;
+  Mutex.unlock t.mutex;
+  List.iter Domain.join t.workers;
+  t.workers <- []
+
+(* A slot is [None] until its item completes; workers write disjoint
+   slots, and the final join/condvar handshake publishes them to the
+   caller. *)
+type 'b outcome = Ok_ of 'b | Err of exn * Printexc.raw_backtrace
+
+let map ?chunk t f xs =
+  let arr = Array.of_list xs in
+  let n = Array.length arr in
+  if t.size <= 1 || n <= 1 then List.map f xs
+  else begin
+    let chunk =
+      match chunk with
+      | Some c when c >= 1 -> c
+      | Some c -> Fmt.invalid_arg "Pool.map: chunk %d < 1" c
+      | None ->
+          (* small chunks: harness tasks are few and wildly uneven in
+             cost, so favor load balance over amortizing the counter *)
+          max 1 (n / (t.size * 8))
+    in
+    let results = Array.make n None in
+    let next = Atomic.make 0 in
+    let remaining = Atomic.make n in
+    let done_mutex = Mutex.create () in
+    let done_cond = Condition.create () in
+    let work () =
+      let rec grab () =
+        let start = Atomic.fetch_and_add next chunk in
+        if start < n then begin
+          let stop = min n (start + chunk) in
+          for i = start to stop - 1 do
+            let r =
+              try Ok_ (f arr.(i))
+              with e -> Err (e, Printexc.get_raw_backtrace ())
+            in
+            results.(i) <- Some r
+          done;
+          (* publish completed slots before the caller can observe
+             [remaining] hitting zero *)
+          Mutex.lock done_mutex;
+          let left = Atomic.fetch_and_add remaining (start - stop) in
+          if left + (start - stop) <= 0 then Condition.broadcast done_cond;
+          Mutex.unlock done_mutex;
+          grab ()
+        end
+      in
+      grab ()
+    in
+    (* one work-stealing drain task per worker; each loops on the shared
+       index counter until the input is exhausted *)
+    for _ = 1 to min t.size n do
+      submit t work
+    done;
+    Mutex.lock done_mutex;
+    while Atomic.get remaining > 0 do
+      Condition.wait done_cond done_mutex
+    done;
+    Mutex.unlock done_mutex;
+    (* re-raise the first failure in input order *)
+    Array.iter
+      (function
+        | Some (Err (e, bt)) -> Printexc.raise_with_backtrace e bt
+        | Some (Ok_ _) | None -> ())
+      results;
+    Array.to_list
+      (Array.map
+         (function Some (Ok_ v) -> v | _ -> assert false)
+         results)
+  end
+
+let with_pool size f =
+  let t = create size in
+  Fun.protect ~finally:(fun () -> shutdown t) (fun () -> f t)
+
+(** [parallel_map ~jobs f xs]: one-shot convenience around a temporary
+    pool. *)
+let parallel_map ?chunk ~jobs f xs =
+  if jobs <= 1 then List.map f xs
+  else with_pool jobs (fun t -> map ?chunk t f xs)
+
+(** Worker count from the environment: [PARSIMONY_JOBS] if set and
+    positive, else the runtime's recommendation capped at 8 (the
+    harness task mix stops scaling past the figure-sweep width). *)
+let default_jobs () =
+  match Sys.getenv_opt "PARSIMONY_JOBS" with
+  | Some s -> (
+      match int_of_string_opt (String.trim s) with
+      | Some n when n >= 1 -> n
+      | _ -> Fmt.invalid_arg "PARSIMONY_JOBS=%S: expected a positive integer" s)
+  | None -> max 1 (min 8 (Domain.recommended_domain_count ()))
