@@ -4,20 +4,23 @@
    itself (pass time, shape analysis, rule verification, interpreter).
 
    Usage: dune exec bench/main.exe [--] [fast] [--jobs N] [--json FILE]
+                                        [--trace FILE]
    - "fast" skips the Bechamel wall-clock section.
    - "--jobs N" sets the worker-domain count for the figure sweeps
      (default: PARSIMONY_JOBS, else the runtime's recommendation capped
      at 8).  The tables are byte-identical for every N.
-   - "--json FILE" additionally writes rows, geomeans and harness
-     wall-clock timings to FILE as JSON. *)
+   - "--json FILE" additionally writes rows, geomeans, harness
+     wall-clock timings and optimization-remark counts to FILE as JSON.
+   - "--trace FILE" records every harness section and compiler pass as a
+     span and writes a Chrome trace_event file (chrome://tracing). *)
 
 let pr fmt = Fmt.pr fmt
 
 let usage () =
-  Fmt.epr "usage: main.exe [fast] [--jobs N] [--json FILE]@.";
+  Fmt.epr "usage: main.exe [fast] [--jobs N] [--json FILE] [--trace FILE]@.";
   exit 2
 
-type cli = { fast : bool; jobs : int; json : string option }
+type cli = { fast : bool; jobs : int; json : string option; trace : string option }
 
 let parse_cli () =
   let jobs =
@@ -27,7 +30,7 @@ let parse_cli () =
       Fmt.epr "%s@." msg;
       usage ()
   in
-  let cli = ref { fast = false; jobs; json = None } in
+  let cli = ref { fast = false; jobs; json = None; trace = None } in
   let rec go = function
     | [] -> ()
     | "fast" :: rest -> cli := { !cli with fast = true }; go rest
@@ -38,7 +41,10 @@ let parse_cli () =
             Fmt.epr "--jobs %s: expected a positive integer@." n;
             usage ())
     | "--json" :: file :: rest -> cli := { !cli with json = Some file }; go rest
-    | [ (("--jobs" | "--json") as flag) ] ->
+    | "--trace" :: file :: rest ->
+        cli := { !cli with trace = Some file };
+        go rest
+    | [ (("--jobs" | "--json" | "--trace") as flag) ] ->
         Fmt.epr "%s requires a value@." flag;
         usage ()
     | arg :: _ ->
@@ -62,7 +68,7 @@ let timings : (string * float) list ref = ref []
 
 let timed section f =
   let t0 = Unix.gettimeofday () in
-  let r = f () in
+  let r = Pobs.Trace.with_span ~cat:"harness" section f in
   timings := !timings @ [ (section, Unix.gettimeofday () -. t0) ];
   r
 
@@ -170,6 +176,37 @@ let bechamel_benches () =
         results)
     [ test_frontend; test_shapes; test_vectorize; test_rules; test_interp ]
 
+(* Per-(pass, kind) optimization-remark tallies collected in
+   [Pobs.Remarks.Counts] mode during the figure sweeps; keys like
+   "parsimony.passed".  Already sorted deterministically. *)
+let remark_counts_json () =
+  let open Pharness.Json_out in
+  Obj
+    (List.map
+       (fun (pass, kind, n) ->
+         (pass ^ "." ^ Pobs.Remarks.kind_name kind, Int n))
+       (Pobs.Remarks.counts ()))
+
+(* Aggregate recorded spans by name: count and total inclusive time.
+   Only meaningful under --trace (empty object otherwise). *)
+let spans_json () =
+  let open Pharness.Json_out in
+  let tally = Hashtbl.create 32 in
+  List.iter
+    (function
+      | Pobs.Trace.Span s ->
+          let c, t =
+            Option.value ~default:(0, 0) (Hashtbl.find_opt tally s.name)
+          in
+          Hashtbl.replace tally s.name (c + 1, t + s.dur_us)
+      | Pobs.Trace.Instant _ | Pobs.Trace.Counter _ -> ())
+    (Pobs.Trace.events ());
+  Hashtbl.fold (fun name (c, t) acc -> (name, c, t) :: acc) tally []
+  |> List.sort (fun (a, _, _) (b, _, _) -> String.compare a b)
+  |> List.map (fun (name, c, t) ->
+         (name, Obj [ ("count", Int c); ("total_us", Int t) ]))
+  |> fun fields -> Obj fields
+
 let emit_json file (f4, f5, ab) jobs =
   let open Pharness.Json_out in
   let hits, misses = Pharness.Runner.Compile_cache.stats () in
@@ -184,6 +221,8 @@ let emit_json file (f4, f5, ab) jobs =
           Obj (List.map (fun (s, dt) -> (s, Float dt)) !timings) );
         ( "compile_cache",
           Obj [ ("hits", Int hits); ("misses", Int misses) ] );
+        ("remark_counts", remark_counts_json ());
+        ("spans", spans_json ());
       ]
   in
   write file v;
@@ -191,6 +230,11 @@ let emit_json file (f4, f5, ab) jobs =
 
 let () =
   let cli = parse_cli () in
+  Pobs.Logging.setup ();
+  Option.iter (fun _ -> Pobs.Trace.enable ()) cli.trace;
+  (* Tally remarks (cheap Counts mode, no text rendering) only when the
+     JSON report will consume them; the default path stays remark-free. *)
+  if cli.json <> None then Pobs.Remarks.set_mode Pobs.Remarks.Counts;
   let figs =
     Pparallel.Pool.with_pool cli.jobs (fun pool ->
         timed "figures_total" (fun () -> run_figures pool))
@@ -199,4 +243,9 @@ let () =
   pr "@.== Harness timings (wall clock, --jobs %d) ==@." cli.jobs;
   List.iter (fun (s, dt) -> pr "%-36s %9.3fs@." s dt) !timings;
   Option.iter (fun file -> emit_json file figs cli.jobs) cli.json;
+  Option.iter
+    (fun file ->
+      Pobs.Trace.write_chrome file;
+      pr "wrote trace to %s@." file)
+    cli.trace;
   pr "@.done.@."

@@ -7,30 +7,136 @@
      psimc vec FILE.psim            print the vectorized PIR
      psimc shapes FILE.psim         print shape analysis results
      psimc run FILE.psim -e F ARGS  execute function F on the simulator
+     psimc profile FILE.psim -e F   execute and print a hot-block profile
      psimc autovec FILE.psim        run the auto-vectorizer baseline
-     psimc verify-rules             offline shape-rule verification *)
+     psimc verify-rules             offline shape-rule verification
+
+   FILE may also name a built-in benchmark kernel (e.g. "mandelbrot"):
+   its PsimC source from the registry is compiled instead.
+
+   Observability flags, accepted by every compiling subcommand:
+     --remarks        print optimization remarks (LLVM -Rpass style)
+     --trace FILE     write a Chrome trace_event JSON of the pipeline
+     --dump-ir DIR    write an IR snapshot after each pass
+     --verbosity L    stderr log level (quiet|app|error|warning|info|debug;
+                      default from PARSIMONY_LOG, else warning) *)
 
 open Cmdliner
 
-let read_file path =
-  let ic = open_in_bin path in
-  let n = in_channel_length ic in
-  let s = really_input_string ic n in
-  close_in ic;
-  s
+(* resolve FILE: a path on disk, or the name of a built-in kernel from
+   the Figure-5 (Simd Library) or Figure-4 (ispc) registries *)
+let load_source path =
+  if Sys.file_exists path then
+    (Filename.basename path, Pharness.Pipeline.read_file path)
+  else
+    match
+      List.find_opt
+        (fun (k : Psimdlib.Workload.kernel) -> k.kname = path)
+        (Psimdlib.Registry.all @ Pispc.Suite.all)
+    with
+    | Some k -> (k.kname, k.psim_src)
+    | None ->
+        Fmt.epr "psimc: %s: no such file or built-in kernel@." path;
+        exit 1
 
-let compile_file ?(simplify = true) ~vectorize ~opts path =
-  let m = Pfrontend.Lower.compile ~name:(Filename.basename path) (read_file path) in
-  Panalysis.Check.check_module m;
-  let reports = if vectorize then Parsimony.Vectorizer.run_module ~opts m else [] in
-  if vectorize then Panalysis.Check.check_module m;
-  if simplify then Parsimony.Simplify.run_module m;
-  (m, reports)
+(* -- observability options (shared by all compiling subcommands) -- *)
+
+type obs = {
+  remarks : bool;
+  trace : string option;
+  dump_ir : string option;
+  verbosity : Logs.level option option;
+}
+
+let obs_term =
+  let remarks =
+    Arg.(
+      value & flag
+      & info [ "remarks" ]
+          ~doc:"Print optimization remarks (passed/missed/analysis) to stderr")
+  in
+  let trace =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "trace" ] ~docv:"FILE"
+          ~doc:"Write a Chrome trace_event JSON trace to $(docv)")
+  in
+  let dump_ir =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "dump-ir" ] ~docv:"DIR"
+          ~doc:"Dump the IR after each pass into $(docv)")
+  in
+  let verbosity =
+    let level_conv =
+      Arg.conv
+        ( (fun s ->
+            match Pobs.Logging.level_of_string s with
+            | Ok l -> Ok l
+            | Error msg -> Error (`Msg msg)),
+          fun ppf l ->
+            Fmt.string ppf
+              (match l with
+              | None -> "quiet"
+              | Some l -> Logs.level_to_string (Some l)) )
+    in
+    Arg.(
+      value
+      & opt (some level_conv) None
+      & info [ "verbosity" ] ~docv:"LEVEL"
+          ~doc:
+            "Stderr log level: quiet, app, error, warning, info or debug \
+             (default: $(b,PARSIMONY_LOG), else warning)")
+  in
+  let mk remarks trace dump_ir verbosity =
+    { remarks; trace; dump_ir; verbosity }
+  in
+  Term.(const mk $ remarks $ trace $ dump_ir $ verbosity)
+
+(* Run [f] with the requested observability active; afterwards print
+   collected remarks to stderr and write the trace file. *)
+let with_obs (o : obs) f =
+  Pobs.Logging.setup ?level:o.verbosity ();
+  if o.remarks then Pobs.Remarks.set_mode Pobs.Remarks.Full;
+  if o.trace <> None then Pobs.Trace.enable ();
+  let finish () =
+    if o.remarks then begin
+      List.iter (fun r -> Fmt.epr "%a@." Pobs.Remarks.pp r)
+        (Pobs.Remarks.drain ());
+      Pobs.Remarks.set_mode Pobs.Remarks.Off
+    end;
+    match o.trace with
+    | Some file ->
+        Pobs.Trace.write_chrome file;
+        Pobs.Trace.disable ();
+        Fmt.epr "wrote trace to %s@." file
+    | None -> ()
+  in
+  Fun.protect ~finally:finish f
+
+let cfg_of_obs ?(vectorize = true) ?(simplify = true) (o : obs) opts =
+  {
+    Pharness.Pipeline.default with
+    vectorize;
+    simplify;
+    opts;
+    dump_ir = o.dump_ir;
+  }
+
+let compile_source ?vectorize ?simplify o opts file =
+  let name, src = load_source file in
+  Pharness.Pipeline.compile ~cfg:(cfg_of_obs ?vectorize ?simplify o opts) ~name
+    src
 
 (* -- common options -- *)
 
 let file_arg =
-  Arg.(required & pos 0 (some file) None & info [] ~docv:"FILE" ~doc:"PsimC source file")
+  Arg.(
+    required
+    & pos 0 (some string) None
+    & info [] ~docv:"FILE" ~doc:"PsimC source file or built-in kernel name")
 
 let math_lib =
   Arg.(
@@ -58,129 +164,170 @@ let opts_term =
 (* -- subcommands -- *)
 
 let build_cmd =
-  let run opts file =
-    let _, reports = compile_file ~vectorize:true ~opts file in
-    List.iter
-      (fun r -> Fmt.pr "%a@." Parsimony.Vectorizer.pp_report r)
-      reports;
-    Fmt.pr "ok@."
+  let run obs opts file =
+    with_obs obs (fun () ->
+        let _, reports = compile_source obs opts file in
+        List.iter
+          (fun r -> Fmt.pr "%a@." Parsimony.Vectorizer.pp_report r)
+          reports;
+        Fmt.pr "ok@.")
   in
   Cmd.v (Cmd.info "build" ~doc:"Type-check and vectorize; print pass statistics")
-    Term.(const run $ opts_term $ file_arg)
+    Term.(const run $ obs_term $ opts_term $ file_arg)
 
 let ir_cmd =
-  let run file =
-    let m, _ = compile_file ~vectorize:false ~opts:Parsimony.Options.default file in
-    Fmt.pr "%a@." Pir.Printer.pp_module m
+  let run obs file =
+    with_obs obs (fun () ->
+        let m, _ =
+          compile_source ~vectorize:false obs Parsimony.Options.default file
+        in
+        Fmt.pr "%a@." Pir.Printer.pp_module m)
   in
   Cmd.v (Cmd.info "ir" ~doc:"Print the scalar PIR (before vectorization)")
-    Term.(const run $ file_arg)
+    Term.(const run $ obs_term $ file_arg)
 
 let vec_cmd =
-  let run opts file =
-    let m, _ = compile_file ~vectorize:true ~opts file in
-    Fmt.pr "%a@." Pir.Printer.pp_module m
+  let run obs opts file =
+    with_obs obs (fun () ->
+        let m, _ = compile_source obs opts file in
+        Fmt.pr "%a@." Pir.Printer.pp_module m)
   in
   Cmd.v (Cmd.info "vec" ~doc:"Print the vectorized PIR")
-    Term.(const run $ opts_term $ file_arg)
+    Term.(const run $ obs_term $ opts_term $ file_arg)
 
 let shapes_cmd =
-  let run file =
-    let m, _ = compile_file ~vectorize:false ~simplify:false ~opts:Parsimony.Options.default file in
-    List.iter
-      (fun (f : Pir.Func.t) ->
-        match f.spmd with
-        | None -> ()
-        | Some _ ->
-            Fmt.pr "@.%a" Pir.Printer.pp_func f;
-            let info = Pshapes.Shapes.analyze f in
-            Pir.Func.iter_instrs f (fun _ i ->
-                if i.Pir.Instr.ty <> Pir.Types.Void then
-                  Fmt.pr "  %%%d : %a@." i.id Pshapes.Shapes.pp_shape
-                    (Pshapes.Shapes.shape_of info (Pir.Instr.Var i.id)));
-            Fmt.pr "rules fired:@.";
-            Hashtbl.iter
-              (fun r n -> Fmt.pr "  %-24s %d@." r n)
-              info.Pshapes.Shapes.rule_hits)
-      m.funcs
+  let run obs file =
+    with_obs obs (fun () ->
+        let m, _ =
+          compile_source ~vectorize:false ~simplify:false obs
+            Parsimony.Options.default file
+        in
+        List.iter
+          (fun (f : Pir.Func.t) ->
+            match f.spmd with
+            | None -> ()
+            | Some _ ->
+                Fmt.pr "@.%a" Pir.Printer.pp_func f;
+                let info = Pshapes.Shapes.analyze f in
+                Pir.Func.iter_instrs f (fun _ i ->
+                    if i.Pir.Instr.ty <> Pir.Types.Void then
+                      Fmt.pr "  %%%d : %a@." i.id Pshapes.Shapes.pp_shape
+                        (Pshapes.Shapes.shape_of info (Pir.Instr.Var i.id)));
+                Fmt.pr "rules fired:@.";
+                (* sorted: Hashtbl iteration order is not deterministic *)
+                Hashtbl.fold (fun r n acc -> (r, n) :: acc)
+                  info.Pshapes.Shapes.rule_hits []
+                |> List.sort (fun (a, _) (b, _) -> String.compare a b)
+                |> List.iter (fun (r, n) -> Fmt.pr "  %-24s %d@." r n))
+          m.funcs)
   in
   Cmd.v
     (Cmd.info "shapes"
        ~doc:"Print per-value shape analysis results for SPMD functions")
-    Term.(const run $ file_arg)
+    Term.(const run $ obs_term $ file_arg)
 
 let autovec_cmd =
-  let run file =
-    let m = Pfrontend.Lower.compile ~name:file (read_file file) in
-    let reports = Pautovec.Autovec.run_module m in
-    List.iter (fun r -> Fmt.pr "%a@." Pautovec.Autovec.pp_report r) reports
+  let run obs file =
+    with_obs obs (fun () ->
+        let name, src = load_source file in
+        let m = Pfrontend.Lower.compile ~name src in
+        let reports = Pautovec.Autovec.run_module m in
+        List.iter (fun r -> Fmt.pr "%a@." Pautovec.Autovec.pp_report r) reports)
   in
   Cmd.v
     (Cmd.info "autovec" ~doc:"Run the loop auto-vectorizer baseline; report per-loop outcomes")
-    Term.(const run $ file_arg)
+    Term.(const run $ obs_term $ file_arg)
+
+(* shared by run and profile: parse CLI args, execute, print result *)
+let execute_on_simulator ?(profile = false) obs opts file entry scalar args k =
+  with_obs obs (fun () ->
+      let m, _ = compile_source ~vectorize:(not scalar) obs opts file in
+      let t = Pmachine.Interp.create ~profile m in
+      let mem = t.Pmachine.Interp.mem in
+      let buffers = ref [] in
+      let parse_arg a =
+        if String.length a > 1 && a.[0] = 'i' then begin
+          let n = int_of_string (String.sub a 1 (String.length a - 1)) in
+          let addr =
+            Pmachine.Memory.alloc_array mem Pir.Types.I32
+              (Array.init n (fun i -> Pmachine.Value.I (Int64.of_int i)))
+          in
+          buffers := (addr, n) :: !buffers;
+          Pmachine.Value.I (Int64.of_int addr)
+        end
+        else if String.contains a '.' then Pmachine.Value.F (float_of_string a)
+        else Pmachine.Value.I (Int64.of_string a)
+      in
+      let vargs = List.map parse_arg args in
+      let result =
+        Pobs.Trace.with_span ~cat:"machine" ~args:[ ("entry", entry) ] "execute"
+          (fun () -> Pmachine.Interp.run t entry vargs)
+      in
+      Fmt.pr "result: %a@." Pmachine.Value.pp result;
+      Fmt.pr "cycles: %.0f  instructions: %d (vector: %d)@."
+        t.Pmachine.Interp.stats.cycles t.Pmachine.Interp.stats.instrs
+        t.Pmachine.Interp.stats.vector_instrs;
+      List.iter
+        (fun (addr, n) ->
+          let vals = Pmachine.Memory.read_array mem Pir.Types.I32 addr n in
+          Fmt.pr "buffer@%d: %a@." addr
+            Fmt.(array ~sep:(any " ") Pmachine.Value.pp)
+            (Array.sub vals 0 (min n 32)))
+        (List.rev !buffers);
+      k t)
+
+let entry_arg =
+  Arg.(
+    required
+    & opt (some string) None
+    & info [ "e"; "entry" ] ~docv:"FUNC" ~doc:"Function to execute")
+
+let scalar_arg =
+  Arg.(value & flag & info [ "scalar" ] ~doc:"Skip vectorization (SPMD reference executor)")
+
+let sim_args =
+  Arg.(
+    value & pos_right 0 string []
+    & info [] ~docv:"ARGS"
+        ~doc:
+          "Arguments: integers/floats passed directly; 'iN' allocates an \
+           N-element i32 buffer initialized 0..N-1 and passes its address \
+           (printed back after the run)")
 
 let run_cmd =
-  let entry =
-    Arg.(
-      required
-      & opt (some string) None
-      & info [ "e"; "entry" ] ~docv:"FUNC" ~doc:"Function to execute")
-  in
-  let scalar =
-    Arg.(value & flag & info [ "scalar" ] ~doc:"Skip vectorization (SPMD reference executor)")
-  in
-  let args =
-    Arg.(
-      value & pos_right 0 string []
-      & info [] ~docv:"ARGS"
-          ~doc:
-            "Arguments: integers/floats passed directly; 'iN' allocates an \
-             N-element i32 buffer initialized 0..N-1 and passes its address \
-             (printed back after the run)")
-  in
-  let run opts file entry scalar args =
-    let m, _ =
-      compile_file ~vectorize:(not scalar) ~opts file
-    in
-    let t = Pmachine.Interp.create m in
-    let mem = t.Pmachine.Interp.mem in
-    let buffers = ref [] in
-    let parse_arg a =
-      if String.length a > 1 && a.[0] = 'i' then begin
-        let n = int_of_string (String.sub a 1 (String.length a - 1)) in
-        let addr =
-          Pmachine.Memory.alloc_array mem Pir.Types.I32
-            (Array.init n (fun i -> Pmachine.Value.I (Int64.of_int i)))
-        in
-        buffers := (addr, n) :: !buffers;
-        Pmachine.Value.I (Int64.of_int addr)
-      end
-      else if String.contains a '.' then Pmachine.Value.F (float_of_string a)
-      else Pmachine.Value.I (Int64.of_string a)
-    in
-    let vargs = List.map parse_arg args in
-    let result = Pmachine.Interp.run t entry vargs in
-    Fmt.pr "result: %a@." Pmachine.Value.pp result;
-    Fmt.pr "cycles: %.0f  instructions: %d (vector: %d)@."
-      t.Pmachine.Interp.stats.cycles t.Pmachine.Interp.stats.instrs
-      t.Pmachine.Interp.stats.vector_instrs;
-    List.iter
-      (fun (addr, n) ->
-        let vals = Pmachine.Memory.read_array mem Pir.Types.I32 addr n in
-        Fmt.pr "buffer@%d: %a@." addr
-          Fmt.(array ~sep:(any " ") Pmachine.Value.pp)
-          (Array.sub vals 0 (min n 32)))
-      (List.rev !buffers)
+  let run obs opts file entry scalar args =
+    execute_on_simulator obs opts file entry scalar args (fun _ -> ())
   in
   Cmd.v
     (Cmd.info "run" ~doc:"Execute a function on the simulated machine")
-    Term.(const run $ opts_term $ file_arg $ entry $ scalar $ args)
+    Term.(const run $ obs_term $ opts_term $ file_arg $ entry_arg $ scalar_arg $ sim_args)
+
+let profile_cmd =
+  let top =
+    Arg.(
+      value & opt int 20
+      & info [ "top" ] ~docv:"N" ~doc:"Number of hot blocks to print")
+  in
+  let run obs opts file entry scalar top args =
+    execute_on_simulator ~profile:true obs opts file entry scalar args (fun t ->
+        Fmt.pr "@.== Hot blocks (per-block cycle attribution) ==@.";
+        Pmachine.Interp.pp_profile ~limit:top Fmt.stdout t)
+  in
+  Cmd.v
+    (Cmd.info "profile"
+       ~doc:
+         "Execute a function on the simulated machine and print per-block \
+          cycle/instruction attribution")
+    Term.(
+      const run $ obs_term $ opts_term $ file_arg $ entry_arg $ scalar_arg $ top
+      $ sim_args)
 
 let verify_rules_cmd =
   let exhaustive =
     Arg.(value & flag & info [ "exhaustive" ] ~doc:"Exhaustive 8-bit base enumeration")
   in
   let run exhaustive =
+    Pobs.Logging.setup ();
     let reports = Psmt.Verify.check_all ~exhaustive () in
     List.iter (fun r -> Fmt.pr "%a@." Psmt.Verify.pp_report r) reports;
     if Psmt.Verify.all_ok reports then Fmt.pr "all rules verified@."
@@ -192,10 +339,18 @@ let verify_rules_cmd =
     Term.(const run $ exhaustive)
 
 let () =
-  Logs.set_reporter (Logs_fmt.reporter ());
   let doc = "Parsimony SPMD compiler (CGO'23 reproduction)" in
   let info = Cmd.info "psimc" ~version:"1.0" ~doc in
   exit
     (Cmd.eval
        (Cmd.group info
-          [ build_cmd; ir_cmd; vec_cmd; shapes_cmd; autovec_cmd; run_cmd; verify_rules_cmd ]))
+          [
+            build_cmd;
+            ir_cmd;
+            vec_cmd;
+            shapes_cmd;
+            autovec_cmd;
+            run_cmd;
+            profile_cmd;
+            verify_rules_cmd;
+          ]))

@@ -83,4 +83,6 @@ let check_func (f : Pir.Func.t) =
            Fmt.(list ~sep:(any "@.") string)
            es Pir.Printer.pp_func f)
 
-let check_module (m : Pir.Func.modul) = List.iter check_func m.funcs
+let check_module (m : Pir.Func.modul) =
+  Pobs.Trace.with_span ~cat:"pass" "check" (fun () ->
+      List.iter check_func m.funcs)

@@ -718,8 +718,14 @@ let run_func (f : Func.t) : report =
         match analyze_loop f cfg loops l with
         | plan ->
             transform_loop f plan;
+            Pobs.Remarks.(emit Passed ~pass:"autovec" ~func:f.fname)
+              "loop at %s: vectorized with VF=%d" l.Panalysis.Loops.header
+              plan.vf;
             { header = l.Panalysis.Loops.header; outcome = Ok plan.vf }
         | exception Reject r ->
+            Pobs.Remarks.(emit Missed ~pass:"autovec" ~func:f.fname)
+              "loop at %s: not vectorized (%s)" l.Panalysis.Loops.header
+              (reason_to_string r);
             { header = l.Panalysis.Loops.header; outcome = Error r })
       (Panalysis.Loops.innermost loops)
   in
@@ -727,9 +733,10 @@ let run_func (f : Func.t) : report =
 
 (** Auto-vectorize all non-SPMD functions of a module, in place. *)
 let run_module (m : Func.modul) : report list =
-  List.filter_map
-    (fun f -> if f.Func.spmd = None then Some (run_func f) else None)
-    m.funcs
+  Pobs.Trace.with_span ~cat:"pass" "autovec" (fun () ->
+      List.filter_map
+        (fun f -> if f.Func.spmd = None then Some (run_func f) else None)
+        m.funcs)
 
 let pp_report ppf r =
   Fmt.pf ppf "%s:" r.func;

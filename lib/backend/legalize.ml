@@ -504,7 +504,13 @@ let max_vector_bits (f : Func.t) =
       | _ -> acc)
 
 let legalize_module (m : Func.modul) =
-  m.funcs <-
-    List.map
-      (fun f -> try legalize_func f with Unsupported _ -> f)
-      m.funcs
+  Pobs.Trace.with_span ~cat:"pass" "legalize" (fun () ->
+      m.funcs <-
+        List.map
+          (fun f ->
+            try legalize_func f
+            with Unsupported reason ->
+              Pobs.Remarks.(emit Missed ~pass:"legalize" ~func:f.Func.fname)
+                "function left unlegalized: %s" reason;
+              f)
+          m.funcs)

@@ -364,15 +364,44 @@ let merge_blocks (f : Func.t) =
       f.blocks
   done
 
+let count_instrs (f : Func.t) =
+  List.fold_left
+    (fun acc (b : Func.block) -> acc + List.length b.instrs)
+    0 f.blocks
+
 (** Run local CSE + DCE on a function, in place. *)
 let run_func (f : Func.t) =
+  let observed = Pobs.Remarks.active () in
+  let before_instrs = if observed then count_instrs f else 0 in
+  let before_blocks = if observed then List.length f.blocks else 0 in
   let rewrites = Hashtbl.create 64 in
   List.iter (fun b -> cse_block f b rewrites) f.blocks;
+  let cse_hits = Hashtbl.length rewrites in
   apply_rewrites f rewrites;
   fold_branches f;
   prune_unreachable f;
   merge_blocks f;
   coalesce_stores f;
-  dce f
+  dce f;
+  if observed then begin
+    let remark kind fmt =
+      Pobs.Remarks.emit kind ~pass:"simplify" ~func:f.fname fmt
+    in
+    if cse_hits > 0 then
+      remark Pobs.Remarks.Passed "CSE replaced %d redundant instruction(s)"
+        cse_hits;
+    let after_instrs = count_instrs f in
+    let after_blocks = List.length f.blocks in
+    if after_blocks < before_blocks then
+      remark Pobs.Remarks.Passed "merged/pruned %d block(s) (%d -> %d)"
+        (before_blocks - after_blocks)
+        before_blocks after_blocks;
+    remark Pobs.Remarks.Analysis
+      "instruction count %d -> %d (%d eliminated net of CSE rewrites)"
+      before_instrs after_instrs
+      (before_instrs - after_instrs)
+  end
 
-let run_module (m : Func.modul) = List.iter run_func m.funcs
+let run_module (m : Func.modul) =
+  Pobs.Trace.with_span ~cat:"pass" "simplify" (fun () ->
+      List.iter run_func m.funcs)

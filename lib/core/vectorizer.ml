@@ -91,11 +91,25 @@ let vectorize_func ?(opts = Options.default) (f : Func.t) : Func.t * report =
   in
   if f.ret <> Types.Void then fail "%s: SPMD functions must return void" f.fname;
   let gang = spmd.Func.gang_size in
+  (* optimization remarks for this function; [emit] is a no-op
+     (including argument formatting) unless a remark mode is active *)
+  let rpassed fmt = Pobs.Remarks.(emit Passed ~pass:"parsimony" ~func:f.fname) fmt in
+  let rmissed fmt = Pobs.Remarks.(emit Missed ~pass:"parsimony" ~func:f.fname) fmt in
+  let ranalysis fmt =
+    Pobs.Remarks.(emit Analysis ~pass:"parsimony" ~func:f.fname) fmt
+  in
   let regions = Panalysis.Regions.of_func f in
   let info = Pshapes.Shapes.analyze f in
   let report = empty_report f.fname in
+  (* sorted by rule name: Hashtbl fold order varies with internal
+     hashing, and remark/JSON output must be stable across runs *)
   report.rule_hits <-
-    Hashtbl.fold (fun k v acc -> (k, v) :: acc) info.Pshapes.Shapes.rule_hits [];
+    Hashtbl.fold (fun k v acc -> (k, v) :: acc) info.Pshapes.Shapes.rule_hits []
+    |> List.sort (fun (a, _) (b, _) -> String.compare a b);
+  if Pobs.Remarks.active () then
+    List.iter
+      (fun (rule, n) -> ranalysis "shape rule %s fired %d time(s)" rule n)
+      report.rule_hits;
   (* def table of the original function, for address-pattern matching *)
   let defs : (int, Instr.instr) Hashtbl.t = Hashtbl.create 64 in
   Func.iter_instrs f (fun _ i -> Hashtbl.replace defs i.id i);
@@ -334,7 +348,7 @@ let vectorize_func ?(opts = Options.default) (f : Func.t) : Func.t * report =
   in
   (* null pointer of a given element kind, for absolute-address gathers *)
   let null_ptr s = Builder.cast b Instr.Bitcast (Instr.ci64 0) (Types.Ptr s) in
-  let emit_load mask (_i : Instr.instr) (p : Instr.operand) : Instr.operand =
+  let emit_load mask (i : Instr.instr) (p : Instr.operand) : Instr.operand =
     let s = elem_of_ptr p in
     let esz = Types.scalar_bytes s in
     match (shape_of p, p) with
@@ -347,6 +361,8 @@ let vectorize_func ?(opts = Options.default) (f : Func.t) : Func.t * report =
               else Builder.gep b base (Instr.ci64 (Int64.to_int picks.(0)))
             in
             report.packed_loads <- report.packed_loads + 1;
+            rpassed "load %%%d: contiguous indexed address -> packed vector load"
+              i.Instr.id;
             Builder.vload b ?mask base gang
         | Some picks ->
             let minp = Array.fold_left min picks.(0) picks in
@@ -358,14 +374,29 @@ let vectorize_func ?(opts = Options.default) (f : Func.t) : Func.t * report =
               && opts.Options.stride_shuffle_bound > 0
               && span <= opts.Options.stride_shuffle_bound * gang
               && (monotone picks || span <= 2 * gang)
-            then emit_shuffle_load base picks
+            then begin
+              rpassed
+                "load %%%d: strided indexed address (span %d <= bound %d*G) -> \
+                 packed loads + shuffle"
+                i.Instr.id span opts.Options.stride_shuffle_bound;
+              emit_shuffle_load base picks
+            end
             else begin
               report.gathers <- report.gathers + 1;
+              rmissed
+                "load %%%d: strided indexed address (span %d%s) not \
+                 shuffle-eligible -> gather"
+                i.Instr.id span
+                (if mask <> None then ", masked" else "");
               Builder.gather b ?mask base (Instr.cvec Types.I64 picks)
             end
         | None ->
             (* byte offsets not element-aligned: absolute addresses *)
             report.gathers <- report.gathers + 1;
+            rmissed
+              "load %%%d: indexed offsets not element-aligned -> gather via \
+               absolute addresses"
+              i.Instr.id;
             let addrs = address_vector p in
             let idx =
               match log2_exact esz with
@@ -382,9 +413,15 @@ let vectorize_func ?(opts = Options.default) (f : Func.t) : Func.t * report =
             (* gather through a uniform base + varying index: the common
                a[x[i]] pattern *)
             report.gathers <- report.gathers + 1;
+            rmissed
+              "load %%%d: varying index over uniform base (a[x[i]] pattern) \
+               -> gather"
+              i.Instr.id;
             Builder.gather b ?mask (mapped pb) (materialize pidx)
         | _ ->
             report.gathers <- report.gathers + 1;
+            rmissed "load %%%d: varying address -> gather via absolute addresses"
+              i.Instr.id;
             let addrs = address_vector p in
             let idx =
               match log2_exact esz with
@@ -421,7 +458,7 @@ let vectorize_func ?(opts = Options.default) (f : Func.t) : Func.t * report =
         Builder.br b bdone.bname;
         Builder.position b bdone
   in
-  let emit_store mask (v : Instr.operand) (p : Instr.operand) =
+  let emit_store mask (i : Instr.instr) (v : Instr.operand) (p : Instr.operand) =
     let s = elem_of_ptr p in
     let esz = Types.scalar_bytes s in
     match shape_of p with
@@ -431,6 +468,10 @@ let vectorize_func ?(opts = Options.default) (f : Func.t) : Func.t * report =
         Log.warn (fun m ->
             m "%s: store to uniform address is racy; emitting single-lane store"
               f.fname);
+        rmissed
+          "store %%%d: uniform address is racy across the gang -> single-lane \
+           guarded scalar store"
+          i.Instr.id;
         let value =
           if Pshapes.Shapes.is_uniform (shape_of v) then mapped v
           else
@@ -448,6 +489,8 @@ let vectorize_func ?(opts = Options.default) (f : Func.t) : Func.t * report =
               else Builder.gep b base (Instr.ci64 (Int64.to_int picks.(0)))
             in
             report.packed_stores <- report.packed_stores + 1;
+            rpassed "store %%%d: contiguous indexed address -> packed vector store"
+              i.Instr.id;
             Builder.vstore b ?mask (materialize v) base
         | Some picks ->
             let minp = Array.fold_left min picks.(0) picks in
@@ -458,14 +501,29 @@ let vectorize_func ?(opts = Options.default) (f : Func.t) : Func.t * report =
               mask = None
               && opts.Options.stride_shuffle_bound > 0
               && span <= opts.Options.stride_shuffle_bound * gang
-            then emit_shuffle_store (materialize v) base picks
+            then begin
+              rpassed
+                "store %%%d: strided indexed address (span %d <= bound %d*G) -> \
+                 shuffle + packed stores"
+                i.Instr.id span opts.Options.stride_shuffle_bound;
+              emit_shuffle_store (materialize v) base picks
+            end
             else begin
               report.scatters <- report.scatters + 1;
+              rmissed
+                "store %%%d: strided indexed address (span %d%s) not \
+                 shuffle-eligible -> scatter"
+                i.Instr.id span
+                (if mask <> None then ", masked" else "");
               Builder.scatter b ?mask (materialize v) base
                 (Instr.cvec Types.I64 picks)
             end
         | None ->
             report.scatters <- report.scatters + 1;
+            rmissed
+              "store %%%d: indexed offsets not element-aligned -> scatter via \
+               absolute addresses"
+              i.Instr.id;
             let addrs = address_vector p in
             let idx =
               match log2_exact esz with
@@ -482,10 +540,16 @@ let vectorize_func ?(opts = Options.default) (f : Func.t) : Func.t * report =
             match Hashtbl.find_opt defs pv with
             | Some { op = Instr.Gep (pb, pidx); _ } when is_uniform pb ->
                 report.scatters <- report.scatters + 1;
+                rmissed
+                  "store %%%d: varying index over uniform base -> scatter"
+                  i.Instr.id;
                 Builder.scatter b ?mask (materialize v) (mapped pb)
                   (materialize pidx)
             | _ ->
                 report.scatters <- report.scatters + 1;
+                rmissed
+                  "store %%%d: varying address -> scatter via absolute addresses"
+                  i.Instr.id;
                 let addrs = address_vector p in
                 let idx =
                   match log2_exact esz with
@@ -503,6 +567,10 @@ let vectorize_func ?(opts = Options.default) (f : Func.t) : Func.t * report =
      of scalar calls by each active thread individually") *)
   let emit_serialized_call mask (i : Instr.instr) name args =
     report.serialized_calls <- report.serialized_calls + 1;
+    rmissed
+      "call %%%d: no vector version of %s -> serialized over %d lane(s)%s"
+      i.Instr.id name gang
+      (if mask <> None then " under mask" else "");
     let arg_vecs =
       List.map
         (fun a ->
@@ -560,11 +628,12 @@ let vectorize_func ?(opts = Options.default) (f : Func.t) : Func.t * report =
     let open Instr in
     if i.ty = Types.Void then begin
       match i.op with
-      | Store (v, p) -> emit_store mask v p
+      | Store (v, p) -> emit_store mask i v p
       | Call (n, _) when n = Intrinsics.gang_sync ->
           (* the whole gang executes in lockstep in the vectorized
              function: horizontal synchronization is free *)
-          ()
+          ranalysis "call %%%d: gang_sync is free in lockstep execution"
+            i.Instr.id
       | Call (n, args) -> emit_serialized_call mask i n args
       | _ -> fail "%s: unexpected void instruction" f.fname
     end
@@ -770,16 +839,40 @@ let vectorize_func ?(opts = Options.default) (f : Func.t) : Func.t * report =
     | Panalysis.Regions.If { cond; then_; else_; join } ->
         let join_blk = Func.find_block f join in
         let jphis = phis_of join_blk in
-        if opts.Options.uniform_branches && is_uniform cond then
+        if opts.Options.uniform_branches && is_uniform cond then begin
+          ranalysis
+            "branch joining at %s: uniform condition -> scalar branch kept"
+            join;
           emit_uniform_if mask cond then_ else_ jphis
-        else emit_linearized_if mask cond then_ else_ jphis
+        end
+        else begin
+          rpassed
+            "branch joining at %s: %s condition -> linearized under mask%s"
+            join
+            (if is_uniform cond then "uniform (uniform_branches off)"
+             else "varying")
+            (if opts.Options.boscc then " with branch-on-superword-condition"
+             else "");
+          emit_linearized_if mask cond then_ else_ jphis
+        end
     | Panalysis.Regions.Loop { header; cond; body; exit = _ } ->
         (* masked loops require the shape analysis to have forced the
            loop-carried values varying, which it only does for varying
            exit conditions — so uniform-condition loops always stay
            scalar (the uniform_branches ablation applies to ifs) *)
-        if is_uniform cond then emit_uniform_loop mask header cond body
-        else emit_masked_loop mask header cond body
+        if is_uniform cond then begin
+          ranalysis
+            "loop at %s: uniform exit condition -> scalar loop structure kept"
+            header.Func.bname;
+          emit_uniform_loop mask header cond body
+        end
+        else begin
+          rpassed
+            "loop at %s: varying exit condition -> masked loop with per-lane \
+             exit blending"
+            header.Func.bname;
+          emit_masked_loop mask header cond body
+        end
   and emit_uniform_if mask cond then_ else_ jphis =
     report.uniform_branches_kept <- report.uniform_branches_kept + 1;
     let c = mapped cond in
@@ -1056,6 +1149,11 @@ let vectorize_func ?(opts = Options.default) (f : Func.t) : Func.t * report =
   in
   emit_regions entry_mask regions;
   Builder.ret_void b;
+  rpassed
+    "function vectorized at gang %d: %d vector / %d scalar-kept instr(s), \
+     branches %d kept / %d linearized, loops %d uniform / %d masked"
+    gang report.vectorized report.scalar_kept report.uniform_branches_kept
+    report.linearized_branches report.uniform_loops report.masked_loops;
   (nf, report)
 
 (** Vectorize every SPMD-annotated function of [m] in place, replacing
@@ -1068,7 +1166,18 @@ let run_module ?opts (m : Func.modul) : report list =
         match f.Func.spmd with
         | None -> f
         | Some _ ->
-            let nf, rep = vectorize_func ?opts f in
+            let nf, rep =
+              Pobs.Trace.with_span ~cat:"pass"
+                ~args:[ ("func", f.Func.fname) ]
+                "vectorize"
+                (fun () ->
+                  try vectorize_func ?opts f
+                  with Unvectorizable reason as e ->
+                    Pobs.Remarks.(
+                      emit Missed ~pass:"parsimony" ~func:f.Func.fname)
+                      "function not vectorized: %s" reason;
+                    raise e)
+            in
             reports := rep :: !reports;
             nf)
       m.funcs;

@@ -1190,13 +1190,25 @@ let lower_func ~prog ~modul ~extract_counter (f : Ast.func) : unit =
 (** Compile a PsimC source string to a PIR module: desugar, inline,
     typecheck, lower, extract SPMD regions. *)
 let compile ?(name = "psimc") (src : string) : Pir.Func.modul =
-  let prog = Parser.parse_program src in
-  let prog = Desugar.desugar_program prog in
-  let prog = Inline.inline_program prog in
-  let modul = Pir.Func.create_module name in
-  let extract_counter = ref 0 in
-  List.iter (lower_func ~prog ~modul ~extract_counter) prog;
-  modul
+  Pobs.Trace.with_span ~cat:"frontend" ~args:[ ("module", name) ] "compile"
+    (fun () ->
+      let prog =
+        Pobs.Trace.with_span ~cat:"frontend" "parse" (fun () ->
+            Parser.parse_program src)
+      in
+      let prog =
+        Pobs.Trace.with_span ~cat:"frontend" "desugar" (fun () ->
+            Desugar.desugar_program prog)
+      in
+      let prog =
+        Pobs.Trace.with_span ~cat:"frontend" "inline" (fun () ->
+            Inline.inline_program prog)
+      in
+      Pobs.Trace.with_span ~cat:"frontend" "lower" (fun () ->
+          let modul = Pir.Func.create_module name in
+          let extract_counter = ref 0 in
+          List.iter (lower_func ~prog ~modul ~extract_counter) prog;
+          modul))
 
 (** Compile from an AST (for tests that build programs directly). *)
 let compile_ast ?(name = "psimc") (prog : program) : Pir.Func.modul =

@@ -1,0 +1,95 @@
+(** The standard compilation pipeline, shared by [psimc] and the
+    harness: frontend → SSA check → Parsimony vectorizer → SSA check →
+    simplify → (optionally) legalize.
+
+    Centralizes the file-reading and module-building boilerplate that
+    used to be duplicated between [bin/psimc.ml] and this library, and
+    adds the observability hooks: every stage already runs under a
+    [Pobs.Trace] span inside its own library, the whole pipeline runs
+    under a "pipeline" span here, and [dump_ir] writes an IR snapshot
+    after each stage ([--print-after-all] style) as
+    [NN-<module>-<stage>.pir] in the given directory. *)
+
+type config = {
+  vectorize : bool;
+  simplify : bool;
+  legalize : bool;
+  opts : Parsimony.Options.t;
+  dump_ir : string option;  (** directory for per-stage IR snapshots *)
+}
+
+let default =
+  {
+    vectorize = true;
+    simplify = true;
+    legalize = false;
+    opts = Parsimony.Options.default;
+    dump_ir = None;
+  }
+
+let read_file path =
+  let ic = open_in_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_in ic)
+    (fun () -> really_input_string ic (in_channel_length ic))
+
+(* snapshots are ordered by a process-wide ordinal so an interleaved
+   multi-module compile still dumps in pass order; named by module so
+   files from different kernels do not collide *)
+let dump_ordinal = Atomic.make 0
+
+let sanitize name =
+  String.map
+    (fun c ->
+      match c with
+      | 'a' .. 'z' | 'A' .. 'Z' | '0' .. '9' | '-' | '_' | '.' -> c
+      | _ -> '_')
+    name
+
+let dump_after cfg (m : Pir.Func.modul) stage =
+  match cfg.dump_ir with
+  | None -> ()
+  | Some dir ->
+      if not (Sys.file_exists dir) then Unix.mkdir dir 0o755;
+      let n = Atomic.fetch_and_add dump_ordinal 1 in
+      let file =
+        Filename.concat dir
+          (Fmt.str "%03d-%s-%s.pir" n (sanitize m.Pir.Func.mname) stage)
+      in
+      let oc = open_out file in
+      Fun.protect
+        ~finally:(fun () -> close_out oc)
+        (fun () -> output_string oc (Pir.Printer.module_to_string m))
+
+(** Compile [src] through the configured pipeline.  Returns the final
+    module and the vectorizer's per-function reports (empty when
+    [vectorize] is off). *)
+let compile ?(cfg = default) ~name src :
+    Pir.Func.modul * Parsimony.Vectorizer.report list =
+  Pobs.Trace.with_span ~cat:"pipeline" ~args:[ ("module", name) ] "pipeline"
+    (fun () ->
+      let m = Pfrontend.Lower.compile ~name src in
+      dump_after cfg m "frontend";
+      Panalysis.Check.check_module m;
+      let reports =
+        if cfg.vectorize then begin
+          let reports = Parsimony.Vectorizer.run_module ~opts:cfg.opts m in
+          dump_after cfg m "vectorize";
+          Panalysis.Check.check_module m;
+          reports
+        end
+        else []
+      in
+      if cfg.simplify then begin
+        Parsimony.Simplify.run_module m;
+        dump_after cfg m "simplify"
+      end;
+      if cfg.legalize then begin
+        Pbackend.Legalize.legalize_module m;
+        dump_after cfg m "legalize"
+      end;
+      (m, reports))
+
+(** [compile] on a source file; the module is named after the file. *)
+let compile_file ?cfg path =
+  compile ?cfg ~name:(Filename.basename path) (read_file path)

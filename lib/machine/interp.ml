@@ -73,10 +73,21 @@ type bexec = {
           execution (the [Call] case scans strings) *)
   term_cost : float;
   nphis : int;  (** length of the phi prefix of [all] *)
+  phi_cost_sum : float;  (** sum of [costs] over the phi prefix *)
+  body_cost_sum : float;
+      (** sum of [costs] past the phi prefix, plus [term_cost]: the
+          static cost of one complete non-phi block execution, so the
+          profiler attributes a straight-line run in O(1) *)
   phis_by_pred : (string * operand option array) list;
       (** for each incoming label: the operand each phi in the prefix
           takes from that edge ([None] = phi lacks that edge) *)
   mutable targets : targets;
+  (* -- profiling accumulators (written only when [t.profile]) -- *)
+  mutable p_entries : int;  (** times this block was entered *)
+  mutable p_instrs : int;  (** instructions executed in this block *)
+  p_cyc : floatarray;
+      (** cycles attributed to this block; unboxed accumulator for the
+          same reason as [t.cyc] *)
 }
 
 and targets = Tnone | Tbr of bexec | Tcond of bexec * bexec
@@ -85,6 +96,7 @@ type fexec = {
   fn : Pir.Func.t;
   blocks : Pir.Func.block list;  (** spine at build time (staleness check) *)
   entry_be : bexec;
+  bes : bexec array;  (** every block, in function order (profiling walk) *)
 }
 
 type callee =
@@ -105,11 +117,15 @@ type t = {
           would box a fresh float per executed instruction) *)
   mutable fuel : int;
   count_cost : bool;
+  mutable profile : bool;
+      (** attribute per-block entries/instructions/cycles into the
+          [bexec] accumulators as execution proceeds *)
   fexecs : (string, fexec) Hashtbl.t;
   callees : (string, callee) Hashtbl.t;
 }
 
-let create ?(model = Cost.default) ?mem ?(fuel = 2_000_000_000) modul =
+let create ?(model = Cost.default) ?mem ?(fuel = 2_000_000_000) ?(profile = false)
+    modul =
   let mem = match mem with Some m -> m | None -> Memory.create () in
   {
     modul;
@@ -119,6 +135,7 @@ let create ?(model = Cost.default) ?mem ?(fuel = 2_000_000_000) modul =
     cyc = Float.Array.make 1 0.0;
     fuel;
     count_cost = true;
+    profile;
     fexecs = Hashtbl.create 16;
     callees = Hashtbl.create 32;
   }
@@ -166,7 +183,26 @@ let build_fexec model (f : Pir.Func.t) : fexec =
                     | _ -> assert false) ))
             preds
         in
-        { blk = b; all; costs; term_cost; nphis; phis_by_pred; targets = Tnone })
+        let phi_cost_sum = ref 0.0 and body_cost_sum = ref term_cost in
+        Array.iteri
+          (fun j c ->
+            if j < nphis then phi_cost_sum := !phi_cost_sum +. c
+            else body_cost_sum := !body_cost_sum +. c)
+          costs;
+        {
+          blk = b;
+          all;
+          costs;
+          term_cost;
+          nphis;
+          phi_cost_sum = !phi_cost_sum;
+          body_cost_sum = !body_cost_sum;
+          phis_by_pred;
+          targets = Tnone;
+          p_entries = 0;
+          p_instrs = 0;
+          p_cyc = Float.Array.make 1 0.0;
+        })
       f.blocks
   in
   let tbl = Hashtbl.create 16 in
@@ -187,7 +223,8 @@ let build_fexec model (f : Pir.Func.t) : fexec =
     bexecs;
   match bexecs with
   | [] -> Fmt.invalid_arg "Func.entry: %s has no blocks" f.fname
-  | entry_be :: _ -> { fn = f; blocks = f.blocks; entry_be }
+  | entry_be :: _ ->
+      { fn = f; blocks = f.blocks; entry_be; bes = Array.of_list bexecs }
 
 let fexec_of t (f : Pir.Func.t) : fexec =
   match Hashtbl.find_opt t.fexecs f.fname with
@@ -220,6 +257,10 @@ let charge t c =
 
 (** Make [stats.cycles] reflect the unboxed accumulator (see [cyc]). *)
 let flush_cycles t = t.stats.cycles <- Float.Array.get t.cyc 0
+
+(* profiling: add [c] cycles to a block's accumulator *)
+let attr_cyc (be : bexec) c =
+  Float.Array.unsafe_set be.p_cyc 0 (Float.Array.unsafe_get be.p_cyc 0 +. c)
 
 let burn t =
   t.fuel <- t.fuel - 1;
@@ -299,7 +340,11 @@ let exec_phis t (f : Pir.Func.t) env (be : bexec) ~prev_label =
     done;
     for j = 0 to be.nphis - 1 do
       env.vals.(be.all.(j).id) <- vals.(j)
-    done
+    done;
+    if t.profile then begin
+      be.p_instrs <- be.p_instrs + be.nphis;
+      if t.count_cost then attr_cyc be be.phi_cost_sum
+    end
   end
 
 (* -- instruction execution (shared by both engines) --
@@ -471,6 +516,11 @@ and exec_func t (f : Pir.Func.t) (args : Value.t list) : Value.t =
           in
           if i.ty <> Pir.Types.Void then env.vals.(i.id) <- v
         done;
+        if t.profile then begin
+          be.p_entries <- be.p_entries + 1;
+          be.p_instrs <- be.p_instrs + (Array.length all - be.nphis);
+          if t.count_cost then attr_cyc be be.body_cost_sum
+        end;
         if t.count_cost then charge t be.term_cost;
         match be.blk.term with
         | Br _ -> (
@@ -546,6 +596,7 @@ and run_spmd_gang t (f : Pir.Func.t) (args : Value.t list) : Value.t =
         })
   in
   let frame = Memory.mark t.mem in
+  if t.profile then fe.entry_be.p_entries <- fe.entry_be.p_entries + active;
   (* Step one thread until it parks or finishes.  On block entry the phi
      prefix is evaluated atomically (phis read their inputs
      simultaneously), so [idx] always points past the phis. *)
@@ -561,6 +612,7 @@ and run_spmd_gang t (f : Pir.Func.t) (args : Value.t list) : Value.t =
     let enter_bexec (nb : bexec) =
       th.prev <- th.be.blk.bname;
       th.be <- nb;
+      if t.profile then nb.p_entries <- nb.p_entries + 1;
       exec_phis t f th.env nb ~prev_label:th.prev;
       th.idx <- nb.nphis
     in
@@ -573,6 +625,14 @@ and run_spmd_gang t (f : Pir.Func.t) (args : Value.t list) : Value.t =
           exec_instr t f th.env ~prev_label:th.prev ~exec_call
             ~cost:(Array.unsafe_get th.be.costs th.idx) i
         in
+        (* per-instruction attribution: SPMD threads park mid-block, so
+           the block-granular fast path of the serial engine would
+           double-count on resume *)
+        if t.profile then begin
+          th.be.p_instrs <- th.be.p_instrs + 1;
+          if t.count_cost then
+            attr_cyc th.be (Array.unsafe_get th.be.costs th.idx)
+        end;
         match th.status with
         | AtSync _ -> () (* parked; do not advance; re-run on wake *)
         | _ ->
@@ -580,7 +640,10 @@ and run_spmd_gang t (f : Pir.Func.t) (args : Value.t list) : Value.t =
             th.idx <- th.idx + 1
       end
       else begin
-        if t.count_cost then charge t th.be.term_cost;
+        if t.count_cost then begin
+          charge t th.be.term_cost;
+          if t.profile then attr_cyc th.be th.be.term_cost
+        end;
         match th.be.blk.term with
         | Br _ -> (
             match th.be.targets with
@@ -704,3 +767,83 @@ let run t name args =
   | exception e ->
       flush_cycles t;
       raise e
+
+(* -- profiling report --
+
+   The accumulators live on the [bexec] caches, so attribution costs one
+   predictable branch per block (serial engine) or per instruction (SPMD
+   engine) and nothing at all when [profile] is off.  Summing the report
+   over all blocks reproduces [stats]: instruction counts exactly,
+   cycles up to float addition reorder.  Note [fexec_of] rebuilds a
+   function's cache (dropping its counts) if the function is
+   structurally modified between runs — run the passes first, as usual. *)
+
+let set_profile t on = t.profile <- on
+
+type block_profile = {
+  bp_func : string;
+  bp_block : string;
+  bp_entries : int;
+  bp_instrs : int;
+  bp_cycles : float;
+}
+
+let reset_profile t =
+  Hashtbl.iter
+    (fun _ fe ->
+      Array.iter
+        (fun be ->
+          be.p_entries <- 0;
+          be.p_instrs <- 0;
+          Float.Array.set be.p_cyc 0 0.0)
+        fe.bes)
+    t.fexecs
+
+(** Executed blocks, hottest (most cycles) first; ties and the zero-cost
+    tail are ordered by function then block name so the report is
+    deterministic. *)
+let profile_report t : block_profile list =
+  Hashtbl.fold
+    (fun _ fe acc ->
+      Array.fold_left
+        (fun acc be ->
+          if be.p_entries = 0 then acc
+          else
+            {
+              bp_func = fe.fn.Pir.Func.fname;
+              bp_block = be.blk.Pir.Func.bname;
+              bp_entries = be.p_entries;
+              bp_instrs = be.p_instrs;
+              bp_cycles = Float.Array.get be.p_cyc 0;
+            }
+            :: acc)
+        acc fe.bes)
+    t.fexecs []
+  |> List.sort (fun a b ->
+         match compare b.bp_cycles a.bp_cycles with
+         | 0 -> (
+             match String.compare a.bp_func b.bp_func with
+             | 0 -> String.compare a.bp_block b.bp_block
+             | c -> c)
+         | c -> c)
+
+(** Hot-block report: top [limit] blocks by attributed cycles, with
+    cumulative percentage of all attributed cycles. *)
+let pp_profile ?(limit = 20) ppf t =
+  let rows = profile_report t in
+  let total =
+    List.fold_left (fun acc r -> acc +. r.bp_cycles) 0.0 rows
+  in
+  let shown = List.filteri (fun i _ -> i < limit) rows in
+  Fmt.pf ppf "%-24s %-16s %10s %12s %14s %7s@." "function" "block" "entries"
+    "instrs" "cycles" "cum%";
+  let cum = ref 0.0 in
+  List.iter
+    (fun r ->
+      cum := !cum +. r.bp_cycles;
+      Fmt.pf ppf "%-24s %-16s %10d %12d %14.1f %6.1f%%@." r.bp_func r.bp_block
+        r.bp_entries r.bp_instrs r.bp_cycles
+        (if total > 0.0 then 100.0 *. !cum /. total else 0.0))
+    shown;
+  let rest = List.length rows - List.length shown in
+  if rest > 0 then Fmt.pf ppf "(+ %d more block(s))@." rest
