@@ -9,6 +9,7 @@
      psimc run FILE.psim -e F ARGS  execute function F on the simulator
      psimc profile FILE.psim -e F   execute and print a hot-block profile
      psimc autovec FILE.psim        run the auto-vectorizer baseline
+     psimc lint FILE.psim           SPMD sanitizer (races, OOB, uninit, ...)
      psimc verify-rules             offline shape-rule verification
 
    FILE may also name a built-in benchmark kernel (e.g. "mandelbrot"):
@@ -150,16 +151,26 @@ let no_shapes =
 let boscc =
   Arg.(value & flag & info [ "boscc" ] ~doc:"Branch on superword condition codes")
 
+let analyze =
+  Arg.(
+    value & flag
+    & info [ "analyze" ]
+        ~doc:
+          "Feed dataflow analysis (divergence, per-lane stride) back into \
+           classification: reclassify provably strided gathers/scatters as \
+           packed accesses and keep provably uniform branches scalar")
+
 let opts_term =
-  let mk math_lib no_shapes boscc =
+  let mk math_lib no_shapes boscc analyze =
     {
       Parsimony.Options.default with
       math_lib;
       shape_analysis = not no_shapes;
       boscc;
+      analysis_feedback = analyze;
     }
   in
-  Term.(const mk $ math_lib $ no_shapes $ boscc)
+  Term.(const mk $ math_lib $ no_shapes $ boscc $ analyze)
 
 (* -- subcommands -- *)
 
@@ -322,6 +333,29 @@ let profile_cmd =
       const run $ obs_term $ opts_term $ file_arg $ entry_arg $ scalar_arg $ top
       $ sim_args)
 
+let lint_cmd =
+  let run obs opts file =
+    with_obs obs (fun () ->
+        let name, src = load_source file in
+        let findings = Pharness.Pipeline.lint ~opts ~name src in
+        List.iter (fun f -> Fmt.pr "%a@." Psan.pp_finding f) findings;
+        if findings = [] then Fmt.pr "no findings@."
+        else begin
+          let errors =
+            List.length (List.filter (fun f -> f.Psan.severity = Psan.Error) findings)
+          in
+          Fmt.pr "%d finding(s), %d error(s)@." (List.length findings) errors;
+          exit 1
+        end)
+  in
+  Cmd.v
+    (Cmd.info "lint"
+       ~doc:
+         "Run the SPMD sanitizer (psan): cross-lane races, out-of-bounds and \
+          misaligned accesses, uninitialized reads, dead stores.  Exits \
+          non-zero when any finding is reported.")
+    Term.(const run $ obs_term $ opts_term $ file_arg)
+
 let verify_rules_cmd =
   let exhaustive =
     Arg.(value & flag & info [ "exhaustive" ] ~doc:"Exhaustive 8-bit base enumeration")
@@ -352,5 +386,6 @@ let () =
             autovec_cmd;
             run_cmd;
             profile_cmd;
+            lint_cmd;
             verify_rules_cmd;
           ]))

@@ -26,6 +26,15 @@ type t = {
       (** branch-on-superword-condition: guard linearized regions with a
           runtime "any lane active?" check (the explicit variant of
           ispc's [cif], paper §4.2.3). *)
+  analysis_feedback : bool;
+      (** feed the interprocedural dataflow analyses (divergence,
+          per-lane stride) back into classification: gathers/scatters
+          whose index vectors are provably affine in the lane are
+          reclassified as packed (possibly shuffled) accesses, and
+          branches whose conditions the divergence analysis proves
+          uniform stay scalar even when the local shape analysis could
+          not see it.  Off by default so the baseline pipeline matches
+          the paper's purely shape-driven classification. *)
 }
 
 let default =
@@ -35,6 +44,7 @@ let default =
     stride_shuffle_bound = 4;
     uniform_branches = true;
     boscc = false;
+    analysis_feedback = false;
   }
 
 (** ispc-mode: the same vectorizer driven gang-synchronously.  Because

@@ -40,11 +40,19 @@ type report = {
   mutable gathers : int;
   mutable scatters : int;
   mutable uniform_branches_kept : int;
+  mutable analysis_uniform_branches : int;
+      (** branches kept scalar only because the dataflow divergence
+          analysis proved the condition uniform (shape analysis saw
+          varying); subset of [uniform_branches_kept] *)
   mutable linearized_branches : int;
   mutable uniform_loops : int;
   mutable masked_loops : int;
   mutable serialized_calls : int;
   mutable uniform_store_warnings : int;
+  mutable reclassified_loads : int;
+      (** gathers turned into packed loads by analysis feedback *)
+  mutable reclassified_stores : int;
+      (** scatters turned into packed stores by analysis feedback *)
   mutable rule_hits : (string * int) list;
 }
 
@@ -59,11 +67,14 @@ let empty_report func =
     gathers = 0;
     scatters = 0;
     uniform_branches_kept = 0;
+    analysis_uniform_branches = 0;
     linearized_branches = 0;
     uniform_loops = 0;
     masked_loops = 0;
     serialized_calls = 0;
     uniform_store_warnings = 0;
+    reclassified_loads = 0;
+    reclassified_stores = 0;
     rule_hits = [];
   }
 
@@ -100,6 +111,13 @@ let vectorize_func ?(opts = Options.default) (f : Func.t) : Func.t * report =
   in
   let regions = Panalysis.Regions.of_func f in
   let info = Pshapes.Shapes.analyze f in
+  (* dataflow divergence facts on the scalar function: strictly more
+     precise than the shape analysis on branch conditions (e.g. phis
+     whose incomings all agree), consulted when classifying ifs *)
+  let dv =
+    if opts.Options.analysis_feedback then Some (Pdataflow.Divergence.analyze f)
+    else None
+  in
   let report = empty_report f.fname in
   (* sorted by rule name: Hashtbl fold order varies with internal
      hashing, and remark/JSON output must be stable across runs *)
@@ -839,11 +857,36 @@ let vectorize_func ?(opts = Options.default) (f : Func.t) : Func.t * report =
     | Panalysis.Regions.If { cond; then_; else_; join } ->
         let join_blk = Func.find_block f join in
         let jphis = phis_of join_blk in
-        if opts.Options.uniform_branches && is_uniform cond then begin
-          ranalysis
-            "branch joining at %s: uniform condition -> scalar branch kept"
-            join;
-          emit_uniform_if mask cond then_ else_ jphis
+        (* analysis feedback: the divergence analysis may prove uniform a
+           condition the local shape analysis classified varying.  Only
+           safe at full mask — under a partial mask the inactive lanes of
+           the vectorized condition may hold garbage (masked loads
+           zero-fill), so extracting lane 0 could diverge from the
+           active lanes. *)
+        let analysis_uniform =
+          (not (is_uniform cond))
+          && mask = None
+          && (match dv with
+             | Some d -> Pdataflow.Divergence.is_uniform d cond
+             | None -> false)
+        in
+        if
+          opts.Options.uniform_branches && (is_uniform cond || analysis_uniform)
+        then begin
+          if analysis_uniform then begin
+            report.analysis_uniform_branches <-
+              report.analysis_uniform_branches + 1;
+            ranalysis
+              "branch joining at %s: divergence analysis proved \
+               varying-shaped condition uniform -> scalar branch kept"
+              join
+          end
+          else
+            ranalysis
+              "branch joining at %s: uniform condition -> scalar branch kept"
+              join;
+          emit_uniform_if ~extract_cond:analysis_uniform mask cond then_ else_
+            jphis
         end
         else begin
           rpassed
@@ -873,9 +916,14 @@ let vectorize_func ?(opts = Options.default) (f : Func.t) : Func.t * report =
             header.Func.bname;
           emit_masked_loop mask header cond body
         end
-  and emit_uniform_if mask cond then_ else_ jphis =
+  and emit_uniform_if ?(extract_cond = false) mask cond then_ else_ jphis =
     report.uniform_branches_kept <- report.uniform_branches_kept + 1;
-    let c = mapped cond in
+    (* analysis-proven uniform conditions are still materialized as
+       vectors (all lanes equal); branch on lane 0 *)
+    let c =
+      if extract_cond then Builder.extract b (mapped cond) (Instr.ci32 0)
+      else mapped cond
+    in
     let bt = Builder.fresh_block b "then" in
     let be = Builder.fresh_block b "else" in
     let bj = Builder.fresh_block b "join" in
@@ -1159,6 +1207,7 @@ let vectorize_func ?(opts = Options.default) (f : Func.t) : Func.t * report =
 (** Vectorize every SPMD-annotated function of [m] in place, replacing
     each with its vector version (same name, spmd annotation cleared). *)
 let run_module ?opts (m : Func.modul) : report list =
+  let eff_opts = Option.value ~default:Options.default opts in
   let reports = ref [] in
   m.funcs <-
     List.map
@@ -1178,6 +1227,37 @@ let run_module ?opts (m : Func.modul) : report list =
                       "function not vectorized: %s" reason;
                     raise e)
             in
+            if eff_opts.Options.analysis_feedback then begin
+              let st =
+                Pobs.Trace.with_span ~cat:"pass"
+                  ~args:[ ("func", f.Func.fname) ]
+                  "reclassify"
+                  (fun () -> Reclassify.run_func ~opts:eff_opts nf)
+              in
+              rep.reclassified_loads <-
+                st.Reclassify.loads_packed + st.Reclassify.loads_shuffled;
+              rep.reclassified_stores <-
+                st.Reclassify.stores_packed + st.Reclassify.stores_shuffled;
+              (* keep the classification counters describing the final
+                 IR: each reclassified access stops being a
+                 gather/scatter and becomes packed (or packed+shuffle) *)
+              rep.gathers <- rep.gathers - rep.reclassified_loads;
+              rep.scatters <- rep.scatters - rep.reclassified_stores;
+              rep.packed_loads <- rep.packed_loads + st.Reclassify.loads_packed;
+              rep.packed_stores <-
+                rep.packed_stores + st.Reclassify.stores_packed;
+              rep.strided_shuffles <-
+                rep.strided_shuffles + st.Reclassify.loads_shuffled
+                + st.Reclassify.stores_shuffled;
+              rep.rule_hits <-
+                List.fold_left
+                  (fun acc (rule, n) ->
+                    match List.assoc_opt rule acc with
+                    | Some m -> (rule, m + n) :: List.remove_assoc rule acc
+                    | None -> (rule, n) :: acc)
+                  rep.rule_hits st.Reclassify.rule_hits
+                |> List.sort (fun (a, _) (b, _) -> String.compare a b)
+            end;
             reports := rep :: !reports;
             nf)
       m.funcs;

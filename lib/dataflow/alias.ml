@@ -1,0 +1,101 @@
+(** Base-object alias analysis: trace GEP/bitcast/phi/select chains back
+    to the allocation or parameter that provides the storage.
+
+    PIR pointers originate either from a pointer-typed parameter or from
+    an [Alloca]; every derived pointer is produced by [Gep], a pointer
+    cast, or a merge.  Tracking the root object is enough for the
+    sanitizer: two accesses whose roots are provably distinct objects
+    can never touch the same memory, and accesses rooted in an [Alloca]
+    are per-thread private by the SPMD storage model. *)
+
+open Pir
+
+type root =
+  | Param of int  (** pointer parameter, by SSA id *)
+  | Alloc of int  (** allocation site, by instruction id *)
+  | Unknown  (** loaded from memory, returned by a call, or a merge of
+                 distinct roots *)
+
+let equal_root a b =
+  match (a, b) with
+  | Param x, Param y -> x = y
+  | Alloc x, Alloc y -> x = y
+  | Unknown, Unknown -> true
+  | _ -> false
+
+let pp_root ppf = function
+  | Param v -> Fmt.pf ppf "param %%%d" v
+  | Alloc v -> Fmt.pf ppf "alloca %%%d" v
+  | Unknown -> Fmt.string ppf "unknown"
+
+type t = { roots : (int, root) Hashtbl.t; func : Func.t }
+
+let analyze (f : Func.t) : t =
+  let roots : (int, root) Hashtbl.t = Hashtbl.create 32 in
+  List.iter
+    (fun (v, ty) -> if Types.is_pointer ty then Hashtbl.replace roots v (Param v))
+    f.Func.params;
+  let of_operand = function
+    | Instr.Var v -> Hashtbl.find_opt roots v
+    | Instr.Const _ -> None
+  in
+  (* one pass per lattice step: merges (phis) may need a second look
+     once their incoming pointers are known; the root map only moves
+     down (unset -> root -> Unknown), so iterate to a fixpoint *)
+  let changed = ref true in
+  let set v r =
+    match Hashtbl.find_opt roots v with
+    | Some old when equal_root old r -> ()
+    | _ ->
+        Hashtbl.replace roots v r;
+        changed := true
+  in
+  while !changed do
+    changed := false;
+    Func.iter_instrs f (fun _ (i : Instr.instr) ->
+        if Types.is_pointer i.ty then
+          match i.op with
+          | Instr.Alloca _ -> set i.id (Alloc i.id)
+          | Instr.Gep (p, _) | Instr.Cast (_, p, _) -> (
+              match of_operand p with Some r -> set i.id r | None -> ())
+          | Instr.Select (_, a, b) | Instr.Ibin (_, a, b) -> (
+              match (of_operand a, of_operand b) with
+              | Some ra, Some rb ->
+                  set i.id (if equal_root ra rb then ra else Unknown)
+              | _ -> ())
+          | Instr.Phi incoming ->
+              let rs = List.filter_map (fun (_, v) -> of_operand v) incoming in
+              (match rs with
+              | [] -> ()
+              | r :: rest ->
+                  set i.id
+                    (if List.for_all (equal_root r) rest then r else Unknown))
+          | Instr.Load _ | Instr.Call _ -> set i.id Unknown
+          | _ -> set i.id Unknown)
+  done;
+  { roots; func = f }
+
+let root_of t = function
+  | Instr.Var v -> Option.value ~default:Unknown (Hashtbl.find_opt t.roots v)
+  | Instr.Const _ -> Unknown
+
+(** Can accesses rooted at [a] and [b] touch overlapping memory?
+    Distinct allocation sites never overlap; an alloca never overlaps a
+    parameter (the front-end has no address-of on locals); parameters
+    marked [restrict] never overlap any other parameter. *)
+let may_alias t a b =
+  match (a, b) with
+  | Alloc x, Alloc y -> x = y
+  | Alloc _, Param _ | Param _, Alloc _ -> false
+  | Param x, Param y ->
+      x = y
+      || not
+           (List.mem x t.func.Func.noalias || List.mem y t.func.Func.noalias)
+  | Unknown, _ | _, Unknown -> true
+
+(** The element count and kind of an allocation site, when known. *)
+let alloc_size t id =
+  Func.fold_instrs t.func None (fun acc _ (i : Instr.instr) ->
+      match i.op with
+      | Instr.Alloca (kind, n) when i.id = id -> Some (kind, n)
+      | _ -> acc)

@@ -1,0 +1,234 @@
+(** Uniform/varying divergence analysis over scalar SPMD functions.
+
+    A value is [Uniform] when every thread of a gang is guaranteed to
+    compute the same value for it, and [Varying] otherwise.  The
+    analysis is seeded from the gang-index intrinsics ([psim.lane_num]
+    produces the only primitively varying value; parameters — including
+    the gang number and thread count the calling convention appends —
+    are shared by the whole gang) and propagated forward through an
+    environment lattice on the block dataflow {!Engine}.
+
+    Divergent *control* is handled with classic control dependence: a
+    block is control-divergent when it is control-dependent (in the
+    Ferrante–Ottenstein–Warren sense, computed from the post-dominator
+    tree) on a branch whose condition is varying.  Phis in a
+    control-divergent block, or at a reconvergence join whose
+    predecessors are control-divergent, merge values from paths that
+    different threads may take, so they are forced [Varying] — with one precision
+    win over the syntactic shape analysis: a phi whose incoming values
+    are all the *same* SSA operand produces that operand's value on
+    every path, so its divergence is the operand's regardless of the
+    merge.  Because marking more branches varying can only grow the set
+    of control-divergent blocks, the analysis alternates value rounds
+    and control-dependence recomputation until both stabilize. *)
+
+open Pir
+
+type fact = Uniform | Varying
+
+let join_fact a b =
+  match (a, b) with Uniform, Uniform -> Uniform | _ -> Varying
+
+let pp_fact ppf = function
+  | Uniform -> Fmt.string ppf "uniform"
+  | Varying -> Fmt.string ppf "varying"
+
+module Env = Map.Make (Int)
+
+module L = struct
+  type t = fact Env.t
+
+  let bottom = Env.empty
+  let join = Env.union (fun _ a b -> Some (join_fact a b))
+  let equal = Env.equal ( = )
+
+  let pp ppf env =
+    Fmt.pf ppf "{%a}"
+      (Fmt.iter_bindings ~sep:Fmt.comma Env.iter
+         (Fmt.pair ~sep:(Fmt.any ":") Fmt.int pp_fact))
+      env
+end
+
+module E = Engine.Make (L)
+
+type t = {
+  div : (int, fact) Hashtbl.t;
+  divergent : (string, unit) Hashtbl.t;  (** control-divergent blocks *)
+  rounds : int;  (** outer value/control alternations until stable *)
+}
+
+let value_fact t v = Option.value ~default:Varying (Hashtbl.find_opt t.div v)
+
+let operand_fact t = function
+  | Instr.Const _ -> Uniform
+  | Instr.Var v -> value_fact t v
+
+let is_uniform t o = operand_fact t o = Uniform
+let block_divergent t name = Hashtbl.mem t.divergent name
+
+let env_fact env = function
+  | Instr.Const _ -> Uniform
+  | Instr.Var v -> Option.value ~default:Uniform (Env.find_opt v env)
+
+(* Transfer of one non-phi instruction under environment [env]. *)
+let instr_fact env (i : Instr.instr) : fact =
+  let f o = env_fact env o in
+  match i.op with
+  | Instr.Ibin ((Instr.Sub | Instr.Xor), a, b) when Instr.equal_operand a b ->
+      Uniform (* x - x and x lxor x collapse per lane *)
+  | Instr.Icmp ((Instr.Eq | Instr.Ule | Instr.Uge | Instr.Sle | Instr.Sge), a, b)
+    when Instr.equal_operand a b ->
+      Uniform
+  | Instr.Ibin (_, a, b) | Instr.Fbin (_, a, b) | Instr.Icmp (_, a, b)
+  | Instr.Fcmp (_, a, b) ->
+      join_fact (f a) (f b)
+  | Instr.Iun (_, a) | Instr.Fun (_, a) | Instr.Cast (_, a, _) -> f a
+  | Instr.Select (c, a, b) ->
+      if Instr.equal_operand a b then join_fact (f a) (f a)
+      else join_fact (f c) (join_fact (f a) (f b))
+  | Instr.Alloca _ ->
+      (* per-thread private storage: each thread sees its own slot's
+         address, so the pointer itself differs across the gang *)
+      Varying
+  | Instr.Load p -> f p
+  | Instr.Store _ -> Uniform (* void *)
+  | Instr.Gep (p, idx) -> join_fact (f p) (f idx)
+  | Instr.Call (name, args) ->
+      if name = Intrinsics.lane_num then Varying
+      else if Intrinsics.is_horizontal name then
+        (* cross-lane exchanges produce lane-dependent values;
+           psim.gang_sync is void so the fact is irrelevant *)
+        Varying
+      else List.fold_left (fun acc a -> join_fact acc (f a)) Uniform args
+  | Instr.Phi _ -> assert false (* handled separately *)
+  | _ ->
+      (* explicit vector operations never appear in scalar SPMD
+         functions; be conservative if they do *)
+      Varying
+
+let analyze (f : Func.t) : t =
+  let cfg = Panalysis.Cfg.build f in
+  let pdom = lazy (Panalysis.Dom.compute_post cfg) in
+  let divergent : (string, unit) Hashtbl.t = Hashtbl.create 8 in
+  let transfer name env =
+    let b = Panalysis.Cfg.block cfg name in
+    List.fold_left
+      (fun env (i : Instr.instr) ->
+        let fact =
+          match i.op with
+          | Instr.Phi incoming ->
+              (* all-same-operand phis are transparent even under
+                 divergent control; otherwise the per-edge selections
+                 joined into [env] stand, unless the block is
+                 control-divergent *)
+              let same =
+                match incoming with
+                | (_, v0) :: rest ->
+                    if List.for_all (fun (_, v) -> Instr.equal_operand v v0) rest
+                    then Some v0
+                    else None
+                | [] -> None
+              in
+              (match same with
+              | Some v -> env_fact env v
+              | None ->
+                  (* a phi merges divergent control when its own block
+                     is control-divergent *or* it is the reconvergence
+                     join of a varying branch — the join itself is not
+                     control-dependent on the branch (it post-dominates
+                     it), but its predecessors are, and threads arrive
+                     along different edges *)
+                  if
+                    Hashtbl.mem divergent name
+                    || List.exists (Hashtbl.mem divergent)
+                         (Panalysis.Cfg.preds cfg name)
+                  then Varying
+                  else
+                    Option.value ~default:Uniform (Env.find_opt i.id env))
+          | _ -> instr_fact env i
+        in
+        Env.add i.id fact env)
+      env b.Func.instrs
+  in
+  (* phi-aware edge refinement: flowing along [src -> dst], each phi of
+     [dst] observes exactly the operand associated with [src] *)
+  let edge ~src ~dst env =
+    let b = Panalysis.Cfg.block cfg dst in
+    List.fold_left
+      (fun env (i : Instr.instr) ->
+        match i.op with
+        | Instr.Phi incoming -> (
+            match List.assoc_opt src incoming with
+            | Some v -> Env.add i.id (env_fact env v) env
+            | None -> env)
+        | _ -> env)
+      env b.Func.instrs
+  in
+  (* parameters are gang-invariant by the SPMD contract *)
+  let boundary =
+    List.fold_left
+      (fun env (v, _) -> Env.add v Uniform env)
+      Env.empty f.Func.params
+  in
+  let rounds = ref 0 in
+  let final = ref Env.empty in
+  let stable = ref false in
+  while not !stable do
+    incr rounds;
+    let res = E.run ~boundary ~transfer ~edge cfg in
+    (* the environment only ever grows along the blocks, so the join of
+       all block outputs is the final value assignment *)
+    let env =
+      List.fold_left
+        (fun acc n -> L.join acc (E.block_out res n))
+        boundary cfg.Panalysis.Cfg.rpo
+    in
+    final := env;
+    (* recompute control-divergent blocks from varying branches via the
+       post-dominator tree (Ferrante et al.): [b] is control-dependent
+       on branch block [c] iff [b] post-dominates a successor of [c]
+       but not [c] itself — i.e. [b] lies on the post-dominator-tree
+       path from a successor up to (excluding) ipostdom(c) *)
+    let grew = ref false in
+    let mark n =
+      if not (Hashtbl.mem divergent n) then begin
+        Hashtbl.replace divergent n ();
+        grew := true
+      end
+    in
+    List.iter
+      (fun n ->
+        let b = Panalysis.Cfg.block cfg n in
+        match b.Func.term with
+        | Instr.CondBr (c, _, _) when env_fact env c = Varying ->
+            let pd = Lazy.force pdom in
+            let stop =
+              Option.value ~default:Panalysis.Dom.virtual_exit
+                (Panalysis.Dom.idom pd n)
+            in
+            List.iter
+              (fun s ->
+                let rec walk m =
+                  if m <> stop && m <> Panalysis.Dom.virtual_exit then begin
+                    mark m;
+                    match Panalysis.Dom.idom pd m with
+                    | Some p when p <> m -> walk p
+                    | _ -> ()
+                  end
+                in
+                walk s)
+              (Panalysis.Cfg.succs cfg n)
+        | _ -> ())
+      cfg.Panalysis.Cfg.rpo;
+    if not !grew then stable := true
+  done;
+  let div = Hashtbl.create 64 in
+  Env.iter (fun v fact -> Hashtbl.replace div v fact) !final;
+  { div; divergent; rounds = !rounds }
+
+let pp ppf t =
+  let items =
+    Hashtbl.fold (fun v fact acc -> (v, fact) :: acc) t.div []
+    |> List.sort compare
+  in
+  List.iter (fun (v, fact) -> Fmt.pf ppf "%%%d: %a@." v pp_fact fact) items

@@ -1,0 +1,152 @@
+(** Lattice-parameterized block dataflow engine over PIR CFGs.
+
+    The engine computes per-block in/out states by iterating transfer
+    functions to a fixpoint with a worklist ordered by reverse postorder
+    (forward) or postorder (backward).  Phi nodes are handled through
+    the optional per-edge refinement function: the state flowing along a
+    CFG edge [src -> dst] can be rewritten before it is joined into
+    [dst]'s input, which is exactly the hook a phi-aware analysis needs
+    to select the incoming operand for the traversed predecessor.
+
+    Clients provide a join-semilattice with a bottom element (the
+    neutral element of [join]); blocks not yet reached contribute
+    [bottom], so the first visit of a block sees only the states of the
+    predecessors processed so far — the standard optimistic iteration
+    scheme.  Termination requires [transfer] and [edge] to be monotone
+    and the lattice to have finite height, as usual. *)
+
+module type LATTICE = sig
+  type t
+
+  val bottom : t
+  (** Neutral element of [join]; the "no information yet" state. *)
+
+  val equal : t -> t -> bool
+  val join : t -> t -> t
+  val pp : t Fmt.t
+end
+
+type direction = Forward | Backward
+
+module Make (L : LATTICE) = struct
+  type result = {
+    input : (string, L.t) Hashtbl.t;  (** state at block entry *)
+    output : (string, L.t) Hashtbl.t;  (** state at block exit *)
+    visits : int;
+        (** number of block transfer applications until the fixpoint —
+            exposed so tests can bound the iteration count *)
+  }
+
+  let block_in r name =
+    Option.value ~default:L.bottom (Hashtbl.find_opt r.input name)
+
+  let block_out r name =
+    Option.value ~default:L.bottom (Hashtbl.find_opt r.output name)
+
+  (* Worklist ordered by the priority index: always processes the
+     earliest pending block, which for RPO priorities makes acyclic
+     regions converge in one pass. *)
+  module Work = struct
+    module S = Set.Make (struct
+      type t = int * string
+
+      let compare = compare
+    end)
+
+    type t = { mutable set : S.t; prio : (string, int) Hashtbl.t }
+
+    let create prio = { set = S.empty; prio }
+
+    let add t name =
+      match Hashtbl.find_opt t.prio name with
+      | Some p -> t.set <- S.add (p, name) t.set
+      | None -> ()
+
+    let pop t =
+      match S.min_elt_opt t.set with
+      | None -> None
+      | Some ((_, name) as e) ->
+          t.set <- S.remove e t.set;
+          Some name
+  end
+
+  (** [run ?direction ?edge ~boundary ~transfer cfg] iterates to a
+      fixpoint and returns the per-block states.
+
+      - [boundary] is the state at the entry block's input (forward)
+        or at every exit block's output (backward).
+      - [transfer name state] maps a block's input to its output
+        (forward) or its output to its input (backward).
+      - [edge ~src ~dst state] refines the state flowing along the CFG
+        edge [src -> dst] (phi selection); defaults to the identity. *)
+  let run ?(direction = Forward) ?(edge = fun ~src:_ ~dst:_ x -> x) ~boundary
+      ~transfer (cfg : Panalysis.Cfg.t) : result =
+    let order =
+      match direction with
+      | Forward -> cfg.Panalysis.Cfg.rpo
+      | Backward -> List.rev cfg.Panalysis.Cfg.rpo
+    in
+    let prio = Hashtbl.create 16 in
+    List.iteri (fun i n -> Hashtbl.replace prio n i) order;
+    let input = Hashtbl.create 16 and output = Hashtbl.create 16 in
+    let visits = ref 0 in
+    (* sources whose states feed block [n]'s pre-transfer state, and the
+       boundary contribution if [n] is an extremal block *)
+    let feeds n =
+      match direction with
+      | Forward ->
+          let srcs = Panalysis.Cfg.preds cfg n in
+          let init =
+            if n = Panalysis.Cfg.entry cfg then boundary else L.bottom
+          in
+          ( init,
+            List.map
+              (fun p ->
+                edge ~src:p ~dst:n
+                  (Option.value ~default:L.bottom (Hashtbl.find_opt output p)))
+              srcs )
+      | Backward ->
+          let srcs = Panalysis.Cfg.succs cfg n in
+          let init = if srcs = [] then boundary else L.bottom in
+          ( init,
+            List.map
+              (fun s ->
+                edge ~src:n ~dst:s
+                  (Option.value ~default:L.bottom (Hashtbl.find_opt input s)))
+              srcs )
+    in
+    let work = Work.create prio in
+    List.iter (Work.add work) order;
+    let rec loop () =
+      match Work.pop work with
+      | None -> ()
+      | Some n ->
+          let init, contribs = feeds n in
+          let pre = List.fold_left L.join init contribs in
+          let post = transfer n pre in
+          incr visits;
+          let pre_tbl, post_tbl =
+            match direction with
+            | Forward -> (input, output)
+            | Backward -> (output, input)
+          in
+          Hashtbl.replace pre_tbl n pre;
+          let changed =
+            match Hashtbl.find_opt post_tbl n with
+            | Some old -> not (L.equal old post)
+            | None -> true
+          in
+          if changed then begin
+            Hashtbl.replace post_tbl n post;
+            let deps =
+              match direction with
+              | Forward -> Panalysis.Cfg.succs cfg n
+              | Backward -> Panalysis.Cfg.preds cfg n
+            in
+            List.iter (Work.add work) deps
+          end;
+          loop ()
+    in
+    loop ();
+    { input; output; visits = !visits }
+end

@@ -1,0 +1,193 @@
+(** Per-lane value analysis over *vectorized* functions.
+
+    Tracks, for every [Vec (I64, _)] value, what its lanes look like:
+
+    - [Exact a] — the lanes are the compile-time constants [a];
+    - [Stride s] — lane [l] holds [x + l·s] for a runtime base [x]
+      that is the same for every lane (lane 0's value);
+    - [Top] — nothing is known.
+
+    All arithmetic is modulo 2^64, matching the simulator.  The facts
+    flow through vector phis with an optimistic RPO fixpoint, which is
+    what catches the loop-carried address vectors the vectorizer
+    materializes for masked loops (init [splat + iota·s], update
+    [+ splat(G·s)] — both sides are [Stride s]).  The reclassification
+    pass ({!Parsimony.Reclassify}) uses these facts to turn gathers and
+    scatters whose index vectors are provably affine in the lane into
+    packed (possibly shuffled) accesses. *)
+
+open Pir
+
+type fact = Exact of int64 array | Stride of int64 | Top
+
+let pp_fact ppf = function
+  | Exact a ->
+      Fmt.pf ppf "exact [%a]" (Fmt.array ~sep:Fmt.comma Fmt.int64) a
+  | Stride s -> Fmt.pf ppf "stride %Ld" s
+  | Top -> Fmt.string ppf "top"
+
+let equal_fact a b =
+  match (a, b) with
+  | Exact x, Exact y -> x = y
+  | Stride x, Stride y -> x = y
+  | Top, Top -> true
+  | _ -> false
+
+(** Common difference of an arithmetic progression, if the lanes form
+    one ([Some 0] for a splat of one element). *)
+let progression (a : int64 array) : int64 option =
+  if Array.length a < 2 then Some 0L
+  else
+    let d = Int64.sub a.(1) a.(0) in
+    let ok = ref true in
+    for l = 1 to Array.length a - 1 do
+      if Int64.sub a.(l) a.(l - 1) <> d then ok := false
+    done;
+    if !ok then Some d else None
+
+let stride_view = function
+  | Exact a -> progression a
+  | Stride s -> Some s
+  | Top -> None
+
+(* join for phis: Exact meets Exact pointwise; otherwise fall back to
+   comparing strides (an Exact progression joins with a same-stride
+   Stride because only the runtime base differs) *)
+let join_fact a b =
+  match (a, b) with
+  | Exact x, Exact y when x = y -> a
+  | Top, _ | _, Top -> Top
+  | _ -> (
+      match (stride_view a, stride_view b) with
+      | Some sa, Some sb when sa = sb -> Stride sa
+      | _ -> Top)
+
+let map2 f a b = Array.init (Array.length a) (fun l -> f a.(l) b.(l))
+
+let add_fact a b =
+  match (a, b) with
+  | Exact x, Exact y when Array.length x = Array.length y ->
+      Exact (map2 Int64.add x y)
+  | _ -> (
+      match (stride_view a, stride_view b) with
+      | Some sa, Some sb -> Stride (Int64.add sa sb)
+      | _ -> Top)
+
+let sub_fact a b =
+  match (a, b) with
+  | Exact x, Exact y when Array.length x = Array.length y ->
+      Exact (map2 Int64.sub x y)
+  | _ -> (
+      match (stride_view a, stride_view b) with
+      | Some sa, Some sb -> Stride (Int64.sub sa sb)
+      | _ -> Top)
+
+let mul_fact a b =
+  let uniform_const = function
+    | Exact c when Array.length c > 0 && Array.for_all (fun v -> v = c.(0)) c ->
+        Some c.(0)
+    | _ -> None
+  in
+  match (a, b) with
+  | Exact x, Exact y when Array.length x = Array.length y ->
+      Exact (map2 Int64.mul x y)
+  | _ -> (
+      (* multiplication by a uniform compile-time constant scales the
+         stride *)
+      match (uniform_const a, stride_view b, uniform_const b, stride_view a) with
+      | Some c, Some s, _, _ | _, _, Some c, Some s -> Stride (Int64.mul s c)
+      | _ -> Top)
+
+let shl_fact a b =
+  match b with
+  | Exact c
+    when Array.length c > 0
+         && Array.for_all (fun v -> v = c.(0)) c
+         && c.(0) >= 0L && c.(0) < 63L -> (
+      let m = Int64.shift_left 1L (Int64.to_int c.(0)) in
+      match a with
+      | Exact x -> Exact (Array.map (fun v -> Int64.mul v m) x)
+      | _ -> (
+          match stride_view a with
+          | Some s -> Stride (Int64.mul s m)
+          | None -> Top))
+  | _ -> Top
+
+type t = { lanes : (int, fact) Hashtbl.t }
+
+let of_operand t = function
+  | Instr.Const (Instr.Cvec (Types.I64, a)) -> Exact (Array.copy a)
+  | Instr.Const _ -> Top
+  | Instr.Var v -> Option.value ~default:Top (Hashtbl.find_opt t.lanes v)
+
+let is_i64_vec = function Types.Vec (Types.I64, _) -> true | _ -> false
+
+let sweeps = 20
+
+let analyze (f : Func.t) : t =
+  let cfg = Panalysis.Cfg.build f in
+  let rpo_blocks = List.map (Panalysis.Cfg.block cfg) cfg.Panalysis.Cfg.rpo in
+  let t = { lanes = Hashtbl.create 64 } in
+  let changed = ref true in
+  let sweep = ref 0 in
+  while !changed && !sweep < sweeps do
+    changed := false;
+    incr sweep;
+    List.iter
+      (fun (b : Func.block) ->
+        List.iter
+          (fun (i : Instr.instr) ->
+            if is_i64_vec i.ty then begin
+              let get o = of_operand t o in
+              let fact =
+                match i.op with
+                | Instr.Ibin (Instr.Add, x, y) -> add_fact (get x) (get y)
+                | Instr.Ibin (Instr.Sub, x, y) -> sub_fact (get x) (get y)
+                | Instr.Ibin (Instr.Mul, x, y) -> mul_fact (get x) (get y)
+                | Instr.Ibin (Instr.Shl, x, y) -> shl_fact (get x) (get y)
+                | Instr.Splat (x, n) -> (
+                    match x with
+                    | Instr.Const (Instr.Cint (_, v)) ->
+                        Exact (Array.make n v)
+                    | _ -> Stride 0L)
+                | Instr.Shuffle (x, y, idx) -> (
+                    match (get x, get y) with
+                    | Exact a, Exact bl ->
+                        let n = Array.length a in
+                        Exact
+                          (Array.map
+                             (fun j ->
+                               if j < 0 then 0L
+                               else if j < n then a.(j)
+                               else bl.(j - n))
+                             idx)
+                    | _ -> Top)
+                | Instr.Cast ((Instr.SExt | Instr.ZExt), x, _) -> (
+                    (* only Exact survives a widening cast: a narrow
+                       stride may have wrapped at the source width *)
+                    match get x with Exact a -> Exact a | _ -> Top)
+                | Instr.Phi incoming ->
+                    (* optimistic: unreached incomings contribute
+                       nothing yet, so seed from what is known *)
+                    List.fold_left
+                      (fun acc (_, v) ->
+                        match v with
+                        | Instr.Var id when not (Hashtbl.mem t.lanes id) -> acc
+                        | _ -> (
+                            match acc with
+                            | None -> Some (get v)
+                            | Some x -> Some (join_fact x (get v))))
+                      None incoming
+                    |> Option.value ~default:Top
+                | _ -> Top
+              in
+              match Hashtbl.find_opt t.lanes i.id with
+              | Some old when equal_fact old fact -> ()
+              | _ ->
+                  Hashtbl.replace t.lanes i.id fact;
+                  changed := true
+            end)
+          b.Func.instrs)
+      rpo_blocks
+  done;
+  t

@@ -1,0 +1,351 @@
+(** Integer value-range and lane-stride analysis over scalar SPMD
+    functions.
+
+    Two cooperating facts are computed per SSA value:
+
+    - a {!Psmt.Facts.t} (known constant, alignment, unsigned range),
+      propagated with the same transfer functions the vectorizer's
+      online rule preconditions use, widened at loop phis; and
+
+    - an *affine form* [Σ coeff·uniform + lane·stride + base]: the
+      signed 64-bit value of every thread [l] equals the sum, where the
+      [terms] are opaque gang-invariant SSA values and [lane] is the
+      coefficient of the thread's lane index.  Addresses with a known
+      affine form expose their cross-lane stride directly ([lane]), and
+      two addresses with identical [terms] differ by a compile-time
+      function of the lane pair — exactly what the sanitizer's race and
+      bounds checks need.
+
+    Affine forms are exact modulo 2^64 (matching the simulator's
+    address arithmetic).  Narrow-width operations only keep their form
+    when a no-wrap precondition is discharged through the value-range
+    facts — the "online check" half of the two-phase scheme of paper
+    §4.2.2, reusing [lib/smt/facts.ml]. *)
+
+open Pir
+
+type aff = {
+  terms : (int * int64) list;
+      (** [(uniform SSA value, coefficient)], sorted by value id,
+          coefficients non-zero *)
+  lane : int64;  (** coefficient of the lane index *)
+  base : int64;
+}
+
+let aff_const k = { terms = []; lane = 0L; base = k }
+let aff_leaf v = { terms = [ (v, 1L) ]; lane = 0L; base = 0L }
+let aff_lane = { terms = []; lane = 1L; base = 0L }
+
+let rec merge_terms a b =
+  match (a, b) with
+  | [], t | t, [] -> t
+  | (va, ca) :: ra, (vb, cb) :: rb ->
+      if va < vb then (va, ca) :: merge_terms ra b
+      else if vb < va then (vb, cb) :: merge_terms a rb
+      else
+        let c = Int64.add ca cb in
+        if c = 0L then merge_terms ra rb else (va, c) :: merge_terms ra rb
+
+let aff_add a b =
+  {
+    terms = merge_terms a.terms b.terms;
+    lane = Int64.add a.lane b.lane;
+    base = Int64.add a.base b.base;
+  }
+
+let aff_scale c a =
+  if c = 0L then aff_const 0L
+  else
+    {
+      terms =
+        List.filter_map
+          (fun (v, k) ->
+            let k = Int64.mul c k in
+            if k = 0L then None else Some (v, k))
+          a.terms;
+      lane = Int64.mul c a.lane;
+      base = Int64.mul c a.base;
+    }
+
+let aff_neg a = aff_scale (-1L) a
+let aff_sub a b = aff_add a (aff_neg b)
+
+(** Do two affine forms share exactly the same opaque uniform terms?
+    If so their difference is [lane·(l1 - l2) + (base1 - base2)]. *)
+let same_terms a b = a.terms = b.terms
+
+let pp_aff ppf a =
+  let term ppf (v, c) = Fmt.pf ppf "%Ld·%%%d" c v in
+  Fmt.pf ppf "%a + %Ld·lane + %Ld" (Fmt.list ~sep:(Fmt.any " + ") term) a.terms
+    a.lane a.base
+
+type t = {
+  func : Func.t;
+  gang : int;
+  facts : (int, Psmt.Facts.t) Hashtbl.t;
+  affs : (int, aff) Hashtbl.t;
+}
+
+let gang t = t.gang
+
+let facts_of t = function
+  | Instr.Const (Instr.Cint (s, v)) -> Psmt.Facts.of_const (Types.scalar_bits s) v
+  | Instr.Const _ -> Psmt.Facts.top
+  | Instr.Var v -> Option.value ~default:Psmt.Facts.top (Hashtbl.find_opt t.facts v)
+
+let aff_of t = function
+  | Instr.Const (Instr.Cint (s, v)) ->
+      Some (aff_const (Ints.sext (Types.scalar_bits s) v))
+  | Instr.Const _ -> None
+  | Instr.Var v -> Hashtbl.find_opt t.affs v
+
+(** Cross-lane stride (in the value's own units) of an operand, when
+    its affine form is known. *)
+let stride_of t o = Option.map (fun a -> a.lane) (aff_of t o)
+
+let int_width ty =
+  match ty with
+  | Types.Scalar s when Types.is_int_scalar s -> Some (Types.scalar_bits s)
+  | _ -> None
+
+(* -- value-range facts -- *)
+
+let facts_sweeps = 12
+
+let compute_facts (f : Func.t) gang rpo_blocks : (int, Psmt.Facts.t) Hashtbl.t =
+  let facts : (int, Psmt.Facts.t) Hashtbl.t = Hashtbl.create 64 in
+  let get = function
+    | Instr.Const (Instr.Cint (s, v)) ->
+        Psmt.Facts.of_const (Types.scalar_bits s) v
+    | Instr.Const _ -> Psmt.Facts.top
+    | Instr.Var v -> Option.value ~default:Psmt.Facts.top (Hashtbl.find_opt facts v)
+  in
+  let changed = ref true in
+  let sweep = ref 0 in
+  while !changed && !sweep < facts_sweeps do
+    changed := false;
+    incr sweep;
+    List.iter
+      (fun (b : Func.block) ->
+        List.iter
+          (fun (i : Instr.instr) ->
+            match int_width i.ty with
+            | None -> ()
+            | Some w ->
+                let fact =
+                  match i.op with
+                  | Instr.Ibin (k, a, b) -> Psmt.Facts.ibin k w (get a) (get b)
+                  | Instr.Cast (k, a, _) -> (
+                      match int_width (Func.ty_of_operand f a) with
+                      | Some ws -> Psmt.Facts.cast k ~ws ~wd:w (get a)
+                      | None -> Psmt.Facts.top)
+                  | Instr.Call (name, _) when name = Intrinsics.lane_num ->
+                      {
+                        Psmt.Facts.const = (if gang = 1 then Some 0L else None);
+                        align = (if gang = 1 then 64 else 0);
+                        range = Some (0L, Int64.of_int (gang - 1));
+                      }
+                  | Instr.Select (_, a, b) ->
+                      Psmt.Facts.join (get a) (get b)
+                  | Instr.Phi incoming ->
+                      let avail =
+                        List.filter_map
+                          (fun (_, v) ->
+                            match v with
+                            | Instr.Const _ -> Some (get v)
+                            | Instr.Var id ->
+                                Option.map Fun.id (Hashtbl.find_opt facts id))
+                          incoming
+                      in
+                      let joined =
+                        match avail with
+                        | [] -> Psmt.Facts.top
+                        | x :: rest -> List.fold_left Psmt.Facts.join x rest
+                      in
+                      (* widen loop-carried phis once growth is observed
+                         so the range component terminates *)
+                      if
+                        !sweep > 2
+                        &&
+                        match Hashtbl.find_opt facts i.id with
+                        | Some old -> not (Psmt.Facts.equal old joined)
+                        | None -> false
+                      then Psmt.Facts.widen joined
+                      else joined
+                  | _ -> Psmt.Facts.top
+                in
+                (match Hashtbl.find_opt facts i.id with
+                | Some old when Psmt.Facts.equal old fact -> ()
+                | _ ->
+                    Hashtbl.replace facts i.id fact;
+                    changed := true))
+          b.Func.instrs)
+      rpo_blocks
+  done;
+  facts
+
+(* -- affine forms -- *)
+
+(* Narrow-width no-wrap preconditions, discharged through the range
+   facts.  At width 64 the affine claim is modulo 2^64 and always
+   holds; below 64, [sext_w] must commute with the arithmetic. *)
+
+let signed_limit w = Int64.shift_left 1L (w - 1)
+
+(* both operands provably in [0, 2^(w-1)) and their sum too *)
+let add_no_wrap w fa fb =
+  w >= 64
+  ||
+  match (Psmt.Facts.hi fa, Psmt.Facts.hi fb) with
+  | Some ha, Some hb ->
+      Int64.unsigned_compare (Int64.add ha hb) (signed_limit w) < 0
+  | _ -> false
+
+(* minuend's lower bound provably at least the subtrahend's upper *)
+let sub_no_wrap w fa fb =
+  w >= 64
+  ||
+  match (fa.Psmt.Facts.range, Psmt.Facts.hi fb) with
+  | Some (lo, hi), Some hb ->
+      Int64.unsigned_compare hi (signed_limit w) < 0
+      && Int64.unsigned_compare hb lo <= 0
+  | _ -> false
+
+let mul_no_wrap w fa c =
+  w >= 64
+  || c = 0L
+  || Int64.compare c 0L > 0
+     && Int64.unsigned_compare c (signed_limit w) < 0
+     &&
+     match Psmt.Facts.hi fa with
+     | Some ha ->
+         Int64.unsigned_compare ha (Int64.div (Int64.sub (signed_limit w) 1L) c)
+         <= 0
+     | None -> false
+
+let aff_sweeps = 8
+
+let analyze (dv : Divergence.t) (f : Func.t) : t =
+  let gang = match f.Func.spmd with Some s -> s.Func.gang_size | None -> 1 in
+  let cfg = Panalysis.Cfg.build f in
+  let rpo_blocks =
+    List.map (Panalysis.Cfg.block cfg) cfg.Panalysis.Cfg.rpo
+  in
+  let facts = compute_facts f gang rpo_blocks in
+  let t = { func = f; gang; facts; affs = Hashtbl.create 64 } in
+  List.iter
+    (fun (v, ty) ->
+      if Types.is_pointer ty || int_width ty <> None then
+        Hashtbl.replace t.affs v (aff_leaf v))
+    f.Func.params;
+  (* fall back to an opaque-uniform leaf when no structural rule
+     applies but divergence proves the value gang-invariant *)
+  let fallback (i : Instr.instr) =
+    if
+      Divergence.value_fact dv i.id = Divergence.Uniform
+      && (Types.is_pointer i.ty || int_width i.ty <> None)
+    then Some (aff_leaf i.id)
+    else None
+  in
+  let changed = ref true in
+  let sweep = ref 0 in
+  while !changed && !sweep < aff_sweeps do
+    changed := false;
+    incr sweep;
+    List.iter
+      (fun (b : Func.block) ->
+        List.iter
+          (fun (i : Instr.instr) ->
+            let get o = aff_of t o in
+            let a =
+              match i.op with
+              | Instr.Ibin (Instr.Add, x, y) -> (
+                  match (get x, get y, int_width i.ty) with
+                  | Some ax, Some ay, Some w
+                    when add_no_wrap w (facts_of t x) (facts_of t y) ->
+                      Some (aff_add ax ay)
+                  | _ -> fallback i)
+              | Instr.Ibin (Instr.Sub, x, y) -> (
+                  match (get x, get y, int_width i.ty) with
+                  | Some ax, Some ay, Some w
+                    when sub_no_wrap w (facts_of t x) (facts_of t y) ->
+                      Some (aff_sub ax ay)
+                  | _ -> fallback i)
+              | Instr.Ibin (Instr.Mul, x, y) -> (
+                  let by_const v c =
+                    match (get v, int_width i.ty) with
+                    | Some av, Some w when mul_no_wrap w (facts_of t v) c ->
+                        Some (aff_scale c av)
+                    | _ -> None
+                  in
+                  match (Instr.const_int_value x, Instr.const_int_value y) with
+                  | _, Some c -> (
+                      match by_const x c with Some a -> Some a | None -> fallback i)
+                  | Some c, _ -> (
+                      match by_const y c with Some a -> Some a | None -> fallback i)
+                  | None, None -> fallback i)
+              | Instr.Ibin (Instr.Shl, x, y) -> (
+                  match Instr.const_int_value y with
+                  | Some sh when sh >= 0L && sh < 32L -> (
+                      let c = Int64.shift_left 1L (Int64.to_int sh) in
+                      match (get x, int_width i.ty) with
+                      | Some ax, Some w when mul_no_wrap w (facts_of t x) c ->
+                          Some (aff_scale c ax)
+                      | _ -> fallback i)
+                  | _ -> fallback i)
+              | Instr.Cast (Instr.SExt, x, _) ->
+                  (* the affine form denotes the signed value, which
+                     sign extension preserves *)
+                  (match get x with Some a -> Some a | None -> fallback i)
+              | Instr.Cast (Instr.ZExt, x, _) -> (
+                  match (get x, int_width (Func.ty_of_operand f x)) with
+                  | Some a, Some ws when Psmt.Facts.fits_unsigned (facts_of t x) (ws - 1)
+                    ->
+                      Some a
+                  | _ -> fallback i)
+              | Instr.Cast (Instr.Trunc, x, _) -> (
+                  match (get x, int_width i.ty) with
+                  | Some a, Some wd
+                    when Psmt.Facts.fits_unsigned (facts_of t x) (wd - 1) ->
+                      Some a
+                  | _ -> fallback i)
+              | Instr.Cast (Instr.Bitcast, x, _) when Types.is_pointer i.ty -> (
+                  match get x with Some a -> Some a | None -> fallback i)
+              | Instr.Gep (p, idx) -> (
+                  let esz =
+                    match Func.ty_of_operand f p with
+                    | Types.Ptr s -> Int64.of_int (Types.scalar_bytes s)
+                    | _ -> 1L
+                  in
+                  (* byte address = base + esz·sext(idx), modulo 2^64:
+                     exactly the simulator's address arithmetic *)
+                  match (get p, get idx) with
+                  | Some ap, Some ai -> Some (aff_add ap (aff_scale esz ai))
+                  | _ -> None)
+              | Instr.Call (name, _) when name = Intrinsics.lane_num ->
+                  Some aff_lane
+              | Instr.Alloca _ ->
+                  (* per-thread private base: opaque leaf; offsets from
+                     it are still meaningful for bounds checks *)
+                  Some (aff_leaf i.id)
+              | Instr.Select (_, x, y) when Instr.equal_operand x y -> get x
+              | Instr.Phi incoming -> (
+                  match incoming with
+                  | (_, v0) :: rest
+                    when List.for_all
+                           (fun (_, v) -> Instr.equal_operand v v0)
+                           rest -> (
+                      match get v0 with Some a -> Some a | None -> fallback i)
+                  | _ -> fallback i)
+              | _ -> fallback i
+            in
+            match (a, Hashtbl.find_opt t.affs i.id) with
+            | Some a, Some old when old = a -> ()
+            | Some a, _ ->
+                Hashtbl.replace t.affs i.id a;
+                changed := true
+            | None, _ -> ())
+          b.Func.instrs)
+      rpo_blocks
+  done;
+  t

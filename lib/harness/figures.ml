@@ -200,6 +200,7 @@ let ablation_cases =
     ("strided shuffles off", { Parsimony.Options.default with stride_shuffle_bound = 0 });
     ("uniform branches linearized", { Parsimony.Options.default with uniform_branches = false });
     ("boscc on", { Parsimony.Options.default with boscc = true });
+    ("analysis feedback on", { Parsimony.Options.default with analysis_feedback = true });
   ]
 
 let ablation_kernels () =

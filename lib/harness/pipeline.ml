@@ -93,3 +93,33 @@ let compile ?(cfg = default) ~name src :
 (** [compile] on a source file; the module is named after the file. *)
 let compile_file ?cfg path =
   compile ?cfg ~name:(Filename.basename path) (read_file path)
+
+(** Run the SPMD sanitizer (psan) over [src]: the scalar lowering gets
+    the dataflow checks (cross-lane races, out-of-bounds accesses,
+    uninitialized reads, dead stores), then the vectorized module gets
+    the vector-access lint (static out-of-bounds packed/gather
+    accesses).  Findings come back deduplicated in deterministic
+    (function, block, instruction) order; also emitted as "psan"
+    analysis remarks when a remark mode is active. *)
+let lint ?(opts = Parsimony.Options.default) ~name src : Psan.finding list =
+  Pobs.Trace.with_span ~cat:"pipeline" ~args:[ ("module", name) ] "lint"
+    (fun () ->
+      let m = Pfrontend.Lower.compile ~name src in
+      Panalysis.Check.check_module m;
+      let scalar = Psan.run_module m in
+      let vectored =
+        (* vectorization can legitimately fail on lint-only sources;
+           the scalar findings stand on their own *)
+        match Parsimony.Vectorizer.run_module ~opts m with
+        | exception Parsimony.Vectorizer.Unvectorizable _ -> []
+        | _ ->
+            Parsimony.Simplify.run_module m;
+            Psan.run_module m
+      in
+      let findings = Psan.sort_findings (scalar @ vectored) in
+      Psan.emit_remarks findings;
+      findings)
+
+(** [lint] on a source file. *)
+let lint_file ?opts path =
+  lint ?opts ~name:(Filename.basename path) (read_file path)

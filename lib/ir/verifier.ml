@@ -320,6 +320,139 @@ let verify_func (f : Func.t) : (unit, error list) result =
   in
   dup labels;
   if f.blocks = [] then err f.fname "function has no blocks";
+  (* reachability + SSA use-dominance.  The dominator sets are computed
+     locally (pir is a leaf library) with the classic iterative
+     dataflow: dom(entry) = {entry}, dom(b) = {b} ∪ ⋂ dom(preds) —
+     quadratic, but verifier-grade CFGs are small and the verifier must
+     not depend on the analysis library it is meant to check. *)
+  (match f.blocks with
+  | [] -> ()
+  | entry :: _ ->
+      let block_of = Hashtbl.create 16 in
+      List.iter
+        (fun (b : Func.block) -> Hashtbl.replace block_of b.bname b)
+        f.blocks;
+      let reachable = Hashtbl.create 16 in
+      let rec dfs name =
+        if (not (Hashtbl.mem reachable name)) && Hashtbl.mem block_of name
+        then begin
+          Hashtbl.replace reachable name ();
+          List.iter dfs (Func.successors (Hashtbl.find block_of name))
+        end
+      in
+      dfs entry.bname;
+      List.iter
+        (fun (b : Func.block) ->
+          if not (Hashtbl.mem reachable b.bname) then
+            err b.bname "block is unreachable from entry %s" entry.bname)
+        f.blocks;
+      let rblocks =
+        List.filter (fun (b : Func.block) -> Hashtbl.mem reachable b.bname) f.blocks
+      in
+      let rnames = List.map (fun (b : Func.block) -> b.bname) rblocks in
+      (* dominator sets as sorted name lists *)
+      let module S = Set.Make (String) in
+      let dom : (string, S.t) Hashtbl.t = Hashtbl.create 16 in
+      let all = S.of_list rnames in
+      List.iter
+        (fun n ->
+          Hashtbl.replace dom n
+            (if n = entry.bname then S.singleton n else all))
+        rnames;
+      let rpreds n =
+        List.filter (fun p -> Hashtbl.mem reachable p)
+          (Option.value ~default:[] (Hashtbl.find_opt preds n))
+      in
+      let changed = ref true in
+      while !changed do
+        changed := false;
+        List.iter
+          (fun n ->
+            if n <> entry.bname then begin
+              let inter =
+                match rpreds n with
+                | [] -> S.singleton n (* only the entry; defensive *)
+                | p :: ps ->
+                    List.fold_left
+                      (fun acc q -> S.inter acc (Hashtbl.find dom q))
+                      (Hashtbl.find dom p) ps
+              in
+              let nd = S.add n inter in
+              if not (S.equal nd (Hashtbl.find dom n)) then begin
+                Hashtbl.replace dom n nd;
+                changed := true
+              end
+            end)
+          rnames
+      done;
+      let dominates a b =
+        (* vacuous for labels outside the reachable set: those already
+           produced their own error above *)
+        match Hashtbl.find_opt dom b with
+        | Some s -> S.mem a s
+        | None -> true
+      in
+      (* definition sites of reachable instructions *)
+      let def_site = Hashtbl.create 64 in
+      List.iter
+        (fun (b : Func.block) ->
+          List.iteri
+            (fun idx (i : instr) -> Hashtbl.replace def_site i.id (b.bname, idx))
+            b.instrs)
+        rblocks;
+      let is_param v = List.exists (fun (p, _) -> p = v) f.params in
+      let dominates_use v ~use_block ~use_idx =
+        is_param v
+        ||
+        match Hashtbl.find_opt def_site v with
+        | None -> true (* defined only in unreachable code: reported above *)
+        | Some (db, di) ->
+            if db = use_block then di < use_idx
+            else dominates db use_block
+      in
+      let dominates_block_end v block =
+        is_param v
+        ||
+        match Hashtbl.find_opt def_site v with
+        | None -> true
+        | Some (db, _) -> dominates db block
+      in
+      List.iter
+        (fun (b : Func.block) ->
+          List.iteri
+            (fun idx (i : instr) ->
+              match i.op with
+              | Phi incoming ->
+                  (* a phi's incoming value must be available at the end
+                     of the corresponding predecessor, not at the phi *)
+                  List.iter
+                    (fun (l, v) ->
+                      match v with
+                      | Var v when not (dominates_block_end v l) ->
+                          err b.bname
+                            "phi %%%d incoming %%%d does not dominate the end \
+                             of pred %s"
+                            i.id v l
+                      | _ -> ())
+                    incoming
+              | _ ->
+                  List.iter
+                    (fun v ->
+                      if not (dominates_use v ~use_block:b.bname ~use_idx:idx)
+                      then
+                        err b.bname
+                          "use of %%%d in %%%d is not dominated by its \
+                           definition"
+                          v i.id)
+                    (uses_of_op i.op))
+            b.instrs;
+          match b.term with
+          | CondBr (Var v, _, _) | Ret (Some (Var v)) ->
+              if not (dominates_block_end v b.bname) then
+                err b.bname
+                  "terminator use of %%%d is not dominated by its definition" v
+          | _ -> ())
+        rblocks);
   match !errs with [] -> Ok () | es -> Error (List.rev es)
 
 let verify_module (m : Func.modul) : (unit, error list) result =

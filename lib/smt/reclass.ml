@@ -1,0 +1,130 @@
+(** Pure planning math for the gather/scatter reclassification rewrite.
+
+    A gather whose per-lane element indices are provably
+    [origin + rel.(l)] with compile-time relative picks [rel] (e.g. a
+    constant-stride progression) can be rewritten as a short sequence of
+    *masked packed* accesses of gang-width chunks starting at the
+    origin, combined with static shuffles.  This module computes the
+    chunk/permutation plan; the IR emission lives in
+    [lib/core/reclassify.ml] and the offline model check that validates
+    the plan semantics against the gather/scatter semantics lives in
+    {!Verify} — the same two-phase scheme as the shape rules, so the
+    plan construction below is deliberately shared by both.
+
+    Soundness requirements encoded here:
+
+    - [rel.(0) = 0] and [rel] strictly increasing: the picks are
+      distinct (a chunk's inverse permutation is then well defined and
+      a scatter writes each target once) and non-negative, so the
+      origin is lane 0's address and every touched address lies in the
+      gather's own footprint — no padding assumption;
+
+    - the span is bounded by [bound] gang-widths, limiting the rewrite
+      to a profitable number of chunks;
+
+    - every chunk element is loaded/stored under a mask that is the
+      conjunction of the *static* validity bit (some lane picks this
+      element) and the original access's *dynamic* mask bit of that
+      lane, so the rewrite touches exactly the addresses the masked
+      gather/scatter would touch. *)
+
+type chunk = {
+  coff : int;  (** chunk origin, in elements from the access origin *)
+  inv : int array;
+      (** gang-sized inverse permutation: [inv.(m)] is the lane whose
+          pick is [coff + m], or [-1] when no lane picks it *)
+}
+
+type plan = {
+  rel : int array;  (** per-lane pick relative to the origin *)
+  chunks : chunk list;  (** in increasing [coff] order; empty chunks
+                            (no lane picks in range) are dropped *)
+}
+
+(** [lanes_rel ~stride n] — the relative picks of an [n]-lane constant
+    [stride] progression. *)
+let lanes_rel ~stride n = Array.init n (fun l -> l * stride)
+
+(** Build the chunk plan for relative picks [rel] of a gang of
+    [Array.length rel] lanes, or [None] when the preconditions fail. *)
+let plan ?(bound = 4) (rel : int array) : plan option =
+  let n = Array.length rel in
+  if n = 0 || rel.(0) <> 0 then None
+  else
+    let increasing = ref true in
+    for l = 1 to n - 1 do
+      if rel.(l) <= rel.(l - 1) then increasing := false
+    done;
+    let span = rel.(n - 1) + 1 in
+    if (not !increasing) || span > bound * n then None
+    else
+      let nchunks = (span + n - 1) / n in
+      let chunks = ref [] in
+      for j = nchunks - 1 downto 0 do
+        let coff = j * n in
+        let inv = Array.make n (-1) in
+        let any = ref false in
+        Array.iteri
+          (fun l p ->
+            if p >= coff && p < coff + n then begin
+              inv.(p - coff) <- l;
+              any := true
+            end)
+          rel;
+        if !any then chunks := { coff; inv } :: !chunks
+      done;
+      Some { rel; chunks = !chunks }
+
+(** Is the plan the trivial unit-stride one (a single identity chunk
+    covering every lane)?  Such accesses need no shuffle at all. *)
+let is_unit p =
+  match p.chunks with
+  | [ { coff = 0; inv } ] -> Array.to_list inv = List.init (Array.length inv) Fun.id
+  | _ -> false
+
+(* -- reference semantics used by the offline model check -- *)
+
+(** Evaluate the plan as a *load* against memory [mem] (element index ->
+    value) under [mask], recording every element index the rewritten
+    form reads in [touched].  Mirrors the emitted IR: per chunk, a
+    masked packed load (masked-out lanes produce zero, like the
+    simulator's masked [VLoad]) whose mask is the static validity bits
+    AND the lane-permuted dynamic mask, then a chain of two-input
+    shuffles selecting each lane's pick from the chunk that covers it. *)
+let simulate_load (p : plan) ~(mask : bool array) ~(mem : int -> int64)
+    ~(touched : int list ref) : int64 array =
+  let n = Array.length p.rel in
+  let acc = Array.make n 0L in
+  List.iter
+    (fun { coff; inv } ->
+      let chunk =
+        Array.init n (fun m ->
+            let active = inv.(m) >= 0 && mask.(inv.(m)) in
+            if active then begin
+              touched := (coff + m) :: !touched;
+              mem (coff + m)
+            end
+            else 0L)
+      in
+      (* combining shuffle: lanes covered by this chunk take their pick,
+         the rest keep the accumulator *)
+      Array.iteri
+        (fun l pick ->
+          if pick >= coff && pick < coff + n then acc.(l) <- chunk.(pick - coff))
+        p.rel)
+    p.chunks;
+  acc
+
+(** Evaluate the plan as a *store* of [v] under [mask]: per chunk, the
+    value vector permuted so slot [m] holds lane [inv.(m)]'s value, then
+    a masked packed store.  Returns the written (index, value) pairs. *)
+let simulate_store (p : plan) ~(mask : bool array) ~(v : int64 array) :
+    (int * int64) list =
+  let n = Array.length p.rel in
+  List.concat_map
+    (fun { coff; inv } ->
+      List.filter_map Fun.id
+        (List.init n (fun m ->
+             let l = inv.(m) in
+             if l >= 0 && mask.(l) then Some (coff + m, v.(l)) else None)))
+    p.chunks

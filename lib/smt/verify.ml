@@ -103,9 +103,127 @@ let check_rule ?(w = 8) ?(lanes = 4) ?(exhaustive = false) (r : Rules.rule) :
    with Exit -> ());
   { rule = r.Rules.name; cases_checked = !cases; counterexample = !counterexample }
 
-(** Check every registered rule; returns the reports. *)
+(* -- reclassification rewrite rules (lib/core/reclassify.ml) --
+
+   The stride-reclassification rewrite replaces a masked gather/scatter
+   whose lane indices are [origin + rel.(l)] by masked packed accesses
+   plus shuffles, following the chunk plan computed in {!Reclass}.  The
+   model check below validates the *plan semantics* (the exact math the
+   emitter follows, shared via [Reclass.simulate_*]) against the
+   gather/scatter reference semantics of the simulator, for every
+   combination of gang width, pick pattern and mask pattern sampled:
+
+   - the produced lanes must match the gather exactly (masked-out lanes
+     are zero, like the simulator's masked [Gather]);
+   - the set of touched element indices must be a subset of the
+     addresses the masked gather/scatter itself would touch (no
+     speculative accesses outside the original footprint);
+   - a scatter must write each touched address exactly once, with the
+     same value the reference scatter writes. *)
+
+let mask_patterns n =
+  [
+    Array.make n true (* full gang *);
+    Array.init n (fun l -> l mod 2 = 0) (* alternating *);
+    Array.init n (fun l -> l < n / 2) (* first half *);
+    Array.init n (fun l -> l >= n / 2) (* tail of a partial gang *);
+    Array.init n (fun l -> l = 0) (* single lane *);
+    Array.make n false (* fully masked off *);
+    Array.init n (fun l -> l * 37 mod 3 <> 0) (* irregular *);
+  ]
+
+let pick_patterns n =
+  List.filter_map
+    (fun rel -> Option.map (fun p -> (rel, p)) (Reclass.plan rel))
+    ([ 1; 2; 3; 4 ] |> List.map (fun s -> Reclass.lanes_rel ~stride:s n))
+  @ List.filter_map
+      (fun rel -> Option.map (fun p -> (rel, p)) (Reclass.plan rel))
+      [
+        Array.init n (fun l -> (l * (l + 1)) / 2) (* increasing, irregular *);
+        Array.init n (fun l -> if l = 0 then 0 else (2 * l) + 1);
+      ]
+
+let check_reclass ?(lanes = 8) () : report list =
+  let sizes = List.sort_uniq compare [ 4; lanes ] in
+  let mem idx = Int64.of_int ((idx * 131) + 7) in
+  let value l = Int64.of_int ((l * 17) + 3) in
+  let run kind ~only_unit =
+    let cases = ref 0 in
+    let counterexample = ref None in
+    let fail fmt = Fmt.kstr (fun s -> if !counterexample = None then counterexample := Some s) fmt in
+    List.iter
+      (fun n ->
+        List.iter
+          (fun (rel, p) ->
+            if Reclass.is_unit p = only_unit then
+              List.iter
+                (fun mask ->
+                  incr cases;
+                  (* reference footprint of the masked access *)
+                  let ref_touched =
+                    List.filter_map
+                      (fun l -> if mask.(l) then Some rel.(l) else None)
+                      (List.init n Fun.id)
+                  in
+                  match kind with
+                  | `Load ->
+                      let touched = ref [] in
+                      let got =
+                        Reclass.simulate_load p ~mask ~mem ~touched
+                      in
+                      let want =
+                        Array.init n (fun l ->
+                            if mask.(l) then mem rel.(l) else 0L)
+                      in
+                      if got <> want then
+                        fail "load n=%d rel0..=%d mask=%s: lanes differ" n
+                          rel.(n - 1)
+                          (String.concat ""
+                             (List.map
+                                (fun l -> if mask.(l) then "1" else "0")
+                                (List.init n Fun.id)));
+                      List.iter
+                        (fun a ->
+                          if not (List.mem a ref_touched) then
+                            fail
+                              "load n=%d: touched element %d outside the \
+                               gather footprint"
+                              n a)
+                        !touched
+                  | `Store ->
+                      let v = Array.init n value in
+                      let writes = Reclass.simulate_store p ~mask ~v in
+                      let want =
+                        List.filter_map
+                          (fun l ->
+                            if mask.(l) then Some (rel.(l), v.(l)) else None)
+                          (List.init n Fun.id)
+                      in
+                      let sort = List.sort compare in
+                      if sort writes <> sort want then
+                        fail "store n=%d span=%d: write set differs" n
+                          (rel.(n - 1) + 1))
+                (mask_patterns n))
+          (pick_patterns n))
+      sizes;
+    (!cases, !counterexample)
+  in
+  let mk name kind ~only_unit =
+    let cases_checked, counterexample = run kind ~only_unit in
+    { rule = name; cases_checked; counterexample }
+  in
+  [
+    mk "reclass.load.unit" `Load ~only_unit:true;
+    mk "reclass.load.shuffle" `Load ~only_unit:false;
+    mk "reclass.store.unit" `Store ~only_unit:true;
+    mk "reclass.store.shuffle" `Store ~only_unit:false;
+  ]
+
+(** Check every registered rule (shape transformations and the
+    reclassification rewrites); returns the reports. *)
 let check_all ?w ?lanes ?exhaustive () =
   List.map (check_rule ?w ?lanes ?exhaustive) Rules.rules
+  @ check_reclass ?lanes ()
 
 (** [true] iff every rule verified with no counterexample and fired on at
     least one case (a rule that never fires is suspicious: its
