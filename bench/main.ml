@@ -3,55 +3,103 @@
    AVX-512 machine, then runs Bechamel micro-benchmarks of the compiler
    itself (pass time, shape analysis, rule verification, interpreter).
 
-   Usage: dune exec bench/main.exe [--] [fast] [--jobs N] [--json FILE]
-                                        [--trace FILE]
+   Usage:
+     dune exec bench/main.exe [--] [fast] [--jobs N] [--json FILE]
+                                   [--trace FILE] [--history FILE]
+     dune exec bench/main.exe -- diff BASELINE [CURRENT]
+     dune exec bench/main.exe -- check --baseline FILE [--current FILE]
+                                       [--tolerance PCT]
    - "fast" skips the Bechamel wall-clock section.
    - "--jobs N" sets the worker-domain count for the figure sweeps
      (default: PARSIMONY_JOBS, else the runtime's recommendation capped
      at 8).  The tables are byte-identical for every N.
-   - "--json FILE" additionally writes rows, geomeans, harness
-     wall-clock timings and optimization-remark counts to FILE as JSON.
+   - "--json FILE" writes the full run document to FILE: schema version,
+     cost-model identifier, environment fingerprint, per-kernel cycles,
+     geomeans, vectorization scorecards, rows, timings, remark counts
+     and a metrics snapshot.
+   - "--history FILE" appends the same document to FILE as one JSONL
+     line (the regression observatory's store).
    - "--trace FILE" records every harness section and compiler pass as a
-     span and writes a Chrome trace_event file (chrome://tracing). *)
+     span and writes a Chrome trace_event file (chrome://tracing).
+   - "diff" compares two runs (a --json file, or the latest line of a
+     JSONL history) and prints a ranked regression/improvement table.
+     Without CURRENT it re-runs the figure sweep first.
+   - "check" gates the current run against a baseline: exit 0 when every
+     kernel's cycles are within tolerance (default 0.5%), 1 on any
+     regression or vanished kernel, 2 on incompatible runs (different
+     schema or cost model) or unreadable files. *)
 
 let pr fmt = Fmt.pr fmt
 
 let usage () =
-  Fmt.epr "usage: main.exe [fast] [--jobs N] [--json FILE] [--trace FILE]@.";
+  Fmt.epr
+    "usage: main.exe [fast] [--jobs N] [--json FILE] [--trace FILE] \
+     [--history FILE]@.       main.exe diff BASELINE [CURRENT]@.       \
+     main.exe check --baseline FILE [--current FILE] [--tolerance PCT]@.";
   exit 2
 
-type cli = { fast : bool; jobs : int; json : string option; trace : string option }
+type cli = {
+  fast : bool;
+  jobs : int;
+  json : string option;
+  trace : string option;
+  history : string option;
+}
 
-let parse_cli () =
-  let jobs =
-    (* a malformed PARSIMONY_JOBS raises; report it as a usage error *)
-    try Pparallel.Pool.default_jobs ()
-    with Invalid_argument msg ->
-      Fmt.epr "%s@." msg;
+type cmd =
+  | Run of cli
+  | Diff of { baseline : string; current : string option; jobs : int }
+  | Check of {
+      baseline : string option;
+      current : string option;
+      tolerance : float;
+      jobs : int;
+    }
+
+let default_jobs () =
+  (* a malformed PARSIMONY_JOBS raises; report it as a usage error *)
+  try Pparallel.Pool.default_jobs ()
+  with Invalid_argument msg ->
+    Fmt.epr "%s@." msg;
+    usage ()
+
+let parse_jobs n =
+  match int_of_string_opt n with
+  | Some j when j >= 1 -> j
+  | _ ->
+      Fmt.epr "--jobs %s: expected a positive integer@." n;
       usage ()
+
+let parse_run_cli args =
+  let jobs = default_jobs () in
+  let cli =
+    ref { fast = false; jobs; json = None; trace = None; history = None }
   in
-  let cli = ref { fast = false; jobs; json = None; trace = None } in
   let rec go = function
     | [] -> ()
-    | "fast" :: rest -> cli := { !cli with fast = true }; go rest
-    | "--jobs" :: n :: rest -> (
-        match int_of_string_opt n with
-        | Some j when j >= 1 -> cli := { !cli with jobs = j }; go rest
-        | _ ->
-            Fmt.epr "--jobs %s: expected a positive integer@." n;
-            usage ())
-    | "--json" :: file :: rest -> cli := { !cli with json = Some file }; go rest
+    | "fast" :: rest ->
+        cli := { !cli with fast = true };
+        go rest
+    | "--jobs" :: n :: rest ->
+        cli := { !cli with jobs = parse_jobs n };
+        go rest
+    | "--json" :: file :: rest ->
+        cli := { !cli with json = Some file };
+        go rest
     | "--trace" :: file :: rest ->
         cli := { !cli with trace = Some file };
         go rest
-    | [ (("--jobs" | "--json" | "--trace") as flag) ] ->
+    | "--history" :: file :: rest ->
+        cli := { !cli with history = Some file };
+        go rest
+    | [ (("--jobs" | "--json" | "--trace" | "--history") as flag) ] ->
         Fmt.epr "%s requires a value@." flag;
         usage ()
     | arg :: _ ->
         Fmt.epr "unknown argument %S@." arg;
         usage ()
   in
-  go (List.tl (Array.to_list Sys.argv));
+  go args;
   (* fail on an unwritable --json target now, not after the sweep *)
   Option.iter
     (fun file ->
@@ -61,6 +109,73 @@ let parse_cli () =
         exit 2)
     !cli.json;
   !cli
+
+let parse_check_cli args =
+  let baseline = ref None
+  and current = ref None
+  and tolerance = ref 0.5
+  and jobs = ref (default_jobs ()) in
+  let rec go = function
+    | [] -> ()
+    | "--baseline" :: file :: rest ->
+        baseline := Some file;
+        go rest
+    | "--current" :: file :: rest ->
+        current := Some file;
+        go rest
+    | "--tolerance" :: pct :: rest -> (
+        match float_of_string_opt pct with
+        | Some t when t >= 0.0 ->
+            tolerance := t;
+            go rest
+        | _ ->
+            Fmt.epr "--tolerance %s: expected a non-negative percentage@." pct;
+            usage ())
+    | "--jobs" :: n :: rest ->
+        jobs := parse_jobs n;
+        go rest
+    | [ (("--baseline" | "--current" | "--tolerance" | "--jobs") as flag) ] ->
+        Fmt.epr "%s requires a value@." flag;
+        usage ()
+    | arg :: _ ->
+        Fmt.epr "unknown argument %S@." arg;
+        usage ()
+  in
+  go args;
+  if !baseline = None then begin
+    Fmt.epr "check requires --baseline FILE@.";
+    usage ()
+  end;
+  Check
+    {
+      baseline = !baseline;
+      current = !current;
+      tolerance = !tolerance;
+      jobs = !jobs;
+    }
+
+let parse_diff_cli args =
+  let rec split positional jobs = function
+    | [] -> (List.rev positional, jobs)
+    | "--jobs" :: n :: rest -> split positional (parse_jobs n) rest
+    | [ "--jobs" ] ->
+        Fmt.epr "--jobs requires a value@.";
+        usage ()
+    | arg :: rest -> split (arg :: positional) jobs rest
+  in
+  match split [] (default_jobs ()) args with
+  | [ baseline ], jobs -> Diff { baseline; current = None; jobs }
+  | [ baseline; current ], jobs -> Diff { baseline; current = Some current; jobs }
+  | _ ->
+      Fmt.epr "diff takes one or two run files@.";
+      usage ()
+
+let parse_cli () =
+  match List.tl (Array.to_list Sys.argv) with
+  | "diff" :: rest -> parse_diff_cli rest
+  | "check" :: rest -> parse_check_cli rest
+  | "run" :: rest -> Run (parse_run_cli rest)
+  | rest -> Run (parse_run_cli rest)
 
 (* Wall-clock accounting per harness section, reported at the end and
    in the JSON output. *)
@@ -72,19 +187,54 @@ let timed section f =
   timings := !timings @ [ (section, Unix.gettimeofday () -. t0) ];
   r
 
+(* -- the run document (bench --json / history record) --
+
+   The sweeps materialize raw per-(kernel, implementation) cycle tables
+   (Figures.raw) and the printed figures are derived from them, so the
+   observatory gates on the deterministic absolute cycles behind the
+   ratio tables. *)
+
+type sweep = {
+  f4_raw : Pharness.Figures.raw list;
+  f4 : Pharness.Figures.row list;
+  f5_raw : Pharness.Figures.raw list;
+  f5 : Pharness.Figures.row list;
+  ab : Pharness.Figures.row list;
+}
+
+let machine_id () = Pmachine.Cost.model_id Pmachine.Cost.default
+
+(* nan cycles (kernels with no hand implementation) are dropped rather
+   than stored as null, so a diff never reports them as vanished *)
+let kernels_of_raws f4_raw f5_raw : (string * (string * float) list) list =
+  let finite r =
+    List.filter (fun (_, c) -> Float.is_finite c) r.Pharness.Figures.rcycles
+  in
+  List.map (fun (r : Pharness.Figures.raw) -> ("fig4/" ^ r.rkernel, finite r)) f4_raw
+  @ List.map
+      (fun (r : Pharness.Figures.raw) -> ("fig5/" ^ r.rkernel, finite r))
+      f5_raw
+
+let flat_geomeans f4 f5 : (string * float) list =
+  List.map (fun (s, g) -> ("figure4." ^ s, g)) (Pharness.Figures.geomeans f4)
+  @ List.map (fun (s, g) -> ("figure5." ^ s, g)) (Pharness.Figures.geomeans f5)
+  |> List.filter (fun (_, g) -> Float.is_finite g)
+
 let run_figures pool =
   pr "Parsimony reproduction benchmark harness@.";
   pr "(simulated AVX-512-class machine; see lib/machine/cost.ml)@.";
 
   (* -- Figure 4 -- *)
-  let f4 = timed "figure4" (fun () -> Pharness.Figures.figure4 ~pool ()) in
+  let f4_raw = timed "figure4" (fun () -> Pharness.Figures.figure4_raw ~pool ()) in
+  let f4 = Pharness.Figures.figure4_rows f4_raw in
   Pharness.Figures.pp_table Fmt.stdout
     ~title:"Figure 4: ispc benchmarks, speedup over LLVM auto-vectorization"
     ~unit:"speedup factor vs auto-vectorized serial C" f4;
   pr "summary: %s@." (Pharness.Figures.summary_figure4 f4);
 
   (* -- Figure 5 -- *)
-  let f5 = timed "figure5" (fun () -> Pharness.Figures.figure5 ~pool ()) in
+  let f5_raw = timed "figure5" (fun () -> Pharness.Figures.figure5_raw ~pool ()) in
+  let f5 = Pharness.Figures.figure5_rows f5_raw in
   Pharness.Figures.pp_table Fmt.stdout
     ~title:
       "Figure 5: 72 Simd Library benchmarks, speedup over LLVM scalar \
@@ -112,7 +262,22 @@ let run_figures pool =
 
   (* -- compile time (paper §4.2.2: online checks are cheap) -- *)
   pr "@.== Compile time ==@.%s@." (Pharness.Figures.compile_time_stats ());
-  (f4, f5, ab)
+  { f4_raw; f4; f5_raw; f5; ab }
+
+(* Vectorization coverage scorecards, one per kernel (rolled up across
+   the kernel's SPMD functions), for every Parsimony-ported kernel of
+   both suites. *)
+let scorecards pool : (string * Parsimony.Scorecard.t) list =
+  let kernels =
+    List.map (fun k -> ("fig5/", k)) Psimdlib.Registry.all
+    @ List.map (fun k -> ("fig4/", k)) Pispc.Suite.all
+  in
+  Pparallel.Pool.map pool
+    (fun (prefix, (k : Psimdlib.Workload.kernel)) ->
+      Pharness.Runner.scorecard k
+      |> Option.map (fun c -> (prefix ^ k.kname, c)))
+    kernels
+  |> List.filter_map Fun.id
 
 (* -- Bechamel micro-benchmarks of the toolchain itself -- *)
 
@@ -207,45 +372,139 @@ let spans_json () =
          (name, Obj [ ("count", Int c); ("total_us", Int t) ]))
   |> fun fields -> Obj fields
 
-let emit_json file (f4, f5, ab) jobs =
+(** The complete run document: everything the regression observatory
+    needs to compare two runs, plus the figure rows and harness
+    diagnostics.  [bench --json] writes it pretty-printed; [--history]
+    appends it as one compact JSONL line. *)
+let run_doc (sw : sweep) ~cards jobs : Pharness.Json_out.t =
   let open Pharness.Json_out in
   let hits, misses = Pharness.Runner.Compile_cache.stats () in
-  let v =
-    Obj
-      [
-        ("jobs", Int jobs);
-        ("figure4", of_rows f4);
-        ("figure5", of_rows f5);
-        ("ablations", of_rows ab);
-        ( "timings_s",
-          Obj (List.map (fun (s, dt) -> (s, Float dt)) !timings) );
-        ( "compile_cache",
-          Obj [ ("hits", Int hits); ("misses", Int misses) ] );
-        ("remark_counts", remark_counts_json ());
-        ("spans", spans_json ());
-      ]
-  in
-  write file v;
-  pr "wrote %s@." file
+  Obj
+    [
+      ("schema", Int Pharness.History.schema_version);
+      ("machine", Str (machine_id ()));
+      ("env", Pharness.History.env_json ());
+      ("jobs", Int jobs);
+      ( "kernels",
+        Obj
+          (List.map
+             (fun (k, series) ->
+               (k, Obj (List.map (fun (i, c) -> (i, Float c)) series)))
+             (kernels_of_raws sw.f4_raw sw.f5_raw)) );
+      ( "geomeans",
+        Obj (List.map (fun (k, g) -> (k, Float g)) (flat_geomeans sw.f4 sw.f5))
+      );
+      ( "scorecards",
+        Obj
+          (List.map
+             (fun (name, c) -> (name, Parsimony.Scorecard.to_json c))
+             cards) );
+      ("figure4", of_rows sw.f4);
+      ("figure5", of_rows sw.f5);
+      ("ablations", of_rows sw.ab);
+      ("timings_s", Obj (List.map (fun (s, dt) -> (s, Float dt)) !timings));
+      ("compile_cache", Obj [ ("hits", Int hits); ("misses", Int misses) ]);
+      ("remark_counts", remark_counts_json ());
+      ("spans", spans_json ());
+      ("metrics", Pobs.Metrics.snapshot ());
+    ]
 
-let () =
-  let cli = parse_cli () in
+(* -- diff / check subcommands -- *)
+
+let load_run file : Pharness.History.run =
+  try Pharness.History.latest file with
+  | Sys_error msg ->
+      Fmt.epr "%s@." msg;
+      exit 2
+  | Pobs.Json.Parse_error msg ->
+      Fmt.epr "%s: %s@." file msg;
+      exit 2
+  | Pharness.History.Incompatible msg ->
+      Fmt.epr "%s: %s@." file msg;
+      exit 2
+
+(** Re-run the figure sweeps (quietly: no tables) to produce the current
+    run record when no --current file is given. *)
+let current_run ~jobs : Pharness.History.run =
+  Fmt.epr "running current figure sweep (--jobs %d)...@." jobs;
+  Pparallel.Pool.with_pool jobs (fun pool ->
+      let f4_raw = Pharness.Figures.figure4_raw ~pool () in
+      let f5_raw = Pharness.Figures.figure5_raw ~pool () in
+      let f4 = Pharness.Figures.figure4_rows f4_raw in
+      let f5 = Pharness.Figures.figure5_rows f5_raw in
+      Pharness.History.make ~machine:(machine_id ()) ~jobs
+        ~geomeans:(flat_geomeans f4 f5)
+        (kernels_of_raws f4_raw f5_raw))
+
+let resolve_current ~jobs = function
+  | Some file -> load_run file
+  | None -> current_run ~jobs
+
+let cmd_diff ~baseline ~current ~jobs =
+  let base = load_run baseline in
+  let cur = resolve_current ~jobs current in
+  match Pharness.History.pp_diff Fmt.stdout base cur with
+  | () -> exit 0
+  | exception Pharness.History.Incompatible msg ->
+      Fmt.epr "%s@." msg;
+      exit 2
+
+let cmd_check ~baseline ~current ~tolerance ~jobs =
+  let base = load_run (Option.get baseline) in
+  let cur = resolve_current ~jobs current in
+  match Pharness.History.check ~tolerance_pct:tolerance base cur with
+  | v ->
+      Pharness.History.pp_verdict Fmt.stdout v;
+      exit (Pharness.History.gate v)
+  | exception Pharness.History.Incompatible msg ->
+      Fmt.epr "%s@." msg;
+      exit 2
+
+let cmd_run (cli : cli) =
   Pobs.Logging.setup ();
   Option.iter (fun _ -> Pobs.Trace.enable ()) cli.trace;
-  (* Tally remarks (cheap Counts mode, no text rendering) only when the
-     JSON report will consume them; the default path stays remark-free. *)
-  if cli.json <> None then Pobs.Remarks.set_mode Pobs.Remarks.Counts;
-  let figs =
+  (* Tally remarks (cheap Counts mode) and metrics only when a report
+     will consume them; the default path stays instrumentation-free. *)
+  let wants_doc = cli.json <> None || cli.history <> None in
+  if wants_doc then begin
+    Pobs.Remarks.set_mode Pobs.Remarks.Counts;
+    Pobs.Metrics.enable ()
+  end;
+  let sw, cards =
     Pparallel.Pool.with_pool cli.jobs (fun pool ->
-        timed "figures_total" (fun () -> run_figures pool))
+        let sw = timed "figures_total" (fun () -> run_figures pool) in
+        let cards =
+          if wants_doc then timed "scorecards" (fun () -> scorecards pool)
+          else []
+        in
+        (sw, cards))
   in
   if not cli.fast then bechamel_benches ();
   pr "@.== Harness timings (wall clock, --jobs %d) ==@." cli.jobs;
   List.iter (fun (s, dt) -> pr "%-36s %9.3fs@." s dt) !timings;
-  Option.iter (fun file -> emit_json file figs cli.jobs) cli.json;
+  if wants_doc then begin
+    let doc = run_doc sw ~cards cli.jobs in
+    Option.iter
+      (fun file ->
+        Pharness.Json_out.write file doc;
+        pr "wrote %s@." file)
+      cli.json;
+    Option.iter
+      (fun file ->
+        Pharness.History.append file doc;
+        pr "appended run to %s@." file)
+      cli.history
+  end;
   Option.iter
     (fun file ->
       Pobs.Trace.write_chrome file;
       pr "wrote trace to %s@." file)
     cli.trace;
   pr "@.done.@."
+
+let () =
+  match parse_cli () with
+  | Run cli -> cmd_run cli
+  | Diff { baseline; current; jobs } -> cmd_diff ~baseline ~current ~jobs
+  | Check { baseline; current; tolerance; jobs } ->
+      cmd_check ~baseline ~current ~tolerance ~jobs

@@ -44,6 +44,7 @@ let load_source path =
 
 type obs = {
   remarks : bool;
+  metrics : bool;
   trace : string option;
   dump_ir : string option;
   verbosity : Logs.level option option;
@@ -55,6 +56,14 @@ let obs_term =
       value & flag
       & info [ "remarks" ]
           ~doc:"Print optimization remarks (passed/missed/analysis) to stderr")
+  in
+  let metrics =
+    Arg.(
+      value & flag
+      & info [ "metrics" ]
+          ~doc:
+            "Collect the metrics registry (pass counters, interpreter stats, \
+             remark tallies) and dump it to stderr on exit")
   in
   let trace =
     Arg.(
@@ -91,22 +100,28 @@ let obs_term =
             "Stderr log level: quiet, app, error, warning, info or debug \
              (default: $(b,PARSIMONY_LOG), else warning)")
   in
-  let mk remarks trace dump_ir verbosity =
-    { remarks; trace; dump_ir; verbosity }
+  let mk remarks metrics trace dump_ir verbosity =
+    { remarks; metrics; trace; dump_ir; verbosity }
   in
-  Term.(const mk $ remarks $ trace $ dump_ir $ verbosity)
+  Term.(const mk $ remarks $ metrics $ trace $ dump_ir $ verbosity)
 
 (* Run [f] with the requested observability active; afterwards print
-   collected remarks to stderr and write the trace file. *)
+   collected remarks and the metrics dump to stderr and write the trace
+   file. *)
 let with_obs (o : obs) f =
   Pobs.Logging.setup ?level:o.verbosity ();
   if o.remarks then Pobs.Remarks.set_mode Pobs.Remarks.Full;
+  if o.metrics then Pobs.Metrics.enable ();
   if o.trace <> None then Pobs.Trace.enable ();
   let finish () =
     if o.remarks then begin
       List.iter (fun r -> Fmt.epr "%a@." Pobs.Remarks.pp r)
         (Pobs.Remarks.drain ());
       Pobs.Remarks.set_mode Pobs.Remarks.Off
+    end;
+    if o.metrics then begin
+      Fmt.epr "== metrics ==@.%a" Pobs.Metrics.pp ();
+      Pobs.Metrics.disable ()
     end;
     match o.trace with
     | Some file ->
@@ -236,6 +251,32 @@ let shapes_cmd =
     (Cmd.info "shapes"
        ~doc:"Print per-value shape analysis results for SPMD functions")
     Term.(const run $ obs_term $ file_arg)
+
+let report_cmd =
+  let run obs opts file =
+    with_obs obs (fun () ->
+        let m, reports = compile_source obs opts file in
+        let cards = Parsimony.Scorecard.of_module ~reports m in
+        if cards = [] then begin
+          Fmt.epr "psimc report: no SPMD function was vectorized@.";
+          exit 1
+        end;
+        List.iter (fun c -> Fmt.pr "%a" Parsimony.Scorecard.pp c) cards;
+        match cards with
+        | [ _ ] -> ()
+        | _ ->
+            Fmt.pr "@.";
+            Fmt.pr "%a" Parsimony.Scorecard.pp
+              (Parsimony.Scorecard.aggregate ~name:(m.Pir.Func.mname ^ " (total)")
+                 cards))
+  in
+  Cmd.v
+    (Cmd.info "report"
+       ~doc:
+         "Print a vectorization coverage scorecard per SPMD function: %instrs \
+          vectorized, packed/shuffle/gather/scatter memory-op mix, mask \
+          density, linearized branches and serialized calls")
+    Term.(const run $ obs_term $ opts_term $ file_arg)
 
 let autovec_cmd =
   let run obs file =
@@ -383,6 +424,7 @@ let () =
             ir_cmd;
             vec_cmd;
             shapes_cmd;
+            report_cmd;
             autovec_cmd;
             run_cmd;
             profile_cmd;

@@ -369,9 +369,17 @@ let count_instrs (f : Func.t) =
     (fun acc (b : Func.block) -> acc + List.length b.instrs)
     0 f.blocks
 
+let m_cse = Pobs.Metrics.counter "simplify.cse_hits"
+
+let m_removed =
+  Pobs.Metrics.counter "simplify.instrs_removed"
+    ~help:"net instructions eliminated by CSE+DCE"
+
+let m_blocks = Pobs.Metrics.counter "simplify.blocks_pruned"
+
 (** Run local CSE + DCE on a function, in place. *)
 let run_func (f : Func.t) =
-  let observed = Pobs.Remarks.active () in
+  let observed = Pobs.Remarks.active () || Pobs.Metrics.enabled () in
   let before_instrs = if observed then count_instrs f else 0 in
   let before_blocks = if observed then List.length f.blocks else 0 in
   let rewrites = Hashtbl.create 64 in
@@ -384,6 +392,9 @@ let run_func (f : Func.t) =
   coalesce_stores f;
   dce f;
   if observed then begin
+    Pobs.Metrics.add m_cse cse_hits;
+    Pobs.Metrics.add m_removed (max 0 (before_instrs - count_instrs f));
+    Pobs.Metrics.add m_blocks (max 0 (before_blocks - List.length f.blocks));
     let remark kind fmt =
       Pobs.Remarks.emit kind ~pass:"simplify" ~func:f.fname fmt
     in

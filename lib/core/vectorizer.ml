@@ -1204,6 +1204,51 @@ let vectorize_func ?(opts = Options.default) (f : Func.t) : Func.t * report =
     report.linearized_branches report.uniform_loops report.masked_loops;
   (nf, report)
 
+(* classification counters land in the metrics registry per vectorized
+   function, so one [Pobs.Metrics.snapshot] totals the pass's decisions
+   across a whole sweep (the scorecard layer reads the same report
+   per-kernel; this is the fleet-wide aggregate) *)
+let m_funcs = Pobs.Metrics.counter "parsimony.functions_vectorized"
+
+let m_instrs =
+  Pobs.Metrics.counter "parsimony.instrs"
+    ~help:"SPMD instructions by outcome (vectorized/scalar_kept)"
+
+let m_mem =
+  Pobs.Metrics.counter "parsimony.mem_ops"
+    ~help:"memory accesses by final class (packed/shuffle/gather/scatter)"
+
+let m_branches =
+  Pobs.Metrics.counter "parsimony.branches"
+    ~help:"branches by outcome (uniform_kept/linearized)"
+
+let m_loops = Pobs.Metrics.counter "parsimony.loops"
+
+let m_serialized = Pobs.Metrics.counter "parsimony.serialized_calls"
+
+let m_reclassified =
+  Pobs.Metrics.counter "parsimony.reclassified"
+    ~help:"gathers/scatters converted to packed forms by analysis feedback"
+
+let publish_report (r : report) =
+  if Pobs.Metrics.enabled () then begin
+    let open Pobs.Metrics in
+    incr m_funcs;
+    add ~labels:[ ("outcome", "vectorized") ] m_instrs r.vectorized;
+    add ~labels:[ ("outcome", "scalar_kept") ] m_instrs r.scalar_kept;
+    add ~labels:[ ("class", "packed") ] m_mem (r.packed_loads + r.packed_stores);
+    add ~labels:[ ("class", "shuffle") ] m_mem r.strided_shuffles;
+    add ~labels:[ ("class", "gather") ] m_mem r.gathers;
+    add ~labels:[ ("class", "scatter") ] m_mem r.scatters;
+    add ~labels:[ ("outcome", "uniform_kept") ] m_branches r.uniform_branches_kept;
+    add ~labels:[ ("outcome", "linearized") ] m_branches r.linearized_branches;
+    add ~labels:[ ("outcome", "uniform") ] m_loops r.uniform_loops;
+    add ~labels:[ ("outcome", "masked") ] m_loops r.masked_loops;
+    add m_serialized r.serialized_calls;
+    add ~labels:[ ("kind", "load") ] m_reclassified r.reclassified_loads;
+    add ~labels:[ ("kind", "store") ] m_reclassified r.reclassified_stores
+  end
+
 (** Vectorize every SPMD-annotated function of [m] in place, replacing
     each with its vector version (same name, spmd annotation cleared). *)
 let run_module ?opts (m : Func.modul) : report list =
@@ -1258,6 +1303,7 @@ let run_module ?opts (m : Func.modul) : report list =
                   rep.rule_hits st.Reclassify.rule_hits
                 |> List.sort (fun (a, _) (b, _) -> String.compare a b)
             end;
+            publish_report rep;
             reports := rep :: !reports;
             nf)
       m.funcs;

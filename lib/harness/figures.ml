@@ -72,9 +72,19 @@ let reassemble ~width kernels cycles mk =
       mk k (Array.to_list (Array.sub arr (i * width) width)))
     kernels
 
+(* -- raw cycle tables --
+
+   The regression observatory gates on absolute per-kernel cycles (the
+   deterministic quantity the simulator produces), while the printed
+   figures show ratios.  Each figure therefore first materializes a
+   [raw] table of cycles per (kernel, implementation) and then derives
+   its ratio rows from it, so both views come from the same runs. *)
+
+type raw = { rkernel : string; rcycles : (string * float) list }
+
 (* -- Figure 4: ispc suite, normalized to LLVM auto-vectorization -- *)
 
-let figure4 ?pool ?(kernels = Pispc.Suite.all) () : row list =
+let figure4_raw ?pool ?(kernels = Pispc.Suite.all) () : raw list =
   let impls =
     [
       Runner.Autovec;
@@ -89,14 +99,29 @@ let figure4 ?pool ?(kernels = Pispc.Suite.all) () : row list =
   reassemble ~width:3 kernels cycles (fun k -> function
     | [ auto; pars; ispc ] ->
         {
-          name = k.kname;
-          series = [ ("ispc", auto /. ispc); ("parsimony", auto /. pars) ];
+          rkernel = k.kname;
+          rcycles = [ ("autovec", auto); ("parsimony", pars); ("ispc", ispc) ];
         }
     | _ -> assert false)
 
+let figure4_rows (raws : raw list) : row list =
+  List.map
+    (fun r ->
+      let c name = List.assoc name r.rcycles in
+      let auto = c "autovec" in
+      {
+        name = r.rkernel;
+        series =
+          [ ("ispc", auto /. c "ispc"); ("parsimony", auto /. c "parsimony") ];
+      })
+    raws
+
+let figure4 ?pool ?kernels () : row list =
+  figure4_rows (figure4_raw ?pool ?kernels ())
+
 (* -- Figure 5: Simd Library suite, normalized to LLVM scalar -- *)
 
-let figure5 ?pool ?(kernels = Registry.all) () : row list =
+let figure5_raw ?pool ?(kernels = Registry.all) () : raw list =
   let jobs =
     List.concat_map
       (fun (k : Workload.kernel) ->
@@ -117,16 +142,37 @@ let figure5 ?pool ?(kernels = Registry.all) () : row list =
   reassemble ~width:4 kernels cycles (fun k -> function
     | [ scalar; auto; pars; hand ] ->
         {
-          name = k.kname;
-          series =
+          rkernel = k.kname;
+          rcycles =
             [
-              ("autovec", scalar /. auto);
-              ("parsimony", scalar /. pars);
-              (* nan cycles (no hand implementation) stays nan *)
-              ("hand", scalar /. hand);
+              ("scalar", scalar);
+              ("autovec", auto);
+              ("parsimony", pars);
+              (* nan cycles: no hand implementation for this kernel *)
+              ("hand", hand);
             ];
         }
     | _ -> assert false)
+
+let figure5_rows (raws : raw list) : row list =
+  List.map
+    (fun r ->
+      let c name = List.assoc name r.rcycles in
+      let scalar = c "scalar" in
+      {
+        name = r.rkernel;
+        series =
+          [
+            ("autovec", scalar /. c "autovec");
+            ("parsimony", scalar /. c "parsimony");
+            (* nan cycles (no hand implementation) stays nan *)
+            ("hand", scalar /. c "hand");
+          ];
+      })
+    raws
+
+let figure5 ?pool ?kernels () : row list =
+  figure5_rows (figure5_raw ?pool ?kernels ())
 
 (* headline numbers of §6 derived from the figure data *)
 let summary_figure5 rows =

@@ -1,0 +1,302 @@
+(** Benchmark regression observatory.
+
+    Every bench run can be persisted as one JSON document (the same
+    shape [bench --json] writes): schema version, machine/cost-model
+    identifier, environment fingerprint, per-kernel cycles for every
+    implementation, per-series geomeans and per-kernel scorecard
+    summaries.  [append] adds a run as one line of a JSONL history
+    store; [diff] and [check] compare two runs and drive the
+    [bench diff] / [bench check] subcommands, which is what lets CI gate
+    on "no kernel's cycles regressed past tolerance".
+
+    Comparisons refuse to produce deltas between incompatible runs
+    (different schema, or cycles produced under a different cost model):
+    a nonsense delta table is strictly worse than an error. *)
+
+let schema_version = 1
+
+exception Incompatible of string
+
+let incompatible fmt = Fmt.kstr (fun s -> raise (Incompatible s)) fmt
+
+(** Environment fingerprint stored with every run: enough to explain a
+    wall-clock difference, none of it used for cycle comparison. *)
+let env_json () : Pobs.Json.t =
+  Pobs.Json.Obj
+    [
+      ("ocaml", Pobs.Json.Str Sys.ocaml_version);
+      ("os", Pobs.Json.Str Sys.os_type);
+      ("word_size", Pobs.Json.Int Sys.word_size);
+      ("executable", Pobs.Json.Str (Filename.basename Sys.executable_name));
+    ]
+
+(* -- parsed run records -- *)
+
+type run = {
+  schema : int;
+  machine : string;
+  jobs : int;
+  kernels : (string * (string * float) list) list;
+      (** "fig4/mandelbrot" -> implementation -> simulated cycles *)
+  geomeans : (string * float) list;  (** "figure5.parsimony" -> geomean *)
+  doc : Pobs.Json.t;  (** the complete document, as stored *)
+}
+
+let num = function
+  | Pobs.Json.Int i -> Some (float_of_int i)
+  | Pobs.Json.Float f when Float.is_finite f -> Some f
+  | _ -> None
+
+(** Parse a run document.  Raises [Incompatible] when the document does
+    not carry the fields a comparison needs (e.g. a pre-observatory
+    [--json] file without [schema]/[machine]/[kernels]). *)
+let of_json (doc : Pobs.Json.t) : run =
+  let member k =
+    match Pobs.Json.member k doc with
+    | Some v -> v
+    | None -> incompatible "run record has no %S field (old bench --json file?)" k
+  in
+  let schema =
+    match member "schema" with
+    | Pobs.Json.Int i -> i
+    | _ -> incompatible "schema is not an integer"
+  in
+  let machine =
+    match member "machine" with
+    | Pobs.Json.Str s -> s
+    | _ -> incompatible "machine is not a string"
+  in
+  let jobs =
+    match Pobs.Json.member "jobs" doc with Some (Pobs.Json.Int i) -> i | _ -> 1
+  in
+  let kernels =
+    match member "kernels" with
+    | Pobs.Json.Obj ks ->
+        List.map
+          (fun (kernel, impls) ->
+            match impls with
+            | Pobs.Json.Obj series ->
+                ( kernel,
+                  List.filter_map
+                    (fun (impl, v) -> Option.map (fun c -> (impl, c)) (num v))
+                    series )
+            | _ -> incompatible "kernels.%s is not an object" kernel)
+          ks
+    | _ -> incompatible "kernels is not an object"
+  in
+  let geomeans =
+    match Pobs.Json.member "geomeans" doc with
+    | Some (Pobs.Json.Obj gs) ->
+        List.filter_map (fun (k, v) -> Option.map (fun g -> (k, g)) (num v)) gs
+    | _ -> []
+  in
+  { schema; machine; jobs; kernels; geomeans; doc }
+
+(** Build a run document from parts (the bench harness passes the full
+    JSON sections; tests pass synthetic kernels directly). *)
+let make ?(machine = "test-machine") ?(jobs = 1) ?(geomeans = [])
+    (kernels : (string * (string * float) list) list) : run =
+  let doc =
+    Pobs.Json.Obj
+      [
+        ("schema", Pobs.Json.Int schema_version);
+        ("machine", Pobs.Json.Str machine);
+        ("jobs", Pobs.Json.Int jobs);
+        ("env", env_json ());
+        ( "kernels",
+          Pobs.Json.Obj
+            (List.map
+               (fun (k, series) ->
+                 ( k,
+                   Pobs.Json.Obj
+                     (List.map (fun (i, c) -> (i, Pobs.Json.Float c)) series) ))
+               kernels) );
+        ( "geomeans",
+          Pobs.Json.Obj
+            (List.map (fun (k, g) -> (k, Pobs.Json.Float g)) geomeans) );
+      ]
+  in
+  { schema = schema_version; machine; jobs; kernels; geomeans; doc }
+
+(* -- the JSONL store -- *)
+
+(** Append one run document as a single JSONL line (creates the file if
+    missing). *)
+let append file (doc : Pobs.Json.t) =
+  let oc = open_out_gen [ Open_append; Open_creat ] 0o644 file in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () -> output_string oc (Pobs.Json.to_string_compact doc ^ "\n"))
+
+(** Load every run from [file]: either a single-document [.json] file
+    (one bench [--json] report, e.g. a committed baseline) or a JSONL
+    history with one run per line.  Oldest first. *)
+let load file : run list =
+  let ic = open_in_bin file in
+  let content =
+    Fun.protect
+      ~finally:(fun () -> close_in ic)
+      (fun () -> really_input_string ic (in_channel_length ic))
+  in
+  match Pobs.Json.parse content with
+  | doc -> [ of_json doc ]
+  | exception Pobs.Json.Parse_error _ ->
+      (* JSONL: one document per non-empty line *)
+      String.split_on_char '\n' content
+      |> List.filter (fun l -> String.trim l <> "")
+      |> List.map (fun l -> of_json (Pobs.Json.parse l))
+
+(** The most recent run of a store ([load] returns oldest first). *)
+let latest file =
+  match load file with
+  | [] -> incompatible "%s: empty history" file
+  | runs -> List.nth runs (List.length runs - 1)
+
+(* -- comparison -- *)
+
+type delta = {
+  d_kernel : string;
+  d_impl : string;
+  d_base : float;  (** baseline cycles *)
+  d_cur : float;  (** current cycles *)
+  d_ratio : float;  (** current / baseline; > 1 means slower *)
+}
+
+let require_compatible (base : run) (cur : run) =
+  if base.schema <> cur.schema then
+    incompatible "schema mismatch: baseline v%d vs current v%d — refusing to diff"
+      base.schema cur.schema;
+  if base.machine <> cur.machine then
+    incompatible
+      "cost-model mismatch: baseline %S vs current %S — cycles are not \
+       comparable across machines; regenerate the baseline"
+      base.machine cur.machine
+
+(** Per-(kernel, impl) cycle deltas between two compatible runs, worst
+    regression first (ties by kernel then impl, so output is stable). *)
+let diff (base : run) (cur : run) : delta list =
+  require_compatible base cur;
+  List.concat_map
+    (fun (kernel, series) ->
+      match List.assoc_opt kernel base.kernels with
+      | None -> []
+      | Some bseries ->
+          List.filter_map
+            (fun (impl, c) ->
+              match List.assoc_opt impl bseries with
+              | Some b when b > 0.0 ->
+                  Some { d_kernel = kernel; d_impl = impl; d_base = b; d_cur = c; d_ratio = c /. b }
+              | _ -> None)
+            series)
+    cur.kernels
+  |> List.sort (fun a b ->
+         match compare b.d_ratio a.d_ratio with
+         | 0 -> (
+             match String.compare a.d_kernel b.d_kernel with
+             | 0 -> String.compare a.d_impl b.d_impl
+             | c -> c)
+         | c -> c)
+
+type verdict = {
+  tolerance_pct : float;
+  regressions : delta list;  (** slower than baseline beyond tolerance *)
+  improvements : delta list;  (** faster than baseline beyond tolerance *)
+  unchanged : int;  (** series within tolerance *)
+  missing : string list;
+      (** "kernel/impl" present in the baseline but absent from the
+          current run: a silently vanished kernel must fail the gate *)
+  added : string list;  (** new in the current run; informational *)
+}
+
+let series_keys (r : run) =
+  List.concat_map
+    (fun (kernel, series) -> List.map (fun (impl, _) -> kernel ^ "/" ^ impl) series)
+    r.kernels
+
+(** Gate [cur] against [base]: a series regresses when its cycles exceed
+    baseline by more than [tolerance_pct] percent (improvements use the
+    symmetric multiplicative bound). *)
+let check ?(tolerance_pct = 0.5) (base : run) (cur : run) : verdict =
+  let ds = diff base cur in
+  let tol = 1.0 +. (tolerance_pct /. 100.0) in
+  let regressions = List.filter (fun d -> d.d_ratio > tol) ds in
+  let improvements =
+    List.filter (fun d -> d.d_ratio < 1.0 /. tol) ds |> List.rev
+    (* best improvement first *)
+  in
+  let bkeys = series_keys base and ckeys = series_keys cur in
+  let missing = List.filter (fun k -> not (List.mem k ckeys)) bkeys in
+  let added = List.filter (fun k -> not (List.mem k bkeys)) ckeys in
+  {
+    tolerance_pct;
+    regressions;
+    improvements;
+    unchanged = List.length ds - List.length regressions - List.length improvements;
+    missing;
+    added;
+  }
+
+(** Process exit code for a verdict: nonzero when any series regressed
+    past tolerance or disappeared, so CI can gate on it. *)
+let gate (v : verdict) = if v.regressions <> [] || v.missing <> [] then 1 else 0
+
+(* -- rendering -- *)
+
+let pp_delta ppf (d : delta) =
+  Fmt.pf ppf "%-44s %12.0f %12.0f %+9.2f%%"
+    (d.d_kernel ^ "/" ^ d.d_impl)
+    d.d_base d.d_cur
+    ((d.d_ratio -. 1.0) *. 100.0)
+
+(** Ranked regression/improvement table (worst first); [limit] bounds
+    each direction. *)
+let pp_diff ?(limit = 15) ppf (base : run) (cur : run) =
+  let ds = diff base cur in
+  let regress = List.filter (fun d -> d.d_ratio > 1.0) ds in
+  let improve = List.filter (fun d -> d.d_ratio < 1.0) ds |> List.rev in
+  let same = List.length ds - List.length regress - List.length improve in
+  let take n xs = List.filteri (fun i _ -> i < n) xs in
+  Fmt.pf ppf "baseline machine %s, %d series compared@." base.machine
+    (List.length ds);
+  let section title deltas =
+    if deltas <> [] then begin
+      Fmt.pf ppf "@.%s (%d):@." title (List.length deltas);
+      Fmt.pf ppf "%-44s %12s %12s %10s@." "kernel/impl" "base cyc" "cur cyc" "delta";
+      List.iter (fun d -> Fmt.pf ppf "%a@." pp_delta d) (take limit deltas);
+      if List.length deltas > limit then
+        Fmt.pf ppf "... and %d more@." (List.length deltas - limit)
+    end
+  in
+  section "slower than baseline" regress;
+  section "faster than baseline" improve;
+  Fmt.pf ppf "@.%d series unchanged@." same;
+  List.iter
+    (fun (k, g) ->
+      match List.assoc_opt k cur.geomeans with
+      | Some g' when g > 0.0 ->
+          Fmt.pf ppf "geomean %-24s %8.3f -> %8.3f (%+.2f%%)@." k g g'
+            ((g' /. g -. 1.0) *. 100.0)
+      | _ -> ())
+    base.geomeans
+
+let pp_verdict ppf (v : verdict) =
+  if v.regressions <> [] then begin
+    Fmt.pf ppf "REGRESSED: %d series beyond %.2f%% tolerance@."
+      (List.length v.regressions) v.tolerance_pct;
+    Fmt.pf ppf "%-44s %12s %12s %10s@." "kernel/impl" "base cyc" "cur cyc" "delta";
+    List.iter (fun d -> Fmt.pf ppf "%a@." pp_delta d) v.regressions
+  end;
+  if v.missing <> [] then
+    Fmt.pf ppf "MISSING from current run: %a@."
+      Fmt.(list ~sep:comma string)
+      v.missing;
+  if v.improvements <> [] then begin
+    Fmt.pf ppf "improved: %d series beyond %.2f%% tolerance@."
+      (List.length v.improvements) v.tolerance_pct;
+    List.iter (fun d -> Fmt.pf ppf "%a@." pp_delta d) v.improvements
+  end;
+  if v.added <> [] then
+    Fmt.pf ppf "new series: %a@." Fmt.(list ~sep:comma string) v.added;
+  Fmt.pf ppf "%d series within %.2f%% tolerance@." v.unchanged v.tolerance_pct;
+  if v.regressions = [] && v.missing = [] then Fmt.pf ppf "check OK@."
+  else Fmt.pf ppf "check FAILED@."

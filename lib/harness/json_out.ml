@@ -1,52 +1,13 @@
-(** Minimal JSON emitter for the benchmark harness's [--json] output.
+(** JSON output for the benchmark harness.
 
-    The environment carries no JSON library, and the harness only ever
-    *writes* JSON, so this is a tiny serializer: a value tree and a
-    printer.  Floats that are not finite (the hand-implementation
-    column is [nan] where no hand-written kernel exists) are emitted as
-    [null], since JSON has no representation for nan/inf. *)
+    The value tree, printers and parser live in the shared [Pobs.Json]
+    (one implementation, so a bench [--json] document and a regression
+    history record are literally the same type); this module re-exports
+    it and adds the figure-row serialization.  Non-finite floats (the
+    hand-implementation column is [nan] where no hand-written kernel
+    exists) are emitted as [null]. *)
 
-type t =
-  | Null
-  | Bool of bool
-  | Int of int
-  | Float of float
-  | Str of string
-  | Arr of t list
-  | Obj of (string * t) list
-
-let escape s =
-  let b = Buffer.create (String.length s + 8) in
-  String.iter
-    (fun c ->
-      match c with
-      | '"' -> Buffer.add_string b "\\\""
-      | '\\' -> Buffer.add_string b "\\\\"
-      | '\n' -> Buffer.add_string b "\\n"
-      | '\r' -> Buffer.add_string b "\\r"
-      | '\t' -> Buffer.add_string b "\\t"
-      | c when Char.code c < 0x20 ->
-          Buffer.add_string b (Printf.sprintf "\\u%04x" (Char.code c))
-      | c -> Buffer.add_char b c)
-    s;
-  Buffer.contents b
-
-let rec pp ppf = function
-  | Null -> Fmt.string ppf "null"
-  | Bool b -> Fmt.bool ppf b
-  | Int i -> Fmt.int ppf i
-  | Float f ->
-      if Float.is_finite f then Fmt.pf ppf "%.17g" f else Fmt.string ppf "null"
-  | Str s -> Fmt.pf ppf "\"%s\"" (escape s)
-  | Arr xs -> Fmt.pf ppf "[@[<hv>%a@]]" Fmt.(list ~sep:(any ",@ ") pp) xs
-  | Obj kvs ->
-      Fmt.pf ppf "{@[<hv>%a@]}"
-        Fmt.(
-          list ~sep:(any ",@ ") (fun ppf (k, v) ->
-              Fmt.pf ppf "\"%s\":@ %a" (escape k) pp v))
-        kvs
-
-let to_string v = Fmt.str "%a" pp v
+include Pobs.Json
 
 (** A figure's rows plus its per-series geomeans. *)
 let of_rows (rows : Figures.row list) : t =
@@ -66,9 +27,3 @@ let of_rows (rows : Figures.row list) : t =
       ( "geomeans",
         Obj (List.map (fun (s, v) -> (s, Float v)) (Figures.geomeans rows)) );
     ]
-
-let write file v =
-  let oc = open_out file in
-  Fun.protect
-    ~finally:(fun () -> close_out oc)
-    (fun () -> output_string oc (to_string v ^ "\n"))

@@ -104,6 +104,20 @@ let autovec_report (k : Workload.kernel) =
   let m = Compile_cache.compile ~name:k.kname k.serial_src in
   Pautovec.Autovec.run_module m
 
+(** Vectorization coverage scorecard for [k]'s Parsimony build, rolled
+    up across its SPMD functions (main gang + tail).  Runs the same
+    compile → vectorize → simplify pipeline as [build_module], so the
+    final-IR totals describe the module the simulator executes.  [None]
+    when no SPMD function was vectorized. *)
+let scorecard ?(opts = Parsimony.Options.default) (k : Workload.kernel) :
+    Parsimony.Scorecard.t option =
+  let m = Compile_cache.compile ~name:k.kname k.psim_src in
+  let reports = Parsimony.Vectorizer.run_module ~opts m in
+  Parsimony.Simplify.run_module m;
+  match Parsimony.Scorecard.of_module ~reports m with
+  | [] -> None
+  | cards -> Some (Parsimony.Scorecard.aggregate ~name:k.kname cards)
+
 let run ?(check = false) (k : Workload.kernel) (impl : impl) : result =
   let m = build_module k impl in
   if check then Panalysis.Check.check_module m;

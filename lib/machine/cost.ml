@@ -75,6 +75,28 @@ let default =
     alloca = 2.0;
   }
 
+(** Stable identifier of a cost model, e.g. ["sim-512bit-1a2b3c4d"].
+    Benchmark history records carry it so a regression diff can refuse
+    to compare cycle counts produced under different machines.  The
+    fingerprint folds every cost field through MD5 (printed at full
+    precision), so any tweak to the model flips the id — deterministic
+    across OCaml versions, unlike [Hashtbl.hash] on float records. *)
+let model_id m =
+  let fields =
+    [
+      m.ialu; m.imul; m.idiv; m.falu; m.fmul; m.fdiv; m.fsqrt; m.cmp; m.select;
+      m.cast; m.load_base; m.store_base; m.mem_per_byte; m.gather_base;
+      m.gather_per_lane; m.shuffle; m.shuffle_dyn; m.splat; m.extract; m.insert;
+      m.reduce_step; m.branch; m.call_overhead; m.alloca;
+    ]
+  in
+  let s =
+    String.concat ";"
+      (string_of_int m.vector_bits :: List.map (Fmt.str "%.17g") fields)
+  in
+  Fmt.str "sim-%dbit-%s" m.vector_bits
+    (String.sub (Digest.to_hex (Digest.string s)) 0 8)
+
 (* extracted SPMD region functions follow the front-end's naming *)
 let is_extracted_region name =
   let rec find i =

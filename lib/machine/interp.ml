@@ -758,14 +758,47 @@ and run_spmd_gang t (f : Pir.Func.t) (args : Value.t list) : Value.t =
   Memory.release t.mem frame;
   Value.Unit
 
+(* execution statistics mirror into the metrics registry per top-level
+   [run], so a harness-wide [Pobs.Metrics.snapshot] totals simulator
+   work across every kernel and worker domain *)
+let m_instrs = Pobs.Metrics.counter "interp.instrs"
+
+let m_vector_instrs = Pobs.Metrics.counter "interp.vector_instrs"
+
+let m_mem_ops =
+  Pobs.Metrics.counter "interp.mem_ops"
+    ~help:"executed memory accesses by class (gather/scatter/packed/scalar)"
+
+let m_runs = Pobs.Metrics.counter "interp.runs"
+
+let m_cycles =
+  Pobs.Metrics.histogram "interp.run_cycles"
+    ~help:"simulated cycles per top-level Interp.run"
+
+let publish_stats ~(before : stats) (after : stats) =
+  let d f = f after - f before in
+  Pobs.Metrics.add m_instrs (d (fun s -> s.instrs));
+  Pobs.Metrics.add m_vector_instrs (d (fun s -> s.vector_instrs));
+  Pobs.Metrics.add ~labels:[ ("class", "gather") ] m_mem_ops (d (fun s -> s.gathers));
+  Pobs.Metrics.add ~labels:[ ("class", "scatter") ] m_mem_ops (d (fun s -> s.scatters));
+  Pobs.Metrics.add ~labels:[ ("class", "packed") ] m_mem_ops (d (fun s -> s.packed_mem));
+  Pobs.Metrics.add ~labels:[ ("class", "scalar") ] m_mem_ops (d (fun s -> s.scalar_mem));
+  Pobs.Metrics.incr m_runs;
+  Pobs.Metrics.observe m_cycles (after.cycles -. before.cycles)
+
 (** Run function [name] with [args]; returns its result. *)
 let run t name args =
+  let before = if Pobs.Metrics.enabled () then Some { t.stats with cycles = t.stats.cycles } else None in
+  let finish () =
+    flush_cycles t;
+    Option.iter (fun b -> publish_stats ~before:b t.stats) before
+  in
   match exec_func t (Pir.Func.find_func t.modul name) args with
   | v ->
-      flush_cycles t;
+      finish ();
       v
   | exception e ->
-      flush_cycles t;
+      finish ();
       raise e
 
 (* -- profiling report --

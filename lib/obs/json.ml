@@ -38,12 +38,21 @@ let escape s =
     s;
   Buffer.contents b
 
+(* shortest representation that still reparses as a Float: integral
+   values keep a trailing ".0" so a round trip through [parse] preserves
+   the Int/Float distinction *)
+let float_repr f =
+  let s = Fmt.str "%.17g" f in
+  if String.exists (fun c -> c = '.' || c = 'e' || c = 'E') s then s
+  else s ^ ".0"
+
 let rec pp ppf = function
   | Null -> Fmt.string ppf "null"
   | Bool b -> Fmt.bool ppf b
   | Int i -> Fmt.int ppf i
   | Float f ->
-      if Float.is_finite f then Fmt.pf ppf "%.17g" f else Fmt.string ppf "null"
+      if Float.is_finite f then Fmt.string ppf (float_repr f)
+      else Fmt.string ppf "null"
   | Str s -> Fmt.pf ppf "\"%s\"" (escape s)
   | Arr xs -> Fmt.pf ppf "[@[<hv>%a@]]" Fmt.(list ~sep:(any ",@ ") pp) xs
   | Obj kvs ->
@@ -54,6 +63,27 @@ let rec pp ppf = function
         kvs
 
 let to_string v = Fmt.str "%a" pp v
+
+(** Single-line emission, for JSONL stores where one value must occupy
+    exactly one line (the pretty-printer inserts line breaks). *)
+let rec pp_compact ppf = function
+  | Null -> Fmt.string ppf "null"
+  | Bool b -> Fmt.bool ppf b
+  | Int i -> Fmt.int ppf i
+  | Float f ->
+      if Float.is_finite f then Fmt.string ppf (float_repr f)
+      else Fmt.string ppf "null"
+  | Str s -> Fmt.pf ppf "\"%s\"" (escape s)
+  | Arr xs ->
+      Fmt.pf ppf "[%a]" Fmt.(list ~sep:(any ",") pp_compact) xs
+  | Obj kvs ->
+      Fmt.pf ppf "{%a}"
+        Fmt.(
+          list ~sep:(any ",") (fun ppf (k, v) ->
+              Fmt.pf ppf "\"%s\":%a" (escape k) pp_compact v))
+        kvs
+
+let to_string_compact v = Fmt.str "%a" pp_compact v
 
 let write file v =
   let oc = open_out file in

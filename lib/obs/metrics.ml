@@ -1,0 +1,247 @@
+(** Typed metrics registry: named counters, gauges and histograms.
+
+    The observability layer so far *explains* single runs (remarks,
+    traces); this registry is the substrate that lets the system *watch
+    itself*: every layer's scattered numbers — interpreter stats, remark
+    tallies, pass counters, pool timings — land in one place with one
+    JSON snapshot, which the benchmark harness folds into its [--json]
+    report and the regression observatory stores per run.
+
+    Design:
+    - *Typed handles.*  [counter]/[gauge]/[histogram] return a handle of
+      the matching abstract type, so a call site cannot [observe] a
+      counter; registering the same name twice with a different kind
+      raises [Kind_conflict].
+    - *Labeled series.*  Every update takes an optional [labels]
+      association list (e.g. [("pass", "parsimony")]); each distinct
+      label set is an independent series under the metric.  Labels are
+      normalized (sorted by key) so the order at the call site does not
+      split series.
+    - *Disabled by default.*  Like [Trace] and [Remarks], the fast path
+      is one [Atomic.get]: instrumented code costs nothing unless a
+      consumer ([bench --json], [psimc --metrics], the tests) enables
+      collection.
+    - *Thread-safe.*  A single registry mutex guards both registration
+      and updates; the figure sweeps update counters from
+      [Pparallel.Pool] worker domains concurrently.
+    - *Deterministic snapshots.*  [snapshot] sorts metrics by name and
+      series by rendered labels, so two identical runs produce
+      byte-identical JSON. *)
+
+type labels = (string * string) list
+
+type hstate = {
+  mutable h_count : int;
+  mutable h_sum : float;
+  mutable h_min : float;
+  mutable h_max : float;
+}
+
+type value = Vcounter of int ref | Vgauge of int ref | Vhist of hstate
+
+type kind = Counter | Gauge | Histogram
+
+let kind_name = function
+  | Counter -> "counter"
+  | Gauge -> "gauge"
+  | Histogram -> "histogram"
+
+type metric = {
+  m_name : string;
+  m_kind : kind;
+  m_help : string;
+  m_series : (labels, value) Hashtbl.t;
+}
+
+type counter = metric
+
+type gauge = metric
+
+type histogram = metric
+
+exception Kind_conflict of string
+
+(* -- state -- *)
+
+let enabled_flag = Atomic.make false
+
+let enabled () = Atomic.get enabled_flag
+
+let enable () = Atomic.set enabled_flag true
+
+let disable () = Atomic.set enabled_flag false
+
+let lock = Mutex.create ()
+
+let registry : (string, metric) Hashtbl.t = Hashtbl.create 64
+
+(* -- registration (works even while disabled; handles are created at
+   module-initialization time all over the tree) -- *)
+
+let register kind ?(help = "") name =
+  Mutex.protect lock (fun () ->
+      match Hashtbl.find_opt registry name with
+      | Some m when m.m_kind = kind -> m
+      | Some m ->
+          raise
+            (Kind_conflict
+               (Fmt.str "metric %S already registered as a %s, not a %s" name
+                  (kind_name m.m_kind) (kind_name kind)))
+      | None ->
+          let m =
+            { m_name = name; m_kind = kind; m_help = help; m_series = Hashtbl.create 4 }
+          in
+          Hashtbl.replace registry name m;
+          m)
+
+let counter ?help name : counter = register Counter ?help name
+
+let gauge ?help name : gauge = register Gauge ?help name
+
+let histogram ?help name : histogram = register Histogram ?help name
+
+(* -- updates -- *)
+
+let norm_labels labels =
+  List.sort (fun (a, _) (b, _) -> String.compare a b) labels
+
+(* find-or-create the series slot; call with [lock] held *)
+let series m labels mk =
+  let labels = norm_labels labels in
+  match Hashtbl.find_opt m.m_series labels with
+  | Some v -> v
+  | None ->
+      let v = mk () in
+      Hashtbl.replace m.m_series labels v;
+      v
+
+let add ?(labels = []) (m : counter) by =
+  if by < 0 then Fmt.invalid_arg "Metrics.add %s: negative increment %d" m.m_name by;
+  if Atomic.get enabled_flag then
+    Mutex.protect lock (fun () ->
+        match series m labels (fun () -> Vcounter (ref 0)) with
+        | Vcounter r -> r := !r + by
+        | _ -> assert false)
+
+let incr ?labels (m : counter) = add ?labels m 1
+
+let set ?(labels = []) (m : gauge) v =
+  if Atomic.get enabled_flag then
+    Mutex.protect lock (fun () ->
+        match series m labels (fun () -> Vgauge (ref 0)) with
+        | Vgauge r -> r := v
+        | _ -> assert false)
+
+let observe ?(labels = []) (m : histogram) x =
+  if Atomic.get enabled_flag then
+    Mutex.protect lock (fun () ->
+        match
+          series m labels (fun () ->
+              Vhist { h_count = 0; h_sum = 0.0; h_min = infinity; h_max = neg_infinity })
+        with
+        | Vhist h ->
+            h.h_count <- h.h_count + 1;
+            h.h_sum <- h.h_sum +. x;
+            if x < h.h_min then h.h_min <- x;
+            if x > h.h_max then h.h_max <- x
+        | _ -> assert false)
+
+(* -- reads (tests and cross-checks) -- *)
+
+let counter_value ?(labels = []) (m : counter) =
+  Mutex.protect lock (fun () ->
+      match Hashtbl.find_opt m.m_series (norm_labels labels) with
+      | Some (Vcounter r) -> !r
+      | _ -> 0)
+
+let gauge_value ?(labels = []) (m : gauge) =
+  Mutex.protect lock (fun () ->
+      match Hashtbl.find_opt m.m_series (norm_labels labels) with
+      | Some (Vgauge r) -> !r
+      | _ -> 0)
+
+type hist_stats = { count : int; sum : float; min : float; max : float }
+
+let hist_value ?(labels = []) (m : histogram) =
+  Mutex.protect lock (fun () ->
+      match Hashtbl.find_opt m.m_series (norm_labels labels) with
+      | Some (Vhist h) when h.h_count > 0 ->
+          Some { count = h.h_count; sum = h.h_sum; min = h.h_min; max = h.h_max }
+      | _ -> None)
+
+(** Drop every recorded series (registrations survive). *)
+let reset () =
+  Mutex.protect lock (fun () ->
+      Hashtbl.iter (fun _ m -> Hashtbl.reset m.m_series) registry)
+
+(* -- snapshot -- *)
+
+let labels_json labels = Json.Obj (List.map (fun (k, v) -> (k, Json.Str v)) labels)
+
+let value_fields = function
+  | Vcounter r -> [ ("value", Json.Int !r) ]
+  | Vgauge r -> [ ("value", Json.Int !r) ]
+  | Vhist h ->
+      [
+        ("count", Json.Int h.h_count);
+        ("sum", Json.Float h.h_sum);
+        ("min", Json.Float h.h_min);
+        ("max", Json.Float h.h_max);
+        ( "mean",
+          if h.h_count = 0 then Json.Null
+          else Json.Float (h.h_sum /. float_of_int h.h_count) );
+      ]
+
+(** One-call JSON snapshot of every metric that has recorded at least
+    one series.  Deterministic: metrics sorted by name, series by their
+    rendered labels. *)
+let snapshot () : Json.t =
+  Mutex.protect lock (fun () ->
+      let metrics =
+        Hashtbl.fold (fun _ m acc -> m :: acc) registry []
+        |> List.sort (fun a b -> String.compare a.m_name b.m_name)
+      in
+      let metric_json m =
+        let series =
+          Hashtbl.fold (fun labels v acc -> (labels, v) :: acc) m.m_series []
+          |> List.sort (fun (a, _) (b, _) -> compare a b)
+          |> List.map (fun (labels, v) ->
+                 Json.Obj (("labels", labels_json labels) :: value_fields v))
+        in
+        if series = [] then None
+        else
+          Some
+            (Json.Obj
+               (("name", Json.Str m.m_name)
+               :: ("kind", Json.Str (kind_name m.m_kind))
+               :: (if m.m_help = "" then [] else [ ("help", Json.Str m.m_help) ])
+               @ [ ("series", Json.Arr series) ]))
+      in
+      Json.Obj [ ("metrics", Json.Arr (List.filter_map metric_json metrics)) ])
+
+(* -- human-readable dump -- *)
+
+let pp_labels ppf labels =
+  if labels <> [] then
+    Fmt.pf ppf "{%a}"
+      Fmt.(list ~sep:(any ",") (fun ppf (k, v) -> Fmt.pf ppf "%s=%s" k v))
+      labels
+
+let pp ppf () =
+  Mutex.protect lock (fun () ->
+      let metrics =
+        Hashtbl.fold (fun _ m acc -> m :: acc) registry []
+        |> List.sort (fun a b -> String.compare a.m_name b.m_name)
+      in
+      List.iter
+        (fun m ->
+          Hashtbl.fold (fun labels v acc -> (labels, v) :: acc) m.m_series []
+          |> List.sort (fun (a, _) (b, _) -> compare a b)
+          |> List.iter (fun (labels, v) ->
+                 match v with
+                 | Vcounter r | Vgauge r ->
+                     Fmt.pf ppf "%s%a %d@." m.m_name pp_labels labels !r
+                 | Vhist h ->
+                     Fmt.pf ppf "%s%a count=%d sum=%.3f min=%.3f max=%.3f@."
+                       m.m_name pp_labels labels h.h_count h.h_sum h.h_min h.h_max))
+        metrics)

@@ -45,12 +45,21 @@ let buffer : t list ref = ref []  (* newest first *)
 
 let tallies : (string * kind, int) Hashtbl.t = Hashtbl.create 16
 
+(* remark volume also lands in the metrics registry (labeled by pass and
+   kind), so a single [Metrics.snapshot] sees what the passes reported *)
+let m_remarks =
+  Metrics.counter "remarks.emitted"
+    ~help:"optimization remarks recorded, by pass and kind"
+
 let record r =
   Mutex.protect lock (fun () ->
       let key = (r.pass, r.kind) in
       Hashtbl.replace tallies key
         (1 + Option.value ~default:0 (Hashtbl.find_opt tallies key));
-      if Atomic.get mode = Full then buffer := r :: !buffer)
+      if Atomic.get mode = Full then buffer := r :: !buffer);
+  Metrics.incr
+    ~labels:[ ("pass", r.pass); ("kind", kind_name r.kind) ]
+    m_remarks
 
 (** [emit kind ~pass ~func fmt ...] — no-op (including argument
     formatting) unless a mode is active. *)

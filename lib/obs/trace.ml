@@ -91,16 +91,28 @@ let clear () =
       ring.count <- 0;
       ring.dropped <- 0)
 
+(* spans silently discarded when the ring wraps are easy to mistake for
+   a complete trace; the count is surfaced three ways — this gauge, a
+   warning on export, and "truncated"/"droppedEvents" fields inside the
+   Chrome JSON itself *)
+let m_dropped =
+  Metrics.gauge "trace.dropped_events"
+    ~help:"events discarded because the trace ring buffer wrapped"
+
 let push ev =
-  Mutex.protect lock (fun () ->
-      let cap = Array.length ring.buf in
-      if cap = 0 then ring.dropped <- ring.dropped + 1
-      else begin
-        if ring.count = cap then ring.dropped <- ring.dropped + 1
-        else ring.count <- ring.count + 1;
-        ring.buf.(ring.head) <- Some ev;
-        ring.head <- (ring.head + 1) mod cap
-      end)
+  let dropped_now =
+    Mutex.protect lock (fun () ->
+        let cap = Array.length ring.buf in
+        if cap = 0 then ring.dropped <- ring.dropped + 1
+        else begin
+          if ring.count = cap then ring.dropped <- ring.dropped + 1
+          else ring.count <- ring.count + 1;
+          ring.buf.(ring.head) <- Some ev;
+          ring.head <- (ring.head + 1) mod cap
+        end;
+        ring.dropped)
+  in
+  if dropped_now > 0 then Metrics.set m_dropped dropped_now
 
 let dropped () = Mutex.protect lock (fun () -> ring.dropped)
 
@@ -190,6 +202,7 @@ let event_json = function
 
 let to_json () =
   let evs = events () in
+  let d = dropped () in
   let meta =
     Json.Obj
       [
@@ -203,6 +216,10 @@ let to_json () =
     [
       ("traceEvents", Json.Arr (meta :: List.map event_json evs));
       ("displayTimeUnit", Json.Str "ms");
+      (* self-describing truncation: a reader of the file alone can tell
+         whether the ring wrapped, without the exporter's stderr *)
+      ("truncated", Json.Bool (d > 0));
+      ("droppedEvents", Json.Int d);
     ]
 
 let write_chrome file =

@@ -85,7 +85,17 @@ let shutdown t =
    caller. *)
 type 'b outcome = Ok_ of 'b | Err of exn * Printexc.raw_backtrace
 
-let map ?chunk t f xs =
+(* pool activity lands in the metrics registry so the harness's one
+   snapshot covers scheduling alongside compiler and interpreter work *)
+let m_map_us =
+  Pobs.Metrics.histogram "pool.map_us"
+    ~help:"wall-clock duration of each Pool.map call, microseconds"
+
+let m_tasks = Pobs.Metrics.counter "pool.items" ~help:"items mapped across the pool"
+
+let m_size = Pobs.Metrics.gauge "pool.size" ~help:"worker domains in the active pool"
+
+let map_inner ?chunk t f xs =
   let arr = Array.of_list xs in
   let n = Array.length arr in
   if t.size <= 1 || n <= 1 then List.map f xs
@@ -147,6 +157,18 @@ let map ?chunk t f xs =
       (Array.map
          (function Some (Ok_ v) -> v | _ -> assert false)
          results)
+  end
+
+let map ?chunk t f xs =
+  if not (Pobs.Metrics.enabled ()) then map_inner ?chunk t f xs
+  else begin
+    let t0 = Pobs.Trace.now_us () in
+    Fun.protect
+      ~finally:(fun () ->
+        Pobs.Metrics.observe m_map_us (float_of_int (Pobs.Trace.now_us () - t0));
+        Pobs.Metrics.add m_tasks (List.length xs);
+        Pobs.Metrics.set m_size t.size)
+      (fun () -> map_inner ?chunk t f xs)
   end
 
 let with_pool size f =
