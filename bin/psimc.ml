@@ -10,6 +10,7 @@
      psimc profile FILE.psim -e F   execute and print a hot-block profile
      psimc autovec FILE.psim        run the auto-vectorizer baseline
      psimc lint FILE.psim           SPMD sanitizer (races, OOB, uninit, ...)
+     psimc fuzz --seed N --count N  differential fuzzing (pfuzz)
      psimc verify-rules             offline shape-rule verification
 
    FILE may also name a built-in benchmark kernel (e.g. "mandelbrot"):
@@ -397,6 +398,112 @@ let lint_cmd =
           non-zero when any finding is reported.")
     Term.(const run $ obs_term $ opts_term $ file_arg)
 
+let fuzz_cmd =
+  let seed =
+    Arg.(
+      value & opt int 1
+      & info [ "seed" ] ~docv:"N"
+          ~doc:
+            "Base seed; seeds $(docv) .. $(docv)+count-1 are checked.  A seed \
+             fully determines the generated program and its inputs.")
+  in
+  let count =
+    Arg.(
+      value & opt int 100
+      & info [ "count" ] ~docv:"N" ~doc:"Number of programs to generate and check")
+  in
+  let jobs =
+    Arg.(
+      value & opt int 0
+      & info [ "jobs" ] ~docv:"N"
+          ~doc:"Worker processes to fan seeds over (default: CPU count)")
+  in
+  let corpus =
+    Arg.(
+      value
+      & opt string "test/corpus"
+      & info [ "corpus" ] ~docv:"DIR"
+          ~doc:"Directory where reduced failing programs are persisted")
+  in
+  let no_reduce =
+    Arg.(
+      value & flag
+      & info [ "no-reduce" ] ~doc:"Persist failing programs without minimizing them")
+  in
+  let mutate =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "mutate" ] ~docv:"KIND"
+          ~doc:
+            "Inject a known vectorizer bug before checking, to validate that \
+             the harness catches it.  Supported: $(b,flip-mask) (swap the \
+             blend operands of a linearized branch).")
+  in
+  let replay =
+    Arg.(
+      value & flag
+      & info [ "replay" ]
+          ~doc:
+            "Re-run the full oracle on every .psim file in the corpus \
+             directory instead of generating new programs")
+  in
+  let run obs seed count jobs corpus no_reduce mutate replay =
+    with_obs obs (fun () ->
+        if replay then begin
+          let files = Pfuzz.Driver.corpus_files corpus in
+          if files = [] then Fmt.pr "no corpus files under %s@." corpus;
+          let failed =
+            List.filter
+              (fun file ->
+                match Pfuzz.Driver.replay file with
+                | Ok () ->
+                    Fmt.pr "replay %s: ok@." file;
+                    false
+                | Error msg ->
+                    Fmt.pr "replay %s@." msg;
+                    true)
+              files
+          in
+          if failed <> [] then exit 1
+        end
+        else begin
+          let mutate =
+            match mutate with
+            | None -> None
+            | Some s -> (
+                match Pfuzz.Mutate.of_string s with
+                | Some m -> Some m
+                | None ->
+                    Fmt.epr "psimc fuzz: unknown mutation %S@." s;
+                    exit 2)
+          in
+          let jobs = if jobs <= 0 then Pparallel.Pool.default_jobs () else jobs in
+          let summary =
+            Pfuzz.Driver.run ?mutate ~reduce:(not no_reduce) ~seed ~count ~jobs ()
+          in
+          Fmt.pr "%a" Pfuzz.Driver.pp_summary summary;
+          List.iter
+            (fun (f : Pfuzz.Driver.failure) ->
+              let path = Pfuzz.Driver.save_corpus ~dir:corpus f in
+              Fmt.pr "seed %d: %s -> %s (%d reduction oracle calls)@." f.seed
+                f.bucket path f.reduce_tests)
+            summary.failures;
+          if summary.failures <> [] then exit 1
+        end)
+  in
+  Cmd.v
+    (Cmd.info "fuzz"
+       ~doc:
+         "Differential fuzzing: generate random PsimC SPMD kernels, execute \
+          them under the reference interpreter and under every vectorizer / \
+          autovec / legalization configuration, require bit-identical \
+          outputs and a clean sanitizer, and shrink any failure to a minimal \
+          reproducer in the corpus directory.")
+    Term.(
+      const run $ obs_term $ seed $ count $ jobs $ corpus $ no_reduce $ mutate
+      $ replay)
+
 let verify_rules_cmd =
   let exhaustive =
     Arg.(value & flag & info [ "exhaustive" ] ~doc:"Exhaustive 8-bit base enumeration")
@@ -429,5 +536,6 @@ let () =
             run_cmd;
             profile_cmd;
             lint_cmd;
+            fuzz_cmd;
             verify_rules_cmd;
           ]))

@@ -137,7 +137,11 @@ let legalize_func ?(lanes = 0) (f : Func.t) : Func.t =
         (match i.op with
         | Instr.Reduce (k, v) ->
             let cs = chunks_of_operand blk v ~ty:(oty v) in
-            if Array.length cs = 1 then copy_scalar ()
+            if Array.length cs = 1 then
+              (* single chunk: still rewrite through the chunk map — the
+                 operand is a vector value, which lives in [vmap] under a
+                 fresh id, never in [smap] *)
+              Hashtbl.replace smap i.id (emit blk ty (Instr.Reduce (k, cs.(0))))
             else begin
               (* reduce each chunk, then combine scalars *)
               let partials =
@@ -167,7 +171,9 @@ let legalize_func ?(lanes = 0) (f : Func.t) : Func.t =
             end
         | Instr.ExtractLane (v, idx) -> (
             let cs = chunks_of_operand blk v ~ty:(oty v) in
-            if Array.length cs = 1 then copy_scalar ()
+            if Array.length cs = 1 then
+              Hashtbl.replace smap i.id
+                (emit blk ty (Instr.ExtractLane (cs.(0), scalar_of idx)))
             else
               match Instr.const_int_value idx with
               | Some k ->
@@ -178,7 +184,8 @@ let legalize_func ?(lanes = 0) (f : Func.t) : Func.t =
               | None -> unsup "dynamic extractlane across chunks")
         | Instr.FirstLane v ->
             let cs = chunks_of_operand blk v ~ty:(oty v) in
-            if Array.length cs = 1 then copy_scalar ()
+            if Array.length cs = 1 then
+              Hashtbl.replace smap i.id (emit blk ty (Instr.FirstLane cs.(0)))
             else begin
               (* first active lane across chunks: firstlane per chunk and
                  select the first non-negative, offset by chunk base *)

@@ -1,0 +1,155 @@
+(** Fuzzing driver: generate → oracle → reduce → triage → corpus.
+
+    One seed is one self-contained experiment: it determines the
+    generator configuration (presets rotate by seed so int-only, float,
+    and memory-heavy programs all get coverage), the program, and the
+    harness inputs.  Seeds fan out over {!Pparallel.Pool} — each seed is
+    independent, so the work is embarrassingly parallel and the summary
+    is deterministic for a given seed range regardless of [jobs].
+
+    A failing seed is reduced ({!Reduce}) under the predicate "same
+    triage bucket" and persisted to the corpus directory as
+    [<bucket>-seed<N>.psim], with the generator's replay header intact,
+    so `psimc fuzz --replay` (and the CI smoke job) can re-check every
+    past failure without re-deriving it from the seed.
+
+    Tallies flow through {!Pobs.Metrics}: [fuzz.programs],
+    [fuzz.failures{bucket}], [fuzz.reduce_tests], and (from {!Oracle})
+    [fuzz.oracle_runs{config}]. *)
+
+type failure = {
+  seed : int;
+  bucket : string;
+  config : string;
+  detail : string;
+  src : string;  (** the original generated program *)
+  reduced : string option;  (** minimized source, when reduction ran *)
+  reduce_tests : int;  (** oracle evaluations the reducer spent *)
+}
+
+type summary = {
+  programs : int;
+  failures : failure list;
+  skipped : (string * int) list;  (** legalize skips etc., by config *)
+  buckets : (string * int) list;
+}
+
+let m_programs =
+  Pobs.Metrics.counter "fuzz.programs" ~help:"programs generated and checked"
+
+let m_failures =
+  Pobs.Metrics.counter "fuzz.failures" ~help:"oracle failures, by bucket"
+
+let m_reduce_tests =
+  Pobs.Metrics.counter "fuzz.reduce_tests"
+    ~help:"oracle evaluations spent reducing failures"
+
+(* rotate generator presets so every run covers integer-only, float,
+   memory-heavy, and kitchen-sink programs *)
+let preset_for seed =
+  match seed land 3 with
+  | 0 -> Gen.default_cfg
+  | 1 -> Gen.int_cfg
+  | 2 -> Gen.float_cfg
+  | _ -> Gen.mem_cfg
+
+(** Generate and check one seed.  Returns the failure (reduced unless
+    [reduce:false]) or the configurations skipped on this program. *)
+let run_one ?cfg ?mutate ?(reduce = true) seed :
+    (failure option * (string * string) list) =
+  let cfg = match cfg with Some c -> c | None -> preset_for seed in
+  Pobs.Metrics.incr m_programs;
+  let case = Gen.generate ~cfg seed in
+  let subject = Oracle.of_case case in
+  match Oracle.run ?mutate subject with
+  | Oracle.Pass { skipped } -> (None, skipped)
+  | Oracle.Fail { bucket; config; detail } ->
+      Pobs.Metrics.incr ~labels:[ ("bucket", bucket) ] m_failures;
+      let reduced, reduce_tests =
+        if reduce then begin
+          let still_fails p =
+            match Oracle.run ?mutate (Oracle.of_prog p) with
+            | Oracle.Fail f -> f.bucket = bucket
+            | Oracle.Pass _ -> false
+          in
+          let p, tests = Reduce.reduce still_fails case.Gen.prog in
+          Pobs.Metrics.add m_reduce_tests tests;
+          (Some (Gen.render p), tests)
+        end
+        else (None, 0)
+      in
+      ( Some
+          { seed; bucket; config; detail; src = case.Gen.src; reduced; reduce_tests },
+        [] )
+
+(** Check [count] consecutive seeds starting at [seed], fanning over the
+    worker pool. *)
+let run ?cfg ?mutate ?(reduce = true) ~seed ~count ~jobs () : summary =
+  let seeds = List.init count (fun i -> seed + i) in
+  let results =
+    Pparallel.Pool.parallel_map ~jobs (run_one ?cfg ?mutate ~reduce) seeds
+  in
+  let failures = List.filter_map fst results in
+  let skipped =
+    List.concat_map snd results
+    |> List.map fst
+    |> Triage.group
+  in
+  {
+    programs = count;
+    failures;
+    skipped;
+    buckets = Triage.group (List.map (fun f -> f.bucket) failures);
+  }
+
+(* -- corpus persistence and replay -- *)
+
+let corpus_filename (f : failure) =
+  Fmt.str "%s-seed%d.psim" (Triage.filename_of_bucket f.bucket) f.seed
+
+(** Persist a failure's minimized reproducer (original source when it
+    was not reduced).  Returns the written path. *)
+let save_corpus ~dir (f : failure) : string =
+  if not (Sys.file_exists dir) then Sys.mkdir dir 0o755;
+  let path = Filename.concat dir (corpus_filename f) in
+  let oc = open_out path in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () -> output_string oc (Option.value ~default:f.src f.reduced));
+  path
+
+let read_file path =
+  let ic = open_in_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_in ic)
+    (fun () -> really_input_string ic (in_channel_length ic))
+
+(** Re-run the full oracle on a stored corpus program. *)
+let replay path : (unit, string) result =
+  let src = read_file path in
+  match Oracle.parse_header src with
+  | None -> Error (Fmt.str "%s: missing '// pfuzz ...' replay header" path)
+  | Some subject -> (
+      match Oracle.run subject with
+      | Oracle.Pass _ -> Ok ()
+      | Oracle.Fail { bucket; detail; _ } ->
+          Error (Fmt.str "%s: %s (%s)" path bucket detail))
+
+(** Every .psim file in [dir], sorted (empty when [dir] is absent). *)
+let corpus_files dir =
+  if Sys.file_exists dir && Sys.is_directory dir then
+    Sys.readdir dir |> Array.to_list
+    |> List.filter (fun f -> Filename.check_suffix f ".psim")
+    |> List.sort compare
+    |> List.map (Filename.concat dir)
+  else []
+
+let pp_summary ppf (s : summary) =
+  Fmt.pf ppf "checked %d programs: %d failure%s@." s.programs
+    (List.length s.failures)
+    (if List.length s.failures = 1 then "" else "s");
+  List.iter (fun (b, n) -> Fmt.pf ppf "  %-40s %d@." b n) s.buckets;
+  if s.skipped <> [] then begin
+    Fmt.pf ppf "skipped configurations:@.";
+    List.iter (fun (c, n) -> Fmt.pf ppf "  %-40s %d@." c n) s.skipped
+  end

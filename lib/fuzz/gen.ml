@@ -1,0 +1,551 @@
+(** Typed AST-level generator of random PsimC SPMD kernels.
+
+    Replaces the string-concatenating i32-only generator that used to
+    live in [test/suite_random.ml].  Programs are built as a small typed
+    AST and rendered to PsimC source, which buys three things the string
+    generator could not provide:
+
+    - the delta-debugging reducer ([Reduce]) shrinks the AST and
+      re-renders, so every reduction attempt is a syntactically valid
+      program;
+    - generation is type-directed (int32 and float32 expressions never
+      mix accidentally) and *race-free and in-bounds by construction*,
+      so the sanitizer-soundness oracle can require psan to be clean on
+      every emitted program;
+    - the fresh-variable counter lives in the per-case generator state
+      (not a global), so the same seed always names the same variables
+      and a corpus entry reproduces standalone.
+
+    Every generated kernel has the same shape: the fixed signature
+
+      void k(int32* a, float32* fa, int32* b, float32* fb, int32* c,
+             int32 u0, float32 uf, int64 n)
+
+    where [a]/[fa] are read-only input buffers, [b]/[fb] receive one
+    result per thread, [c] is an optional write-only strided-scatter
+    target, and [u0]/[uf] are captured uniforms.  The body is an SPMD
+    region at gang size 8 over [n] threads; [n] is chosen so the last
+    gang is partial (head/tail split) unless the program uses gang
+    shuffles, whose cross-lane reads are only defined in full gangs.
+
+    Safety invariants the generator maintains (and the oracle relies
+    on):
+
+    - all [a]/[fa] indices are affine [k*i + c] with k<=3, c<=3, or
+      masked value-dependent indices [e & (len-1)], both in bounds;
+    - at most one strided store targets [c], with stride k>=1, so no
+      two lanes ever write the same address;
+    - local arrays are fully initialized before any use and indexed
+      under a power-of-two mask;
+    - horizontal operations (shuffle, gang_sync) only appear at
+      convergent points, never under divergent control flow;
+    - no division or remainder by a non-constant, no shifts by more
+      than 3, no float<->int casts other than (float32) of an int. *)
+
+type ty = I32 | F32
+
+type cfg = {
+  floats : bool;  (** generate float32 values, expressions, and fb[i] *)
+  mem_ops : bool;
+      (** generate affine/value-dependent loads from [a]/[fa], the
+          strided scatter store to [c], and private local arrays *)
+  shuffles : bool;  (** generate gang shuffles and gang syncs *)
+  head_tail : bool;  (** generate a uniform head/tail-gang branch *)
+  max_stmts : int;  (** statement budget for the region body *)
+}
+
+let default_cfg =
+  { floats = true; mem_ops = true; shuffles = true; head_tail = true; max_stmts = 10 }
+
+let int_cfg =
+  { floats = false; mem_ops = false; shuffles = true; head_tail = false; max_stmts = 8 }
+
+let float_cfg = { default_cfg with mem_ops = false; max_stmts = 8 }
+
+let mem_cfg = { default_cfg with shuffles = false; max_stmts = 8 }
+
+(* -- the generated AST -- *)
+
+type idx =
+  | Aff of int * int  (** k*i + c: affine in the global thread index *)
+  | Msk of expr * int  (** (e & mask): value-dependent, in-bounds by masking *)
+
+and expr =
+  | Ei of int
+  | Ef of float
+  | Ev of string  (** variable; its type is encoded in its name *)
+  | Ebin of string * expr * expr  (** "+" "-" "*" "^" "&" (ints); "+" "-" "*" (floats) *)
+  | Eshr of expr * int  (** e >> k, 0 <= k <= 3 *)
+  | Emm of string * expr * expr  (** min/max *)
+  | Eabs of expr
+  | Etof of expr  (** (float32) int-expr *)
+  | Esel of cond * expr * expr
+  | Eld of string * idx  (** buffer or local-array load *)
+
+and cond = { cop : string; cl : expr; cr : expr }
+
+type stmt =
+  | Sdecl of ty * string * expr
+  | Sassign of string * expr
+  | Sif of cond * stmt list * stmt list
+  | Sloop of string * expr * stmt list
+      (** int32 k = min(max(e, -8), 8); while (k > 0) { body; k = k - 1; } *)
+  | Sshuf of string * string * expr  (** int32 v = psim_shuffle(src, (uint64)(e & 7)) *)
+  | Ssync
+  | Sstore of string * idx * expr  (** c[k*i+c0] = e; or arr[(e & m)] = e; *)
+  | Shtif of stmt list * stmt list  (** if (psim_is_tail_gang()) { } else { } *)
+
+type prog = {
+  gang : int;
+  n : int;  (** threads launched by the harness *)
+  u0 : int;  (** value of the captured int uniform *)
+  uf : float;  (** value of the captured float uniform *)
+  arrays : (string * int * expr array) list;
+      (** private local int arrays: name, length (power of two), and
+          one initializer expression per element *)
+  body : stmt list;
+  result : expr;  (** int32, stored to b[i] *)
+  fresult : expr option;  (** float32, stored to fb[i] when present *)
+}
+
+type case = { seed : int; cfg : cfg; prog : prog; src : string }
+
+let a_len = 128
+let c_len = 128
+
+(* types are recoverable from the structure: variables encode their type
+   in their name (int locals t*/k*/rr, preamble x/li/u0; float locals
+   g*, preamble f/uf), loads are int unless from fa *)
+let ty_of_var v =
+  if v = "f" || v = "uf" || (String.length v > 0 && v.[0] = 'g') then F32 else I32
+
+let rec ty_of (e : expr) : ty =
+  match e with
+  | Ei _ -> I32
+  | Ef _ -> F32
+  | Ev v -> ty_of_var v
+  | Ebin (_, a, _) | Emm (_, a, _) | Eabs a | Eshr (a, _) -> ty_of a
+  | Etof _ -> F32
+  | Esel (_, a, _) -> ty_of a
+  | Eld ("fa", _) -> F32
+  | Eld _ -> I32
+
+(* -- rendering to PsimC source -- *)
+
+let rec pp_expr = function
+  | Ei k -> if k < 0 then Fmt.str "(0 - %d)" (-k) else string_of_int k
+  | Ef x ->
+      (* always with a decimal point so the literal lexes as a float *)
+      let abs = Float.abs x in
+      let s =
+        if Float.is_integer abs then Fmt.str "%.1f" abs else Fmt.str "%.6g" abs
+      in
+      if x < 0.0 then Fmt.str "(0.0 - %s)" s else s
+  | Ev v -> v
+  | Ebin (op, a, b) -> Fmt.str "(%s %s %s)" (pp_expr a) op (pp_expr b)
+  | Eshr (a, k) -> Fmt.str "(%s >> %d)" (pp_expr a) k
+  | Emm (op, a, b) -> Fmt.str "%s(%s, %s)" op (pp_expr a) (pp_expr b)
+  | Eabs a -> Fmt.str "abs(%s)" (pp_expr a)
+  | Etof a -> Fmt.str "(float32)%s" (pp_expr a)
+  | Esel (c, a, b) -> Fmt.str "(%s ? %s : %s)" (pp_cond c) (pp_expr a) (pp_expr b)
+  | Eld (buf, idx) -> Fmt.str "%s[%s]" buf (pp_idx idx)
+
+and pp_idx = function
+  | Aff (0, c) -> string_of_int c
+  | Aff (k, 0) -> Fmt.str "%d * i" k
+  | Aff (k, c) -> Fmt.str "%d * i + %d" k c
+  | Msk (e, m) -> Fmt.str "(%s & %d)" (pp_expr e) m
+
+and pp_cond c = Fmt.str "%s %s %s" (pp_expr c.cl) c.cop (pp_expr c.cr)
+
+(** Render a program to PsimC source.  The header comment records the
+    harness inputs (thread count and uniform values), so a corpus file
+    replays standalone; preamble bindings are emitted only when used,
+    so reduced programs shrink to their true minimum. *)
+let render (p : prog) : string =
+  let buf = Buffer.create 1024 in
+  let out fmt = Fmt.kstr (fun s -> Buffer.add_string buf s) fmt in
+  let rec pp_stmts ind ss = List.iter (pp_stmt ind) ss
+  and pp_stmt ind s =
+    let pad = String.make ind ' ' in
+    match s with
+    | Sdecl (I32, v, e) -> out "%sint32 %s = %s;\n" pad v (pp_expr e)
+    | Sdecl (F32, v, e) -> out "%sfloat32 %s = %s;\n" pad v (pp_expr e)
+    | Sassign (v, e) -> out "%s%s = %s;\n" pad v (pp_expr e)
+    | Sif (c, t, e) ->
+        out "%sif (%s) {\n" pad (pp_cond c);
+        pp_stmts (ind + 2) t;
+        if e <> [] then begin
+          out "%s} else {\n" pad;
+          pp_stmts (ind + 2) e
+        end;
+        out "%s}\n" pad
+    | Sloop (k, bound, body) ->
+        out "%sint32 %s = min(max(%s, 0 - 8), 8);\n" pad k (pp_expr bound);
+        out "%swhile (%s > 0) {\n" pad k;
+        pp_stmts (ind + 2) body;
+        out "%s  %s = %s - 1;\n" pad k k;
+        out "%s}\n" pad
+    | Sshuf (v, src, e) ->
+        out "%sint32 %s = psim_shuffle(%s, (uint64)(%s & 7));\n" pad v src
+          (pp_expr e)
+    | Ssync -> out "%spsim_gang_sync();\n" pad
+    | Sstore (buf, idx, e) -> out "%s%s[%s] = %s;\n" pad buf (pp_idx idx) (pp_expr e)
+    | Shtif (t, e) ->
+        out "%sif (psim_is_tail_gang()) {\n" pad;
+        pp_stmts (ind + 2) t;
+        if e <> [] then begin
+          out "%s} else {\n" pad;
+          pp_stmts (ind + 2) e
+        end;
+        out "%s}\n" pad
+  in
+  (* which preamble bindings does the program actually use? *)
+  let uses = Hashtbl.create 16 in
+  let rec scan_expr = function
+    | Ei _ | Ef _ -> ()
+    | Ev v -> Hashtbl.replace uses v ()
+    | Ebin (_, a, b) | Emm (_, a, b) ->
+        scan_expr a;
+        scan_expr b
+    | Eshr (a, _) | Eabs a | Etof a -> scan_expr a
+    | Esel (c, a, b) ->
+        scan_cond c;
+        scan_expr a;
+        scan_expr b
+    | Eld (_, Aff _) -> ()
+    | Eld (_, Msk (e, _)) -> scan_expr e
+  and scan_cond c =
+    scan_expr c.cl;
+    scan_expr c.cr
+  in
+  let rec scan_stmt = function
+    | Sdecl (_, _, e) -> scan_expr e
+    | Sassign (v, e) ->
+        Hashtbl.replace uses v ();
+        scan_expr e
+    | Sif (c, t, e) ->
+        scan_cond c;
+        List.iter scan_stmt t;
+        List.iter scan_stmt e
+    | Sloop (_, bound, body) ->
+        scan_expr bound;
+        List.iter scan_stmt body
+    | Sshuf (_, src, e) ->
+        Hashtbl.replace uses src ();
+        scan_expr e
+    | Ssync -> ()
+    | Sstore (_, idx, e) ->
+        (match idx with Msk (ie, _) -> scan_expr ie | Aff _ -> ());
+        scan_expr e
+    | Shtif (t, e) ->
+        List.iter scan_stmt t;
+        List.iter scan_stmt e
+  in
+  List.iter scan_stmt p.body;
+  scan_expr p.result;
+  Option.iter scan_expr p.fresult;
+  List.iter (fun (_, _, init) -> Array.iter scan_expr init) p.arrays;
+  let used v = Hashtbl.mem uses v in
+  out "// pfuzz gang=%d n=%d u0=%d uf=%h\n" p.gang p.n p.u0 p.uf;
+  out
+    "void k(int32* a, float32* fa, int32* b, float32* fb, int32* c, int32 u0, \
+     float32 uf, int64 n) {\n";
+  out "  psim gang_size(%d) num_spmd_threads(n) {\n" p.gang;
+  out "    int64 i = psim_thread_num();\n";
+  if used "li" then out "    int32 li = (int32)psim_lane_num();\n";
+  if used "x" then out "    int32 x = a[i];\n";
+  if used "f" then out "    float32 f = fa[i];\n";
+  List.iter
+    (fun (name, len, init) ->
+      out "    int32 %s[%d];\n" name len;
+      Array.iteri (fun j e -> out "    %s[%d] = %s;\n" name j (pp_expr e)) init)
+    p.arrays;
+  pp_stmts 4 p.body;
+  out "    b[i] = %s;\n" (pp_expr p.result);
+  (match p.fresult with
+  | Some e -> out "    fb[i] = %s;\n" (pp_expr e)
+  | None -> ());
+  out "  }\n";
+  out "}\n";
+  Buffer.contents buf
+
+(* -- generator state -- *)
+
+type env = {
+  ivars : string list;  (** in-scope int32 variables *)
+  fvars : string list;  (** in-scope float32 variables *)
+  massign : (string * ty) list;  (** assignable locals (not loop counters) *)
+}
+
+type gstate = {
+  rng : Rng.t;
+  cfg : cfg;
+  mutable nvar : int;
+      (** per-case fresh-variable counter — reset by construction for
+          every generated program, so a seed reproduces standalone *)
+  mutable arrays : (string * int * expr array) list;
+  mutable did_cstore : bool;
+  mutable did_ht : bool;
+  mutable used_shuffle : bool;
+}
+
+let fresh g prefix =
+  g.nvar <- g.nvar + 1;
+  Fmt.str "%s%d" prefix g.nvar
+
+(* -- expression generation -- *)
+
+let int_lit g = Ei (Rng.range g.rng (-20) 20)
+
+(* multiples of 0.25 are exact in binary32, keeping float arithmetic
+   well-behaved across widening/rounding *)
+let float_lit g = Ef (float_of_int (Rng.range g.rng (-16) 16) *. 0.25)
+
+let rec gen_int g env depth : expr =
+  let leaf () =
+    if env.ivars <> [] && Rng.below g.rng 3 > 0 then Ev (Rng.pick g.rng env.ivars)
+    else int_lit g
+  in
+  if depth <= 0 then leaf ()
+  else
+    match Rng.below g.rng 12 with
+    | 0 | 1 -> leaf ()
+    | 2 -> Ebin ("+", gen_int g env (depth - 1), gen_int g env (depth - 1))
+    | 3 -> Ebin ("-", gen_int g env (depth - 1), gen_int g env (depth - 1))
+    | 4 -> Ebin ("*", gen_int g env (depth - 1), Ei (Rng.range g.rng (-4) 4))
+    | 5 -> Ebin ("^", gen_int g env (depth - 1), gen_int g env (depth - 1))
+    | 6 -> Ebin ("&", gen_int g env (depth - 1), gen_int g env (depth - 1))
+    | 7 ->
+        Emm
+          ( (if Rng.bool g.rng then "min" else "max"),
+            gen_int g env (depth - 1),
+            gen_int g env (depth - 1) )
+    | 8 -> Eshr (gen_int g env (depth - 1), Rng.below g.rng 4)
+    | 9 -> Eabs (gen_int g env (depth - 1))
+    | 10 when g.cfg.mem_ops -> gen_int_load g env depth
+    | _ -> Esel (gen_cond g env, gen_int g env (depth - 1), gen_int g env (depth - 1))
+
+and gen_int_load g env depth =
+  match (g.arrays, Rng.below g.rng 3) with
+  | (name, len, _) :: _, 0 -> Eld (name, Msk (gen_int g env (depth - 1), len - 1))
+  | _, 1 -> Eld ("a", Msk (gen_int g env (depth - 1), a_len - 1))
+  | _ -> Eld ("a", Aff (Rng.below g.rng 4, Rng.below g.rng 4))
+
+and gen_float g env depth : expr =
+  let leaf () =
+    if env.fvars <> [] && Rng.below g.rng 3 > 0 then Ev (Rng.pick g.rng env.fvars)
+    else float_lit g
+  in
+  if depth <= 0 then leaf ()
+  else
+    match Rng.below g.rng 9 with
+    | 0 | 1 -> leaf ()
+    | 2 -> Ebin ("+", gen_float g env (depth - 1), gen_float g env (depth - 1))
+    | 3 -> Ebin ("-", gen_float g env (depth - 1), gen_float g env (depth - 1))
+    | 4 -> Ebin ("*", gen_float g env (depth - 1), gen_float g env (depth - 1))
+    | 5 ->
+        Emm
+          ( (if Rng.bool g.rng then "min" else "max"),
+            gen_float g env (depth - 1),
+            gen_float g env (depth - 1) )
+    | 6 -> Eabs (gen_float g env (depth - 1))
+    | 7 ->
+        (* cast only of an int leaf: the front-end pushes the float32
+           expectation into the cast operand, so a compound int operand
+           would type its bitwise/shift subexpressions as float *)
+        Etof (gen_int g env 0)
+    | 8 when g.cfg.mem_ops -> (
+        match Rng.below g.rng 2 with
+        | 0 -> Eld ("fa", Msk (gen_int g env (depth - 1), a_len - 1))
+        | _ -> Eld ("fa", Aff (Rng.below g.rng 4, Rng.below g.rng 4)))
+    | _ ->
+        Esel (gen_cond g env, gen_float g env (depth - 1), gen_float g env (depth - 1))
+
+and gen_cond g env : cond =
+  let cop = Rng.pick g.rng [ "<"; ">"; "<="; ">="; "=="; "!=" ] in
+  if g.cfg.floats && env.fvars <> [] && Rng.below g.rng 4 = 0 then
+    { cop; cl = gen_float g env 1; cr = gen_float g env 1 }
+  else { cop; cl = gen_int g env 1; cr = gen_int g env 1 }
+
+let gen_of_ty g env depth = function
+  | I32 -> gen_int g env depth
+  | F32 -> gen_float g env depth
+
+(* -- statement generation -- *)
+
+(* [div] is true under divergent control flow, where horizontal
+   operations (shuffle, sync) are undefined behavior in the programming
+   model and must not be generated. *)
+let rec gen_stmts g env ~div budget : stmt list * env =
+  if budget <= 0 then ([], env)
+  else
+    let stmt, env' = gen_stmt g env ~div budget in
+    let rest, env'' = gen_stmts g env' ~div (budget - 1) in
+    (stmt :: rest, env'')
+
+and gen_stmt g env ~div budget : stmt * env =
+  let declare prefix ty e =
+    let v = fresh g prefix in
+    let env' =
+      match ty with
+      | I32 -> { env with ivars = v :: env.ivars; massign = (v, I32) :: env.massign }
+      | F32 -> { env with fvars = v :: env.fvars; massign = (v, F32) :: env.massign }
+    in
+    (Sdecl (ty, v, e), env')
+  in
+  match Rng.below g.rng 14 with
+  | (0 | 1) when g.cfg.floats && Rng.bool g.rng -> declare "g" F32 (gen_float g env 2)
+  | 0 | 1 -> declare "t" I32 (gen_int g env 2)
+  | 2 | 3 when env.massign <> [] ->
+      let v, ty = Rng.pick g.rng env.massign in
+      (Sassign (v, gen_of_ty g env 2 ty), env)
+  | 4 | 5 ->
+      (* divergent conditional; arm-local declarations do not escape *)
+      let t, _ = gen_stmts g env ~div:true (budget / 2) in
+      let e, _ = gen_stmts g env ~div:true (budget / 2) in
+      (Sif (gen_cond g env, t, e), env)
+  | 6 ->
+      (* bounded loop whose trip count may depend on lane values; the
+         counter is in scope in the body but never assignable *)
+      let k = fresh g "k" in
+      let benv = { env with ivars = k :: env.ivars } in
+      let body, _ = gen_stmts g benv ~div:true (budget / 2) in
+      (Sloop (k, gen_int g env 1, body), env)
+  | 7 when g.cfg.shuffles && (not div) && env.ivars <> [] ->
+      g.used_shuffle <- true;
+      let src = Rng.pick g.rng env.ivars in
+      let v = fresh g "t" in
+      ( Sshuf (v, src, gen_int g env 1),
+        { env with ivars = v :: env.ivars; massign = (v, I32) :: env.massign } )
+  | 8 when g.cfg.shuffles && not div -> (Ssync, env)
+  | 9 when g.cfg.mem_ops && not g.did_cstore ->
+      (* the single strided scatter store: stride >= 1 keeps lanes on
+         distinct addresses (race-free by construction) *)
+      g.did_cstore <- true;
+      (Sstore ("c", Aff (Rng.range g.rng 1 3, Rng.below g.rng 4), gen_int g env 2), env)
+  | 10 when g.cfg.mem_ops && g.arrays <> [] ->
+      let name, len, _ = Rng.pick g.rng g.arrays in
+      (Sstore (name, Msk (gen_int g env 1, len - 1), gen_int g env 2), env)
+  | 11 when g.cfg.head_tail && (not g.did_ht) && not div ->
+      (* uniform branch on gang position: drives the head/tail gang
+         specialization in the front-end (paper §3) *)
+      g.did_ht <- true;
+      let t, _ = gen_stmts g env ~div (budget / 2) in
+      let e, _ = gen_stmts g env ~div (budget / 2) in
+      (Shtif (t, e), env)
+  | _ ->
+      (* ternary select declaration *)
+      declare "t" I32 (Esel (gen_cond g env, gen_int g env 1, gen_int g env 1))
+
+(* -- whole-program generation -- *)
+
+let preamble_env (cfg : cfg) : env =
+  let ivars = [ "x"; "li"; "u0" ] in
+  if cfg.floats then
+    { ivars; fvars = [ "f"; "uf" ]; massign = [ ("x", I32); ("f", F32) ] }
+  else { ivars; fvars = []; massign = [ ("x", I32) ] }
+
+let generate ?(cfg = default_cfg) seed : case =
+  let g =
+    {
+      rng = Rng.create seed;
+      cfg;
+      nvar = 0;
+      arrays = [];
+      did_cstore = false;
+      did_ht = false;
+      used_shuffle = false;
+    }
+  in
+  let env = preamble_env cfg in
+  (* private local arrays, fully initialized before the body runs *)
+  if cfg.mem_ops && Rng.bool g.rng then begin
+    let len = if Rng.bool g.rng then 4 else 8 in
+    let name = fresh g "arr" in
+    let init = Array.init len (fun _ -> gen_int g env 1) in
+    g.arrays <- [ (name, len, init) ]
+  end;
+  let budget = Rng.range g.rng 3 cfg.max_stmts in
+  let body, env' = gen_stmts g env ~div:false budget in
+  let result = gen_int g env' 2 in
+  let fresult = if cfg.floats then Some (gen_float g env' 2) else None in
+  let gang = 8 in
+  (* shuffles read across the whole gang, so they are only defined when
+     every gang is full; otherwise pick n so the last gang is partial
+     to exercise the masked head/tail split *)
+  let n =
+    if g.used_shuffle then gang * Rng.range g.rng 2 4
+    else
+      let n = Rng.range g.rng (2 * gang) (4 * gang) in
+      if n mod gang = 0 then n + 1 + Rng.below g.rng (gang - 1) else n
+  in
+  let prog =
+    {
+      gang;
+      n;
+      u0 = Rng.range g.rng (-9) 9;
+      uf = float_of_int (Rng.range g.rng (-8) 8) *. 0.25;
+      arrays = g.arrays;
+      body;
+      result;
+      fresult;
+    }
+  in
+  { seed; cfg; prog; src = render prog }
+
+(* -- seeded-buggy mutants for the sanitizer-soundness oracle -- *)
+
+let rec strip_cstores (ss : stmt list) : stmt list =
+  List.filter_map
+    (function
+      | Sstore ("c", _, _) -> None
+      | Sif (c, t, e) -> Some (Sif (c, strip_cstores t, strip_cstores e))
+      | Sloop (k, b, body) -> Some (Sloop (k, b, strip_cstores body))
+      | Shtif (t, e) -> Some (Shtif (strip_cstores t, strip_cstores e))
+      | s -> Some s)
+    ss
+
+(** Inject a cross-lane race: every lane writes [c[i]] then immediately
+    reads [c[i + 1]] — its right neighbour's slot — with no intervening
+    synchronization.  Serial SPMD execution reads the neighbour's
+    *initial* value (the neighbour has not run yet); lockstep vector
+    execution reads the value the neighbour just stored.  psan proves
+    the affine collision statically; the differential oracle observes
+    the divergence dynamically.  Any generated store to [c] is stripped
+    first so the injected pair is the only access. *)
+let inject_race (case : case) : case =
+  let p = case.prog in
+  let p =
+    {
+      p with
+      body =
+        Sstore ("c", Aff (1, 0), Ebin ("+", Ebin ("*", Ev "x", Ei 3), Ei 1))
+        :: Sdecl (I32, "rr", Eld ("c", Aff (1, 1)))
+        :: strip_cstores p.body;
+      result = Ebin ("+", p.result, Ev "rr");
+    }
+  in
+  { case with prog = p; src = render p }
+
+(** Inject a proven out-of-bounds read on a private local array: the
+    constant index is far past the allocation *and* past the simulated
+    memory arena, so psan proves the OOB statically and the reference
+    executor faults dynamically. *)
+let oob_index = 400_000
+
+let inject_oob (case : case) : case =
+  let p = case.prog in
+  let arrays =
+    match p.arrays with [] -> [ ("arr0", 4, Array.make 4 (Ei 0)) ] | a -> a
+  in
+  let name, _, _ = List.hd arrays in
+  let p =
+    {
+      p with
+      arrays;
+      body = p.body @ [ Sdecl (I32, "bad", Eld (name, Aff (0, oob_index))) ];
+      result = Ebin ("+", p.result, Ev "bad");
+    }
+  in
+  { case with prog = p; src = render p }

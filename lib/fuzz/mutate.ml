@@ -1,0 +1,55 @@
+(** Seeded compiler-bug mutations.
+
+    The differential harness is only trustworthy if it demonstrably
+    *catches* miscompiles, so the fuzz driver can inject a known bug
+    into the vectorized pipeline and assert the oracle flags it.  The
+    canonical mutation is the one the acceptance criteria name: flip the
+    blend mask of a linearized branch.  [Vectorizer.emit_linearized_if]
+    merges the two arms of an if-conversion with
+    [Select (mask, then_v, else_v)]; swapping the value operands makes
+    every lane take the *wrong* arm's value whenever the gang actually
+    diverged, which the reference execution exposes immediately — unless
+    the program never diverges there, in which case the mutation is
+    observationally dead (the driver tallies that case and moves to the
+    next seed). *)
+
+open Pir
+
+let is_mask_ty = function Types.Vec (Types.I1, _) -> true | _ -> false
+
+(** Swap the value operands of the first vector blend
+    ([Select] with a mask-vector condition) found in a vectorized
+    function of [m], in place.  Returns [false] when the module contains
+    no such blend (nothing was mutated). *)
+let flip_linearized_mask (m : Func.modul) : bool =
+  let flipped = ref false in
+  List.iter
+    (fun (f : Func.t) ->
+      List.iter
+        (fun (b : Func.block) ->
+          if not !flipped then
+            b.instrs <-
+              List.map
+                (fun (i : Instr.instr) ->
+                  match i.Instr.op with
+                  | Instr.Select (c, t, e)
+                    when (not !flipped) && is_mask_ty (Func.ty_of_operand f c) ->
+                      flipped := true;
+                      { i with Instr.op = Instr.Select (c, e, t) }
+                  | _ -> i)
+                b.instrs)
+        f.blocks)
+    m.funcs;
+  !flipped
+
+type t = Flip_mask
+
+let of_string = function
+  | "flip-mask" -> Some Flip_mask
+  | _ -> None
+
+let name = function Flip_mask -> "flip-mask"
+
+(** Apply [mut] to a vectorized module; [true] if it changed anything. *)
+let apply mut m =
+  match mut with Flip_mask -> flip_linearized_mask m

@@ -1,0 +1,307 @@
+(** Multi-oracle differential harness.
+
+    Parsimony's central claim is semantic preservation: the vectorizer
+    (under every ablation configuration), the analysis-feedback
+    reclassifier, and the back-end legalizer must all produce code that
+    executes bit-identically to the serial SPMD reference execution.
+    This module checks that claim for one program at a time:
+
+    - compile the source once to scalar SPMD IR;
+    - execute it unvectorized — the reference semantics;
+    - re-execute a fresh copy per configuration (each vectorizer
+      ablation, analysis feedback, plain autovec, and legalization to
+      4/8/16-lane registers) and compare the three output buffers
+      value-for-value ([Pmachine.Value.equal], NaN-safe);
+    - additionally require psan to report no *errors*: generated
+      programs are race-free and in-bounds by construction, so a proven
+      finding on one is a sanitizer soundness bug, not a program bug.
+
+    Execution failures are distinguished from mismatches and mapped to
+    stable buckets by {!Triage}.  A configuration the legalizer cannot
+    split (raises [Unsupported]) is a skip, not a failure — the tally is
+    reported so silent coverage loss is visible. *)
+
+open Pir
+
+type subject = { src : string; n : int; u0 : int; uf : float }
+
+let of_case (c : Gen.case) =
+  {
+    src = c.Gen.src;
+    n = c.Gen.prog.Gen.n;
+    u0 = c.Gen.prog.Gen.u0;
+    uf = c.Gen.prog.Gen.uf;
+  }
+
+let of_prog (p : Gen.prog) =
+  { src = Gen.render p; n = p.Gen.n; u0 = p.Gen.u0; uf = p.Gen.uf }
+
+(** Recover the harness inputs from the [// pfuzz ...] header line the
+    generator writes, so a corpus file replays standalone.  The float
+    uniform is serialized as a hex literal ([%h]) and parsed back with
+    [float_of_string], which round-trips it exactly. *)
+let parse_header (src : string) : subject option =
+  let line =
+    match String.index_opt src '\n' with
+    | Some i -> String.sub src 0 i
+    | None -> src
+  in
+  match
+    Scanf.sscanf line "// pfuzz gang=%d n=%d u0=%d uf=%s"
+      (fun _gang n u0 ufs -> (n, u0, float_of_string ufs))
+  with
+  | n, u0, uf -> Some { src; n; u0; uf }
+  | exception _ -> None
+
+(* -- configurations under test -- *)
+
+type config =
+  | Vec of string * Parsimony.Options.t  (** Parsimony vectorizer ablations *)
+  | Autovec  (** classic loop auto-vectorization *)
+  | Legalized of int  (** vectorize (default), then split to N-lane registers *)
+
+let config_name = function
+  | Vec (label, _) -> "vec-" ^ label
+  | Autovec -> "autovec"
+  | Legalized lanes -> Fmt.str "legalize-%d" lanes
+
+let vec_configs =
+  let d = Parsimony.Options.default in
+  [
+    Vec ("default", d);
+    Vec ("ispc", Parsimony.Options.ispc);
+    Vec ("no-shapes", { d with shape_analysis = false });
+    Vec ("no-stride-shuffle", { d with stride_shuffle_bound = 0 });
+    Vec ("linearize-uniform", { d with uniform_branches = false });
+    Vec ("boscc", { d with boscc = true });
+    Vec ("feedback", { d with analysis_feedback = true });
+  ]
+
+let legalize_widths = [ 4; 8; 16 ]
+
+let all_configs =
+  vec_configs @ [ Autovec ] @ List.map (fun w -> Legalized w) legalize_widths
+
+(** Raised by {!prepare} when the legalizer cannot split a function at
+    the requested width: the configuration is skipped, not failed. *)
+exception Skip of string
+
+(** Compile the subject to scalar SPMD IR (the reference module). *)
+let compile_scalar (s : subject) : Func.modul =
+  let m = Pfrontend.Lower.compile ~name:"fuzz" s.src in
+  Panalysis.Check.check_module m;
+  m
+
+(** Fresh copy of [scalar] with the pass pipeline for [config] applied.
+    [mutate] injects a seeded vectorizer bug (see {!Mutate}) into the
+    [vec-default] configuration only, so the failure signature of a
+    caught mutation is deterministic. *)
+let prepare ?mutate config (scalar : Func.modul) : Func.modul =
+  let m = Func.copy_module scalar in
+  (match config with
+  | Vec (label, opts) ->
+      ignore (Parsimony.Vectorizer.run_module ~opts m);
+      (match mutate with
+      | Some mut when label = "default" -> ignore (Mutate.apply mut m)
+      | _ -> ());
+      Panalysis.Check.check_module m;
+      Parsimony.Simplify.run_module m
+  | Autovec ->
+      ignore (Pautovec.Autovec.run_module m);
+      Panalysis.Check.check_module m
+  | Legalized lanes ->
+      ignore (Parsimony.Vectorizer.run_module m);
+      Panalysis.Check.check_module m;
+      Parsimony.Simplify.run_module m;
+      m.Func.funcs <-
+        List.map
+          (fun f ->
+            try Pbackend.Legalize.legalize_func ~lanes f
+            with Pbackend.Legalize.Unsupported reason -> raise (Skip reason))
+          m.Func.funcs;
+      Panalysis.Check.check_module m);
+  m
+
+(* -- execution -- *)
+
+type buffers = {
+  b : Pmachine.Value.t array;  (** int results, one per thread *)
+  fb : Pmachine.Value.t array;  (** float results, one per thread *)
+  c : Pmachine.Value.t array;  (** the strided-scatter target *)
+}
+
+(* deterministic input data; [c] is seeded with distinct non-zero values
+   so a racy read of a neighbour's slot observably differs between
+   serial and lockstep execution *)
+let a_init =
+  Array.init Gen.a_len (fun i ->
+      Pmachine.Value.I (Int64.of_int (((i * 37) mod 41) - 13)))
+
+let fa_init =
+  Array.init Gen.a_len (fun i ->
+      Pmachine.Value.F (float_of_int (((i * 29) mod 37) - 18) *. 0.25))
+
+let c_init =
+  Array.init Gen.c_len (fun i -> Pmachine.Value.I (Int64.of_int (100 + i)))
+
+let m_oracle_runs =
+  Pobs.Metrics.counter "fuzz.oracle_runs"
+    ~help:"differential executions, by configuration"
+
+(** Execute the kernel of [m] on the standard buffers and return the
+    three output arrays.  Raises [Interp.Trap] / [Memory.Fault] on
+    dynamic errors. *)
+let exec (m : Func.modul) (s : subject) : buffers =
+  let t = Pmachine.Interp.create m in
+  let mem = t.Pmachine.Interp.mem in
+  let a = Pmachine.Memory.alloc_array mem Types.I32 a_init in
+  let fa = Pmachine.Memory.alloc_array mem Types.F32 fa_init in
+  let b =
+    Pmachine.Memory.alloc_array mem Types.I32
+      (Array.make s.n (Pmachine.Value.I 0L))
+  in
+  let fb =
+    Pmachine.Memory.alloc_array mem Types.F32
+      (Array.make s.n (Pmachine.Value.F 0.0))
+  in
+  let c = Pmachine.Memory.alloc_array mem Types.I32 c_init in
+  let iv x = Pmachine.Value.I (Int64.of_int x) in
+  ignore
+    (Pmachine.Interp.run t "k"
+       [
+         iv a;
+         iv fa;
+         iv b;
+         iv fb;
+         iv c;
+         iv s.u0;
+         Pmachine.Value.F s.uf;
+         iv s.n;
+       ]);
+  {
+    b = Pmachine.Memory.read_array mem Types.I32 b s.n;
+    fb = Pmachine.Memory.read_array mem Types.F32 fb s.n;
+    c = Pmachine.Memory.read_array mem Types.I32 c Gen.c_len;
+  }
+
+(** Compile + pass pipeline + execute for one configuration; convenience
+    for the pinned-batch tests. *)
+let exec_config ?mutate config (s : subject) : buffers =
+  exec (prepare ?mutate config (compile_scalar s)) s
+
+(** First mismatching element between reference and candidate buffers,
+    or [None] when bit-identical. *)
+let compare_buffers (expected : buffers) (got : buffers) : string option =
+  let cmp name (e : Pmachine.Value.t array) (g : Pmachine.Value.t array) =
+    let bad = ref None in
+    Array.iteri
+      (fun i ev ->
+        if !bad = None && not (Pmachine.Value.equal ev g.(i)) then
+          bad :=
+            Some
+              (Fmt.str "%s[%d]: ref %a, got %a" name i Pmachine.Value.pp ev
+                 Pmachine.Value.pp g.(i)))
+      e;
+    !bad
+  in
+  match cmp "b" expected.b got.b with
+  | Some _ as d -> d
+  | None -> (
+      match cmp "fb" expected.fb got.fb with
+      | Some _ as d -> d
+      | None -> cmp "c" expected.c got.c)
+
+(** psan findings over the scalar lowering plus a fresh (unmutated)
+    vectorization — mirrors [psimc lint]. *)
+let psan_findings (scalar : Func.modul) : Psan.finding list =
+  let scalar_findings = Psan.run_module scalar in
+  let m = Func.copy_module scalar in
+  let vector_findings =
+    match Parsimony.Vectorizer.run_module m with
+    | exception Parsimony.Vectorizer.Unvectorizable _ -> []
+    | _ ->
+        Parsimony.Simplify.run_module m;
+        Psan.run_module m
+  in
+  Psan.sort_findings (scalar_findings @ vector_findings)
+
+(* -- the oracle -- *)
+
+type verdict =
+  | Pass of { skipped : (string * string) list }  (** config, reason *)
+  | Fail of { bucket : string; config : string; detail : string }
+
+let run ?mutate (s : subject) : verdict =
+  match compile_scalar s with
+  | exception e ->
+      Fail
+        {
+          bucket = Triage.compile_exn ~config:"frontend" e;
+          config = "frontend";
+          detail = Printexc.to_string e;
+        }
+  | scalar -> (
+      (* sanitizer soundness oracle first: a proven psan error names the
+         bug more precisely than the dynamic fault it predicts *)
+      let psan_error =
+        List.find_opt
+          (fun f -> f.Psan.severity = Psan.Error)
+          (psan_findings scalar)
+      in
+      match psan_error with
+      | Some f ->
+          Fail
+            {
+              bucket = Triage.psan ~check:f.Psan.check;
+              config = "psan";
+              detail = Fmt.str "%a" Psan.pp_finding f;
+            }
+      | None -> (
+          Pobs.Metrics.incr ~labels:[ ("config", "ref") ] m_oracle_runs;
+          match exec scalar s with
+          | exception e ->
+              Fail
+                {
+                  bucket = Triage.exec_exn ~config:"ref" e;
+                  config = "ref";
+                  detail = Printexc.to_string e;
+                }
+          | reference ->
+              (* differential oracles, in deterministic order *)
+              let rec go skipped = function
+                | [] -> Pass { skipped = List.rev skipped }
+                | config :: rest -> (
+                    let name = config_name config in
+                    match prepare ?mutate config scalar with
+                    | exception Skip reason ->
+                        go ((name, reason) :: skipped) rest
+                    | exception e ->
+                        Fail
+                          {
+                            bucket = Triage.compile_exn ~config:name e;
+                            config = name;
+                            detail = Printexc.to_string e;
+                          }
+                    | m -> (
+                        Pobs.Metrics.incr ~labels:[ ("config", name) ]
+                          m_oracle_runs;
+                        match exec m s with
+                        | exception e ->
+                            Fail
+                              {
+                                bucket = Triage.exec_exn ~config:name e;
+                                config = name;
+                                detail = Printexc.to_string e;
+                              }
+                        | got -> (
+                            match compare_buffers reference got with
+                            | Some detail ->
+                                Fail
+                                  {
+                                    bucket = Triage.diff ~config:name;
+                                    config = name;
+                                    detail;
+                                  }
+                            | None -> go skipped rest)))
+              in
+              go [] all_configs))

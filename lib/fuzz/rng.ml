@@ -1,0 +1,39 @@
+(** Deterministic, self-contained pseudo-random stream (splitmix64).
+
+    The fuzzer cannot use [Random.State]: its algorithm is an
+    implementation detail of the OCaml runtime, so a corpus seed minted
+    today could generate a *different* program under a future compiler.
+    splitmix64 is fully specified, fits in a dozen lines, and makes
+    [seed -> generated program] a portable, forever-stable function — which is
+    what lets a failure be reproduced from the one integer recorded in
+    its corpus header. *)
+
+type t = { mutable s : int64 }
+
+let golden = 0x9E3779B97F4A7C15L
+
+let create seed =
+  (* pre-mix so that small consecutive seeds do not share a prefix *)
+  { s = Int64.mul (Int64.add (Int64.of_int seed) 1L) golden }
+
+let next64 t =
+  t.s <- Int64.add t.s golden;
+  let z = t.s in
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 30)) 0xBF58476D1CE4E5B9L in
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 27)) 0x94D049BB133111EBL in
+  Int64.logxor z (Int64.shift_right_logical z 31)
+
+(** Uniform-ish integer in [0, n).  Modulo bias is irrelevant at fuzzing
+    bounds (n << 2^62). *)
+let below t n =
+  if n <= 0 then Fmt.invalid_arg "Rng.below: bound %d" n;
+  Int64.to_int (Int64.rem (Int64.shift_right_logical (next64 t) 1) (Int64.of_int n))
+
+(** Inclusive range [lo, hi]. *)
+let range t lo hi =
+  if hi < lo then Fmt.invalid_arg "Rng.range: [%d,%d]" lo hi;
+  lo + below t (hi - lo + 1)
+
+let bool t = below t 2 = 1
+
+let pick t l = List.nth l (below t (List.length l))

@@ -1,0 +1,54 @@
+(** Failure triage: map every oracle failure to a short, *stable* bucket
+    signature.
+
+    Buckets drive three things: the reducer's predicate ("the shrunk
+    program must fail in the same bucket", so reduction never wanders
+    from one bug to a different one), corpus file naming, and the
+    failure tally the driver prints.  Stability matters more than
+    detail, so buckets are built from the failing configuration name and
+    the exception *constructor*, never from free-form messages (which
+    embed value numbers and would split one bug across many buckets). *)
+
+(** Collapse an exception to a stable tag. *)
+let exn_tag = function
+  | Pmachine.Interp.Trap _ -> "trap"
+  | Pmachine.Memory.Fault _ -> "fault"
+  | Pfrontend.Lower.Error _ -> "lower"
+  | Parsimony.Vectorizer.Unvectorizable _ -> "unvectorizable"
+  | Pbackend.Legalize.Unsupported _ -> "unsupported"
+  | Failure _ -> "failure"
+  | Invalid_argument _ -> "invalid"
+  | _ -> "exn"
+
+(** The vectorized/legalized output differs from the reference. *)
+let diff ~config = "diff:" ^ config
+
+(** Execution of [config] raised (trap, memory fault, ...). *)
+let exec_exn ~config e = Fmt.str "exec:%s:%s" config (exn_tag e)
+
+(** The pass pipeline for [config] raised. *)
+let compile_exn ~config e = Fmt.str "compile:%s:%s" config (exn_tag e)
+
+(** psan reported a proven error on a program that is race-free and
+    in-bounds by construction: a sanitizer soundness bug. *)
+let psan ~check = "psan:" ^ check
+
+(** Bucket rendered safe for use in a corpus file name. *)
+let filename_of_bucket bucket =
+  String.map
+    (fun ch ->
+      match ch with
+      | 'a' .. 'z' | 'A' .. 'Z' | '0' .. '9' | '-' | '_' -> ch
+      | _ -> '-')
+    bucket
+
+(** Tally buckets, sorted by descending count then name. *)
+let group (buckets : string list) : (string * int) list =
+  let tbl = Hashtbl.create 16 in
+  List.iter
+    (fun b ->
+      Hashtbl.replace tbl b (1 + Option.value ~default:0 (Hashtbl.find_opt tbl b)))
+    buckets;
+  Hashtbl.fold (fun b n acc -> (b, n) :: acc) tbl []
+  |> List.sort (fun (b1, n1) (b2, n2) ->
+         if n1 <> n2 then compare n2 n1 else compare b1 b2)

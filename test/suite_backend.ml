@@ -112,6 +112,40 @@ let test_reduction_wide () =
         (Types.I64, i32s [| 0 |]);
       ]
 
+(* hardware-width sweep over a pinned generated batch: for every
+   register width the legalizer supports (4, 8 and 16 lanes per
+   register), legalizing the vectorized code must preserve the reference
+   semantics exactly.  8 and 16 lanes exercise the single-chunk paths
+   (gang-8 vectors fit one register); 4 lanes forces real splitting of
+   every vector value, mask, phi and memory access.  The batch mixes the
+   generator presets so packed, shuffled, gathered and scattered
+   accesses all appear. *)
+let pinned_batch =
+  lazy
+    (List.concat_map
+       (fun cfg -> List.init 5 (fun i -> Pfuzz.Gen.generate ~cfg (i + 1)))
+       [
+         Pfuzz.Gen.int_cfg; Pfuzz.Gen.float_cfg; Pfuzz.Gen.mem_cfg;
+         Pfuzz.Gen.default_cfg;
+       ])
+
+let test_legalize_width lanes () =
+  List.iter
+    (fun (case : Pfuzz.Gen.case) ->
+      let s = Pfuzz.Oracle.of_case case in
+      let reference = Pfuzz.Oracle.exec (Pfuzz.Oracle.compile_scalar s) s in
+      match Pfuzz.Oracle.exec_config (Pfuzz.Oracle.Legalized lanes) s with
+      | exception Pfuzz.Oracle.Skip reason ->
+          Alcotest.failf "seed %d: legalize at %d lanes bailed out (%s)"
+            case.Pfuzz.Gen.seed lanes reason
+      | legalized -> (
+          match Pfuzz.Oracle.compare_buffers reference legalized with
+          | None -> ()
+          | Some diff ->
+              Alcotest.failf "seed %d at %d lanes: %s@.%s" case.Pfuzz.Gen.seed
+                lanes diff case.Pfuzz.Gen.src))
+    (Lazy.force pinned_batch)
+
 let suites =
   [
     ( "backend.legalize",
@@ -119,5 +153,9 @@ let suites =
         Alcotest.test_case "widening map (1024b)" `Quick test_widening_map;
         Alcotest.test_case "divergent masked loop (2048b)" `Quick test_divergent_wide;
         Alcotest.test_case "psadbw reduction" `Quick test_reduction_wide;
+        Alcotest.test_case "pinned batch at 4 lanes" `Quick (test_legalize_width 4);
+        Alcotest.test_case "pinned batch at 8 lanes" `Quick (test_legalize_width 8);
+        Alcotest.test_case "pinned batch at 16 lanes" `Quick
+          (test_legalize_width 16);
       ] );
   ]

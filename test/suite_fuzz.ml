@@ -1,0 +1,230 @@
+(* Pinned-seed regression tests for the differential fuzzing subsystem
+   (lib/fuzz): generator determinism and self-containedness, corpus
+   header round-trips, oracle agreement on a pinned batch, the seeded
+   bug mutations (flipped blend mask, injected race, injected OOB) being
+   caught by the right oracle, reducer minimality, and triage bucket
+   stability. *)
+
+let check = Alcotest.check
+let checkb = Alcotest.check Alcotest.bool
+
+(* -- generator determinism -- *)
+
+(* a seed is a pure function of nothing but itself: generating other
+   programs in between must not change what a seed produces (this is
+   the fresh_var-reset fix — the old generator kept a global counter,
+   so reproduction from a seed depended on generation history) *)
+let test_determinism () =
+  let first = Pfuzz.Gen.generate 42 in
+  for seed = 1 to 20 do
+    ignore (Pfuzz.Gen.generate seed);
+    ignore (Pfuzz.Gen.generate ~cfg:Pfuzz.Gen.float_cfg seed)
+  done;
+  let again = Pfuzz.Gen.generate 42 in
+  check Alcotest.string "same seed, same program" first.Pfuzz.Gen.src
+    again.Pfuzz.Gen.src;
+  (* presets are part of the seed's identity *)
+  let int_prog = Pfuzz.Gen.generate ~cfg:Pfuzz.Gen.int_cfg 42 in
+  checkb "different preset, different program" true
+    (int_prog.Pfuzz.Gen.src <> first.Pfuzz.Gen.src);
+  (* distinct seeds diverge (splitmix64 pre-mixing) *)
+  checkb "seed 42 <> seed 43" true
+    (first.Pfuzz.Gen.src <> (Pfuzz.Gen.generate 43).Pfuzz.Gen.src)
+
+(* the `// pfuzz ...` header makes a rendered program self-contained:
+   parsing it back recovers the exact harness inputs, including the
+   float uniform through its hex literal *)
+let test_header_roundtrip () =
+  for seed = 1 to 30 do
+    let case = Pfuzz.Gen.generate seed in
+    let p = case.Pfuzz.Gen.prog in
+    match Pfuzz.Oracle.parse_header case.Pfuzz.Gen.src with
+    | None -> Alcotest.failf "seed %d: header did not parse" seed
+    | Some s ->
+        check Alcotest.int "n" p.Pfuzz.Gen.n s.Pfuzz.Oracle.n;
+        check Alcotest.int "u0" p.Pfuzz.Gen.u0 s.Pfuzz.Oracle.u0;
+        checkb "uf" true (p.Pfuzz.Gen.uf = s.Pfuzz.Oracle.uf)
+  done
+
+(* -- oracle agreement on a pinned batch -- *)
+
+(* 50 seeds through the full driver (rotating generator presets): every
+   configuration agrees with the reference and nothing is skipped *)
+let test_batch_agreement () =
+  let summary = Pfuzz.Driver.run ~seed:1 ~count:50 ~jobs:1 () in
+  check Alcotest.int "programs" 50 summary.Pfuzz.Driver.programs;
+  (match summary.Pfuzz.Driver.failures with
+  | [] -> ()
+  | f :: _ ->
+      Alcotest.failf "seed %d failed: %s@.%s" f.Pfuzz.Driver.seed
+        f.Pfuzz.Driver.bucket f.Pfuzz.Driver.src);
+  checkb "no skipped configs" true (summary.Pfuzz.Driver.skipped = [])
+
+(* -- seeded vectorizer bug: flipped blend mask -- *)
+
+(* the acceptance-criteria mutation: swapping the Select operands of a
+   linearized branch must be caught as a vec-default mismatch and shrink
+   to a minimal reproducer *)
+let first_caught_mutant () =
+  let rec go seed =
+    if seed > 40 then Alcotest.fail "no seed in 1..40 catches flip-mask"
+    else
+      match Pfuzz.Driver.run_one ~mutate:Pfuzz.Mutate.Flip_mask seed with
+      | Some f, _ -> f
+      | None, _ -> go (seed + 1)
+  in
+  go 1
+
+let line_count s = List.length (String.split_on_char '\n' (String.trim s))
+
+let test_flip_mask_caught () =
+  let f = first_caught_mutant () in
+  check Alcotest.string "failure bucket" "diff:vec-default" f.Pfuzz.Driver.bucket;
+  match f.Pfuzz.Driver.reduced with
+  | None -> Alcotest.fail "mutant was not reduced"
+  | Some reduced ->
+      let lines = line_count reduced in
+      if lines > 15 then
+        Alcotest.failf "reduced to %d lines (> 15):@.%s" lines reduced;
+      checkb "reduced no larger than original" true
+        (lines <= line_count f.Pfuzz.Driver.src);
+      (* minimality: the reduced program still fails, in the same bucket *)
+      (match
+         Option.bind (Pfuzz.Oracle.parse_header reduced) (fun s ->
+             match Pfuzz.Oracle.run ~mutate:Pfuzz.Mutate.Flip_mask s with
+             | Pfuzz.Oracle.Fail { bucket; _ } -> Some bucket
+             | Pfuzz.Oracle.Pass _ -> None)
+       with
+      | Some bucket -> check Alcotest.string "still fails" f.Pfuzz.Driver.bucket bucket
+      | None -> Alcotest.fail "reduced program no longer fails under the mutation");
+      (* ... and is clean on the unmutated trunk *)
+      (match Pfuzz.Oracle.parse_header reduced with
+      | Some s -> (
+          match Pfuzz.Oracle.run s with
+          | Pfuzz.Oracle.Pass _ -> ()
+          | Pfuzz.Oracle.Fail { bucket; _ } ->
+              Alcotest.failf "reduced program fails on trunk: %s" bucket)
+      | None -> Alcotest.fail "reduced program lost its header")
+
+(* the mutation is a no-op on a module with no vector blend *)
+let test_flip_mask_needs_blend () =
+  let m =
+    Pfrontend.Lower.compile
+      {|
+void k(int32* a, int32* b, int64 n) {
+  psim gang_size(8) num_spmd_threads(n) {
+    int64 i = psim_thread_num();
+    b[i] = a[i] + 1;
+  }
+}
+|}
+  in
+  ignore (Parsimony.Vectorizer.run_module m);
+  checkb "no blend, no mutation" false (Pfuzz.Mutate.flip_linearized_mask m)
+
+(* -- triage stability -- *)
+
+let test_triage_stability () =
+  let f1 = first_caught_mutant () in
+  let f2 = first_caught_mutant () in
+  check Alcotest.string "same seed" (string_of_int f1.Pfuzz.Driver.seed)
+    (string_of_int f2.Pfuzz.Driver.seed);
+  check Alcotest.string "same bucket" f1.Pfuzz.Driver.bucket f2.Pfuzz.Driver.bucket;
+  check Alcotest.string "same reduction"
+    (Option.get f1.Pfuzz.Driver.reduced)
+    (Option.get f2.Pfuzz.Driver.reduced);
+  check Alcotest.string "filename sanitization" "diff-vec-default"
+    (Pfuzz.Triage.filename_of_bucket "diff:vec-default");
+  check
+    Alcotest.(list (pair string int))
+    "bucket tally" [ ("a", 2); ("b", 1) ]
+    (Pfuzz.Triage.group [ "b"; "a"; "a" ])
+
+(* -- sanitizer-soundness oracle on seeded-buggy mutants -- *)
+
+(* injected cross-lane race: psan proves it statically, and serial vs
+   lockstep execution disagree dynamically *)
+let test_race_mutant () =
+  for seed = 1 to 3 do
+    let case =
+      Pfuzz.Gen.inject_race (Pfuzz.Gen.generate ~cfg:Pfuzz.Gen.mem_cfg seed)
+    in
+    let s = Pfuzz.Oracle.of_case case in
+    (match Pfuzz.Oracle.run s with
+    | Pfuzz.Oracle.Fail { bucket = "psan:race"; _ } -> ()
+    | Pfuzz.Oracle.Fail { bucket; _ } ->
+        Alcotest.failf "race mutant seed %d: bucket %s" seed bucket
+    | Pfuzz.Oracle.Pass _ ->
+        Alcotest.failf "race mutant seed %d passed the oracle" seed);
+    let reference = Pfuzz.Oracle.exec (Pfuzz.Oracle.compile_scalar s) s in
+    let vectorized =
+      Pfuzz.Oracle.exec_config (List.hd Pfuzz.Oracle.vec_configs) s
+    in
+    match Pfuzz.Oracle.compare_buffers reference vectorized with
+    | Some _ -> ()
+    | None ->
+        Alcotest.failf "race mutant seed %d: no dynamic divergence" seed
+  done
+
+(* injected out-of-bounds read: psan proves it statically, and the
+   reference execution faults dynamically *)
+let test_oob_mutant () =
+  for seed = 1 to 3 do
+    let case =
+      Pfuzz.Gen.inject_oob (Pfuzz.Gen.generate ~cfg:Pfuzz.Gen.mem_cfg seed)
+    in
+    let s = Pfuzz.Oracle.of_case case in
+    (match Pfuzz.Oracle.run s with
+    | Pfuzz.Oracle.Fail { bucket = "psan:oob"; _ } -> ()
+    | Pfuzz.Oracle.Fail { bucket; _ } ->
+        Alcotest.failf "oob mutant seed %d: bucket %s" seed bucket
+    | Pfuzz.Oracle.Pass _ ->
+        Alcotest.failf "oob mutant seed %d passed the oracle" seed);
+    match Pfuzz.Oracle.exec (Pfuzz.Oracle.compile_scalar s) s with
+    | exception Pmachine.Memory.Fault _ -> ()
+    | exception e ->
+        Alcotest.failf "oob mutant seed %d: unexpected %s" seed
+          (Printexc.to_string e)
+    | _ -> Alcotest.failf "oob mutant seed %d: no dynamic fault" seed
+  done
+
+(* -- corpus round-trip -- *)
+
+let test_corpus_roundtrip () =
+  let f = first_caught_mutant () in
+  let dir = Filename.concat (Filename.get_temp_dir_name ()) "pfuzz-corpus-test" in
+  let path = Pfuzz.Driver.save_corpus ~dir f in
+  checkb "file name carries the bucket" true
+    (String.length (Filename.basename path) > 0
+    && String.sub (Filename.basename path) 0 16 = "diff-vec-default");
+  check
+    Alcotest.(list string)
+    "corpus_files finds it" [ path ]
+    (Pfuzz.Driver.corpus_files dir);
+  (* the stored reproducer replays clean on the unmutated trunk *)
+  (match Pfuzz.Driver.replay path with
+  | Ok () -> ()
+  | Error msg -> Alcotest.failf "replay failed: %s" msg);
+  Sys.remove path
+
+let suites =
+  [
+    ( "fuzz",
+      [
+        Alcotest.test_case "generator determinism" `Quick test_determinism;
+        Alcotest.test_case "replay header round-trip" `Quick test_header_roundtrip;
+        Alcotest.test_case "50-seed batch: oracle agreement" `Quick
+          test_batch_agreement;
+        Alcotest.test_case "flip-mask mutant caught, reduced <= 15 lines" `Quick
+          test_flip_mask_caught;
+        Alcotest.test_case "flip-mask needs a blend" `Quick
+          test_flip_mask_needs_blend;
+        Alcotest.test_case "triage bucket stability" `Quick test_triage_stability;
+        Alcotest.test_case "race mutant: psan + dynamic divergence" `Quick
+          test_race_mutant;
+        Alcotest.test_case "oob mutant: psan + dynamic fault" `Quick
+          test_oob_mutant;
+        Alcotest.test_case "corpus save/replay round-trip" `Quick
+          test_corpus_roundtrip;
+      ] );
+  ]

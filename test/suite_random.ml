@@ -1,187 +1,60 @@
-(* Property-based differential testing: generate random PsimC SPMD
-   kernels (arithmetic, divergent conditionals, bounded divergent loops,
-   gang shuffles) and require that the vectorized execution matches the
-   SPMD reference executor bit-for-bit on the output buffer — for the
-   default configuration and for every ablation configuration. *)
+(* Property-based differential testing, driven by the typed pfuzz
+   generator (lib/fuzz).  Each property draws random seeds; a seed fully
+   determines a generated PsimC SPMD kernel and its harness inputs, and
+   the multi-oracle harness requires every configuration — each
+   vectorizer ablation, analysis feedback, autovec, and legalization at
+   4/8/16 lanes — to execute bit-identically to the serial SPMD
+   reference, with a clean sanitizer.
+
+   The presets split coverage the way the generator does: integer-only
+   kernels (arithmetic, divergence, shuffles — the property set of the
+   old string-based generator), float kernels (f32 arithmetic, casts,
+   mixed conditions), and memory kernels (affine and value-dependent
+   gathers, the strided scatter, private arrays, head/tail splits).
+
+   A failing seed is reported with its source; reproduce and shrink it
+   with `psimc fuzz --seed N --count 1`. *)
 
 open QCheck
 
-(* -- random program generation -- *)
+let seed_arb = QCheck.make ~print:string_of_int Gen.(int_bound 1_000_000)
 
-(* expressions over in-scope i32 variables; sizes kept small so values
-   stay meaningful and loops stay bounded *)
-let rec gen_expr vars depth st =
-  let leaf () =
-    match Gen.int_bound 2 st with
-    | 0 -> string_of_int (Gen.int_range (-20) 20 st)
-    | _ -> List.nth vars (Gen.int_bound (List.length vars - 1) st)
-  in
-  if depth = 0 then leaf ()
-  else
-    match Gen.int_bound 8 st with
-    | 0 | 1 -> leaf ()
-    | 2 -> Fmt.str "(%s + %s)" (gen_expr vars (depth - 1) st) (gen_expr vars (depth - 1) st)
-    | 3 -> Fmt.str "(%s - %s)" (gen_expr vars (depth - 1) st) (gen_expr vars (depth - 1) st)
-    | 4 -> Fmt.str "(%s * %d)" (gen_expr vars (depth - 1) st) (Gen.int_range (-4) 4 st)
-    | 5 -> Fmt.str "min(%s, %s)" (gen_expr vars (depth - 1) st) (gen_expr vars (depth - 1) st)
-    | 6 -> Fmt.str "max(%s, %s)" (gen_expr vars (depth - 1) st) (gen_expr vars (depth - 1) st)
-    | 7 -> Fmt.str "(%s >> %d)" (gen_expr vars (depth - 1) st) (Gen.int_bound 3 st)
-    | _ ->
-        Fmt.str "(%s ^ %s)" (gen_expr vars (depth - 1) st) (gen_expr vars (depth - 1) st)
+let prop name cfg ~count =
+  Test.make ~name ~count seed_arb (fun seed ->
+      let case = Pfuzz.Gen.generate ~cfg seed in
+      match Pfuzz.Oracle.run (Pfuzz.Oracle.of_case case) with
+      | Pfuzz.Oracle.Pass { skipped } ->
+          if skipped <> [] then
+            QCheck.Test.fail_reportf "seed %d: configs skipped (%s) on:@.%s" seed
+              (String.concat ", " (List.map fst skipped))
+              case.Pfuzz.Gen.src
+          else true
+      | Pfuzz.Oracle.Fail { bucket; detail; _ } ->
+          QCheck.Test.fail_reportf "seed %d: %s (%s) on:@.%s" seed bucket detail
+            case.Pfuzz.Gen.src)
 
-let gen_cond vars st =
-  let op = List.nth [ "<"; ">"; "<="; ">="; "=="; "!=" ] (Gen.int_bound 5 st) in
-  Fmt.str "%s %s %s" (gen_expr vars 1 st) op (gen_expr vars 1 st)
+let prop_int =
+  prop "random int kernels: reference = all configs" Pfuzz.Gen.int_cfg ~count:50
 
-let fresh_var =
-  let n = ref 0 in
-  fun () ->
-    incr n;
-    Fmt.str "t%d" !n
+let prop_float =
+  prop "random float kernels: reference = all configs" Pfuzz.Gen.float_cfg
+    ~count:40
 
-(* statements; [vars] are assignable i32 locals in scope.  Horizontal
-   operations (shuffle, sync) are only generated at convergent points
-   ([div] false): under divergent control they are undefined behavior in
-   the programming model, which the reference executor detects. *)
-let rec gen_stmts ?(div = false) vars budget st : string list * string list =
-  if budget <= 0 then ([], vars)
-  else
-    let choice = Gen.int_bound 9 st in
-    let choice = if div && (choice = 7 || choice = 8) then 0 else choice in
-    let stmt, vars' =
-      match choice with
-      | 0 | 1 ->
-          let v = fresh_var () in
-          ([ Fmt.str "int32 %s = %s;" v (gen_expr vars 2 st) ], v :: vars)
-      | 2 | 3 ->
-          (* never reassign loop counters (would unbound the loop) *)
-          let assignable = List.filter (fun v -> v.[0] <> 'c') vars in
-          let v = List.nth assignable (Gen.int_bound (List.length assignable - 1) st) in
-          ([ Fmt.str "%s = %s;" v (gen_expr vars 2 st) ], vars)
-      | 4 | 5 ->
-          (* divergent conditional *)
-          let t, _ = gen_stmts ~div:true vars (budget / 2) st in
-          let e, _ = gen_stmts ~div:true vars (budget / 2) st in
-          ( [ Fmt.str "if (%s) {" (gen_cond vars st) ]
-            @ t
-            @ [ "} else {" ]
-            @ e
-            @ [ "}" ],
-            vars )
-      | 6 ->
-          (* bounded divergent loop: trip count depends on lane values *)
-          let c = "c" ^ fresh_var () in
-          let body, _ = gen_stmts ~div:true (c :: vars) (budget / 2) st in
-          ( [
-              Fmt.str "int32 %s = min(max(%s, 0 - 8), 8);" c (gen_expr vars 1 st);
-              Fmt.str "while (%s > 0) {" c;
-            ]
-            @ body
-            @ [ Fmt.str "%s = %s - 1;" c c; "}" ],
-            vars )
-      | 7 ->
-          (* gang shuffle: read another lane's value *)
-          let v = fresh_var () in
-          let src = Fmt.str "(uint64)(%s & 7)" (gen_expr vars 1 st) in
-          ( [
-              Fmt.str "int32 %s = psim_shuffle(%s, %s);" v
-                (List.nth vars (Gen.int_bound (List.length vars - 1) st))
-                src;
-            ],
-            v :: vars )
-      | 8 ->
-          ([ "psim_gang_sync();" ], vars)
-      | _ ->
-          (* ternary select *)
-          let v = fresh_var () in
-          ( [
-              Fmt.str "int32 %s = %s ? %s : %s;" v (gen_cond vars st)
-                (gen_expr vars 1 st) (gen_expr vars 1 st);
-            ],
-            v :: vars )
-    in
-    let rest, vars'' = gen_stmts ~div vars' (budget - 1) st in
-    (stmt @ rest, vars'')
+let prop_mem =
+  prop "random memory kernels: reference = all configs" Pfuzz.Gen.mem_cfg
+    ~count:40
 
-let gen_program st =
-  let body, vars = gen_stmts [ "x"; "li" ] (Gen.int_range 3 8 st) st in
-  let result = gen_expr vars 2 st in
-  Fmt.str
-    {|
-void k(int32* a, int32* b, int64 n) {
-  psim gang_size(8) num_spmd_threads(n) {
-    int64 i = psim_thread_num();
-    int32 x = a[i];
-    int32 li = (int32)psim_lane_num();
-%s
-    b[i] = %s;
-  }
-}
-|}
-    (String.concat "\n    " body)
-    result
-
-(* -- differential execution -- *)
-
-let n_threads = 24 (* three gangs; not a multiple to exercise the tail *)
-
-let run_program ?opts src =
-  let m = Pfrontend.Lower.compile src in
-  (match opts with
-  | Some opts ->
-      ignore (Parsimony.Vectorizer.run_module ~opts m);
-      Panalysis.Check.check_module m;
-      Parsimony.Simplify.run_module m
-  | None -> ());
-  let t = Pmachine.Interp.create m in
-  let mem = t.Pmachine.Interp.mem in
-  let a =
-    Pmachine.Memory.alloc_array mem Pir.Types.I32
-      (Array.init n_threads (fun i ->
-           Pmachine.Value.I (Int64.of_int (((i * 37) mod 41) - 13))))
-  in
-  let b =
-    Pmachine.Memory.alloc_array mem Pir.Types.I32
-      (Array.make n_threads (Pmachine.Value.I 0L))
-  in
-  ignore
-    (Pmachine.Interp.run t "k"
-       [
-         Pmachine.Value.I (Int64.of_int a);
-         Pmachine.Value.I (Int64.of_int b);
-         Pmachine.Value.I (Int64.of_int n_threads);
-       ]);
-  Pmachine.Memory.read_array mem Pir.Types.I32 b n_threads
-
-let ablation_opts =
-  [
-    ("default", Parsimony.Options.default);
-    ("ispc", Parsimony.Options.ispc);
-    ("no-shapes", { Parsimony.Options.default with shape_analysis = false });
-    ("no-stride-shuffle", { Parsimony.Options.default with stride_shuffle_bound = 0 });
-    ("linearize-uniform", { Parsimony.Options.default with uniform_branches = false });
-    ("boscc", { Parsimony.Options.default with boscc = true });
-  ]
-
-let prop_random_kernel =
-  Test.make ~name:"random SPMD kernels: reference = vectorized (all configs)"
-    ~count:150
-    (QCheck.make ~print:(fun s -> s) gen_program)
-    (fun src ->
-      let expected = run_program src in
-      List.for_all
-        (fun (label, opts) ->
-          let got = run_program ~opts src in
-          let ok = Array.for_all2 Pmachine.Value.equal expected got in
-          if not ok then
-            QCheck.Test.fail_reportf "config %s disagrees on:@.%s@.ref: %a@.got: %a"
-              label src
-              Fmt.(array ~sep:(any " ") Pmachine.Value.pp)
-              expected
-              Fmt.(array ~sep:(any " ") Pmachine.Value.pp)
-              got
-          else true)
-        ablation_opts)
+let prop_full =
+  prop "random full kernels: reference = all configs" Pfuzz.Gen.default_cfg
+    ~count:40
 
 let suites =
-  [ ("vectorizer.random", [ QCheck_alcotest.to_alcotest prop_random_kernel ]) ]
+  [
+    ( "vectorizer.random",
+      [
+        QCheck_alcotest.to_alcotest prop_int;
+        QCheck_alcotest.to_alcotest prop_float;
+        QCheck_alcotest.to_alcotest prop_mem;
+        QCheck_alcotest.to_alcotest prop_full;
+      ] );
+  ]
