@@ -6,10 +6,14 @@
    Usage:
      dune exec bench/main.exe [--] [fast] [--jobs N] [--json FILE]
                                    [--trace FILE] [--history FILE]
-     dune exec bench/main.exe -- diff BASELINE [CURRENT]
+                                   [--engine interp|vm]
+     dune exec bench/main.exe -- diff BASELINE [CURRENT] [--engine E]
      dune exec bench/main.exe -- check --baseline FILE [--current FILE]
-                                       [--tolerance PCT]
+                                       [--tolerance PCT] [--engine E]
    - "fast" skips the Bechamel wall-clock section.
+   - "--engine" selects the execution engine for the sweeps (default:
+     the register VM).  The engine is recorded in the run document and
+     [check]/[diff] refuse to compare runs across engines (exit 2).
    - "--jobs N" sets the worker-domain count for the figure sweeps
      (default: PARSIMONY_JOBS, else the runtime's recommendation capped
      at 8).  The tables are byte-identical for every N.
@@ -34,8 +38,9 @@ let pr fmt = Fmt.pr fmt
 let usage () =
   Fmt.epr
     "usage: main.exe [fast] [--jobs N] [--json FILE] [--trace FILE] \
-     [--history FILE]@.       main.exe diff BASELINE [CURRENT]@.       \
-     main.exe check --baseline FILE [--current FILE] [--tolerance PCT]@.";
+     [--history FILE] [--engine interp|vm]@.       main.exe diff BASELINE \
+     [CURRENT] [--engine E]@.       main.exe check --baseline FILE [--current \
+     FILE] [--tolerance PCT] [--engine E]@.";
   exit 2
 
 type cli = {
@@ -44,16 +49,23 @@ type cli = {
   json : string option;
   trace : string option;
   history : string option;
+  engine : Pmachine.Engine.kind;
 }
 
 type cmd =
   | Run of cli
-  | Diff of { baseline : string; current : string option; jobs : int }
+  | Diff of {
+      baseline : string;
+      current : string option;
+      jobs : int;
+      engine : Pmachine.Engine.kind;
+    }
   | Check of {
       baseline : string option;
       current : string option;
       tolerance : float;
       jobs : int;
+      engine : Pmachine.Engine.kind;
     }
 
 let default_jobs () =
@@ -62,6 +74,15 @@ let default_jobs () =
   with Invalid_argument msg ->
     Fmt.epr "%s@." msg;
     usage ()
+
+let parse_engine s =
+  match Pmachine.Engine.kind_of_string s with
+  | Some k -> k
+  | None ->
+      Fmt.epr "--engine %s: expected one of %a@." s
+        Fmt.(list ~sep:comma string)
+        (List.map Pmachine.Engine.kind_to_string Pmachine.Engine.all_kinds);
+      usage ()
 
 let parse_jobs n =
   match int_of_string_opt n with
@@ -73,7 +94,15 @@ let parse_jobs n =
 let parse_run_cli args =
   let jobs = default_jobs () in
   let cli =
-    ref { fast = false; jobs; json = None; trace = None; history = None }
+    ref
+      {
+        fast = false;
+        jobs;
+        json = None;
+        trace = None;
+        history = None;
+        engine = Pmachine.Engine.Vm;
+      }
   in
   let rec go = function
     | [] -> ()
@@ -92,7 +121,11 @@ let parse_run_cli args =
     | "--history" :: file :: rest ->
         cli := { !cli with history = Some file };
         go rest
-    | [ (("--jobs" | "--json" | "--trace" | "--history") as flag) ] ->
+    | "--engine" :: e :: rest ->
+        cli := { !cli with engine = parse_engine e };
+        go rest
+    | [ (("--jobs" | "--json" | "--trace" | "--history" | "--engine") as flag)
+      ] ->
         Fmt.epr "%s requires a value@." flag;
         usage ()
     | arg :: _ ->
@@ -114,7 +147,8 @@ let parse_check_cli args =
   let baseline = ref None
   and current = ref None
   and tolerance = ref 0.5
-  and jobs = ref (default_jobs ()) in
+  and jobs = ref (default_jobs ())
+  and engine = ref Pmachine.Engine.Vm in
   let rec go = function
     | [] -> ()
     | "--baseline" :: file :: rest ->
@@ -134,7 +168,11 @@ let parse_check_cli args =
     | "--jobs" :: n :: rest ->
         jobs := parse_jobs n;
         go rest
-    | [ (("--baseline" | "--current" | "--tolerance" | "--jobs") as flag) ] ->
+    | "--engine" :: e :: rest ->
+        engine := parse_engine e;
+        go rest
+    | [ (("--baseline" | "--current" | "--tolerance" | "--jobs" | "--engine")
+        as flag) ] ->
         Fmt.epr "%s requires a value@." flag;
         usage ()
     | arg :: _ ->
@@ -152,20 +190,23 @@ let parse_check_cli args =
       current = !current;
       tolerance = !tolerance;
       jobs = !jobs;
+      engine = !engine;
     }
 
 let parse_diff_cli args =
-  let rec split positional jobs = function
-    | [] -> (List.rev positional, jobs)
-    | "--jobs" :: n :: rest -> split positional (parse_jobs n) rest
-    | [ "--jobs" ] ->
-        Fmt.epr "--jobs requires a value@.";
+  let rec split positional jobs engine = function
+    | [] -> (List.rev positional, jobs, engine)
+    | "--jobs" :: n :: rest -> split positional (parse_jobs n) engine rest
+    | "--engine" :: e :: rest -> split positional jobs (parse_engine e) rest
+    | [ (("--jobs" | "--engine") as flag) ] ->
+        Fmt.epr "%s requires a value@." flag;
         usage ()
-    | arg :: rest -> split (arg :: positional) jobs rest
+    | arg :: rest -> split (arg :: positional) jobs engine rest
   in
-  match split [] (default_jobs ()) args with
-  | [ baseline ], jobs -> Diff { baseline; current = None; jobs }
-  | [ baseline; current ], jobs -> Diff { baseline; current = Some current; jobs }
+  match split [] (default_jobs ()) Pmachine.Engine.Vm args with
+  | [ baseline ], jobs, engine -> Diff { baseline; current = None; jobs; engine }
+  | [ baseline; current ], jobs, engine ->
+      Diff { baseline; current = Some current; jobs; engine }
   | _ ->
       Fmt.epr "diff takes one or two run files@.";
       usage ()
@@ -220,12 +261,15 @@ let flat_geomeans f4 f5 : (string * float) list =
   @ List.map (fun (s, g) -> ("figure5." ^ s, g)) (Pharness.Figures.geomeans f5)
   |> List.filter (fun (_, g) -> Float.is_finite g)
 
-let run_figures pool =
+let run_figures pool ~engine =
   pr "Parsimony reproduction benchmark harness@.";
   pr "(simulated AVX-512-class machine; see lib/machine/cost.ml)@.";
+  pr "(execution engine: %s)@." (Pmachine.Engine.kind_to_string engine);
 
   (* -- Figure 4 -- *)
-  let f4_raw = timed "figure4" (fun () -> Pharness.Figures.figure4_raw ~pool ()) in
+  let f4_raw =
+    timed "figure4" (fun () -> Pharness.Figures.figure4_raw ~pool ~engine ())
+  in
   let f4 = Pharness.Figures.figure4_rows f4_raw in
   Pharness.Figures.pp_table Fmt.stdout
     ~title:"Figure 4: ispc benchmarks, speedup over LLVM auto-vectorization"
@@ -233,7 +277,9 @@ let run_figures pool =
   pr "summary: %s@." (Pharness.Figures.summary_figure4 f4);
 
   (* -- Figure 5 -- *)
-  let f5_raw = timed "figure5" (fun () -> Pharness.Figures.figure5_raw ~pool ()) in
+  let f5_raw =
+    timed "figure5" (fun () -> Pharness.Figures.figure5_raw ~pool ~engine ())
+  in
   let f5 = Pharness.Figures.figure5_rows f5_raw in
   Pharness.Figures.pp_table Fmt.stdout
     ~title:
@@ -255,7 +301,9 @@ let run_figures pool =
   pr "summary: %s@." (Pharness.Figures.summary_code_size cs);
 
   (* -- ablations (DESIGN.md design-choice index) -- *)
-  let ab = timed "ablations" (fun () -> Pharness.Figures.ablations ~pool ()) in
+  let ab =
+    timed "ablations" (fun () -> Pharness.Figures.ablations ~pool ~engine ())
+  in
   Pharness.Figures.pp_table Fmt.stdout
     ~title:"Ablations: slowdown vs default Parsimony configuration"
     ~unit:"cycle ratio (>1 means the design choice matters)" ab;
@@ -376,13 +424,14 @@ let spans_json () =
     needs to compare two runs, plus the figure rows and harness
     diagnostics.  [bench --json] writes it pretty-printed; [--history]
     appends it as one compact JSONL line. *)
-let run_doc (sw : sweep) ~cards jobs : Pharness.Json_out.t =
+let run_doc (sw : sweep) ~cards ~engine jobs : Pharness.Json_out.t =
   let open Pharness.Json_out in
   let hits, misses = Pharness.Runner.Compile_cache.stats () in
   Obj
     [
       ("schema", Int Pharness.History.schema_version);
       ("machine", Str (machine_id ()));
+      ("engine", Str (Pmachine.Engine.kind_to_string engine));
       ("env", Pharness.History.env_json ());
       ("jobs", Int jobs);
       ( "kernels",
@@ -425,33 +474,36 @@ let load_run file : Pharness.History.run =
 
 (** Re-run the figure sweeps (quietly: no tables) to produce the current
     run record when no --current file is given. *)
-let current_run ~jobs : Pharness.History.run =
-  Fmt.epr "running current figure sweep (--jobs %d)...@." jobs;
+let current_run ~jobs ~engine : Pharness.History.run =
+  Fmt.epr "running current figure sweep (--jobs %d, engine %s)...@." jobs
+    (Pmachine.Engine.kind_to_string engine);
   Pparallel.Pool.with_pool jobs (fun pool ->
-      let f4_raw = Pharness.Figures.figure4_raw ~pool () in
-      let f5_raw = Pharness.Figures.figure5_raw ~pool () in
+      let f4_raw = Pharness.Figures.figure4_raw ~pool ~engine () in
+      let f5_raw = Pharness.Figures.figure5_raw ~pool ~engine () in
       let f4 = Pharness.Figures.figure4_rows f4_raw in
       let f5 = Pharness.Figures.figure5_rows f5_raw in
-      Pharness.History.make ~machine:(machine_id ()) ~jobs
+      Pharness.History.make ~machine:(machine_id ())
+        ~engine:(Pmachine.Engine.kind_to_string engine)
+        ~jobs
         ~geomeans:(flat_geomeans f4 f5)
         (kernels_of_raws f4_raw f5_raw))
 
-let resolve_current ~jobs = function
+let resolve_current ~jobs ~engine = function
   | Some file -> load_run file
-  | None -> current_run ~jobs
+  | None -> current_run ~jobs ~engine
 
-let cmd_diff ~baseline ~current ~jobs =
+let cmd_diff ~baseline ~current ~jobs ~engine =
   let base = load_run baseline in
-  let cur = resolve_current ~jobs current in
+  let cur = resolve_current ~jobs ~engine current in
   match Pharness.History.pp_diff Fmt.stdout base cur with
   | () -> exit 0
   | exception Pharness.History.Incompatible msg ->
       Fmt.epr "%s@." msg;
       exit 2
 
-let cmd_check ~baseline ~current ~tolerance ~jobs =
+let cmd_check ~baseline ~current ~tolerance ~jobs ~engine =
   let base = load_run (Option.get baseline) in
-  let cur = resolve_current ~jobs current in
+  let cur = resolve_current ~jobs ~engine current in
   match Pharness.History.check ~tolerance_pct:tolerance base cur with
   | v ->
       Pharness.History.pp_verdict Fmt.stdout v;
@@ -472,7 +524,9 @@ let cmd_run (cli : cli) =
   end;
   let sw, cards =
     Pparallel.Pool.with_pool cli.jobs (fun pool ->
-        let sw = timed "figures_total" (fun () -> run_figures pool) in
+        let sw =
+          timed "figures_total" (fun () -> run_figures pool ~engine:cli.engine)
+        in
         let cards =
           if wants_doc then timed "scorecards" (fun () -> scorecards pool)
           else []
@@ -483,7 +537,7 @@ let cmd_run (cli : cli) =
   pr "@.== Harness timings (wall clock, --jobs %d) ==@." cli.jobs;
   List.iter (fun (s, dt) -> pr "%-36s %9.3fs@." s dt) !timings;
   if wants_doc then begin
-    let doc = run_doc sw ~cards cli.jobs in
+    let doc = run_doc sw ~cards ~engine:cli.engine cli.jobs in
     Option.iter
       (fun file ->
         Pharness.Json_out.write file doc;
@@ -505,6 +559,7 @@ let cmd_run (cli : cli) =
 let () =
   match parse_cli () with
   | Run cli -> cmd_run cli
-  | Diff { baseline; current; jobs } -> cmd_diff ~baseline ~current ~jobs
-  | Check { baseline; current; tolerance; jobs } ->
-      cmd_check ~baseline ~current ~tolerance ~jobs
+  | Diff { baseline; current; jobs; engine } ->
+      cmd_diff ~baseline ~current ~jobs ~engine
+  | Check { baseline; current; tolerance; jobs; engine } ->
+      cmd_check ~baseline ~current ~tolerance ~jobs ~engine

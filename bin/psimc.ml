@@ -7,7 +7,11 @@
      psimc vec FILE.psim            print the vectorized PIR
      psimc shapes FILE.psim         print shape analysis results
      psimc run FILE.psim -e F ARGS  execute function F on the simulator
+                                    (--engine interp|vm selects the
+                                    executor; "exec" is an alias)
      psimc profile FILE.psim -e F   execute and print a hot-block profile
+                                    (interpreter only: --engine vm falls
+                                    back with a warning)
      psimc autovec FILE.psim        run the auto-vectorizer baseline
      psimc lint FILE.psim           SPMD sanitizer (races, OOB, uninit, ...)
      psimc fuzz --seed N --count N  differential fuzzing (pfuzz)
@@ -291,12 +295,24 @@ let autovec_cmd =
     (Cmd.info "autovec" ~doc:"Run the loop auto-vectorizer baseline; report per-loop outcomes")
     Term.(const run $ obs_term $ file_arg)
 
-(* shared by run and profile: parse CLI args, execute, print result *)
-let execute_on_simulator ?(profile = false) obs opts file entry scalar args k =
+(* shared by run/exec and profile: parse CLI args, execute, print result *)
+let execute_on_simulator ?(profile = false) obs opts file entry scalar args
+    ~engine k =
   with_obs obs (fun () ->
       let m, _ = compile_source ~vectorize:(not scalar) obs opts file in
-      let t = Pmachine.Interp.create ~profile m in
-      let mem = t.Pmachine.Interp.mem in
+      (* only the interpreter attributes cycles to blocks, so a profiled
+         run under the VM would print an empty table; fall back loudly *)
+      let engine =
+        if profile && engine = Pmachine.Engine.Vm then begin
+          Fmt.epr
+            "psimc profile: the register VM has no per-block attribution; \
+             falling back to --engine interp@.";
+          Pmachine.Engine.Interp
+        end
+        else engine
+      in
+      let t = Pmachine.Engine.create ~kind:engine ~profile m in
+      let mem = Pmachine.Engine.mem t in
       let buffers = ref [] in
       let parse_arg a =
         if String.length a > 1 && a.[0] = 'i' then begin
@@ -313,13 +329,21 @@ let execute_on_simulator ?(profile = false) obs opts file entry scalar args k =
       in
       let vargs = List.map parse_arg args in
       let result =
-        Pobs.Trace.with_span ~cat:"machine" ~args:[ ("entry", entry) ] "execute"
-          (fun () -> Pmachine.Interp.run t entry vargs)
+        Pobs.Trace.with_span ~cat:"machine"
+          ~args:
+            [
+              ("entry", entry);
+              ("engine", Pmachine.Engine.kind_to_string (Pmachine.Engine.kind t));
+            ]
+          "execute"
+          (fun () -> Pmachine.Engine.run t entry vargs)
       in
+      let stats = Pmachine.Engine.stats t in
+      Fmt.pr "engine: %s@."
+        (Pmachine.Engine.kind_to_string (Pmachine.Engine.kind t));
       Fmt.pr "result: %a@." Pmachine.Value.pp result;
-      Fmt.pr "cycles: %.0f  instructions: %d (vector: %d)@."
-        t.Pmachine.Interp.stats.cycles t.Pmachine.Interp.stats.instrs
-        t.Pmachine.Interp.stats.vector_instrs;
+      Fmt.pr "cycles: %.0f  instructions: %d (vector: %d)@." stats.cycles
+        stats.instrs stats.vector_instrs;
       List.iter
         (fun (addr, n) ->
           let vals = Pmachine.Memory.read_array mem Pir.Types.I32 addr n in
@@ -338,6 +362,24 @@ let entry_arg =
 let scalar_arg =
   Arg.(value & flag & info [ "scalar" ] ~doc:"Skip vectorization (SPMD reference executor)")
 
+let engine_arg =
+  let engine_conv =
+    Arg.conv
+      ( (fun s ->
+          match Pmachine.Engine.kind_of_string s with
+          | Some k -> Ok k
+          | None -> Error (`Msg (Fmt.str "unknown engine %S (interp or vm)" s))),
+        fun ppf k -> Fmt.string ppf (Pmachine.Engine.kind_to_string k) )
+  in
+  Arg.(
+    value
+    & opt engine_conv Pmachine.Engine.Vm
+    & info [ "engine" ] ~docv:"ENGINE"
+        ~doc:
+          "Execution engine: $(b,vm) (register-VM bytecode, the default) or \
+           $(b,interp) (tree-walking reference interpreter).  Both produce \
+           bit-identical results and cycle counts.")
+
 let sim_args =
   Arg.(
     value & pos_right 0 string []
@@ -347,13 +389,25 @@ let sim_args =
            N-element i32 buffer initialized 0..N-1 and passes its address \
            (printed back after the run)")
 
-let run_cmd =
-  let run obs opts file entry scalar args =
-    execute_on_simulator obs opts file entry scalar args (fun _ -> ())
+let run_term =
+  let run obs opts file entry scalar engine args =
+    execute_on_simulator obs opts file entry scalar args ~engine (fun _ -> ())
   in
+  Term.(
+    const run $ obs_term $ opts_term $ file_arg $ entry_arg $ scalar_arg
+    $ engine_arg $ sim_args)
+
+let run_cmd =
+  Cmd.v (Cmd.info "run" ~doc:"Execute a function on the simulated machine")
+    run_term
+
+(* alias kept distinct so scripts can say "exec" when they mean the
+   production engine path *)
+let exec_cmd =
   Cmd.v
-    (Cmd.info "run" ~doc:"Execute a function on the simulated machine")
-    Term.(const run $ obs_term $ opts_term $ file_arg $ entry_arg $ scalar_arg $ sim_args)
+    (Cmd.info "exec"
+       ~doc:"Execute a function on the simulated machine (alias of run)")
+    run_term
 
 let profile_cmd =
   let top =
@@ -361,19 +415,24 @@ let profile_cmd =
       value & opt int 20
       & info [ "top" ] ~docv:"N" ~doc:"Number of hot blocks to print")
   in
-  let run obs opts file entry scalar top args =
-    execute_on_simulator ~profile:true obs opts file entry scalar args (fun t ->
-        Fmt.pr "@.== Hot blocks (per-block cycle attribution) ==@.";
-        Pmachine.Interp.pp_profile ~limit:top Fmt.stdout t)
+  let run obs opts file entry scalar engine top args =
+    execute_on_simulator ~profile:true obs opts file entry scalar args ~engine
+      (fun t ->
+        match Pmachine.Engine.profiler t with
+        | Some it ->
+            Fmt.pr "@.== Hot blocks (per-block cycle attribution) ==@.";
+            Pmachine.Interp.pp_profile ~limit:top Fmt.stdout it
+        | None -> assert false (* profile always runs on the interpreter *))
   in
   Cmd.v
     (Cmd.info "profile"
        ~doc:
          "Execute a function on the simulated machine and print per-block \
-          cycle/instruction attribution")
+          cycle/instruction attribution (interpreter only; --engine vm falls \
+          back to interp with a warning)")
     Term.(
-      const run $ obs_term $ opts_term $ file_arg $ entry_arg $ scalar_arg $ top
-      $ sim_args)
+      const run $ obs_term $ opts_term $ file_arg $ entry_arg $ scalar_arg
+      $ engine_arg $ top $ sim_args)
 
 let lint_cmd =
   let run obs opts file =
@@ -534,6 +593,7 @@ let () =
             report_cmd;
             autovec_cmd;
             run_cmd;
+            exec_cmd;
             profile_cmd;
             lint_cmd;
             fuzz_cmd;

@@ -26,6 +26,13 @@ type t = {
       (** branch-on-superword-condition: guard linearized regions with a
           runtime "any lane active?" check (the explicit variant of
           ispc's [cif], paper §4.2.3). *)
+  reduce_unroll : bool;
+      (** split reduction loops into multiple independent accumulator
+          chains (factor from the cost model's latency/throughput
+          ratio), tree-merging the partials before the remainder loop.
+          Reassociates floating-point sums, so it is off by default and
+          must stay off in any configuration compared bit-exactly
+          against another (the differential fuzzer's oracles). *)
   analysis_feedback : bool;
       (** feed the interprocedural dataflow analyses (divergence,
           per-lane stride) back into classification: gathers/scatters
@@ -44,6 +51,7 @@ let default =
     stride_shuffle_bound = 4;
     uniform_branches = true;
     boscc = false;
+    reduce_unroll = false;
     analysis_feedback = false;
   }
 

@@ -1,0 +1,455 @@
+(** Multi-accumulator reduction unrolling.
+
+    A vectorized FP reduction loop carries one accumulator through a
+    serial [fadd] chain, so each iteration waits out the add's full
+    latency before the next can issue.  This pass rewrites the loop to
+    run [U] independent accumulator chains ([U] from
+    [Pmachine.Cost.reduction_unroll_factor]: the latency/throughput
+    ratio of the update, i.e. how many chains keep the unit busy),
+    tree-merges the partial sums, and falls through into the original
+    loop as the remainder for the iterations that do not fill a whole
+    unrolled step.
+
+    The rewrite reassociates the floating-point sum, so results are not
+    bit-identical to the single-chain loop (they stay within the usual
+    tolerance of any reassociating compiler at [-ffast-math]-style
+    settings).  It is therefore off by default ([Options.reduce_unroll])
+    and must never be enabled in configurations the differential fuzzer
+    compares bit-exactly.
+
+    Recognized shape — the canonical two-block loop the vectorizer
+    emits:
+
+    {v
+    hdr:  acc = phi [pre: init], [body: upd]     (vector float)
+          iv  = phi [pre: iv0],  [body: ivn]     (int scalar)
+          ... pure ops ...
+          c = icmp slt iv, bound
+          br c, body, exit
+    body: ...
+          upd = fadd acc, x
+          ivn = add iv, 1
+          br hdr
+    v}
+
+    The original loop is left fully intact (its [pre] edge is just
+    re-pointed through the unrolled loop and merge block), so every use
+    of its values outside the loop keeps observing identical final
+    values. *)
+
+open Pir
+open Instr
+
+(* operations that may be duplicated into the unrolled header (the
+   header's bound/condition computations re-execute per check) *)
+let pure_op = function
+  | Ibin _ | Fbin _ | Iun _ | Fun _ | Icmp _ | Fcmp _ | Select _ | Cast _
+  | Gep _ | Splat _ | Shuffle _ | ShuffleDyn _ | ExtractLane _ | InsertLane _
+  | Reduce _ | FirstLane _ | Psadbw _ ->
+      true
+  | _ -> false
+
+let is_phi (i : instr) = match i.op with Phi _ -> true | _ -> false
+
+(* number of internal uses of [v] among [instrs], excluding the
+   occurrence predicate [keep] *)
+let uses_among v instrs ~except =
+  List.fold_left
+    (fun acc (i : instr) ->
+      if List.memq i except then acc
+      else
+        acc + List.length (List.filter (( = ) v) (Instr.uses_of_op i.op)))
+    0 instrs
+
+type acc = {
+  a_phi : instr;  (** the accumulator phi in the header *)
+  a_upd : instr;  (** its [fadd] update in the body *)
+  a_init : operand;  (** incoming value on the preheader edge *)
+  a_elem : Types.scalar;
+  a_lanes : int;
+}
+
+type loop = {
+  l_hdr : Func.block;
+  l_body : Func.block;
+  l_pre : string;  (** the unique non-latch predecessor label *)
+  l_exit : string;
+  l_cond_body : string;  (** which CondBr arm enters the body *)
+  l_iv : instr;
+  l_iv_init : operand;
+  l_iv_s : Types.scalar;
+  l_bound : operand;
+  l_accs : acc list;
+}
+
+let incoming_of (i : instr) lbl =
+  match i.op with Phi inc -> List.assoc_opt lbl inc | _ -> None
+
+(** Match the canonical reduction loop rooted at header [hdr]. *)
+let match_loop (f : Func.t) (preds : (string, string list) Hashtbl.t)
+    (hdr : Func.block) : loop option =
+  let ( let* ) = Option.bind in
+  let* body_l, exit_l =
+    match hdr.term with
+    | CondBr (Var _, t, e) when t <> e -> Some (t, e)
+    | _ -> None
+  in
+  let* body = List.find_opt (fun b -> b.Func.bname = body_l) f.blocks in
+  let* () = if body.term = Br hdr.bname then Some () else None in
+  let* () =
+    (* the body is entered from the header alone *)
+    match Hashtbl.find_opt preds body_l with
+    | Some [ p ] when p = hdr.bname -> Some ()
+    | _ -> None
+  in
+  let* pre =
+    match Hashtbl.find_opt preds hdr.bname with
+    | Some [ a; b ] when a = body_l -> Some b
+    | Some [ a; b ] when b = body_l -> Some a
+    | _ -> None
+  in
+  let phis, rest = List.partition is_phi hdr.instrs in
+  let* () = if List.for_all (fun i -> pure_op i.op) rest then Some () else None in
+  let* () = if List.exists is_phi body.instrs then None else Some () in
+  (* the loop condition: icmp slt iv, bound — where iv is a header phi
+     with a step-1 add in the body *)
+  let* cond_v =
+    match hdr.term with CondBr (Var c, _, _) -> Some c | _ -> None
+  in
+  let* cond = List.find_opt (fun (i : instr) -> i.id = cond_v) rest in
+  let* iv_v, bound =
+    match cond.op with Icmp (Slt, Var iv, bound) -> Some (iv, bound) | _ -> None
+  in
+  let* iv = List.find_opt (fun (i : instr) -> i.id = iv_v) phis in
+  let* iv_s =
+    match iv.ty with
+    | Types.Scalar ((Types.I32 | Types.I64) as s) -> Some s
+    | _ -> None
+  in
+  let* iv_next =
+    match incoming_of iv body_l with Some (Var n) -> Some n | _ -> None
+  in
+  let* ivn = List.find_opt (fun (i : instr) -> i.id = iv_next) body.instrs in
+  let* () =
+    match ivn.op with
+    | Ibin (Add, Var v, Const (Cint (_, 1L))) when v = iv_v -> Some ()
+    | _ -> None
+  in
+  let* iv_init = incoming_of iv pre in
+  let* () =
+    (* the guard "iv + (u-1) < bound" only covers iterations
+       iv .. iv+u-1 when the bound is the same for all of them: reject a
+       bound that (transitively) depends on the induction variable *)
+    match bound with
+    | Const _ -> Some ()
+    | Var bv ->
+        let tainted = Hashtbl.create 8 in
+        Hashtbl.replace tainted iv_v ();
+        List.iter
+          (fun (i : instr) ->
+            if List.exists (Hashtbl.mem tainted) (Instr.uses_of_op i.op) then
+              Hashtbl.replace tainted i.id ())
+          rest;
+        if Hashtbl.mem tainted bv then None else Some ()
+  in
+  (* every remaining header phi must be an eligible accumulator *)
+  let in_loop = hdr.instrs @ body.instrs in
+  let acc_of (p : instr) : acc option =
+    let* elem, lanes =
+      match p.ty with
+      | Types.Vec (((Types.F32 | Types.F64) as s), n) -> Some (s, n)
+      | _ -> None
+    in
+    let* upd_v =
+      match incoming_of p body_l with Some (Var u) -> Some u | _ -> None
+    in
+    let* upd = List.find_opt (fun (i : instr) -> i.id = upd_v) body.instrs in
+    let* () =
+      match upd.op with
+      | Fbin (FAdd, Var a, _) when a = p.id -> Some ()
+      | Fbin (FAdd, _, Var a) when a = p.id -> Some ()
+      | _ -> None
+    in
+    (* inside the loop, the accumulator feeds only its own update, and
+       the update only the phi: each chain is private, so splitting it
+       into U partial chains changes no other in-loop value *)
+    let* () =
+      if uses_among p.id in_loop ~except:[ upd; p ] = 0 then Some () else None
+    in
+    let* () =
+      if uses_among upd.id in_loop ~except:[ p ] = 0 then Some () else None
+    in
+    let* init = incoming_of p pre in
+    Some { a_phi = p; a_upd = upd; a_init = init; a_elem = elem; a_lanes = lanes }
+  in
+  let others = List.filter (fun p -> p.id <> iv_v) phis in
+  let* accs =
+    List.fold_left
+      (fun acc p ->
+        let* l = acc in
+        let* a = acc_of p in
+        Some (a :: l))
+      (Some []) others
+  in
+  let* () = if accs = [] then None else Some () in
+  Some
+    {
+      l_hdr = hdr;
+      l_body = body;
+      l_pre = pre;
+      l_exit = exit_l;
+      l_cond_body = body_l;
+      l_iv = iv;
+      l_iv_init = iv_init;
+      l_iv_s = iv_s;
+      l_bound = bound;
+      l_accs = List.rev accs;
+    }
+
+let pred_map (f : Func.t) : (string, string list) Hashtbl.t =
+  let preds = Hashtbl.create 16 in
+  List.iter
+    (fun (b : Func.block) ->
+      List.iter
+        (fun s ->
+          Hashtbl.replace preds s
+            (b.Func.bname :: Option.value ~default:[] (Hashtbl.find_opt preds s)))
+        (Func.successors b))
+    f.blocks;
+  preds
+
+(** Rewrite one matched loop in place.  [u] is the unroll factor. *)
+let rewrite (f : Func.t) (l : loop) ~u =
+  let fresh ty op =
+    let id = Func.fresh_id f in
+    Func.set_ty f id ty;
+    { id; ty; op }
+  in
+  let uhdr_l = l.l_hdr.bname ^ ".ru.hdr"
+  and ubody_l = l.l_hdr.bname ^ ".ru.body"
+  and merge_l = l.l_hdr.bname ^ ".ru.merge" in
+  (* identity element for the extra chains, materialized in the
+     preheader (float lanes cannot be vector constants) *)
+  let pre_b = Func.find_block f l.l_pre in
+  let zero_of (a : acc) =
+    let c = if a.a_elem = Types.F32 then cf32 0.0 else cf64 0.0 in
+    let z = fresh a.a_phi.ty (Splat (c, a.a_lanes)) in
+    pre_b.instrs <- pre_b.instrs @ [ z ];
+    Var z.id
+  in
+  (* unrolled header: one phi per (accumulator, chain) plus the
+     induction phi; then the original header's pure prefix (bound
+     computation) cloned, and the guard "iv + (u-1) < bound" *)
+  let uiv =
+    fresh l.l_iv.ty (Phi [ (l.l_pre, l.l_iv_init); (ubody_l, ci64 0) ])
+    (* the body incoming is patched once the stride add exists *)
+  in
+  let uaccs =
+    List.map
+      (fun (a : acc) ->
+        Array.init u (fun j ->
+            let init = if j = 0 then a.a_init else zero_of a in
+            fresh a.a_phi.ty (Phi [ (l.l_pre, init); (ubody_l, ci64 0) ])))
+      l.l_accs
+  in
+  (* clone a pure instruction list under a renaming environment *)
+  let clone_list env instrs =
+    List.map
+      (fun (i : instr) ->
+        let op =
+          Instr.map_operands
+            (function
+              | Var v as o -> (
+                  match Hashtbl.find_opt env v with Some o' -> o' | None -> o)
+              | o -> o)
+            i.op
+        in
+        let c = fresh i.ty op in
+        Hashtbl.replace env i.id (Var c.id);
+        c)
+      instrs
+  in
+  let hdr_rest = List.filter (fun i -> not (is_phi i)) l.l_hdr.instrs in
+  let henv = Hashtbl.create 16 in
+  Hashtbl.replace henv l.l_iv.id (Var uiv.id);
+  List.iteri
+    (fun k (a : acc) -> Hashtbl.replace henv a.a_phi.id (Var (List.nth uaccs k).(0).id))
+    l.l_accs;
+  let hdr_clone = clone_list henv hdr_rest in
+  let bound' =
+    match l.l_bound with
+    | Var v -> (
+        match Hashtbl.find_opt henv v with Some o -> o | None -> l.l_bound)
+    | c -> c
+  in
+  let last = fresh l.l_iv.ty (Ibin (Add, Var uiv.id, cint l.l_iv_s (Int64.of_int (u - 1)))) in
+  let guard = fresh (Types.Scalar Types.I1) (Icmp (Slt, Var last.id, bound')) in
+  let uhdr =
+    {
+      Func.bname = uhdr_l;
+      instrs = (uiv :: List.concat_map Array.to_list uaccs) @ hdr_clone @ [ last; guard ];
+      term = CondBr (Var guard.id, ubody_l, merge_l);
+    }
+  in
+  (* unrolled body: u renamed copies of the original body, copy [j]
+     running iteration iv+j against accumulator chain [j] *)
+  let ubody_instrs = ref [] in
+  let push i = ubody_instrs := i :: !ubody_instrs in
+  let uupds =
+    List.map (fun (a : acc) -> Array.make u (Var a.a_upd.id)) l.l_accs
+  in
+  for j = 0 to u - 1 do
+    let env = Hashtbl.create 32 in
+    (if j = 0 then Hashtbl.replace env l.l_iv.id (Var uiv.id)
+     else begin
+       let ij =
+         fresh l.l_iv.ty
+           (Ibin (Add, Var uiv.id, cint l.l_iv_s (Int64.of_int j)))
+       in
+       push ij;
+       Hashtbl.replace env l.l_iv.id (Var ij.id)
+     end);
+    List.iteri
+      (fun k (a : acc) ->
+        Hashtbl.replace env a.a_phi.id (Var (List.nth uaccs k).(j).id))
+      l.l_accs;
+    let clones = clone_list env l.l_body.instrs in
+    List.iter push clones;
+    List.iteri
+      (fun k (a : acc) ->
+        (List.nth uupds k).(j) <- Hashtbl.find env a.a_upd.id)
+      l.l_accs
+  done;
+  let stride =
+    fresh l.l_iv.ty (Ibin (Add, Var uiv.id, cint l.l_iv_s (Int64.of_int u)))
+  in
+  push stride;
+  let ubody =
+    {
+      Func.bname = ubody_l;
+      instrs = List.rev !ubody_instrs;
+      term = Br uhdr_l;
+    }
+  in
+  (* patch the provisional body incomings *)
+  let patch_phi (p : instr) v =
+    match p.op with
+    | Phi inc ->
+        {
+          p with
+          op = Phi (List.map (fun (lbl, o) -> if lbl = ubody_l then (lbl, v) else (lbl, o)) inc);
+        }
+    | _ -> assert false
+  in
+  let uiv = patch_phi uiv (Var stride.id) in
+  let uaccs =
+    List.mapi
+      (fun k arr -> Array.mapi (fun j p -> patch_phi p (List.nth uupds k).(j)) arr)
+      uaccs
+  in
+  let uhdr =
+    {
+      uhdr with
+      Func.instrs =
+        (uiv :: List.concat_map Array.to_list uaccs) @ hdr_clone @ [ last; guard ];
+    }
+  in
+  (* merge: tree-reduce each accumulator's u partials *)
+  let merge_instrs = ref [] in
+  let merged =
+    List.map2
+      (fun (a : acc) arr ->
+        let level = ref (Array.to_list (Array.map (fun p -> Var p.id) arr)) in
+        while List.length !level > 1 do
+          let rec pair = function
+            | x :: y :: rest ->
+                let s = fresh a.a_phi.ty (Fbin (FAdd, x, y)) in
+                merge_instrs := !merge_instrs @ [ s ];
+                Var s.id :: pair rest
+            | odd -> odd
+          in
+          level := pair !level
+        done;
+        List.hd !level)
+      l.l_accs uaccs
+  in
+  let merge =
+    { Func.bname = merge_l; instrs = !merge_instrs; term = Br l.l_hdr.bname }
+  in
+  (* re-point the preheader edge through the unrolled loop, and make the
+     original loop the remainder: it now starts at the unrolled loop's
+     final induction value with the merged partial sums *)
+  pre_b.term <-
+    (match pre_b.term with
+    | Br t when t = l.l_hdr.bname -> Br uhdr_l
+    | CondBr (c, t, e) ->
+        CondBr
+          ( c,
+            (if t = l.l_hdr.bname then uhdr_l else t),
+            if e = l.l_hdr.bname then uhdr_l else e )
+    | t -> t);
+  let retarget (p : instr) (value : operand) =
+    match p.op with
+    | Phi inc ->
+        {
+          p with
+          op =
+            Phi
+              (List.map
+                 (fun (lbl, o) ->
+                   if lbl = l.l_pre then (merge_l, value) else (lbl, o))
+                 inc);
+        }
+    | _ -> assert false
+  in
+  l.l_hdr.instrs <-
+    List.map
+      (fun (i : instr) ->
+        if i.id = l.l_iv.id then retarget i (Var uiv.id)
+        else
+          match
+            List.find_index (fun (a : acc) -> a.a_phi.id = i.id) l.l_accs
+          with
+          | Some k -> retarget i (List.nth merged k)
+          | None -> i)
+      l.l_hdr.instrs;
+  (* splice the new blocks in front of the (non-entry) header *)
+  f.blocks <-
+    List.concat_map
+      (fun (b : Func.block) ->
+        if b.Func.bname = l.l_hdr.bname then [ uhdr; ubody; merge; b ]
+        else [ b ])
+      f.blocks
+
+(** Unroll every eligible reduction loop of [f]; returns how many were
+    rewritten.  All loops are matched against the original CFG before
+    any rewrite: the remainder loop a rewrite leaves behind still fits
+    the pattern and must not be unrolled again. *)
+let run_func (f : Func.t) : int =
+  let preds = pred_map f in
+  let loops =
+    List.filter_map
+      (fun (hdr : Func.block) ->
+        if List.exists is_phi hdr.Func.instrs then match_loop f preds hdr
+        else None)
+      f.blocks
+  in
+  let operand_ty = Func.ty_of_operand f in
+  List.iter
+    (fun l ->
+      let u =
+        List.fold_left
+          (fun acc (a : acc) ->
+            max acc
+              (Pmachine.Cost.reduction_unroll_factor Pmachine.Cost.default
+                 ~operand_ty a.a_upd))
+          2 l.l_accs
+      in
+      rewrite f l ~u;
+      Pobs.Remarks.(emit Passed ~pass:"reduce-unroll" ~func:f.Func.fname)
+        "reduction loop %s split into %d accumulator chains" l.l_hdr.bname u)
+    loops;
+  List.length loops
+
+let run_module (m : Func.modul) : int =
+  List.fold_left (fun acc f -> acc + run_func f) 0 m.Func.funcs

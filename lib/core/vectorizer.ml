@@ -1303,6 +1303,12 @@ let run_module ?opts (m : Func.modul) : report list =
                   rep.rule_hits st.Reclassify.rule_hits
                 |> List.sort (fun (a, _) (b, _) -> String.compare a b)
             end;
+            if eff_opts.Options.reduce_unroll then
+              ignore
+                (Pobs.Trace.with_span ~cat:"pass"
+                   ~args:[ ("func", f.Func.fname) ]
+                   "reduce-unroll"
+                   (fun () -> Reduce_unroll.run_func nf));
             publish_report rep;
             reports := rep :: !reports;
             nf)

@@ -14,7 +14,12 @@
       value-for-value ([Pmachine.Value.equal], NaN-safe);
     - additionally require psan to report no *errors*: generated
       programs are race-free and in-bounds by construction, so a proven
-      finding on one is a sanitizer soundness bug, not a program bug.
+      finding on one is a sanitizer soundness bug, not a program bug;
+    - finally cross-check the execution engines themselves: every module
+      the interpreter ran is re-executed on the register VM, which must
+      reproduce the interpreter's buffers, cycle total and instruction
+      count exactly ([vm:] buckets).  The interpreter stays the
+      reference; the VM is the subject under test here.
 
     Execution failures are distinguished from mismatches and mapped to
     stable buckets by {!Triage}.  A configuration the legalizer cannot
@@ -149,11 +154,12 @@ let m_oracle_runs =
     ~help:"differential executions, by configuration"
 
 (** Execute the kernel of [m] on the standard buffers and return the
-    three output arrays.  Raises [Interp.Trap] / [Memory.Fault] on
-    dynamic errors. *)
-let exec (m : Func.modul) (s : subject) : buffers =
-  let t = Pmachine.Interp.create m in
-  let mem = t.Pmachine.Interp.mem in
+    three output arrays plus the engine's cycle and instruction totals.
+    Raises [Interp.Trap] / [Memory.Fault] on dynamic errors. *)
+let exec_stats ?(engine = Pmachine.Engine.Interp) (m : Func.modul)
+    (s : subject) : buffers * float * int =
+  let t = Pmachine.Engine.create ~kind:engine m in
+  let mem = Pmachine.Engine.mem t in
   let a = Pmachine.Memory.alloc_array mem Types.I32 a_init in
   let fa = Pmachine.Memory.alloc_array mem Types.F32 fa_init in
   let b =
@@ -167,7 +173,7 @@ let exec (m : Func.modul) (s : subject) : buffers =
   let c = Pmachine.Memory.alloc_array mem Types.I32 c_init in
   let iv x = Pmachine.Value.I (Int64.of_int x) in
   ignore
-    (Pmachine.Interp.run t "k"
+    (Pmachine.Engine.run t "k"
        [
          iv a;
          iv fa;
@@ -178,11 +184,18 @@ let exec (m : Func.modul) (s : subject) : buffers =
          Pmachine.Value.F s.uf;
          iv s.n;
        ]);
-  {
-    b = Pmachine.Memory.read_array mem Types.I32 b s.n;
-    fb = Pmachine.Memory.read_array mem Types.F32 fb s.n;
-    c = Pmachine.Memory.read_array mem Types.I32 c Gen.c_len;
-  }
+  let stats = Pmachine.Engine.stats t in
+  ( {
+      b = Pmachine.Memory.read_array mem Types.I32 b s.n;
+      fb = Pmachine.Memory.read_array mem Types.F32 fb s.n;
+      c = Pmachine.Memory.read_array mem Types.I32 c Gen.c_len;
+    },
+    stats.cycles,
+    stats.instrs )
+
+let exec ?engine m s : buffers =
+  let bufs, _, _ = exec_stats ?engine m s in
+  bufs
 
 (** Compile + pass pipeline + execute for one configuration; convenience
     for the pinned-batch tests. *)
@@ -231,6 +244,43 @@ type verdict =
   | Pass of { skipped : (string * string) list }  (** config, reason *)
   | Fail of { bucket : string; config : string; detail : string }
 
+(** Engine parity oracle: re-run [m] (already executed by the
+    interpreter, yielding [ref_bufs]/[ref_cycles]/[ref_instrs]) on the
+    register VM and require bit-identical buffers and identical cost
+    accounting.  [None] when the engines agree. *)
+let vm_check name (m : Func.modul) (s : subject) (ref_bufs : buffers)
+    ref_cycles ref_instrs : verdict option =
+  Pobs.Metrics.incr ~labels:[ ("config", "vm-" ^ name) ] m_oracle_runs;
+  match exec_stats ~engine:Pmachine.Engine.Vm m s with
+  | exception e ->
+      Some
+        (Fail
+           {
+             bucket = Triage.vm_exn ~config:name e;
+             config = "vm-" ^ name;
+             detail = Printexc.to_string e;
+           })
+  | got, cycles, instrs -> (
+      match compare_buffers ref_bufs got with
+      | Some detail ->
+          Some
+            (Fail
+               { bucket = Triage.vm ~config:name; config = "vm-" ^ name; detail })
+      | None ->
+          if cycles <> ref_cycles || instrs <> ref_instrs then
+            Some
+              (Fail
+                 {
+                   bucket = Triage.vm ~config:name;
+                   config = "vm-" ^ name;
+                   detail =
+                     Fmt.str
+                       "stats diverge: interp %.0f cyc / %d instrs, vm %.0f \
+                        cyc / %d instrs"
+                       ref_cycles ref_instrs cycles instrs;
+                 })
+          else None)
+
 let run ?mutate (s : subject) : verdict =
   match compile_scalar s with
   | exception e ->
@@ -258,7 +308,7 @@ let run ?mutate (s : subject) : verdict =
             }
       | None -> (
           Pobs.Metrics.incr ~labels:[ ("config", "ref") ] m_oracle_runs;
-          match exec scalar s with
+          match exec_stats scalar s with
           | exception e ->
               Fail
                 {
@@ -266,7 +316,10 @@ let run ?mutate (s : subject) : verdict =
                   config = "ref";
                   detail = Printexc.to_string e;
                 }
-          | reference ->
+          | reference, ref_cycles, ref_instrs -> (
+              match vm_check "ref" scalar s reference ref_cycles ref_instrs with
+              | Some fail -> fail
+              | None ->
               (* differential oracles, in deterministic order *)
               let rec go skipped = function
                 | [] -> Pass { skipped = List.rev skipped }
@@ -285,7 +338,7 @@ let run ?mutate (s : subject) : verdict =
                     | m -> (
                         Pobs.Metrics.incr ~labels:[ ("config", name) ]
                           m_oracle_runs;
-                        match exec m s with
+                        match exec_stats m s with
                         | exception e ->
                             Fail
                               {
@@ -293,7 +346,7 @@ let run ?mutate (s : subject) : verdict =
                                 config = name;
                                 detail = Printexc.to_string e;
                               }
-                        | got -> (
+                        | got, cycles, instrs -> (
                             match compare_buffers reference got with
                             | Some detail ->
                                 Fail
@@ -302,6 +355,12 @@ let run ?mutate (s : subject) : verdict =
                                     config = name;
                                     detail;
                                   }
-                            | None -> go skipped rest)))
+                            | None -> (
+                                (* interp agreed with the reference; now
+                                   the VM must agree with the interp on
+                                   this very module *)
+                                match vm_check name m s got cycles instrs with
+                                | Some fail -> fail
+                                | None -> go skipped rest))))
               in
-              go [] all_configs))
+              go [] all_configs)))

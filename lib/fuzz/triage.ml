@@ -33,6 +33,15 @@ let compile_exn ~config e = Fmt.str "compile:%s:%s" config (exn_tag e)
     in-bounds by construction: a sanitizer soundness bug. *)
 let psan ~check = "psan:" ^ check
 
+(** The register VM diverged from the interpreter on the same module
+    (different output buffers or cycle/instruction totals): an
+    execution-engine bug, not a vectorizer bug. *)
+let vm ~config = "vm:" ^ config
+
+(** Execution under the register VM raised where the interpreter ran the
+    same module to completion. *)
+let vm_exn ~config e = Fmt.str "vm:%s:%s" config (exn_tag e)
+
 (** Bucket rendered safe for use in a corpus file name. *)
 let filename_of_bucket bucket =
   String.map

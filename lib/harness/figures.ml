@@ -84,7 +84,7 @@ type raw = { rkernel : string; rcycles : (string * float) list }
 
 (* -- Figure 4: ispc suite, normalized to LLVM auto-vectorization -- *)
 
-let figure4_raw ?pool ?(kernels = Pispc.Suite.all) () : raw list =
+let figure4_raw ?pool ?engine ?(kernels = Pispc.Suite.all) () : raw list =
   let impls =
     [
       Runner.Autovec;
@@ -95,7 +95,7 @@ let figure4_raw ?pool ?(kernels = Pispc.Suite.all) () : raw list =
   let jobs =
     List.concat_map (fun k -> List.map (fun i -> (k, i)) impls) kernels
   in
-  let cycles = pmap ?pool (fun (k, i) -> (Runner.run k i).cycles) jobs in
+  let cycles = pmap ?pool (fun (k, i) -> (Runner.run ?engine k i).cycles) jobs in
   reassemble ~width:3 kernels cycles (fun k -> function
     | [ auto; pars; ispc ] ->
         {
@@ -116,12 +116,12 @@ let figure4_rows (raws : raw list) : row list =
       })
     raws
 
-let figure4 ?pool ?kernels () : row list =
-  figure4_rows (figure4_raw ?pool ?kernels ())
+let figure4 ?pool ?engine ?kernels () : row list =
+  figure4_rows (figure4_raw ?pool ?engine ?kernels ())
 
 (* -- Figure 5: Simd Library suite, normalized to LLVM scalar -- *)
 
-let figure5_raw ?pool ?(kernels = Registry.all) () : raw list =
+let figure5_raw ?pool ?engine ?(kernels = Registry.all) () : raw list =
   let jobs =
     List.concat_map
       (fun (k : Workload.kernel) ->
@@ -136,7 +136,7 @@ let figure5_raw ?pool ?(kernels = Registry.all) () : raw list =
   let cycles =
     pmap ?pool
       (fun (k, impl) ->
-        match impl with Some i -> (Runner.run k i).cycles | None -> nan)
+        match impl with Some i -> (Runner.run ?engine k i).cycles | None -> nan)
       jobs
   in
   reassemble ~width:4 kernels cycles (fun k -> function
@@ -171,8 +171,8 @@ let figure5_rows (raws : raw list) : row list =
       })
     raws
 
-let figure5 ?pool ?kernels () : row list =
-  figure5_rows (figure5_raw ?pool ?kernels ())
+let figure5 ?pool ?engine ?kernels () : row list =
+  figure5_rows (figure5_raw ?pool ?engine ?kernels ())
 
 (* headline numbers of §6 derived from the figure data *)
 let summary_figure5 rows =
@@ -247,6 +247,7 @@ let ablation_cases =
     ("uniform branches linearized", { Parsimony.Options.default with uniform_branches = false });
     ("boscc on", { Parsimony.Options.default with boscc = true });
     ("analysis feedback on", { Parsimony.Options.default with analysis_feedback = true });
+    ("reduction unrolling on", { Parsimony.Options.default with reduce_unroll = true });
   ]
 
 let ablation_kernels () =
@@ -258,19 +259,21 @@ let ablation_kernels () =
       "deinterleave_uv";
       "gaussian_blur_3x3";
       "get_col_sums";
+      "neural_product_sum";
+      "squared_difference_sum_32f";
     ]
   @ List.filter
       (fun (k : Workload.kernel) -> k.kname = "mandelbrot")
       Pispc.Suite.all
 
-let ablations ?pool () : row list =
+let ablations ?pool ?engine () : row list =
   let kernels = ablation_kernels () in
   let optss = Parsimony.Options.default :: List.map snd ablation_cases in
   let jobs =
     List.concat_map (fun k -> List.map (fun o -> (k, o)) optss) kernels
   in
   let cycles =
-    pmap ?pool (fun (k, o) -> (Runner.run k (Runner.ParsimonyImpl o)).cycles) jobs
+    pmap ?pool (fun (k, o) -> (Runner.run ?engine k (Runner.ParsimonyImpl o)).cycles) jobs
   in
   reassemble ~width:(List.length optss) kernels cycles (fun k -> function
     | base :: rest ->

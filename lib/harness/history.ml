@@ -35,6 +35,11 @@ let env_json () : Pobs.Json.t =
 type run = {
   schema : int;
   machine : string;
+  engine : string;
+      (** execution engine that produced the run ("interp" or "vm").
+          Simulated cycles are engine-independent, but wall-clock
+          timings and throughput are not, so runs from different
+          engines refuse to compare. *)
   jobs : int;
   kernels : (string * (string * float) list) list;
       (** "fig4/mandelbrot" -> implementation -> simulated cycles *)
@@ -69,6 +74,13 @@ let of_json (doc : Pobs.Json.t) : run =
   let jobs =
     match Pobs.Json.member "jobs" doc with Some (Pobs.Json.Int i) -> i | _ -> 1
   in
+  (* pre-VM documents carry no engine field; they were produced by the
+     tree-walking interpreter *)
+  let engine =
+    match Pobs.Json.member "engine" doc with
+    | Some (Pobs.Json.Str s) -> s
+    | _ -> "interp"
+  in
   let kernels =
     match member "kernels" with
     | Pobs.Json.Obj ks ->
@@ -90,17 +102,18 @@ let of_json (doc : Pobs.Json.t) : run =
         List.filter_map (fun (k, v) -> Option.map (fun g -> (k, g)) (num v)) gs
     | _ -> []
   in
-  { schema; machine; jobs; kernels; geomeans; doc }
+  { schema; machine; engine; jobs; kernels; geomeans; doc }
 
 (** Build a run document from parts (the bench harness passes the full
     JSON sections; tests pass synthetic kernels directly). *)
-let make ?(machine = "test-machine") ?(jobs = 1) ?(geomeans = [])
-    (kernels : (string * (string * float) list) list) : run =
+let make ?(machine = "test-machine") ?(engine = "vm") ?(jobs = 1)
+    ?(geomeans = []) (kernels : (string * (string * float) list) list) : run =
   let doc =
     Pobs.Json.Obj
       [
         ("schema", Pobs.Json.Int schema_version);
         ("machine", Pobs.Json.Str machine);
+        ("engine", Pobs.Json.Str engine);
         ("jobs", Pobs.Json.Int jobs);
         ("env", env_json ());
         ( "kernels",
@@ -116,7 +129,7 @@ let make ?(machine = "test-machine") ?(jobs = 1) ?(geomeans = [])
             (List.map (fun (k, g) -> (k, Pobs.Json.Float g)) geomeans) );
       ]
   in
-  { schema = schema_version; machine; jobs; kernels; geomeans; doc }
+  { schema = schema_version; machine; engine; jobs; kernels; geomeans; doc }
 
 (* -- the JSONL store -- *)
 
@@ -170,7 +183,12 @@ let require_compatible (base : run) (cur : run) =
     incompatible
       "cost-model mismatch: baseline %S vs current %S — cycles are not \
        comparable across machines; regenerate the baseline"
-      base.machine cur.machine
+      base.machine cur.machine;
+  if base.engine <> cur.engine then
+    incompatible
+      "engine mismatch: baseline ran on %S, current on %S — regenerate the \
+       baseline with the same --engine or pass the matching one"
+      base.engine cur.engine
 
 (** Per-(kernel, impl) cycle deltas between two compatible runs, worst
     regression first (ties by kernel then impl, so output is stable). *)

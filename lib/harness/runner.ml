@@ -118,11 +118,15 @@ let scorecard ?(opts = Parsimony.Options.default) (k : Workload.kernel) :
   | [] -> None
   | cards -> Some (Parsimony.Scorecard.aggregate ~name:k.kname cards)
 
-let run ?(check = false) (k : Workload.kernel) (impl : impl) : result =
+(* The VM is the default engine for bench/fuzz throughput; pass
+   [~engine:Pmachine.Engine.Interp] for the tree-walking oracle (the
+   two produce bit-identical outputs, cycles and stats). *)
+let run ?(check = false) ?(engine = Pmachine.Engine.Vm) (k : Workload.kernel)
+    (impl : impl) : result =
   let m = build_module k impl in
   if check then Panalysis.Check.check_module m;
-  let t = Pmachine.Interp.create m in
-  let mem = t.Pmachine.Interp.mem in
+  let t = Pmachine.Engine.create ~kind:engine m in
+  let mem = Pmachine.Engine.mem t in
   let addrs =
     List.map
       (fun (b : Workload.buffer) ->
@@ -138,7 +142,7 @@ let run ?(check = false) (k : Workload.kernel) (impl : impl) : result =
   let args =
     List.map (fun (_, a) -> Pmachine.Value.I (Int64.of_int a)) addrs @ k.scalars
   in
-  ignore (Pmachine.Interp.run t k.kname args);
+  ignore (Pmachine.Engine.run t k.kname args);
   let outputs =
     List.filter_map
       (fun ((b : Workload.buffer), addr) ->
@@ -147,7 +151,8 @@ let run ?(check = false) (k : Workload.kernel) (impl : impl) : result =
         else None)
       addrs
   in
-  { impl; cycles = t.Pmachine.Interp.stats.cycles; outputs; stats = t.Pmachine.Interp.stats }
+  let stats = Pmachine.Engine.stats t in
+  { impl; cycles = stats.cycles; outputs; stats }
 
 let close_enough tol (a : Pmachine.Value.t) (b : Pmachine.Value.t) =
   if tol = 0.0 then Pmachine.Value.equal a b

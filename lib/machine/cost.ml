@@ -16,10 +16,38 @@
       native predication, paper §2.1);
     - the SLEEF vector [pow] is 2.6x slower than ispc's built-in vector
       [pow] (paper §6), while the two libraries match on every other
-      entry point. *)
+      entry point.
+
+    {2 Latency vs. throughput}
+
+    The model distinguishes two per-operation quantities:
+
+    - {e latency}: cycles until the result is available to a dependent
+      instruction (the historical cost numbers — a serial execution
+      charges exactly these); and
+    - {e reciprocal throughput}: issue-slot cycles the operation
+      occupies on a superscalar core.  Pipelined compute ops issue
+      [issue_width] per cycle ([rthr = lat / issue_width]); divides,
+      square roots, gathers/scatters and library calls do not pipeline
+      ([rthr = lat]); memory ops pay a small port cost plus a per-byte
+      bandwidth term.
+
+    A basic block is charged [max(Σ rthr, critical path latency)] —
+    a static list-schedule: the block takes as long as its issue
+    resources or its longest dependence chain, whichever binds.  Loop
+    latch blocks additionally respect the loop-carried recurrence: an
+    iteration can never complete faster than the latency chain feeding
+    the header's back-edge phis (the RecMII floor — this is what makes
+    multi-accumulator reduction unrolling observable: splitting an FP
+    accumulation across independent chains removes the recurrence
+    bound).  [schedule_func] computes all of this once per function and
+    distributes the block total over its instructions pro-rata to their
+    latencies, so per-instruction attribution (profiler, SPMD executor)
+    still sums exactly to the block cost. *)
 
 type model = {
   vector_bits : int;
+  (* per-op latency (cycles until the result is consumable) *)
   ialu : float;
   imul : float;
   idiv : float;
@@ -44,6 +72,15 @@ type model = {
   branch : float;
   call_overhead : float;
   alloca : float;
+  (* throughput side of the split *)
+  issue_width : float;
+      (** pipelined compute ops issue this many per cycle:
+          [rthr = latency / issue_width] *)
+  load_rthr : float;  (** load-port occupancy per load (per chunk) *)
+  store_rthr : float;  (** store-port occupancy per store (per chunk) *)
+  mem_bw_per_byte : float;
+      (** sustained-bandwidth term charged against throughput (the
+          latency side keeps its own, larger, [mem_per_byte]) *)
 }
 
 let default =
@@ -73,6 +110,10 @@ let default =
     branch = 1.0;
     call_overhead = 15.0;
     alloca = 2.0;
+    issue_width = 4.0;
+    load_rthr = 0.5;
+    store_rthr = 1.0;
+    mem_bw_per_byte = 0.0625;
   }
 
 (** Stable identifier of a cost model, e.g. ["sim-512bit-1a2b3c4d"].
@@ -87,7 +128,8 @@ let model_id m =
       m.ialu; m.imul; m.idiv; m.falu; m.fmul; m.fdiv; m.fsqrt; m.cmp; m.select;
       m.cast; m.load_base; m.store_base; m.mem_per_byte; m.gather_base;
       m.gather_per_lane; m.shuffle; m.shuffle_dyn; m.splat; m.extract; m.insert;
-      m.reduce_step; m.branch; m.call_overhead; m.alloca;
+      m.reduce_step; m.branch; m.call_overhead; m.alloca; m.issue_width;
+      m.load_rthr; m.store_rthr; m.mem_bw_per_byte;
     ]
   in
   let s =
@@ -150,9 +192,9 @@ let mask_fraction (mask : Pir.Instr.operand option) =
       float_of_int active /. float_of_int (max 1 (Array.length bits))
   | _ -> 1.0
 
-(** Cost of executing instruction [i] once.  [operand_ty] resolves
-    operand types (needed where the result type under-determines the
-    operation, e.g. stores). *)
+(** Latency of instruction [i]: cycles until its result is available.
+    [operand_ty] resolves operand types (needed where the result type
+    under-determines the operation, e.g. stores). *)
 let of_instr m ~(operand_ty : Pir.Instr.operand -> Pir.Types.t) (i : Pir.Instr.instr) : float
     =
   let open Pir.Instr in
@@ -231,3 +273,242 @@ let of_terminator m (t : Pir.Instr.terminator) =
   match t with
   | Pir.Instr.Br _ | Pir.Instr.CondBr _ -> m.branch
   | Pir.Instr.Ret _ | Pir.Instr.Unreachable -> 0.0
+
+(** Reciprocal throughput of [i]: issue-slot cycles it occupies.
+    Pipelined compute ops cost [latency / issue_width]; divides, square
+    roots, gathers/scatters and library calls serialize ([rthr = lat]);
+    memory ops pay port occupancy plus sustained bandwidth. *)
+let rthr_of_instr m ~operand_ty (i : Pir.Instr.instr) : float =
+  let open Pir.Instr in
+  let lat = of_instr m ~operand_ty i in
+  let fc = float_of_int (chunks m i.ty) in
+  match i.op with
+  | Ibin ((UDiv | SDiv | URem | SRem), _, _)
+  | Fbin (FDiv, _, _)
+  | Fun (FSqrt, _)
+  | Gather _ | Scatter _ | Call _ ->
+      lat (* unpipelined *)
+  | Phi _ -> 0.0
+  | Load _ -> m.load_rthr +. (m.mem_bw_per_byte *. float_of_int (bytes_of i.ty))
+  | Store (v, _) ->
+      m.store_rthr +. (m.mem_bw_per_byte *. float_of_int (bytes_of (operand_ty v)))
+  | VLoad (_, mask) ->
+      (m.load_rthr *. fc)
+      +. m.mem_bw_per_byte
+         *. float_of_int (bytes_of i.ty)
+         *. mask_fraction mask
+  | VStore (v, _, mask) ->
+      let tv = operand_ty v in
+      (m.store_rthr *. float_of_int (chunks m tv))
+      +. m.mem_bw_per_byte
+         *. float_of_int (bytes_of tv)
+         *. mask_fraction mask
+  | _ -> lat /. m.issue_width
+
+let rthr_of_terminator m (t : Pir.Instr.terminator) =
+  of_terminator m t /. m.issue_width
+
+(* -- static block schedule --
+
+   Computed once per function and shared verbatim by the interpreter and
+   the bytecode VM, so both engines charge bit-identical cycles. *)
+
+type block_sched = {
+  cs_costs : float array;
+      (** per-instruction charged cost: latency scaled so the block sums
+          to the schedule total *)
+  cs_term : float;  (** charged terminator share *)
+  cs_nphis : int;  (** length of the phi prefix *)
+  cs_phi_sum : float;  (** sum of [cs_costs] over the phi prefix *)
+  cs_body_sum : float;  (** sum past the phi prefix, plus [cs_term] *)
+  cs_ninstrs : int;  (** total instructions (phis included) *)
+  cs_nvec_phi : int;  (** vector-typed phis *)
+  cs_nvec_body : int;  (** vector-typed non-phi instructions *)
+}
+
+(* longest-latency completion time of each SSA value defined in the
+   instruction sequence [instrs], with values defined elsewhere (params,
+   other blocks, this block's phis) ready at time 0.  [start] seeds
+   earlier definitions (used to chain header + latch for recurrences). *)
+let chain_times m ~operand_ty (start : (int, float) Hashtbl.t) instrs =
+  let ready (o : Pir.Instr.operand) =
+    match o with
+    | Pir.Instr.Var v -> ( match Hashtbl.find_opt start v with Some t -> t | None -> 0.0)
+    | Pir.Instr.Const _ -> 0.0
+  in
+  List.iter
+    (fun (i : Pir.Instr.instr) ->
+      match i.op with
+      | Pir.Instr.Phi _ -> Hashtbl.replace start i.id 0.0
+      | op ->
+          let r =
+            List.fold_left
+              (fun acc o -> Float.max acc (ready o))
+              0.0
+              (Pir.Instr.operands_of_op op)
+          in
+          Hashtbl.replace start i.id (r +. of_instr m ~operand_ty i))
+    instrs;
+  start
+
+(* schedule total of one block in isolation:
+   max(issue resources, critical path) *)
+let block_base m ~operand_ty (b : Pir.Func.block) =
+  let times = chain_times m ~operand_ty (Hashtbl.create 16) b.instrs in
+  let path =
+    List.fold_left
+      (fun acc (i : Pir.Instr.instr) ->
+        match Hashtbl.find_opt times i.id with
+        | Some t -> Float.max acc t
+        | None -> acc)
+      0.0 b.instrs
+  in
+  let res =
+    List.fold_left
+      (fun acc i -> acc +. rthr_of_instr m ~operand_ty i)
+      (rthr_of_terminator m b.term) b.instrs
+  in
+  Float.max res path
+
+(* loop-carried recurrence floor for a latch block [l] branching back to
+   header [h]: the longest latency chain from a header phi, through one
+   iteration (header body then latch), to the operand the phi takes from
+   the back edge.  Zero when [h] has no phis fed from [l]. *)
+let recurrence m ~operand_ty (h : Pir.Func.block) (l : Pir.Func.block) =
+  let start = Hashtbl.create 16 in
+  let times =
+    if h == l then chain_times m ~operand_ty start h.instrs
+    else chain_times m ~operand_ty (chain_times m ~operand_ty start h.instrs) l.instrs
+  in
+  List.fold_left
+    (fun acc (i : Pir.Instr.instr) ->
+      match i.op with
+      | Pir.Instr.Phi incoming -> (
+          match List.assoc_opt l.bname incoming with
+          | Some (Pir.Instr.Var v) -> (
+              match Hashtbl.find_opt times v with
+              | Some t -> Float.max acc t
+              | None -> acc)
+          | _ -> acc)
+      | _ -> acc)
+    0.0 h.instrs
+
+(** Static schedule of every block of [f]: the charged per-instruction
+    costs (latencies scaled to the block's schedule total) plus the
+    block-granular sums and instruction counts the engines account
+    with.  Both execution engines must consume the same schedule, so
+    cycle totals agree bit-for-bit across engines. *)
+let schedule_func m (f : Pir.Func.t) : (string, block_sched) Hashtbl.t =
+  let operand_ty = Pir.Func.ty_of_operand f in
+  (* base totals per block *)
+  let base = Hashtbl.create 16 in
+  List.iter
+    (fun (b : Pir.Func.block) ->
+      Hashtbl.replace base b.bname (block_base m ~operand_ty b))
+    f.blocks;
+  (* raise latch blocks to the loop-carried recurrence floor: for a back
+     edge latch->header, one iteration (header + latch) can not beat the
+     recurrence chain.  A back edge is an unconditional branch (or a
+     self-loop) to a phi-carrying block that does not appear later in
+     the function (the front end and vectorizer emit headers first). *)
+  let order = Hashtbl.create 16 in
+  List.iteri (fun k (b : Pir.Func.block) -> Hashtbl.replace order b.bname k) f.blocks;
+  let find_block name =
+    List.find_opt (fun (b : Pir.Func.block) -> b.bname = name) f.blocks
+  in
+  let totals = Hashtbl.copy base in
+  List.iter
+    (fun (l : Pir.Func.block) ->
+      let back_target =
+        match l.term with
+        | Pir.Instr.Br t -> Some t
+        | Pir.Instr.CondBr (_, t1, t2) ->
+            (* self-loops only: a conditional latch targeting itself *)
+            if t1 = l.bname then Some t1
+            else if t2 = l.bname then Some t2
+            else None
+        | _ -> None
+      in
+      match back_target with
+      | Some t
+        when (match (Hashtbl.find_opt order t, Hashtbl.find_opt order l.bname) with
+             | Some th, Some tl -> th <= tl
+             | _ -> false) -> (
+          match find_block t with
+          | Some h
+            when List.exists
+                   (fun (i : Pir.Instr.instr) ->
+                     match i.op with
+                     | Pir.Instr.Phi incoming ->
+                         List.mem_assoc l.bname incoming
+                     | _ -> false)
+                   h.instrs ->
+              let rec_floor = recurrence m ~operand_ty h l in
+              let header_total =
+                if h == l then 0.0
+                else match Hashtbl.find_opt base h.bname with Some x -> x | None -> 0.0
+              in
+              let cur = Hashtbl.find totals l.bname in
+              Hashtbl.replace totals l.bname
+                (Float.max cur (rec_floor -. header_total))
+          | _ -> ())
+      | _ -> ())
+    f.blocks;
+  (* distribute each block's total over its instructions pro-rata to
+     latency, preserving the historical per-instruction attribution *)
+  let scheds = Hashtbl.create 16 in
+  List.iter
+    (fun (b : Pir.Func.block) ->
+      let all = Array.of_list b.instrs in
+      let lats = Array.map (of_instr m ~operand_ty) all in
+      let term_lat = of_terminator m b.term in
+      let lat_total = Array.fold_left ( +. ) term_lat lats in
+      let total = Hashtbl.find totals b.bname in
+      let scale = if lat_total > 0.0 then total /. lat_total else 0.0 in
+      let costs = Array.map (fun l -> l *. scale) lats in
+      let term = term_lat *. scale in
+      let n = Array.length all in
+      let nphis =
+        let i = ref 0 in
+        while
+          !i < n && match all.(!i).op with Pir.Instr.Phi _ -> true | _ -> false
+        do
+          incr i
+        done;
+        !i
+      in
+      let phi_sum = ref 0.0 and body_sum = ref term in
+      Array.iteri
+        (fun j c ->
+          if j < nphis then phi_sum := !phi_sum +. c
+          else body_sum := !body_sum +. c)
+        costs;
+      let nvec_phi = ref 0 and nvec_body = ref 0 in
+      Array.iteri
+        (fun j (i : Pir.Instr.instr) ->
+          if Pir.Types.is_vector i.ty then
+            if j < nphis then incr nvec_phi else incr nvec_body)
+        all;
+      Hashtbl.replace scheds b.bname
+        {
+          cs_costs = costs;
+          cs_term = term;
+          cs_nphis = nphis;
+          cs_phi_sum = !phi_sum;
+          cs_body_sum = !body_sum;
+          cs_ninstrs = n;
+          cs_nvec_phi = !nvec_phi;
+          cs_nvec_body = !nvec_body;
+        })
+    f.blocks;
+  scheds
+
+(** Unroll factor that hides the latency of reduction operation [i]: how
+    many independent accumulator chains keep the issue resources busy
+    while one chain's result is in flight ([lat / rthr], clamped to
+    [2, 8]).  The reduction-unrolling transform in [lib/core] keys on
+    this. *)
+let reduction_unroll_factor m ~operand_ty (i : Pir.Instr.instr) : int =
+  let lat = of_instr m ~operand_ty i in
+  let rthr = Float.max 0.125 (rthr_of_instr m ~operand_ty i) in
+  max 2 (min 8 (int_of_float (Float.ceil (lat /. rthr))))

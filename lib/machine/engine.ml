@@ -1,0 +1,43 @@
+(** Execution-engine selector: the tree-walking interpreter or the
+    register VM behind one interface.
+
+    Both engines consume the same [Cost.schedule_func] output and
+    charge it in the same order, so for any program they produce
+    bit-identical results, cycle totals and statistics; the VM is just
+    faster.  The interpreter remains the differential oracle (and the
+    only engine with per-block profiling). *)
+
+type kind = Interp | Vm
+
+let kind_of_string = function
+  | "interp" -> Some Interp
+  | "vm" -> Some Vm
+  | _ -> None
+
+let kind_to_string = function Interp -> "interp" | Vm -> "vm"
+
+let all_kinds = [ Interp; Vm ]
+
+type t = I of Interp.t | V of Vm.t
+
+(** [profile] enables per-block cycle attribution; only the interpreter
+    supports it (ignored under [Vm] — see [profiler]). *)
+let create ?(kind = Vm) ?model ?mem ?fuel ?profile modul =
+  match kind with
+  | Interp -> I (Interp.create ?model ?mem ?fuel ?profile modul)
+  | Vm -> V (Vm.create ?model ?mem ?fuel modul)
+
+let kind = function I _ -> Interp | V _ -> Vm
+
+let run t name args =
+  match t with
+  | I it -> Interp.run it name args
+  | V vm -> Vm.run vm name args
+
+let stats = function I it -> it.Interp.stats | V vm -> Vm.stats vm
+
+let mem = function I it -> it.Interp.mem | V vm -> Vm.mem vm
+
+(** The underlying interpreter when this engine supports per-block
+    profiling ([Interp] only — the VM has no block-level attribution). *)
+let profiler = function I it -> Some it | V _ -> None

@@ -23,7 +23,7 @@ exception Trap of string
 
 let trap fmt = Fmt.kstr (fun s -> raise (Trap s)) fmt
 
-type stats = {
+type stats = Stats.t = {
   mutable cycles : float;
   mutable instrs : int;
   mutable vector_instrs : int;
@@ -33,16 +33,7 @@ type stats = {
   mutable scalar_mem : int;
 }
 
-let empty_stats () =
-  {
-    cycles = 0.0;
-    instrs = 0;
-    vector_instrs = 0;
-    gathers = 0;
-    scatters = 0;
-    packed_mem = 0;
-    scalar_mem = 0;
-  }
+let empty_stats = Stats.empty
 
 (* -- execution caches --
 
@@ -68,16 +59,18 @@ type bexec = {
   blk : Pir.Func.block;  (** underlying block (name, terminator) *)
   all : Pir.Instr.instr array;  (** full instruction sequence *)
   costs : float array;
-      (** [Cost.of_instr] per instruction — static given the model and
-          the function's type table, so paid once instead of per
-          execution (the [Call] case scans strings) *)
+      (** charged cost per instruction, from [Cost.schedule_func] —
+          static given the model and the function's type table, so paid
+          once instead of per execution (the [Call] case scans strings) *)
   term_cost : float;
   nphis : int;  (** length of the phi prefix of [all] *)
   phi_cost_sum : float;  (** sum of [costs] over the phi prefix *)
   body_cost_sum : float;
       (** sum of [costs] past the phi prefix, plus [term_cost]: the
           static cost of one complete non-phi block execution, so the
-          profiler attributes a straight-line run in O(1) *)
+          serial engine (and the VM) charge a block in O(1) *)
+  n_vec_phi : int;  (** vector-typed phis (static, for block stats) *)
+  n_vec_body : int;  (** vector-typed non-phi instructions *)
   phis_by_pred : (string * operand option array) list;
       (** for each incoming label: the operand each phi in the prefix
           takes from that edge ([None] = phi lacks that edge) *)
@@ -141,23 +134,15 @@ let create ?(model = Cost.default) ?mem ?(fuel = 2_000_000_000) ?(profile = fals
   }
 
 let build_fexec model (f : Pir.Func.t) : fexec =
-  let operand_ty = Pir.Func.ty_of_operand f in
+  let scheds = Cost.schedule_func model f in
   let bexecs =
     List.map
       (fun (b : Pir.Func.block) ->
         let all = Array.of_list b.instrs in
-        let costs = Array.map (Cost.of_instr model ~operand_ty) all in
-        let term_cost = Cost.of_terminator model b.term in
-        let n = Array.length all in
-        let nphis =
-          let i = ref 0 in
-          while
-            !i < n && match all.(!i).op with Phi _ -> true | _ -> false
-          do
-            incr i
-          done;
-          !i
-        in
+        let sched : Cost.block_sched = Hashtbl.find scheds b.bname in
+        let costs = sched.cs_costs in
+        let term_cost = sched.cs_term in
+        let nphis = sched.cs_nphis in
         let preds =
           (* union of incoming labels across the phi prefix, in
              first-appearance order *)
@@ -183,20 +168,16 @@ let build_fexec model (f : Pir.Func.t) : fexec =
                     | _ -> assert false) ))
             preds
         in
-        let phi_cost_sum = ref 0.0 and body_cost_sum = ref term_cost in
-        Array.iteri
-          (fun j c ->
-            if j < nphis then phi_cost_sum := !phi_cost_sum +. c
-            else body_cost_sum := !body_cost_sum +. c)
-          costs;
         {
           blk = b;
           all;
           costs;
           term_cost;
           nphis;
-          phi_cost_sum = !phi_cost_sum;
-          body_cost_sum = !body_cost_sum;
+          phi_cost_sum = sched.cs_phi_sum;
+          body_cost_sum = sched.cs_body_sum;
+          n_vec_phi = sched.cs_nvec_phi;
+          n_vec_body = sched.cs_nvec_body;
           phis_by_pred;
           targets = Tnone;
           p_entries = 0;
@@ -266,6 +247,12 @@ let burn t =
   t.fuel <- t.fuel - 1;
   if t.fuel <= 0 then trap "out of fuel (infinite loop?)"
 
+(* block-granular fuel: the serial engine (and the VM, identically)
+   burns a whole block's instructions at once *)
+let burn_n t n =
+  t.fuel <- t.fuel - n;
+  if t.fuel <= 0 then trap "out of fuel (infinite loop?)"
+
 (* -- environments --
 
    The [get]/[oty] resolvers live in the environment so the interpreter
@@ -311,11 +298,12 @@ let active_lanes mask n =
   | Some (Value.VI m) -> Array.map (fun x -> x <> 0L) m
   | Some v -> trap "bad mask %a" Value.pp v
 
-(* Evaluate a block's phi prefix on entry from [prev_label], with the
-   same fuel/stat/cost accounting as [exec_instr] per phi.  Phis read
+(* Evaluate a block's phi prefix on entry from [prev_label].  Phis read
    their inputs simultaneously: all operands are evaluated before any
-   result is assigned. *)
-let exec_phis t (f : Pir.Func.t) env (be : bexec) ~prev_label =
+   result is assigned.  With [account] (the SPMD engine, which parks
+   mid-block), fuel/stat/cost accounting happens here per phi; the
+   serial engine accounts block-granularly in its run loop instead. *)
+let exec_phis t (f : Pir.Func.t) env (be : bexec) ~prev_label ~account =
   if be.nphis > 0 then begin
     let ops =
       match List.assoc_opt prev_label be.phis_by_pred with
@@ -327,11 +315,13 @@ let exec_phis t (f : Pir.Func.t) env (be : bexec) ~prev_label =
     let vals = Array.make be.nphis Value.Unit in
     for j = 0 to be.nphis - 1 do
       let i = be.all.(j) in
-      burn t;
-      t.stats.instrs <- t.stats.instrs + 1;
-      if Pir.Types.is_vector i.ty then
-        t.stats.vector_instrs <- t.stats.vector_instrs + 1;
-      if t.count_cost then charge t be.costs.(j);
+      if account then begin
+        burn t;
+        t.stats.instrs <- t.stats.instrs + 1;
+        if Pir.Types.is_vector i.ty then
+          t.stats.vector_instrs <- t.stats.vector_instrs + 1;
+        if t.count_cost then charge t be.costs.(j)
+      end;
       match ops.(j) with
       | Some o -> vals.(j) <- get_operand env o
       | None ->
@@ -341,24 +331,21 @@ let exec_phis t (f : Pir.Func.t) env (be : bexec) ~prev_label =
     for j = 0 to be.nphis - 1 do
       env.vals.(be.all.(j).id) <- vals.(j)
     done;
-    if t.profile then begin
+    if account && t.profile then begin
       be.p_instrs <- be.p_instrs + be.nphis;
       if t.count_cost then attr_cyc be be.phi_cost_sum
     end
   end
 
 (* -- instruction execution (shared by both engines) --
-   [exec_call] handles Call ops; everything else is interpreted here. *)
+   [exec_call] handles Call ops; everything else is interpreted here.
+   Fuel/instr/cycle accounting is the caller's job: the serial engine
+   accounts block-granularly, the SPMD engine per instruction. *)
 
-let rec exec_instr t (f : Pir.Func.t) env ~prev_label ~exec_call ~cost
+let rec exec_instr t (f : Pir.Func.t) env ~prev_label ~exec_call
     (i : instr) : Value.t =
   let get = env.get in
   let operand_ty = env.oty in
-  burn t;
-  t.stats.instrs <- t.stats.instrs + 1;
-  if Pir.Types.is_vector i.ty then
-    t.stats.vector_instrs <- t.stats.vector_instrs + 1;
-  if t.count_cost then charge t cost;
   match i.op with
   | Alloca (s, n) ->
       Value.I (Int64.of_int (Memory.alloc t.mem (Pir.Types.scalar_bytes s * n)))
@@ -506,22 +493,34 @@ and exec_func t (f : Pir.Func.t) (args : Value.t list) : Value.t =
       let frame = Memory.mark t.mem in
       let exec_call _instr name vargs = dispatch_call t name vargs in
       let rec run (be : bexec) prev_label =
-        exec_phis t f env be ~prev_label;
-        let all = be.all and costs = be.costs in
-        for k = be.nphis to Array.length all - 1 do
-          let i = Array.unsafe_get all k in
-          let v =
-            exec_instr t f env ~prev_label ~exec_call
-              ~cost:(Array.unsafe_get costs k) i
-          in
-          if i.ty <> Pir.Types.Void then env.vals.(i.id) <- v
-        done;
+        (* Block-granular accounting: the whole block's fuel, instruction
+           counts and cycle charges land up front, in the same order the
+           VM performs them, so both engines report bit-identical stats
+           and cycle totals for the same execution. *)
+        let all = be.all in
+        let nbody = Array.length all - be.nphis in
+        burn_n t (be.nphis + nbody);
+        t.stats.instrs <- t.stats.instrs + be.nphis + nbody;
+        t.stats.vector_instrs <-
+          t.stats.vector_instrs + be.n_vec_phi + be.n_vec_body;
+        if t.count_cost then begin
+          charge t be.phi_cost_sum;
+          charge t be.body_cost_sum
+        end;
         if t.profile then begin
           be.p_entries <- be.p_entries + 1;
-          be.p_instrs <- be.p_instrs + (Array.length all - be.nphis);
-          if t.count_cost then attr_cyc be be.body_cost_sum
+          be.p_instrs <- be.p_instrs + be.nphis + nbody;
+          if t.count_cost then begin
+            attr_cyc be be.phi_cost_sum;
+            attr_cyc be be.body_cost_sum
+          end
         end;
-        if t.count_cost then charge t be.term_cost;
+        exec_phis t f env be ~prev_label ~account:false;
+        for k = be.nphis to Array.length all - 1 do
+          let i = Array.unsafe_get all k in
+          let v = exec_instr t f env ~prev_label ~exec_call i in
+          if i.ty <> Pir.Types.Void then env.vals.(i.id) <- v
+        done;
         match be.blk.term with
         | Br _ -> (
             match be.targets with
@@ -613,7 +612,7 @@ and run_spmd_gang t (f : Pir.Func.t) (args : Value.t list) : Value.t =
       th.prev <- th.be.blk.bname;
       th.be <- nb;
       if t.profile then nb.p_entries <- nb.p_entries + 1;
-      exec_phis t f th.env nb ~prev_label:th.prev;
+      exec_phis t f th.env nb ~prev_label:th.prev ~account:true;
       th.idx <- nb.nphis
     in
     let continue = ref true in
@@ -621,13 +620,15 @@ and run_spmd_gang t (f : Pir.Func.t) (args : Value.t list) : Value.t =
       let all = th.be.all in
       if th.idx < Array.length all then begin
         let i = Array.unsafe_get all th.idx in
-        let v =
-          exec_instr t f th.env ~prev_label:th.prev ~exec_call
-            ~cost:(Array.unsafe_get th.be.costs th.idx) i
-        in
-        (* per-instruction attribution: SPMD threads park mid-block, so
+        (* per-instruction accounting: SPMD threads park mid-block, so
            the block-granular fast path of the serial engine would
            double-count on resume *)
+        burn t;
+        t.stats.instrs <- t.stats.instrs + 1;
+        if Pir.Types.is_vector i.ty then
+          t.stats.vector_instrs <- t.stats.vector_instrs + 1;
+        if t.count_cost then charge t (Array.unsafe_get th.be.costs th.idx);
+        let v = exec_instr t f th.env ~prev_label:th.prev ~exec_call i in
         if t.profile then begin
           th.be.p_instrs <- th.be.p_instrs + 1;
           if t.count_cost then
@@ -758,40 +759,12 @@ and run_spmd_gang t (f : Pir.Func.t) (args : Value.t list) : Value.t =
   Memory.release t.mem frame;
   Value.Unit
 
-(* execution statistics mirror into the metrics registry per top-level
-   [run], so a harness-wide [Pobs.Metrics.snapshot] totals simulator
-   work across every kernel and worker domain *)
-let m_instrs = Pobs.Metrics.counter "interp.instrs"
-
-let m_vector_instrs = Pobs.Metrics.counter "interp.vector_instrs"
-
-let m_mem_ops =
-  Pobs.Metrics.counter "interp.mem_ops"
-    ~help:"executed memory accesses by class (gather/scatter/packed/scalar)"
-
-let m_runs = Pobs.Metrics.counter "interp.runs"
-
-let m_cycles =
-  Pobs.Metrics.histogram "interp.run_cycles"
-    ~help:"simulated cycles per top-level Interp.run"
-
-let publish_stats ~(before : stats) (after : stats) =
-  let d f = f after - f before in
-  Pobs.Metrics.add m_instrs (d (fun s -> s.instrs));
-  Pobs.Metrics.add m_vector_instrs (d (fun s -> s.vector_instrs));
-  Pobs.Metrics.add ~labels:[ ("class", "gather") ] m_mem_ops (d (fun s -> s.gathers));
-  Pobs.Metrics.add ~labels:[ ("class", "scatter") ] m_mem_ops (d (fun s -> s.scatters));
-  Pobs.Metrics.add ~labels:[ ("class", "packed") ] m_mem_ops (d (fun s -> s.packed_mem));
-  Pobs.Metrics.add ~labels:[ ("class", "scalar") ] m_mem_ops (d (fun s -> s.scalar_mem));
-  Pobs.Metrics.incr m_runs;
-  Pobs.Metrics.observe m_cycles (after.cycles -. before.cycles)
-
 (** Run function [name] with [args]; returns its result. *)
 let run t name args =
-  let before = if Pobs.Metrics.enabled () then Some { t.stats with cycles = t.stats.cycles } else None in
+  let before = if Pobs.Metrics.enabled () then Some (Stats.copy t.stats) else None in
   let finish () =
     flush_cycles t;
-    Option.iter (fun b -> publish_stats ~before:b t.stats) before
+    Option.iter (fun b -> Stats.publish ~engine:"interp" ~before:b t.stats) before
   in
   match exec_func t (Pir.Func.find_func t.modul name) args with
   | v ->

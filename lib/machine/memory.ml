@@ -102,6 +102,55 @@ let store_float t (s : Pir.Types.scalar) addr (x : float) =
   | F64 -> Bytes.set_int64_le t.data addr (Int64.bits_of_float x)
   | _ -> Fmt.invalid_arg "Memory.store_float: %a" Pir.Types.pp (Pir.Types.Scalar s)
 
+(* -- Native-int scalar accessors (widths <= 32) --
+
+   The VM's unboxed register banks hold native [int]s; these accessors
+   skip the [int64] round-trip entirely (no boxed intermediates on the
+   non-flambda native compiler: 32-bit values move as two 16-bit
+   immediate reads/writes).  Loads return the canonical zero-extended
+   value, stores mask to the store width — bit-identical to
+   [load_int]/[store_int] over the same bytes. *)
+
+let[@inline] load_nat t (s : Pir.Types.scalar) addr : int =
+  check t addr (Pir.Types.scalar_bytes s) "load";
+  match s with
+  | I1 -> if Bytes.get_uint8 t.data addr <> 0 then 1 else 0
+  | I8 -> Bytes.get_uint8 t.data addr
+  | I16 -> Bytes.get_uint16_le t.data addr
+  | I32 ->
+      Bytes.get_uint16_le t.data addr
+      lor (Bytes.get_uint16_le t.data (addr + 2) lsl 16)
+  | I64 | F32 | F64 ->
+      Fmt.invalid_arg "Memory.load_nat: %a" Pir.Types.pp (Pir.Types.Scalar s)
+
+let[@inline] store_nat t (s : Pir.Types.scalar) addr (x : int) =
+  check t addr (Pir.Types.scalar_bytes s) "store";
+  match s with
+  | I1 -> Bytes.set_uint8 t.data addr (if x = 0 then 0 else 1)
+  | I8 -> Bytes.set_uint8 t.data addr (x land 0xFF)
+  | I16 -> Bytes.set_uint16_le t.data addr (x land 0xFFFF)
+  | I32 ->
+      Bytes.set_uint16_le t.data addr (x land 0xFFFF);
+      Bytes.set_uint16_le t.data (addr + 2) ((x lsr 16) land 0xFFFF)
+  | I64 | F32 | F64 ->
+      Fmt.invalid_arg "Memory.store_nat: %a" Pir.Types.pp (Pir.Types.Scalar s)
+
+let[@inline] load_f32 t addr : float =
+  check t addr 4 "load";
+  Int32.float_of_bits (Bytes.get_int32_le t.data addr)
+
+let[@inline] load_f64 t addr : float =
+  check t addr 8 "load";
+  Int64.float_of_bits (Bytes.get_int64_le t.data addr)
+
+let[@inline] store_f32 t addr (x : float) =
+  check t addr 4 "store";
+  Bytes.set_int32_le t.data addr (Int32.bits_of_float x)
+
+let[@inline] store_f64 t addr (x : float) =
+  check t addr 8 "store";
+  Bytes.set_int64_le t.data addr (Int64.bits_of_float x)
+
 (* -- Bulk helpers used by workload setup and result checking -- *)
 
 let write_bytes t addr (b : bytes) =

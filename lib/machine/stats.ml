@@ -1,0 +1,74 @@
+(** Execution statistics shared by every engine (tree-walking
+    interpreter, SPMD reference executor, bytecode VM), plus their
+    mirror into the metrics registry.
+
+    The registry series are named [exec.*]: they describe simulated
+    execution regardless of which engine produced it, and every series
+    carries an [engine] label so a snapshot can still tell the engines
+    apart. *)
+
+type t = {
+  mutable cycles : float;
+  mutable instrs : int;
+  mutable vector_instrs : int;
+  mutable gathers : int;
+  mutable scatters : int;
+  mutable packed_mem : int;
+  mutable scalar_mem : int;
+}
+
+let empty () =
+  {
+    cycles = 0.0;
+    instrs = 0;
+    vector_instrs = 0;
+    gathers = 0;
+    scatters = 0;
+    packed_mem = 0;
+    scalar_mem = 0;
+  }
+
+let copy (s : t) = { s with cycles = s.cycles }
+
+(* execution statistics mirror into the metrics registry per top-level
+   run, so a harness-wide [Pobs.Metrics.snapshot] totals simulator work
+   across every kernel and worker domain *)
+let m_instrs = Pobs.Metrics.counter "exec.instrs"
+
+let m_vector_instrs = Pobs.Metrics.counter "exec.vector_instrs"
+
+let m_mem_ops =
+  Pobs.Metrics.counter "exec.mem_ops"
+    ~help:"executed memory accesses by class (gather/scatter/packed/scalar)"
+
+let m_runs = Pobs.Metrics.counter "exec.runs"
+
+let m_cycles =
+  Pobs.Metrics.histogram "exec.run_cycles"
+    ~help:"simulated cycles per top-level run"
+
+(** Publish the delta between two snapshots under [engine]
+    (["interp"] or ["vm"]). *)
+let publish ~engine ~(before : t) (after : t) =
+  let e = [ ("engine", engine) ] in
+  let d f = f after - f before in
+  Pobs.Metrics.add ~labels:e m_instrs (d (fun s -> s.instrs));
+  Pobs.Metrics.add ~labels:e m_vector_instrs (d (fun s -> s.vector_instrs));
+  Pobs.Metrics.add
+    ~labels:(("class", "gather") :: e)
+    m_mem_ops
+    (d (fun s -> s.gathers));
+  Pobs.Metrics.add
+    ~labels:(("class", "scatter") :: e)
+    m_mem_ops
+    (d (fun s -> s.scatters));
+  Pobs.Metrics.add
+    ~labels:(("class", "packed") :: e)
+    m_mem_ops
+    (d (fun s -> s.packed_mem));
+  Pobs.Metrics.add
+    ~labels:(("class", "scalar") :: e)
+    m_mem_ops
+    (d (fun s -> s.scalar_mem));
+  Pobs.Metrics.incr ~labels:e m_runs;
+  Pobs.Metrics.observe ~labels:e m_cycles (after.cycles -. before.cycles)

@@ -1,0 +1,1201 @@
+(** Register-VM execution engine: runs [Bc] code.
+
+    The VM embeds an [Interp.t] and shares its memory, statistics,
+    cycle accumulator and fuel, so the two engines are interchangeable
+    mid-module: calls to SPMD-annotated functions delegate to the
+    interpreter's reference gang executor, nested serial calls made
+    from inside that executor run on the interpreter, and every
+    accounting path lands in the same accumulators.  Both engines
+    charge the block-granular sums of [Cost.schedule_func] in the same
+    order, so a run produces bit-identical cycle totals and statistics
+    under either engine.
+
+    The dispatch loop is a tail-recursive walk of the instruction
+    array: one match per instruction, absolute jumps, no hashtable
+    lookups.  Scalar integer and float traffic stays in the frame's
+    unboxed banks — the match arms below compute native results
+    in-place, so the scalar hot path (the vast majority of executed
+    instructions on the benchmark suites) allocates nothing.  Register
+    frames are pooled per compiled function and reused across calls
+    (recursion pops fresh frames as needed); constants live in
+    dedicated bank slots written once when a frame is first built.
+
+    The VM performs no per-block profiling — [psimc profile] falls
+    back to the interpreter for block-level attribution. *)
+
+open Pir.Instr
+
+type t = {
+  it : Interp.t;  (** shared memory / stats / cycles / fuel *)
+  codes : (string, Bc.code) Hashtbl.t;
+}
+
+let create ?model ?mem ?fuel modul =
+  { it = Interp.create ?model ?mem ?fuel modul; codes = Hashtbl.create 16 }
+
+(** The interpreter wrapped by [t]: shares all accumulators, usable
+    directly as the differential oracle's twin. *)
+let interp t = t.it
+
+let stats t = t.it.Interp.stats
+
+let mem t = t.it.Interp.mem
+
+(* float<->bits conversions on the unboxed external chain: [round32]
+   reproduces [Value.round_float F32] without leaving float registers *)
+external f32_bits : float -> int32
+  = "caml_int32_bits_of_float" "caml_int32_bits_of_float_unboxed"
+[@@unboxed] [@@noalloc]
+
+external f32_of_bits : int32 -> float
+  = "caml_int32_float_of_bits" "caml_int32_float_of_bits_unboxed"
+[@@unboxed] [@@noalloc]
+
+let[@inline] round32 x = f32_of_bits (f32_bits x)
+
+(* destination arrays for the vector lane loops.  A non-negative dst
+   allocates fresh and publishes the wrapper afterwards ([fin_*]); a
+   negative dst is a private register ([Bc.c_priv]): the slot already
+   holds the frame's preallocated wrapper, lanes are overwritten in
+   place and nothing is published.  The shape guard turns ill-typed IR
+   into a trap instead of an out-of-bounds lane write. *)
+let[@inline] dst_vi (fr : Bc.frame) (d : int) (n : int) : int64 array =
+  if d >= 0 then Array.make n 0L
+  else
+    match Array.unsafe_get fr.Bc.regs (lnot d) with
+    | Value.VI r when Array.length r = n -> r
+    | v -> Fmt.invalid_arg "Vm.private: %a" Value.pp v
+
+let[@inline] dst_vf (fr : Bc.frame) (d : int) (n : int) : float array =
+  if d >= 0 then Array.make n 0.0
+  else
+    match Array.unsafe_get fr.Bc.regs (lnot d) with
+    | Value.VF r when Array.length r = n -> r
+    | v -> Fmt.invalid_arg "Vm.private: %a" Value.pp v
+
+let[@inline] fin_vi (fr : Bc.frame) (d : int) (r : int64 array) =
+  if d >= 0 then Array.unsafe_set fr.Bc.regs d (Value.VI r)
+
+let[@inline] fin_vf (fr : Bc.frame) (d : int) (r : float array) =
+  if d >= 0 then Array.unsafe_set fr.Bc.regs d (Value.VF r)
+
+(* -- dispatch loop -- *)
+
+let rec exec t (c : Bc.code) (fr : Bc.frame) (pc : int) : Value.t =
+  match Array.unsafe_get c.c_insts pc with
+  | Bc.Acct a ->
+      let it = t.it in
+      Interp.burn_n it a.a_n;
+      let s = it.Interp.stats in
+      s.instrs <- s.instrs + a.a_n;
+      s.vector_instrs <- s.vector_instrs + a.a_vec;
+      if it.Interp.count_cost then begin
+        Interp.charge it a.a_phi;
+        Interp.charge it a.a_body
+      end;
+      exec t c fr (pc + 1)
+  | Bc.IBin (k, w, d, a, b) ->
+      let ir = fr.iregs in
+      Array.unsafe_set ir d
+        (Bc.ibin_nat k w (Array.unsafe_get ir a) (Array.unsafe_get ir b));
+      exec t c fr (pc + 1)
+  | Bc.IUn (k, w, d, a) ->
+      let ir = fr.iregs in
+      Array.unsafe_set ir d (Bc.iun_nat k w (Array.unsafe_get ir a));
+      exec t c fr (pc + 1)
+  | Bc.ICmp (p, w, d, a, b) ->
+      let ir = fr.iregs in
+      Array.unsafe_set ir d
+        (if Bc.icmp_nat p w (Array.unsafe_get ir a) (Array.unsafe_get ir b)
+         then 1
+         else 0);
+      exec t c fr (pc + 1)
+  | Bc.FBin (k, r32, d, a, b) ->
+      let fregs = fr.fregs in
+      let x = Array.unsafe_get fregs a and y = Array.unsafe_get fregs b in
+      let x = if r32 then round32 x else x
+      and y = if r32 then round32 y else y in
+      let r =
+        match k with
+        | FAdd -> x +. y
+        | FSub -> x -. y
+        | FMul -> x *. y
+        | FDiv -> x /. y
+        | FMin -> Float.min x y
+        | FMax -> Float.max x y
+      in
+      Array.unsafe_set fregs d (if r32 then round32 r else r);
+      exec t c fr (pc + 1)
+  | Bc.FUn (k, r32, d, a) ->
+      let fregs = fr.fregs in
+      let x = Array.unsafe_get fregs a in
+      let x = if r32 then round32 x else x in
+      let r =
+        match k with
+        | FNeg -> -.x
+        | FAbs -> Float.abs x
+        | FSqrt -> sqrt x
+        | FFloor -> Float.floor x
+        | FCeil -> Float.ceil x
+      in
+      Array.unsafe_set fregs d (if r32 then round32 r else r);
+      exec t c fr (pc + 1)
+  | Bc.FCmp (p, d, a, b) ->
+      (* raw comparisons, no rounding: [Eval.fcmp_fn] parity *)
+      let fregs = fr.fregs in
+      let x = Array.unsafe_get fregs a and y = Array.unsafe_get fregs b in
+      let r =
+        match p with
+        | Oeq -> x = y
+        | One -> x < y || x > y
+        | Olt -> x < y
+        | Ole -> x <= y
+        | Ogt -> x > y
+        | Oge -> x >= y
+      in
+      Array.unsafe_set fr.iregs d (if r then 1 else 0);
+      exec t c fr (pc + 1)
+  | Bc.SelI (d, cnd, a, b) ->
+      let ir = fr.iregs in
+      Array.unsafe_set ir d
+        (if Array.unsafe_get ir cnd <> 0 then Array.unsafe_get ir a
+         else Array.unsafe_get ir b);
+      exec t c fr (pc + 1)
+  | Bc.SelF (d, cnd, a, b) ->
+      Array.unsafe_set fr.fregs d
+        (if Array.unsafe_get fr.iregs cnd <> 0 then
+           Array.unsafe_get fr.fregs a
+         else Array.unsafe_get fr.fregs b);
+      exec t c fr (pc + 1)
+  | Bc.MovI (d, a) ->
+      Array.unsafe_set fr.iregs d (Array.unsafe_get fr.iregs a);
+      exec t c fr (pc + 1)
+  | Bc.MovF (d, a) ->
+      Array.unsafe_set fr.fregs d (Array.unsafe_get fr.fregs a);
+      exec t c fr (pc + 1)
+  | Bc.CastII (k, ws, wd, d, a) ->
+      let x = Array.unsafe_get fr.iregs a in
+      let r =
+        match k with
+        | Trunc -> x land Bc.mask_nat wd
+        | ZExt -> x land Bc.mask_nat ws
+        | SExt -> Bc.sext_nat ws x land Bc.mask_nat wd
+        | _ -> assert false
+      in
+      Array.unsafe_set fr.iregs d r;
+      exec t c fr (pc + 1)
+  | Bc.CastIF (signed, ws, r32, d, a) ->
+      let x = Array.unsafe_get fr.iregs a in
+      let f =
+        if signed then float_of_int (Bc.sext_nat ws x)
+        else float_of_int (x land Bc.mask_nat ws)
+      in
+      Array.unsafe_set fr.fregs d (if r32 then round32 f else f);
+      exec t c fr (pc + 1)
+  | Bc.CastFI (signed, wd, d, a) ->
+      let x = Float.trunc (Array.unsafe_get fr.fregs a) in
+      let v =
+        if x <> x || ((not signed) && x < 0.0) then 0 else int_of_float x
+      in
+      Array.unsafe_set fr.iregs d (v land Bc.mask_nat wd);
+      exec t c fr (pc + 1)
+  | Bc.CastFF (r32, d, a) ->
+      let x = Array.unsafe_get fr.fregs a in
+      Array.unsafe_set fr.fregs d (if r32 then round32 x else x);
+      exec t c fr (pc + 1)
+  | Bc.BcastIF (d, a) ->
+      Array.unsafe_set fr.fregs d
+        (f32_of_bits (Int32.of_int (Array.unsafe_get fr.iregs a)));
+      exec t c fr (pc + 1)
+  | Bc.BcastFI (d, a) ->
+      Array.unsafe_set fr.iregs d
+        (Int32.to_int (f32_bits (Array.unsafe_get fr.fregs a))
+        land 0xFFFFFFFF);
+      exec t c fr (pc + 1)
+  | Bc.GepN (esz, iw, d, base, ix) ->
+      let ir = fr.iregs in
+      Array.unsafe_set ir d
+        (Array.unsafe_get ir base
+        + (Bc.sext_nat iw (Array.unsafe_get ir ix) * esz));
+      exec t c fr (pc + 1)
+  | Bc.AllocaN (bytes, d) ->
+      Array.unsafe_set fr.iregs d (Memory.alloc t.it.Interp.mem bytes);
+      exec t c fr (pc + 1)
+  | Bc.LdN (s, d, addr) ->
+      let st = t.it.Interp.stats in
+      st.scalar_mem <- st.scalar_mem + 1;
+      Array.unsafe_set fr.iregs d
+        (Memory.load_nat t.it.Interp.mem s (Array.unsafe_get fr.iregs addr));
+      exec t c fr (pc + 1)
+  | Bc.LdF32 (d, addr) ->
+      let st = t.it.Interp.stats in
+      st.scalar_mem <- st.scalar_mem + 1;
+      Array.unsafe_set fr.fregs d
+        (Memory.load_f32 t.it.Interp.mem (Array.unsafe_get fr.iregs addr));
+      exec t c fr (pc + 1)
+  | Bc.LdF64 (d, addr) ->
+      let st = t.it.Interp.stats in
+      st.scalar_mem <- st.scalar_mem + 1;
+      Array.unsafe_set fr.fregs d
+        (Memory.load_f64 t.it.Interp.mem (Array.unsafe_get fr.iregs addr));
+      exec t c fr (pc + 1)
+  | Bc.StN (s, src, addr) ->
+      let st = t.it.Interp.stats in
+      st.scalar_mem <- st.scalar_mem + 1;
+      Memory.store_nat t.it.Interp.mem s
+        (Array.unsafe_get fr.iregs addr)
+        (Array.unsafe_get fr.iregs src);
+      exec t c fr (pc + 1)
+  | Bc.StF32 (src, addr) ->
+      let st = t.it.Interp.stats in
+      st.scalar_mem <- st.scalar_mem + 1;
+      Memory.store_f32 t.it.Interp.mem
+        (Array.unsafe_get fr.iregs addr)
+        (Array.unsafe_get fr.fregs src);
+      exec t c fr (pc + 1)
+  | Bc.StF64 (src, addr) ->
+      let st = t.it.Interp.stats in
+      st.scalar_mem <- st.scalar_mem + 1;
+      Memory.store_f64 t.it.Interp.mem
+        (Array.unsafe_get fr.iregs addr)
+        (Array.unsafe_get fr.fregs src);
+      exec t c fr (pc + 1)
+  | Bc.IBin64 (k, d, a, b) ->
+      let lr = fr.lregs in
+      Array.unsafe_set lr d
+        (Bc.ibin64 k (Array.unsafe_get lr a) (Array.unsafe_get lr b));
+      exec t c fr (pc + 1)
+  | Bc.IUn64 (k, d, a) ->
+      let lr = fr.lregs in
+      Array.unsafe_set lr d (Bc.iun64 k (Array.unsafe_get lr a));
+      exec t c fr (pc + 1)
+  | Bc.ICmp64 (p, d, a, b) ->
+      let lr = fr.lregs in
+      Array.unsafe_set fr.iregs d
+        (if Bc.icmp64 p (Array.unsafe_get lr a) (Array.unsafe_get lr b) then 1
+         else 0);
+      exec t c fr (pc + 1)
+  | Bc.Sel64 (d, cnd, a, b) ->
+      let lr = fr.lregs in
+      Array.unsafe_set lr d
+        (if Array.unsafe_get fr.iregs cnd <> 0 then Array.unsafe_get lr a
+         else Array.unsafe_get lr b);
+      exec t c fr (pc + 1)
+  | Bc.Mov64 (d, a) ->
+      Array.unsafe_set fr.lregs d (Array.unsafe_get fr.lregs a);
+      exec t c fr (pc + 1)
+  | Bc.Bcast64IF (d, a) ->
+      Array.unsafe_set fr.fregs d
+        (Int64.float_of_bits (Array.unsafe_get fr.lregs a));
+      exec t c fr (pc + 1)
+  | Bc.Bcast64FI (d, a) ->
+      Array.unsafe_set fr.lregs d
+        (Int64.bits_of_float (Array.unsafe_get fr.fregs a));
+      exec t c fr (pc + 1)
+  | Bc.Cast64Trunc (wd, d, a) ->
+      Array.unsafe_set fr.iregs d
+        (Int64.to_int (Array.unsafe_get fr.lregs a) land Bc.mask_nat wd);
+      exec t c fr (pc + 1)
+  | Bc.CastZ64 (ws, d, a) ->
+      Array.unsafe_set fr.lregs d
+        (Int64.of_int (Array.unsafe_get fr.iregs a land Bc.mask_nat ws));
+      exec t c fr (pc + 1)
+  | Bc.CastS64 (ws, d, a) ->
+      Array.unsafe_set fr.lregs d
+        (Int64.of_int (Bc.sext_nat ws (Array.unsafe_get fr.iregs a)));
+      exec t c fr (pc + 1)
+  | Bc.Cast64IF (signed, r32, d, a) ->
+      let x = Array.unsafe_get fr.lregs a in
+      (* [Eval.cast_scalar] parity: unsigned values past 2^63 go
+         through the additive correction *)
+      let f =
+        if signed || x >= 0L then Int64.to_float x
+        else Int64.to_float x +. 18446744073709551616.0
+      in
+      Array.unsafe_set fr.fregs d (if r32 then round32 f else f);
+      exec t c fr (pc + 1)
+  | Bc.CastFI64 (signed, d, a) ->
+      let x = Float.trunc (Array.unsafe_get fr.fregs a) in
+      let v =
+        if x <> x || ((not signed) && x < 0.0) then 0L else Int64.of_float x
+      in
+      Array.unsafe_set fr.lregs d v;
+      exec t c fr (pc + 1)
+  | Bc.Gep64 (esz, d, base, ix) ->
+      Array.unsafe_set fr.iregs d
+        (Array.unsafe_get fr.iregs base
+        + (Int64.to_int (Array.unsafe_get fr.lregs ix) * esz));
+      exec t c fr (pc + 1)
+  | Bc.Ld64 (d, addr) ->
+      let st = t.it.Interp.stats in
+      st.scalar_mem <- st.scalar_mem + 1;
+      Array.unsafe_set fr.lregs d
+        (Memory.load_int t.it.Interp.mem Pir.Types.I64
+           (Array.unsafe_get fr.iregs addr));
+      exec t c fr (pc + 1)
+  | Bc.St64 (src, addr) ->
+      let st = t.it.Interp.stats in
+      st.scalar_mem <- st.scalar_mem + 1;
+      Memory.store_int t.it.Interp.mem Pir.Types.I64
+        (Array.unsafe_get fr.iregs addr)
+        (Array.unsafe_get fr.lregs src);
+      exec t c fr (pc + 1)
+  | Bc.VIBinN (k, w, d, a, b) ->
+      (match (Array.unsafe_get fr.regs a, Array.unsafe_get fr.regs b) with
+      | Value.VI x, Value.VI y ->
+          let n = Array.length x in
+          let r = dst_vi fr d n in
+          for l = 0 to n - 1 do
+            Array.unsafe_set r l
+              (Bc.box64
+                 (Bc.ibin_nat k w
+                    (Int64.to_int (Array.unsafe_get x l))
+                    (Int64.to_int (Array.unsafe_get y l))))
+          done;
+          fin_vi fr d r
+      | va, vb -> Fmt.invalid_arg "Eval.map2v: %a, %a" Value.pp va Value.pp vb);
+      exec t c fr (pc + 1)
+  | Bc.VIBin64 (k, d, a, b) ->
+      (match (Array.unsafe_get fr.regs a, Array.unsafe_get fr.regs b) with
+      | Value.VI x, Value.VI y ->
+          let n = Array.length x in
+          let r = dst_vi fr d n in
+          for l = 0 to n - 1 do
+            Array.unsafe_set r l
+              (Bc.ibin64 k (Array.unsafe_get x l) (Array.unsafe_get y l))
+          done;
+          fin_vi fr d r
+      | va, vb -> Fmt.invalid_arg "Eval.map2v: %a, %a" Value.pp va Value.pp vb);
+      exec t c fr (pc + 1)
+  | Bc.VIUnN (k, w, d, a) ->
+      (match Array.unsafe_get fr.regs a with
+      | Value.VI x ->
+          let n = Array.length x in
+          let r = dst_vi fr d n in
+          for l = 0 to n - 1 do
+            Array.unsafe_set r l
+              (Bc.box64
+                 (Bc.iun_nat k w (Int64.to_int (Array.unsafe_get x l))))
+          done;
+          fin_vi fr d r
+      | v -> Fmt.invalid_arg "Eval.iun: %a" Value.pp v);
+      exec t c fr (pc + 1)
+  | Bc.VIUn64 (k, d, a) ->
+      (match Array.unsafe_get fr.regs a with
+      | Value.VI x ->
+          let n = Array.length x in
+          let r = dst_vi fr d n in
+          for l = 0 to n - 1 do
+            Array.unsafe_set r l (Bc.iun64 k (Array.unsafe_get x l))
+          done;
+          fin_vi fr d r
+      | v -> Fmt.invalid_arg "Eval.iun: %a" Value.pp v);
+      exec t c fr (pc + 1)
+  | Bc.VICmpN (p, w, d, a, b) ->
+      (match (Array.unsafe_get fr.regs a, Array.unsafe_get fr.regs b) with
+      | Value.VI x, Value.VI y ->
+          let n = Array.length x in
+          let r = dst_vi fr d n in
+          for l = 0 to n - 1 do
+            Array.unsafe_set r l
+              (if
+                 Bc.icmp_nat p w
+                   (Int64.to_int (Array.unsafe_get x l))
+                   (Int64.to_int (Array.unsafe_get y l))
+               then 1L
+               else 0L)
+          done;
+          fin_vi fr d r
+      | va, vb -> Fmt.invalid_arg "Eval.icmp: %a, %a" Value.pp va Value.pp vb);
+      exec t c fr (pc + 1)
+  | Bc.VICmp64 (p, d, a, b) ->
+      (match (Array.unsafe_get fr.regs a, Array.unsafe_get fr.regs b) with
+      | Value.VI x, Value.VI y ->
+          let n = Array.length x in
+          let r = dst_vi fr d n in
+          for l = 0 to n - 1 do
+            Array.unsafe_set r l
+              (if Bc.icmp64 p (Array.unsafe_get x l) (Array.unsafe_get y l)
+               then 1L
+               else 0L)
+          done;
+          fin_vi fr d r
+      | va, vb -> Fmt.invalid_arg "Eval.icmp: %a, %a" Value.pp va Value.pp vb);
+      exec t c fr (pc + 1)
+  | Bc.VFBinN (k, r32, d, a, b) ->
+      (match (Array.unsafe_get fr.regs a, Array.unsafe_get fr.regs b) with
+      | Value.VF x, Value.VF y ->
+          let n = Array.length x in
+          let r = dst_vf fr d n in
+          if r32 then
+            for l = 0 to n - 1 do
+              let xa = round32 (Array.unsafe_get x l)
+              and xb = round32 (Array.unsafe_get y l) in
+              let v =
+                match k with
+                | FAdd -> xa +. xb
+                | FSub -> xa -. xb
+                | FMul -> xa *. xb
+                | FDiv -> xa /. xb
+                | FMin -> Float.min xa xb
+                | FMax -> Float.max xa xb
+              in
+              Array.unsafe_set r l (round32 v)
+            done
+          else
+            for l = 0 to n - 1 do
+              let xa = Array.unsafe_get x l and xb = Array.unsafe_get y l in
+              Array.unsafe_set r l
+                (match k with
+                | FAdd -> xa +. xb
+                | FSub -> xa -. xb
+                | FMul -> xa *. xb
+                | FDiv -> xa /. xb
+                | FMin -> Float.min xa xb
+                | FMax -> Float.max xa xb)
+            done;
+          fin_vf fr d r
+      | va, vb -> Fmt.invalid_arg "Eval.fbin: %a, %a" Value.pp va Value.pp vb);
+      exec t c fr (pc + 1)
+  | Bc.VFUnN (k, r32, d, a) ->
+      (match Array.unsafe_get fr.regs a with
+      | Value.VF x ->
+          let n = Array.length x in
+          let r = dst_vf fr d n in
+          if r32 then
+            for l = 0 to n - 1 do
+              let xa = round32 (Array.unsafe_get x l) in
+              let v =
+                match k with
+                | FNeg -> -.xa
+                | FAbs -> Float.abs xa
+                | FSqrt -> sqrt xa
+                | FFloor -> Float.floor xa
+                | FCeil -> Float.ceil xa
+              in
+              Array.unsafe_set r l (round32 v)
+            done
+          else
+            for l = 0 to n - 1 do
+              let xa = Array.unsafe_get x l in
+              Array.unsafe_set r l
+                (match k with
+                | FNeg -> -.xa
+                | FAbs -> Float.abs xa
+                | FSqrt -> sqrt xa
+                | FFloor -> Float.floor xa
+                | FCeil -> Float.ceil xa)
+            done;
+          fin_vf fr d r
+      | v -> Fmt.invalid_arg "Eval.fun: %a" Value.pp v);
+      exec t c fr (pc + 1)
+  | Bc.VFCmpN (p, d, a, b) ->
+      (* raw comparisons, no rounding: [Eval.fcmp_fn] parity *)
+      (match (Array.unsafe_get fr.regs a, Array.unsafe_get fr.regs b) with
+      | Value.VF x, Value.VF y ->
+          let n = Array.length x in
+          let r = dst_vi fr d n in
+          for l = 0 to n - 1 do
+            let xa = Array.unsafe_get x l and xb = Array.unsafe_get y l in
+            Array.unsafe_set r l
+              (if
+                 match p with
+                 | Oeq -> xa = xb
+                 | One -> xa < xb || xa > xb
+                 | Olt -> xa < xb
+                 | Ole -> xa <= xb
+                 | Ogt -> xa > xb
+                 | Oge -> xa >= xb
+               then 1L
+               else 0L)
+          done;
+          fin_vi fr d r
+      | va, vb -> Fmt.invalid_arg "Eval.fcmp: %a, %a" Value.pp va Value.pp vb);
+      exec t c fr (pc + 1)
+  | Bc.VCastIIN (k, ws, wd, d, a) ->
+      (match Array.unsafe_get fr.regs a with
+      | Value.VI x ->
+          let n = Array.length x in
+          let r = dst_vi fr d n in
+          for l = 0 to n - 1 do
+            let xi = Int64.to_int (Array.unsafe_get x l) in
+            let v =
+              match k with
+              | Trunc -> xi land Bc.mask_nat wd
+              | ZExt -> xi land Bc.mask_nat ws
+              | SExt -> Bc.sext_nat ws xi land Bc.mask_nat wd
+              | _ -> assert false
+            in
+            Array.unsafe_set r l (Bc.box64 v)
+          done;
+          fin_vi fr d r
+      | v -> Fmt.invalid_arg "Eval.cast: %a" Value.pp v);
+      exec t c fr (pc + 1)
+  | Bc.VCastIFN (signed, ws, r32, d, a) ->
+      (match Array.unsafe_get fr.regs a with
+      | Value.VI x ->
+          let n = Array.length x in
+          let r = dst_vf fr d n in
+          for l = 0 to n - 1 do
+            let xi = Int64.to_int (Array.unsafe_get x l) in
+            let f =
+              if signed then float_of_int (Bc.sext_nat ws xi)
+              else float_of_int (xi land Bc.mask_nat ws)
+            in
+            Array.unsafe_set r l (if r32 then round32 f else f)
+          done;
+          fin_vf fr d r
+      | v -> Fmt.invalid_arg "Eval.cast: %a" Value.pp v);
+      exec t c fr (pc + 1)
+  | Bc.VCastFIN (signed, wd, d, a) ->
+      (match Array.unsafe_get fr.regs a with
+      | Value.VF x ->
+          let n = Array.length x in
+          let r = dst_vi fr d n in
+          for l = 0 to n - 1 do
+            let xf = Float.trunc (Array.unsafe_get x l) in
+            let v =
+              if xf <> xf || ((not signed) && xf < 0.0) then 0
+              else int_of_float xf
+            in
+            Array.unsafe_set r l (Bc.box64 (v land Bc.mask_nat wd))
+          done;
+          fin_vi fr d r
+      | v -> Fmt.invalid_arg "Eval.cast: %a" Value.pp v);
+      exec t c fr (pc + 1)
+  | Bc.VCastFFN (r32, d, a) ->
+      (match Array.unsafe_get fr.regs a with
+      | Value.VF x ->
+          let n = Array.length x in
+          let r = dst_vf fr d n in
+          for l = 0 to n - 1 do
+            let xf = Array.unsafe_get x l in
+            Array.unsafe_set r l (if r32 then round32 xf else xf)
+          done;
+          fin_vf fr d r
+      | v -> Fmt.invalid_arg "Eval.cast: %a" Value.pp v);
+      exec t c fr (pc + 1)
+  | Bc.VShuffle (sidx, d, a, b) ->
+      (* lane table entries: -1 selects zero, [0, na) picks from [a],
+         the rest from [b]; lane reads stay bounds-checked ([Eval]
+         parity on malformed tables) *)
+      (match (Array.unsafe_get fr.regs a, Array.unsafe_get fr.regs b) with
+      | Value.VI x, Value.VI y ->
+          let na = Array.length x in
+          let n = Array.length sidx in
+          let r = dst_vi fr d n in
+          for l = 0 to n - 1 do
+            let k = Array.unsafe_get sidx l in
+            Array.unsafe_set r l
+              (if k = -1 then 0L else if k < na then x.(k) else y.(k - na))
+          done;
+          fin_vi fr d r
+      | Value.VF x, Value.VF y ->
+          let na = Array.length x in
+          let n = Array.length sidx in
+          let r = dst_vf fr d n in
+          for l = 0 to n - 1 do
+            let k = Array.unsafe_get sidx l in
+            Array.unsafe_set r l
+              (if k = -1 then 0.0 else if k < na then x.(k) else y.(k - na))
+          done;
+          fin_vf fr d r
+      | va, vb ->
+          Fmt.invalid_arg "Eval.shuffle: %a, %a" Value.pp va Value.pp vb);
+      exec t c fr (pc + 1)
+  | Bc.VShuffleDyn (d, a, ix) ->
+      (* out-of-range indices wrap modulo the lane count (power-of-two
+         gangs): [Eval] parity *)
+      let idxv = Value.as_ivec (Array.unsafe_get fr.regs ix) in
+      let n = Array.length idxv in
+      let nm1 = Int64.of_int (n - 1) in
+      (match Array.unsafe_get fr.regs a with
+      | Value.VI x ->
+          let r = dst_vi fr d n in
+          for l = 0 to n - 1 do
+            Array.unsafe_set r l
+              x.(Int64.to_int (Int64.logand (Array.unsafe_get idxv l) nm1)
+                 mod n)
+          done;
+          fin_vi fr d r
+      | Value.VF x ->
+          let r = dst_vf fr d n in
+          for l = 0 to n - 1 do
+            Array.unsafe_set r l
+              x.(Int64.to_int (Int64.logand (Array.unsafe_get idxv l) nm1)
+                 mod n)
+          done;
+          fin_vf fr d r
+      | v -> Fmt.invalid_arg "Eval.shuffle_dyn: %a" Value.pp v);
+      exec t c fr (pc + 1)
+  | Bc.VSel (d, cm, a, b) ->
+      (match
+         ( Array.unsafe_get fr.regs cm,
+           Array.unsafe_get fr.regs a,
+           Array.unsafe_get fr.regs b )
+       with
+      | Value.VI mask, Value.VI x, Value.VI y ->
+          let n = Array.length x in
+          let r = dst_vi fr d n in
+          for l = 0 to n - 1 do
+            Array.unsafe_set r l
+              (if Array.unsafe_get mask l <> 0L then Array.unsafe_get x l
+               else Array.unsafe_get y l)
+          done;
+          fin_vi fr d r
+      | Value.VI mask, Value.VF x, Value.VF y ->
+          let n = Array.length x in
+          let r = dst_vf fr d n in
+          for l = 0 to n - 1 do
+            Array.unsafe_set r l
+              (if Array.unsafe_get mask l <> 0L then Array.unsafe_get x l
+               else Array.unsafe_get y l)
+          done;
+          fin_vf fr d r
+      | _, va, vb ->
+          Fmt.invalid_arg "Eval.select: %a, %a" Value.pp va Value.pp vb);
+      exec t c fr (pc + 1)
+  | Bc.VSplatI (n, d, a) ->
+      let v = Bc.box64 (Array.unsafe_get fr.iregs a) in
+      let r = dst_vi fr d n in
+      Array.fill r 0 n v;
+      fin_vi fr d r;
+      exec t c fr (pc + 1)
+  | Bc.VSplatL (n, d, a) ->
+      let v = Array.unsafe_get fr.lregs a in
+      let r = dst_vi fr d n in
+      Array.fill r 0 n v;
+      fin_vi fr d r;
+      exec t c fr (pc + 1)
+  | Bc.VSplatF (n, d, a) ->
+      let v = Array.unsafe_get fr.fregs a in
+      let r = dst_vf fr d n in
+      Array.fill r 0 n v;
+      fin_vf fr d r;
+      exec t c fr (pc + 1)
+  | Bc.VLdV (s, esz, n, d, rp, rm) ->
+      let st = t.it.Interp.stats in
+      st.packed_mem <- st.packed_mem + 1;
+      let mem = t.it.Interp.mem in
+      let base = Array.unsafe_get fr.iregs rp in
+      (if Pir.Types.is_float_scalar s then begin
+         let r = dst_vf fr d n in
+         (if rm < 0 then
+            for l = 0 to n - 1 do
+              Array.unsafe_set r l (Memory.load_float mem s (base + (l * esz)))
+            done
+          else
+            let act = Value.as_ivec (Array.unsafe_get fr.regs rm) in
+            for l = 0 to n - 1 do
+              Array.unsafe_set r l
+                (if Array.unsafe_get act l <> 0L then
+                   Memory.load_float mem s (base + (l * esz))
+                 else 0.0)
+            done);
+         fin_vf fr d r
+       end
+       else if s = Pir.Types.I64 then begin
+         let r = dst_vi fr d n in
+         (if rm < 0 then
+            for l = 0 to n - 1 do
+              Array.unsafe_set r l (Memory.load_int mem s (base + (l * esz)))
+            done
+          else
+            let act = Value.as_ivec (Array.unsafe_get fr.regs rm) in
+            for l = 0 to n - 1 do
+              Array.unsafe_set r l
+                (if Array.unsafe_get act l <> 0L then
+                   Memory.load_int mem s (base + (l * esz))
+                 else 0L)
+            done);
+         fin_vi fr d r
+       end
+       else begin
+         let r = dst_vi fr d n in
+         (if rm < 0 then
+            for l = 0 to n - 1 do
+              Array.unsafe_set r l
+                (Bc.box64 (Memory.load_nat mem s (base + (l * esz))))
+            done
+          else
+            let act = Value.as_ivec (Array.unsafe_get fr.regs rm) in
+            for l = 0 to n - 1 do
+              Array.unsafe_set r l
+                (if Array.unsafe_get act l <> 0L then
+                   Bc.box64 (Memory.load_nat mem s (base + (l * esz)))
+                 else 0L)
+            done);
+         fin_vi fr d r
+       end);
+      exec t c fr (pc + 1)
+  | Bc.VStV (s, esz, rv, rp, rm) ->
+      let st = t.it.Interp.stats in
+      st.packed_mem <- st.packed_mem + 1;
+      let mem = t.it.Interp.mem in
+      let base = Array.unsafe_get fr.iregs rp in
+      let is_f = Pir.Types.is_float_scalar s in
+      (if rm < 0 then
+         match Array.unsafe_get fr.regs rv with
+         | Value.VI x when not is_f ->
+             for l = 0 to Array.length x - 1 do
+               Memory.store_int mem s (base + (l * esz)) (Array.unsafe_get x l)
+             done
+         | Value.VF x when is_f ->
+             for l = 0 to Array.length x - 1 do
+               Memory.store_float mem s
+                 (base + (l * esz))
+                 (Array.unsafe_get x l)
+             done
+         | vv ->
+             let n = Value.lanes vv in
+             for l = 0 to n - 1 do
+               Memory.store_scalar mem s (base + (l * esz)) (Value.lane vv l)
+             done
+       else
+         let act = Value.as_ivec (Array.unsafe_get fr.regs rm) in
+         match Array.unsafe_get fr.regs rv with
+         | Value.VI x when not is_f ->
+             for l = 0 to Array.length x - 1 do
+               if Array.unsafe_get act l <> 0L then
+                 Memory.store_int mem s (base + (l * esz)) (Array.unsafe_get x l)
+             done
+         | Value.VF x when is_f ->
+             for l = 0 to Array.length x - 1 do
+               if Array.unsafe_get act l <> 0L then
+                 Memory.store_float mem s
+                   (base + (l * esz))
+                   (Array.unsafe_get x l)
+             done
+         | vv ->
+             let n = Value.lanes vv in
+             for l = 0 to n - 1 do
+               if act.(l) <> 0L then
+                 Memory.store_scalar mem s (base + (l * esz)) (Value.lane vv l)
+             done);
+      exec t c fr (pc + 1)
+  | Bc.VRedI (k, w, d, a) ->
+      (match Array.unsafe_get fr.regs a with
+      | Value.VI x ->
+          let n = Array.length x in
+          let m = Bc.mask_nat w in
+          let v =
+            match k with
+            | RAny ->
+                let r = ref 0 and l = ref 0 in
+                while !r = 0 && !l < n do
+                  if Array.unsafe_get x !l <> 0L then r := 1;
+                  incr l
+                done;
+                !r
+            | RAll ->
+                let r = ref 1 and l = ref 0 in
+                while !r = 1 && !l < n do
+                  if Array.unsafe_get x !l = 0L then r := 0;
+                  incr l
+                done;
+                !r
+            | RAdd ->
+                let acc = ref 0 in
+                for l = 0 to n - 1 do
+                  acc := (!acc + Int64.to_int (Array.unsafe_get x l)) land m
+                done;
+                !acc
+            | RAnd ->
+                let acc = ref m in
+                for l = 0 to n - 1 do
+                  acc := !acc land Int64.to_int (Array.unsafe_get x l)
+                done;
+                !acc
+            | ROr ->
+                let acc = ref 0 in
+                for l = 0 to n - 1 do
+                  acc := !acc lor Int64.to_int (Array.unsafe_get x l)
+                done;
+                !acc
+            | RXor ->
+                let acc = ref 0 in
+                for l = 0 to n - 1 do
+                  acc := (!acc lxor Int64.to_int (Array.unsafe_get x l)) land m
+                done;
+                !acc
+            | RSMin ->
+                let acc = ref (Int64.to_int (Array.get x 0)) in
+                for l = 0 to n - 1 do
+                  let e = Int64.to_int (Array.unsafe_get x l) in
+                  if Bc.sext_nat w e < Bc.sext_nat w !acc then acc := e
+                done;
+                !acc land m
+            | RSMax ->
+                let acc = ref (Int64.to_int (Array.get x 0)) in
+                for l = 0 to n - 1 do
+                  let e = Int64.to_int (Array.unsafe_get x l) in
+                  if Bc.sext_nat w e > Bc.sext_nat w !acc then acc := e
+                done;
+                !acc land m
+            | RUMin ->
+                let acc = ref (Int64.to_int (Array.get x 0)) in
+                for l = 0 to n - 1 do
+                  let e = Int64.to_int (Array.unsafe_get x l) in
+                  if e < !acc then acc := e
+                done;
+                !acc land m
+            | RUMax ->
+                let acc = ref (Int64.to_int (Array.get x 0)) in
+                for l = 0 to n - 1 do
+                  let e = Int64.to_int (Array.unsafe_get x l) in
+                  if e > !acc then acc := e
+                done;
+                !acc land m
+            | _ -> assert false
+          in
+          Array.unsafe_set fr.iregs d v
+      | v -> Fmt.invalid_arg "Eval.reduce: %a" Value.pp v);
+      exec t c fr (pc + 1)
+  | Bc.VRedF (k, s, d, a) ->
+      (match Array.unsafe_get fr.regs a with
+      | Value.VF x ->
+          let n = Array.length x in
+          let v =
+            match k with
+            | RFAdd ->
+                if s = Pir.Types.F32 then begin
+                  let acc = ref 0.0 in
+                  for l = 0 to n - 1 do
+                    acc :=
+                      round32 (round32 !acc +. round32 (Array.unsafe_get x l))
+                  done;
+                  !acc
+                end
+                else begin
+                  let acc = ref 0.0 in
+                  for l = 0 to n - 1 do
+                    acc := !acc +. Array.unsafe_get x l
+                  done;
+                  !acc
+                end
+            | RFMin ->
+                let acc = ref (Array.get x 0) in
+                for l = 0 to n - 1 do
+                  acc := Float.min !acc (Array.unsafe_get x l)
+                done;
+                !acc
+            | RFMax ->
+                let acc = ref (Array.get x 0) in
+                for l = 0 to n - 1 do
+                  acc := Float.max !acc (Array.unsafe_get x l)
+                done;
+                !acc
+            | _ -> assert false
+          in
+          Array.unsafe_set fr.fregs d v
+      | v -> Fmt.invalid_arg "Eval.reduce: %a" Value.pp v);
+      exec t c fr (pc + 1)
+  | Bc.VGaV (s, esz, iw, d, rb, rix, rm) ->
+      let st = t.it.Interp.stats in
+      st.gathers <- st.gathers + 1;
+      let mem = t.it.Interp.mem in
+      let base = Int64.of_int (Array.unsafe_get fr.iregs rb) in
+      let idxs = Value.as_ivec (Array.unsafe_get fr.regs rix) in
+      let n = Array.length idxs in
+      let esz64 = Int64.of_int esz in
+      let lane_addr l =
+        Int64.to_int
+          (Int64.add base (Int64.mul (Pir.Ints.sext iw idxs.(l)) esz64))
+      in
+      (if Pir.Types.is_float_scalar s then begin
+         let r = dst_vf fr d n in
+         (if rm < 0 then
+            for l = 0 to n - 1 do
+              Array.unsafe_set r l (Memory.load_float mem s (lane_addr l))
+            done
+          else
+            let act = Value.as_ivec (Array.unsafe_get fr.regs rm) in
+            for l = 0 to n - 1 do
+              Array.unsafe_set r l
+                (if act.(l) <> 0L then Memory.load_float mem s (lane_addr l)
+                 else 0.0)
+            done);
+         fin_vf fr d r
+       end
+       else if s = Pir.Types.I64 then begin
+         let r = dst_vi fr d n in
+         (if rm < 0 then
+            for l = 0 to n - 1 do
+              Array.unsafe_set r l (Memory.load_int mem s (lane_addr l))
+            done
+          else
+            let act = Value.as_ivec (Array.unsafe_get fr.regs rm) in
+            for l = 0 to n - 1 do
+              Array.unsafe_set r l
+                (if act.(l) <> 0L then Memory.load_int mem s (lane_addr l)
+                 else 0L)
+            done);
+         fin_vi fr d r
+       end
+       else begin
+         let r = dst_vi fr d n in
+         (if rm < 0 then
+            for l = 0 to n - 1 do
+              Array.unsafe_set r l
+                (Bc.box64 (Memory.load_nat mem s (lane_addr l)))
+            done
+          else
+            let act = Value.as_ivec (Array.unsafe_get fr.regs rm) in
+            for l = 0 to n - 1 do
+              Array.unsafe_set r l
+                (if act.(l) <> 0L then
+                   Bc.box64 (Memory.load_nat mem s (lane_addr l))
+                 else 0L)
+            done);
+         fin_vi fr d r
+       end);
+      exec t c fr (pc + 1)
+  | Bc.Op (dst, f) ->
+      Array.unsafe_set fr.regs dst (f t.it fr);
+      exec t c fr (pc + 1)
+  | Bc.OpI (dst, f) ->
+      Array.unsafe_set fr.iregs dst (Int64.to_int (Value.as_int (f t.it fr)));
+      exec t c fr (pc + 1)
+  | Bc.OpF (dst, f) ->
+      Array.unsafe_set fr.fregs dst (Value.as_float (f t.it fr));
+      exec t c fr (pc + 1)
+  | Bc.OpL (dst, f) ->
+      (* [as_int] hands back the existing box: no copy *)
+      Array.unsafe_set fr.lregs dst (Value.as_int (f t.it fr));
+      exec t c fr (pc + 1)
+  | Bc.Eff f ->
+      f t.it fr;
+      exec t c fr (pc + 1)
+  | Bc.Jmp p -> exec t c fr p
+  | Bc.Cbr (r, pt, pf) ->
+      exec t c fr (if Array.unsafe_get fr.iregs r <> 0 then pt else pf)
+  | Bc.CbrG (g, pt, pf) ->
+      exec t c fr (if Value.as_bool (g fr) then pt else pf)
+  | Bc.RetB r -> Array.unsafe_get fr.regs r
+  | Bc.RetI r -> Value.I (Int64.of_int (Array.unsafe_get fr.iregs r))
+  | Bc.RetF r -> Value.F (Array.unsafe_get fr.fregs r)
+  | Bc.RetL r -> Value.I (Array.unsafe_get fr.lregs r)
+  | Bc.RetU -> Value.Unit
+  | Bc.Par k ->
+      let regs = fr.regs and iregs = fr.iregs and fregs = fr.fregs in
+      (* all boxed-bank sources (pointer and lane) are read before any
+         boxed-bank write: a lane pair may read a slot that a pointer
+         pair overwrites, or the old lanes of another lane pair's
+         private destination *)
+      let n = Array.length k.kb_d in
+      for j = 0 to n - 1 do
+        Array.unsafe_set k.kb_t j
+          (Array.unsafe_get regs (Array.unsafe_get k.kb_s j))
+      done;
+      let nvi = Array.length k.kvi_d in
+      for j = 0 to nvi - 1 do
+        let t = Array.unsafe_get k.kvi_t j in
+        match Array.unsafe_get regs (Array.unsafe_get k.kvi_s j) with
+        | Value.VI x when Array.length x = Array.length t ->
+            Array.blit x 0 t 0 (Array.length t)
+        | v -> Fmt.invalid_arg "Vm.private: %a" Value.pp v
+      done;
+      let nvf = Array.length k.kvf_d in
+      for j = 0 to nvf - 1 do
+        let t = Array.unsafe_get k.kvf_t j in
+        match Array.unsafe_get regs (Array.unsafe_get k.kvf_s j) with
+        | Value.VF x when Array.length x = Array.length t ->
+            Array.blit x 0 t 0 (Array.length t)
+        | v -> Fmt.invalid_arg "Vm.private: %a" Value.pp v
+      done;
+      for j = 0 to n - 1 do
+        Array.unsafe_set regs (Array.unsafe_get k.kb_d j)
+          (Array.unsafe_get k.kb_t j)
+      done;
+      for j = 0 to nvi - 1 do
+        let t = Array.unsafe_get k.kvi_t j in
+        match Array.unsafe_get regs (Array.unsafe_get k.kvi_d j) with
+        | Value.VI r when Array.length r = Array.length t ->
+            Array.blit t 0 r 0 (Array.length t)
+        | v -> Fmt.invalid_arg "Vm.private: %a" Value.pp v
+      done;
+      for j = 0 to nvf - 1 do
+        let t = Array.unsafe_get k.kvf_t j in
+        match Array.unsafe_get regs (Array.unsafe_get k.kvf_d j) with
+        | Value.VF r when Array.length r = Array.length t ->
+            Array.blit t 0 r 0 (Array.length t)
+        | v -> Fmt.invalid_arg "Vm.private: %a" Value.pp v
+      done;
+      let n = Array.length k.ki_d in
+      for j = 0 to n - 1 do
+        Array.unsafe_set k.ki_t j
+          (Array.unsafe_get iregs (Array.unsafe_get k.ki_s j))
+      done;
+      for j = 0 to n - 1 do
+        Array.unsafe_set iregs (Array.unsafe_get k.ki_d j)
+          (Array.unsafe_get k.ki_t j)
+      done;
+      let n = Array.length k.kf_d in
+      for j = 0 to n - 1 do
+        Array.unsafe_set k.kf_t j
+          (Array.unsafe_get fregs (Array.unsafe_get k.kf_s j))
+      done;
+      for j = 0 to n - 1 do
+        Array.unsafe_set fregs (Array.unsafe_get k.kf_d j)
+          (Array.unsafe_get k.kf_t j)
+      done;
+      let lregs = fr.lregs in
+      let n = Array.length k.kl_d in
+      for j = 0 to n - 1 do
+        Array.unsafe_set k.kl_t j
+          (Array.unsafe_get lregs (Array.unsafe_get k.kl_s j))
+      done;
+      for j = 0 to n - 1 do
+        Array.unsafe_set lregs (Array.unsafe_get k.kl_d j)
+          (Array.unsafe_get k.kl_t j)
+      done;
+      exec t c fr (pc + 1)
+  | Bc.ParG (gets, dsts) ->
+      let vals = Array.map (fun g -> g fr) gets in
+      Array.iteri
+        (fun j (k, i) ->
+          if k = 1 then fr.iregs.(i) <- Int64.to_int (Value.as_int vals.(j))
+          else if k = 2 then fr.fregs.(i) <- Value.as_float vals.(j)
+          else if k = 3 then fr.lregs.(i) <- Value.as_int vals.(j)
+          else fr.regs.(i) <- vals.(j))
+        dsts;
+      exec t c fr (pc + 1)
+  | Bc.TrapI msg -> Interp.trap "%s" msg
+
+(* -- frame pool -- *)
+
+let fresh_frame (c : Bc.code) : Bc.frame =
+  let regs = Array.make (max 1 c.Bc.c_nb) Value.Unit in
+  let iregs = Array.make (max 1 c.Bc.c_ni) 0 in
+  let fregs = Array.make (max 1 c.Bc.c_nf) 0.0 in
+  let lregs = Array.make (max 1 c.Bc.c_nl) 0L in
+  List.iter (fun (s, v) -> regs.(s) <- v) c.Bc.c_consts_b;
+  (* private vector registers: one array for the frame's lifetime,
+     lane-overwritten in place by the defining instruction *)
+  Array.iter
+    (fun (d, n, isf) ->
+      regs.(d) <-
+        (if isf then Value.VF (Array.make n 0.0)
+         else Value.VI (Array.make n 0L)))
+    c.Bc.c_priv;
+  List.iter (fun (s, v) -> iregs.(s) <- v) c.Bc.c_consts_i;
+  List.iter (fun (s, v) -> fregs.(s) <- v) c.Bc.c_consts_f;
+  List.iter (fun (s, v) -> lregs.(s) <- v) c.Bc.c_consts_l;
+  let f = c.Bc.c_fn in
+  let cls = c.Bc.c_cls and idx = c.Bc.c_idx in
+  (* class-aware boxed view of the banks, used only by the fallback
+     instructions compiled through [Interp.exec_instr] *)
+  let env : Interp.env =
+    {
+      Interp.vals = regs;
+      get =
+        (fun o ->
+          match o with
+          | Var v ->
+              if v < Array.length cls then begin
+                let k = Array.unsafe_get cls v in
+                if k = 1 then Value.I (Int64.of_int iregs.(idx.(v)))
+                else if k = 2 then Value.F fregs.(idx.(v))
+                else if k = 3 then Value.I lregs.(idx.(v))
+                else regs.(idx.(v))
+              end
+              else Value.Unit
+          | Const cn -> Bc.box_const cn);
+      oty = Pir.Func.ty_of_operand f;
+    }
+  in
+  { Bc.regs; iregs; fregs; lregs; env }
+
+let enter t (c : Bc.code) (args : Value.t list) : Value.t =
+  let fr =
+    match c.Bc.c_pool with
+    | fr :: rest ->
+        c.Bc.c_pool <- rest;
+        fr
+    | [] -> fresh_frame c
+  in
+  let params = c.Bc.c_params in
+  let np = Array.length params in
+  let cls = c.Bc.c_cls and idx = c.Bc.c_idx in
+  let rec bind j remaining =
+    match remaining with
+    | [] ->
+        if j <> np then
+          Interp.trap "call to %s with %d args (expected %d)"
+            c.Bc.c_fn.Pir.Func.fname (List.length args) np
+    | a :: rest ->
+        if j >= np then
+          Interp.trap "call to %s with %d args (expected %d)"
+            c.Bc.c_fn.Pir.Func.fname (List.length args) np;
+        let p = params.(j) in
+        let k = cls.(p) in
+        if k = 1 then fr.Bc.iregs.(idx.(p)) <- Int64.to_int (Value.as_int a)
+        else if k = 2 then fr.Bc.fregs.(idx.(p)) <- Value.as_float a
+        else if k = 3 then fr.Bc.lregs.(idx.(p)) <- Value.as_int a
+        else fr.Bc.regs.(idx.(p)) <- a;
+        bind (j + 1) rest
+  in
+  bind 0 args;
+  let mark = Memory.mark t.it.Interp.mem in
+  let result = exec t c fr 0 in
+  Memory.release t.it.Interp.mem mark;
+  (* frames are returned to the pool only on clean exit: after a trap
+     the frame is simply dropped (constants are never overwritten, but
+     there is no point recycling mid-abort) *)
+  c.Bc.c_pool <- fr :: c.Bc.c_pool;
+  result
+
+(* -- compilation, memoized per function -- *)
+
+let rec code_of t (f : Pir.Func.t) : Bc.code =
+  match Hashtbl.find_opt t.codes f.Pir.Func.fname with
+  | Some c when c.Bc.c_fn == f && c.Bc.c_blocks == f.Pir.Func.blocks -> c
+  | _ ->
+      let c = Bc.compile ~model:t.it.Interp.model ~resolve:(resolve t) f in
+      Hashtbl.replace t.codes f.Pir.Func.fname c;
+      c
+
+and resolve t name : Bc.callee =
+  if
+    Pir.Intrinsics.is_math name || Pir.Intrinsics.is_sleef name
+    || Pir.Intrinsics.is_ispc name
+  then Bc.KMath name
+  else if Pir.Intrinsics.is_psim name then
+    Bc.KTrap (Fmt.str "Parsimony intrinsic %s outside SPMD execution" name)
+  else
+    match Pir.Func.find_func_opt t.it.Interp.modul name with
+    | Some callee when callee.Pir.Func.spmd <> None ->
+        (* SPMD-annotated callees get their programming-model semantics
+           from the interpreter's reference gang executor (which shares
+           this VM's memory, stats and fuel) *)
+        Bc.KFunc (fun args -> Interp.run_spmd_gang t.it callee args)
+    | Some callee ->
+        (* compiled lazily on first call, then memoized *)
+        Bc.KFunc (fun args -> call t callee args)
+    | None -> Bc.KTrap (Fmt.str "call to unknown function %s" name)
+
+and call t (f : Pir.Func.t) args : Value.t =
+  match f.Pir.Func.spmd with
+  | Some _ -> Interp.run_spmd_gang t.it f args
+  | None -> enter t (code_of t f) args
+
+(** Run function [name] with [args]; returns its result.  Mirrors
+    [Interp.run], publishing under the ["vm"] engine label. *)
+let run t name args =
+  let it = t.it in
+  let before =
+    if Pobs.Metrics.enabled () then Some (Stats.copy it.Interp.stats) else None
+  in
+  let finish () =
+    Interp.flush_cycles it;
+    Option.iter
+      (fun b -> Stats.publish ~engine:"vm" ~before:b it.Interp.stats)
+      before
+  in
+  match call t (Pir.Func.find_func it.Interp.modul name) args with
+  | v ->
+      finish ();
+      v
+  | exception e ->
+      finish ();
+      raise e

@@ -295,25 +295,37 @@ let test_interp_metrics_match_stats () =
           (Pharness.Runner.ParsimonyImpl Parsimony.Options.default)
       in
       let s = r.Pharness.Runner.stats in
-      let cv ?labels name =
-        Pobs.Metrics.counter_value ?labels (Pobs.Metrics.counter name)
+      (* every exec.* series carries an engine label; the runner may use
+         either engine, so total across both *)
+      let cv ?(labels = []) name =
+        let v e =
+          Pobs.Metrics.counter_value
+            ~labels:(("engine", e) :: labels)
+            (Pobs.Metrics.counter name)
+        in
+        v "interp" + v "vm"
       in
-      Alcotest.(check int) "interp.instrs == stats.instrs"
-        s.Pmachine.Interp.instrs (cv "interp.instrs");
-      Alcotest.(check int) "interp.vector_instrs == stats"
-        s.Pmachine.Interp.vector_instrs (cv "interp.vector_instrs");
+      Alcotest.(check int) "exec.instrs == stats.instrs"
+        s.Pmachine.Interp.instrs (cv "exec.instrs");
+      Alcotest.(check int) "exec.vector_instrs == stats"
+        s.Pmachine.Interp.vector_instrs (cv "exec.vector_instrs");
       Alcotest.(check int) "gather mem ops" s.Pmachine.Interp.gathers
-        (cv ~labels:[ ("class", "gather") ] "interp.mem_ops");
+        (cv ~labels:[ ("class", "gather") ] "exec.mem_ops");
       Alcotest.(check int) "packed mem ops" s.Pmachine.Interp.packed_mem
-        (cv ~labels:[ ("class", "packed") ] "interp.mem_ops");
-      let runs = Pobs.Metrics.counter_value (Pobs.Metrics.counter "interp.runs") in
+        (cv ~labels:[ ("class", "packed") ] "exec.mem_ops");
+      let runs = cv "exec.runs" in
       Alcotest.(check bool) "at least the host run recorded" true (runs >= 1);
-      let cyc =
-        Option.get
-          (Pobs.Metrics.hist_value (Pobs.Metrics.histogram "interp.run_cycles"))
+      let cyc_count e =
+        match
+          Pobs.Metrics.hist_value
+            ~labels:[ ("engine", e) ]
+            (Pobs.Metrics.histogram "exec.run_cycles")
+        with
+        | Some h -> h.Pobs.Metrics.count
+        | None -> 0
       in
       Alcotest.(check int) "one cycle observation per run" runs
-        cyc.Pobs.Metrics.count)
+        (cyc_count "interp" + cyc_count "vm"))
 
 (* remarks emitted while metrics are on are tallied per (pass, kind) *)
 let test_remark_metrics () =

@@ -1,0 +1,159 @@
+(* Tests for the register-VM execution engine: pinned differential
+   equivalence against the tree-walking interpreter over the full
+   fig4/fig5 kernel sets (byte-identical buffers AND bit-identical
+   cycle totals), frame-pool reuse, and recursive calls. *)
+
+open Pir
+
+let valt = Alcotest.testable Pmachine.Value.pp Pmachine.Value.equal
+
+(* -- differential: VM vs. interpreter over the benchmark suites --
+
+   Both engines consume the same [Cost.schedule_func] schedule and
+   charge it in the same order, so everything must match exactly: no
+   tolerance anywhere. *)
+
+let check_stats_equal name (a : Pmachine.Interp.stats)
+    (b : Pmachine.Interp.stats) =
+  let ck what f = Alcotest.(check int) (name ^ ": " ^ what) (f a) (f b) in
+  ck "instrs" (fun s -> s.Pmachine.Interp.instrs);
+  ck "vector_instrs" (fun s -> s.Pmachine.Interp.vector_instrs);
+  ck "gathers" (fun s -> s.Pmachine.Interp.gathers);
+  ck "scatters" (fun s -> s.Pmachine.Interp.scatters);
+  ck "packed_mem" (fun s -> s.Pmachine.Interp.packed_mem);
+  ck "scalar_mem" (fun s -> s.Pmachine.Interp.scalar_mem)
+
+let diff_kernel (k : Psimdlib.Workload.kernel) (impl : Pharness.Runner.impl) =
+  let ri = Pharness.Runner.run ~engine:Pmachine.Engine.Interp k impl in
+  let rv = Pharness.Runner.run ~engine:Pmachine.Engine.Vm k impl in
+  (* cycle totals must be bit-identical, not approximately equal *)
+  Alcotest.(check bool)
+    (Fmt.str "%s/%s: cycles %.17g = %.17g" k.kname
+       (Pharness.Runner.impl_name impl)
+       ri.cycles rv.cycles)
+    true
+    (Int64.equal (Int64.bits_of_float ri.cycles) (Int64.bits_of_float rv.cycles));
+  check_stats_equal
+    (k.kname ^ "/" ^ Pharness.Runner.impl_name impl)
+    ri.stats rv.stats;
+  List.iter2
+    (fun (name, expected) (name', got) ->
+      Alcotest.(check string) "buffer name" name name';
+      Array.iteri
+        (fun i e ->
+          if not (Pmachine.Value.equal e got.(i)) then
+            Alcotest.failf "%s/%s: vm diverges from interp at %s[%d]: %a vs %a"
+              k.kname
+              (Pharness.Runner.impl_name impl)
+              name i Pmachine.Value.pp e Pmachine.Value.pp got.(i))
+        expected)
+    ri.outputs rv.outputs
+
+let test_diff_fig4 () =
+  List.iter
+    (fun k ->
+      diff_kernel k Pharness.Runner.Scalar;
+      diff_kernel k
+        (Pharness.Runner.ParsimonyImpl Parsimony.Options.default))
+    Pispc.Suite.all
+
+let test_diff_fig5 () =
+  List.iter
+    (fun k ->
+      diff_kernel k Pharness.Runner.Scalar;
+      diff_kernel k
+        (Pharness.Runner.ParsimonyImpl Parsimony.Options.default))
+    Psimdlib.Registry.all
+
+(* -- recursion and the frame pool -- *)
+
+(* fact(n) = n <= 1 ? 1 : n * fact(n - 1): self-call, one frame per
+   live activation *)
+let fact_module () =
+  let m = Func.create_module "t" in
+  let f = Func.create "fact" ~params:[ (0, Types.i32) ] ~ret:Types.i32 in
+  let b = Builder.create f in
+  let c = Builder.icmp b Instr.Sle (Instr.Var 0) (Instr.ci32 1) in
+  Builder.condbr b c "base" "rec";
+  let bb = Builder.add_block b "base" in
+  Builder.position b bb;
+  Builder.ret b (Some (Instr.ci32 1));
+  let br_ = Builder.add_block b "rec" in
+  Builder.position b br_;
+  let n1 = Builder.sub b (Instr.Var 0) (Instr.ci32 1) in
+  let r = Builder.call b Types.i32 "fact" [ n1 ] in
+  let p = Builder.mul b (Instr.Var 0) r in
+  Builder.ret b (Some p);
+  Func.add_func m f;
+  m
+
+let test_vm_recursion () =
+  let m = fact_module () in
+  let vm = Pmachine.Vm.create m in
+  Alcotest.check valt "fact 10 on vm" (Pmachine.Value.I 3628800L)
+    (Pmachine.Vm.run vm "fact" [ Pmachine.Value.I 10L ]);
+  (* and the interpreter agrees, cycles included *)
+  let it = Pmachine.Interp.create (fact_module ()) in
+  Alcotest.check valt "fact 10 on interp" (Pmachine.Value.I 3628800L)
+    (Pmachine.Interp.run it "fact" [ Pmachine.Value.I 10L ]);
+  Alcotest.(check bool)
+    (Fmt.str "cycles agree: %.17g vs %.17g" (Pmachine.Vm.stats vm).cycles
+       it.Pmachine.Interp.stats.cycles)
+    true
+    ((Pmachine.Vm.stats vm).cycles = it.Pmachine.Interp.stats.cycles);
+  Alcotest.(check int) "instrs agree" it.Pmachine.Interp.stats.instrs
+    (Pmachine.Vm.stats vm).instrs
+
+let test_vm_frame_pool () =
+  let m = fact_module () in
+  let vm = Pmachine.Vm.create m in
+  ignore (Pmachine.Vm.run vm "fact" [ Pmachine.Value.I 6L ]);
+  let code = Pmachine.Vm.code_of vm (Func.find_func m "fact") in
+  (* depth-6 recursion parked 6 frames in the pool on the way out *)
+  Alcotest.(check int) "pool holds one frame per activation" 6
+    (List.length code.Pmachine.Bc.c_pool);
+  let frames_before = code.Pmachine.Bc.c_pool in
+  Alcotest.check valt "second run (reused frames)" (Pmachine.Value.I 720L)
+    (Pmachine.Vm.run vm "fact" [ Pmachine.Value.I 6L ]);
+  (* the same frame records came back out of the pool: nothing fresh
+     was allocated for the second run *)
+  Alcotest.(check int) "pool size stable across runs" 6
+    (List.length code.Pmachine.Bc.c_pool);
+  List.iter
+    (fun fr ->
+      Alcotest.(check bool) "frame physically reused" true
+        (List.memq fr frames_before))
+    code.Pmachine.Bc.c_pool
+
+(* a constant-heavy function keeps producing correct results from a
+   pooled frame (constant slots are never clobbered) *)
+let test_vm_pool_constants () =
+  let m = Func.create_module "t" in
+  let f = Func.create "axpb" ~params:[ (0, Types.i32) ] ~ret:Types.i32 in
+  let b = Builder.create f in
+  let ax = Builder.mul b (Instr.Var 0) (Instr.ci32 7) in
+  let r = Builder.add b ax (Instr.ci32 13) in
+  Builder.ret b (Some r);
+  Func.add_func m f;
+  let vm = Pmachine.Vm.create m in
+  for i = 0 to 9 do
+    Alcotest.check valt
+      (Fmt.str "axpb %d" i)
+      (Pmachine.Value.I (Int64.of_int ((7 * i) + 13)))
+      (Pmachine.Vm.run vm "axpb" [ Pmachine.Value.I (Int64.of_int i) ])
+  done
+
+let suites =
+  [
+    ( "vm",
+      [
+        Alcotest.test_case "fig4 kernels: vm == interp (bytes and cycles)"
+          `Slow test_diff_fig4;
+        Alcotest.test_case "fig5 kernels: vm == interp (bytes and cycles)"
+          `Slow test_diff_fig5;
+        Alcotest.test_case "recursive calls" `Quick test_vm_recursion;
+        Alcotest.test_case "frame pool reuse" `Quick test_vm_frame_pool;
+        Alcotest.test_case "pooled constants stay intact" `Quick
+          test_vm_pool_constants;
+      ] );
+  ]
