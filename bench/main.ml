@@ -31,7 +31,13 @@
    - "check" gates the current run against a baseline: exit 0 when every
      kernel's cycles are within tolerance (default 0.5%), 1 on any
      regression or vanished kernel, 2 on incompatible runs (different
-     schema or cost model) or unreadable files. *)
+     schema or cost model) or unreadable files.  On a cross-engine
+     refusal both check and diff print which engine the baseline was
+     recorded on, so the fix (matching --engine, or regenerating) is
+     one line away.
+   - "overhead" measures the wall-clock cost of profiling attribution
+     on one kernel (EXPERIMENTS.md): main.exe overhead [--kernel K]
+     [--iters N] [--engine E]. *)
 
 let pr fmt = Fmt.pr fmt
 
@@ -40,7 +46,8 @@ let usage () =
     "usage: main.exe [fast] [--jobs N] [--json FILE] [--trace FILE] \
      [--history FILE] [--engine interp|vm]@.       main.exe diff BASELINE \
      [CURRENT] [--engine E]@.       main.exe check --baseline FILE [--current \
-     FILE] [--tolerance PCT] [--engine E]@.";
+     FILE] [--tolerance PCT] [--engine E]@.       main.exe overhead [--kernel \
+     K] [--iters N] [--engine E]@.";
   exit 2
 
 type cli = {
@@ -67,6 +74,7 @@ type cmd =
       jobs : int;
       engine : Pmachine.Engine.kind;
     }
+  | Overhead of { kernel : string; iters : int; engine : Pmachine.Engine.kind }
 
 let default_jobs () =
   (* a malformed PARSIMONY_JOBS raises; report it as a usage error *)
@@ -211,10 +219,41 @@ let parse_diff_cli args =
       Fmt.epr "diff takes one or two run files@.";
       usage ()
 
+let parse_overhead_cli args =
+  let kernel = ref "mandelbrot"
+  and iters = ref 200
+  and engine = ref Pmachine.Engine.Vm in
+  let rec go = function
+    | [] -> ()
+    | "--kernel" :: k :: rest ->
+        kernel := k;
+        go rest
+    | "--iters" :: n :: rest -> (
+        match int_of_string_opt n with
+        | Some i when i >= 1 ->
+            iters := i;
+            go rest
+        | _ ->
+            Fmt.epr "--iters %s: expected a positive integer@." n;
+            usage ())
+    | "--engine" :: e :: rest ->
+        engine := parse_engine e;
+        go rest
+    | [ (("--kernel" | "--iters" | "--engine") as flag) ] ->
+        Fmt.epr "%s requires a value@." flag;
+        usage ()
+    | arg :: _ ->
+        Fmt.epr "unknown argument %S@." arg;
+        usage ()
+  in
+  go args;
+  Overhead { kernel = !kernel; iters = !iters; engine = !engine }
+
 let parse_cli () =
   match List.tl (Array.to_list Sys.argv) with
   | "diff" :: rest -> parse_diff_cli rest
   | "check" :: rest -> parse_check_cli rest
+  | "overhead" :: rest -> parse_overhead_cli rest
   | "run" :: rest -> Run (parse_run_cli rest)
   | rest -> Run (parse_run_cli rest)
 
@@ -264,7 +303,10 @@ let flat_geomeans f4 f5 : (string * float) list =
 let run_figures pool ~engine =
   pr "Parsimony reproduction benchmark harness@.";
   pr "(simulated AVX-512-class machine; see lib/machine/cost.ml)@.";
-  pr "(execution engine: %s)@." (Pmachine.Engine.kind_to_string engine);
+  pr
+    "(execution engine: %s — recorded in the run document; check/diff refuse \
+     cross-engine comparisons)@."
+    (Pmachine.Engine.kind_to_string engine);
 
   (* -- Figure 4 -- *)
   let f4_raw =
@@ -326,6 +368,48 @@ let scorecards pool : (string * Parsimony.Scorecard.t) list =
       |> Option.map (fun c -> (prefix ^ k.kname, c)))
     kernels
   |> List.filter_map Fun.id
+
+(* Per-kernel hot-block digests: the top-N blocks by attributed cycles
+   of each kernel's default Parsimony build, captured from a separate
+   profiled pass on the sweep engine (the sweep runs themselves stay
+   unprofiled, so the gated cycle numbers are untouched).  Stored with
+   the run document so a regression diff can fingerprint *where* the
+   cycles moved, not only by how much. *)
+let hot_block_digests pool ~engine : (string * Pharness.Json_out.t) list =
+  let kernels =
+    List.map (fun k -> ("fig4/", k)) Pispc.Suite.all
+    @ List.map (fun k -> ("fig5/", k)) Psimdlib.Registry.all
+  in
+  Pparallel.Pool.map pool
+    (fun (prefix, (k : Psimdlib.Workload.kernel)) ->
+      let r =
+        Pharness.Runner.run ~engine ~profile:true k
+          (Pharness.Runner.ParsimonyImpl Parsimony.Options.default)
+      in
+      let open Pharness.Json_out in
+      match r.Pharness.Runner.profile with
+      | None -> (prefix ^ k.kname, Arr [])
+      | Some p ->
+          let total = p.Pmachine.Profile.p_total_cycles in
+          let top =
+            List.filteri (fun i _ -> i < 3) p.Pmachine.Profile.p_blocks
+          in
+          ( prefix ^ k.kname,
+            Arr
+              (List.map
+                 (fun (b : Pmachine.Profile.block) ->
+                   Obj
+                     [
+                       ("func", Str b.pb_func);
+                       ("block", Str b.pb_block);
+                       ("cycles", Float b.pb_cycles);
+                       ( "share",
+                         Float
+                           (if total > 0.0 then b.pb_cycles /. total else 0.0)
+                       );
+                     ])
+                 top) ))
+    kernels
 
 (* -- Bechamel micro-benchmarks of the toolchain itself -- *)
 
@@ -424,7 +508,7 @@ let spans_json () =
     needs to compare two runs, plus the figure rows and harness
     diagnostics.  [bench --json] writes it pretty-printed; [--history]
     appends it as one compact JSONL line. *)
-let run_doc (sw : sweep) ~cards ~engine jobs : Pharness.Json_out.t =
+let run_doc (sw : sweep) ~cards ~hot ~engine jobs : Pharness.Json_out.t =
   let open Pharness.Json_out in
   let hits, misses = Pharness.Runner.Compile_cache.stats () in
   Obj
@@ -448,6 +532,7 @@ let run_doc (sw : sweep) ~cards ~engine jobs : Pharness.Json_out.t =
           (List.map
              (fun (name, c) -> (name, Parsimony.Scorecard.to_json c))
              cards) );
+      ("hot_blocks", Obj hot);
       ("figure4", of_rows sw.f4);
       ("figure5", of_rows sw.f5);
       ("ablations", of_rows sw.ab);
@@ -492,13 +577,62 @@ let resolve_current ~jobs ~engine = function
   | Some file -> load_run file
   | None -> current_run ~jobs ~engine
 
+(* One-line pointer printed under an exit-2 refusal: which engine the
+   baseline was recorded on, and what to pass to make the runs
+   comparable. *)
+let engine_hint (base : Pharness.History.run) (cur : Pharness.History.run) =
+  if not (String.equal base.Pharness.History.engine cur.Pharness.History.engine)
+  then
+    Fmt.epr
+      "note: the baseline was recorded on engine %S (current run: %S) — \
+       re-run with --engine %s, or regenerate the baseline on %S@."
+      base.Pharness.History.engine cur.Pharness.History.engine
+      base.Pharness.History.engine cur.Pharness.History.engine
+
+(* Fingerprint of the worst regression: where the current run spends
+   its cycles, from the run document's hot_blocks digests (present when
+   the current run came from a bench --json file; sweeps synthesized on
+   the fly carry none). *)
+let pp_hot_fingerprint (cur : Pharness.History.run) (d : Pharness.History.delta)
+    =
+  let open Pobs.Json in
+  match member "hot_blocks" cur.Pharness.History.doc with
+  | Some (Obj kernels) -> (
+      match List.assoc_opt d.Pharness.History.d_kernel kernels with
+      | Some (Arr (_ :: _ as rows)) ->
+          Fmt.pr "hot blocks of %s (current run):@."
+            d.Pharness.History.d_kernel;
+          List.iter
+            (fun row ->
+              match
+                ( member "func" row,
+                  member "block" row,
+                  member "cycles" row,
+                  member "share" row )
+              with
+              | Some (Str f), Some (Str b), Some (Float c), Some (Float s) ->
+                  Fmt.pr "  %s/%s  %.1f cycles (%.1f%%)@." f b c (s *. 100.0)
+              | _ -> ())
+            rows
+      | _ -> ())
+  | _ -> ()
+
 let cmd_diff ~baseline ~current ~jobs ~engine =
   let base = load_run baseline in
   let cur = resolve_current ~jobs ~engine current in
   match Pharness.History.pp_diff Fmt.stdout base cur with
-  | () -> exit 0
+  | () ->
+      (match
+         List.filter
+           (fun (d : Pharness.History.delta) -> d.d_ratio > 1.0)
+           (Pharness.History.diff base cur)
+       with
+      | worst :: _ -> pp_hot_fingerprint cur worst
+      | [] -> ());
+      exit 0
   | exception Pharness.History.Incompatible msg ->
       Fmt.epr "%s@." msg;
+      engine_hint base cur;
       exit 2
 
 let cmd_check ~baseline ~current ~tolerance ~jobs ~engine =
@@ -510,7 +644,66 @@ let cmd_check ~baseline ~current ~tolerance ~jobs ~engine =
       exit (Pharness.History.gate v)
   | exception Pharness.History.Incompatible msg ->
       Fmt.epr "%s@." msg;
+      engine_hint base cur;
       exit 2
+
+(* -- profiling-overhead measurement (EXPERIMENTS.md) --
+
+   Pure execution cost of attribution: the kernel's default Parsimony
+   build is compiled once, one engine instance is created per mode
+   (bytecode compiled once, register frames pooled), and the entry
+   point is executed --iters times with attribution off, then on.
+   Wall clock only — the simulated cycle totals are identical in both
+   modes by construction (the bench check gate pins that). *)
+let cmd_overhead ~kernel ~iters ~engine =
+  let all = Psimdlib.Registry.all @ Pispc.Suite.all in
+  let k =
+    match
+      List.find_opt (fun (k : Psimdlib.Workload.kernel) -> k.kname = kernel) all
+    with
+    | Some k -> k
+    | None ->
+        Fmt.epr "unknown kernel %S (pick one from the fig4/fig5 suites)@."
+          kernel;
+        exit 2
+  in
+  let time profile =
+    let m =
+      Pharness.Runner.build_module k
+        (Pharness.Runner.ParsimonyImpl Parsimony.Options.default)
+    in
+    let t = Pmachine.Engine.create ~kind:engine ~profile ~fuel:max_int m in
+    let mem = Pmachine.Engine.mem t in
+    let addrs =
+      List.map
+        (fun (b : Psimdlib.Workload.buffer) ->
+          let esz = Pir.Types.scalar_bytes b.elem in
+          let addr = Pmachine.Memory.alloc mem ((b.len * esz) + 64) in
+          for i = 0 to b.len - 1 do
+            Pmachine.Memory.store_scalar mem b.elem (addr + (i * esz)) (b.init i)
+          done;
+          addr)
+        k.buffers
+    in
+    let args =
+      List.map (fun a -> Pmachine.Value.I (Int64.of_int a)) addrs @ k.scalars
+    in
+    (* warm-up: builds bytecode / block caches and the frame pool *)
+    ignore (Pmachine.Engine.run t k.kname args);
+    let t0 = Unix.gettimeofday () in
+    for _ = 1 to iters do
+      ignore (Pmachine.Engine.run t k.kname args)
+    done;
+    (Unix.gettimeofday () -. t0) /. float_of_int iters
+  in
+  let off = time false in
+  let on_ = time true in
+  pr "profiling overhead: %s, engine %s, %d iterations@." k.kname
+    (Pmachine.Engine.kind_to_string engine)
+    iters;
+  pr "attribution off: %10.1f us/run@." (off *. 1e6);
+  pr "attribution on:  %10.1f us/run (%+.1f%%)@." (on_ *. 1e6)
+    ((on_ /. off -. 1.0) *. 100.0)
 
 let cmd_run (cli : cli) =
   Pobs.Logging.setup ();
@@ -522,7 +715,7 @@ let cmd_run (cli : cli) =
     Pobs.Remarks.set_mode Pobs.Remarks.Counts;
     Pobs.Metrics.enable ()
   end;
-  let sw, cards =
+  let sw, cards, hot =
     Pparallel.Pool.with_pool cli.jobs (fun pool ->
         let sw =
           timed "figures_total" (fun () -> run_figures pool ~engine:cli.engine)
@@ -531,13 +724,19 @@ let cmd_run (cli : cli) =
           if wants_doc then timed "scorecards" (fun () -> scorecards pool)
           else []
         in
-        (sw, cards))
+        let hot =
+          if wants_doc then
+            timed "hot_blocks" (fun () ->
+                hot_block_digests pool ~engine:cli.engine)
+          else []
+        in
+        (sw, cards, hot))
   in
   if not cli.fast then bechamel_benches ();
   pr "@.== Harness timings (wall clock, --jobs %d) ==@." cli.jobs;
   List.iter (fun (s, dt) -> pr "%-36s %9.3fs@." s dt) !timings;
   if wants_doc then begin
-    let doc = run_doc sw ~cards ~engine:cli.engine cli.jobs in
+    let doc = run_doc sw ~cards ~hot ~engine:cli.engine cli.jobs in
     Option.iter
       (fun file ->
         Pharness.Json_out.write file doc;
@@ -563,3 +762,4 @@ let () =
       cmd_diff ~baseline ~current ~jobs ~engine
   | Check { baseline; current; tolerance; jobs; engine } ->
       cmd_check ~baseline ~current ~tolerance ~jobs ~engine
+  | Overhead { kernel; iters; engine } -> cmd_overhead ~kernel ~iters ~engine

@@ -10,8 +10,9 @@
                                     (--engine interp|vm selects the
                                     executor; "exec" is an alias)
      psimc profile FILE.psim -e F   execute and print a hot-block profile
-                                    (interpreter only: --engine vm falls
-                                    back with a warning)
+                                    and opcode mix (both engines;
+                                    --flamegraph FILE exports collapsed
+                                    call stacks)
      psimc autovec FILE.psim        run the auto-vectorizer baseline
      psimc lint FILE.psim           SPMD sanitizer (races, OOB, uninit, ...)
      psimc fuzz --seed N --count N  differential fuzzing (pfuzz)
@@ -300,17 +301,6 @@ let execute_on_simulator ?(profile = false) obs opts file entry scalar args
     ~engine k =
   with_obs obs (fun () ->
       let m, _ = compile_source ~vectorize:(not scalar) obs opts file in
-      (* only the interpreter attributes cycles to blocks, so a profiled
-         run under the VM would print an empty table; fall back loudly *)
-      let engine =
-        if profile && engine = Pmachine.Engine.Vm then begin
-          Fmt.epr
-            "psimc profile: the register VM has no per-block attribution; \
-             falling back to --engine interp@.";
-          Pmachine.Engine.Interp
-        end
-        else engine
-      in
       let t = Pmachine.Engine.create ~kind:engine ~profile m in
       let mem = Pmachine.Engine.mem t in
       let buffers = ref [] in
@@ -415,24 +405,43 @@ let profile_cmd =
       value & opt int 20
       & info [ "top" ] ~docv:"N" ~doc:"Number of hot blocks to print")
   in
-  let run obs opts file entry scalar engine top args =
+  let flamegraph =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "flamegraph" ] ~docv:"FILE"
+          ~doc:
+            "Write collapsed call stacks to $(docv) in the folded format \
+             (one \"caller;callee cycles\" line per call path) consumed by \
+             flamegraph.pl and speedscope.  Cycles are simulated, so the \
+             output is deterministic.")
+  in
+  let run obs opts file entry scalar engine top flamegraph args =
     execute_on_simulator ~profile:true obs opts file entry scalar args ~engine
       (fun t ->
-        match Pmachine.Engine.profiler t with
-        | Some it ->
-            Fmt.pr "@.== Hot blocks (per-block cycle attribution) ==@.";
-            Pmachine.Interp.pp_profile ~limit:top Fmt.stdout it
-        | None -> assert false (* profile always runs on the interpreter *))
+        let p = Pmachine.Engine.profile t in
+        Fmt.pr "@.== Hot blocks (per-block cycle attribution, engine %s) ==@."
+          p.Pmachine.Profile.p_engine;
+        Pmachine.Profile.pp ~limit:top Fmt.stdout p;
+        Option.iter
+          (fun file ->
+            Pmachine.Profile.write_folded file p;
+            Fmt.pr "flamegraph: wrote %d folded stack(s) to %s@."
+              (List.length p.Pmachine.Profile.p_folded)
+              file)
+          flamegraph)
   in
   Cmd.v
     (Cmd.info "profile"
        ~doc:
          "Execute a function on the simulated machine and print per-block \
-          cycle/instruction attribution (interpreter only; --engine vm falls \
-          back to interp with a warning)")
+          cycle/instruction attribution plus the dynamic opcode-class mix.  \
+          Both engines attribute (the VM counts on its dispatch loop, the \
+          interpreter on its block caches) and their profiles agree bit for \
+          bit; $(b,--flamegraph) additionally exports collapsed call stacks.")
     Term.(
       const run $ obs_term $ opts_term $ file_arg $ entry_arg $ scalar_arg
-      $ engine_arg $ top $ sim_args)
+      $ engine_arg $ top $ flamegraph $ sim_args)
 
 let lint_cmd =
   let run obs opts file =

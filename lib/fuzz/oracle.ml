@@ -20,6 +20,11 @@
       reproduce the interpreter's buffers, cycle total and instruction
       count exactly ([vm:] buckets).  The interpreter stays the
       reference; the VM is the subject under test here.
+    - Profile parity: the reference module and the default-vectorized
+      module are re-run on both engines with per-block attribution
+      enabled; each engine's attribution must sum to its own [Stats]
+      totals and the two typed profiles must agree bit for bit
+      ([profile:] buckets).
 
     Execution failures are distinguished from mismatches and mapped to
     stable buckets by {!Triage}.  A configuration the legalizer cannot
@@ -153,12 +158,12 @@ let m_oracle_runs =
   Pobs.Metrics.counter "fuzz.oracle_runs"
     ~help:"differential executions, by configuration"
 
-(** Execute the kernel of [m] on the standard buffers and return the
-    three output arrays plus the engine's cycle and instruction totals.
-    Raises [Interp.Trap] / [Memory.Fault] on dynamic errors. *)
-let exec_stats ?(engine = Pmachine.Engine.Interp) (m : Func.modul)
-    (s : subject) : buffers * float * int =
-  let t = Pmachine.Engine.create ~kind:engine m in
+(** Execute the kernel of the engine's module on the standard buffers
+    and return the three output arrays plus the engine's cycle and
+    instruction totals.  Raises [Interp.Trap] / [Memory.Fault] on
+    dynamic errors.  Separated from engine creation so the
+    profile-parity oracle can run on an attribution-enabled engine. *)
+let exec_on (t : Pmachine.Engine.t) (s : subject) : buffers * float * int =
   let mem = Pmachine.Engine.mem t in
   let a = Pmachine.Memory.alloc_array mem Types.I32 a_init in
   let fa = Pmachine.Memory.alloc_array mem Types.F32 fa_init in
@@ -192,6 +197,10 @@ let exec_stats ?(engine = Pmachine.Engine.Interp) (m : Func.modul)
     },
     stats.cycles,
     stats.instrs )
+
+let exec_stats ?(engine = Pmachine.Engine.Interp) (m : Func.modul)
+    (s : subject) : buffers * float * int =
+  exec_on (Pmachine.Engine.create ~kind:engine m) s
 
 let exec ?engine m s : buffers =
   let bufs, _, _ = exec_stats ?engine m s in
@@ -281,6 +290,79 @@ let vm_check name (m : Func.modul) (s : subject) (ref_bufs : buffers)
                  })
           else None)
 
+(** First row where two profiles diverge, for the failure detail.
+    [Profile.equal] is the oracle; this only renders a useful message. *)
+let profile_divergence (pi : Pmachine.Profile.t) (pv : Pmachine.Profile.t) :
+    string =
+  let open Pmachine.Profile in
+  if List.length pi.p_blocks <> List.length pv.p_blocks then
+    Fmt.str "block row counts differ: interp %d, vm %d"
+      (List.length pi.p_blocks)
+      (List.length pv.p_blocks)
+  else
+    match
+      List.find_opt
+        (fun (a, b) ->
+          a.pb_func <> b.pb_func || a.pb_block <> b.pb_block
+          || a.pb_entries <> b.pb_entries
+          || a.pb_instrs <> b.pb_instrs
+          || Int64.bits_of_float a.pb_cycles <> Int64.bits_of_float b.pb_cycles)
+        (List.combine pi.p_blocks pv.p_blocks)
+    with
+    | Some (a, b) ->
+        Fmt.str
+          "%s/%s: interp %d entries / %d instrs / %.1f cyc, vm %d entries / \
+           %d instrs / %.1f cyc"
+          a.pb_func a.pb_block a.pb_entries a.pb_instrs a.pb_cycles
+          b.pb_entries b.pb_instrs b.pb_cycles
+    | None -> "opcode mix, folded stacks or totals differ"
+
+(** Profile-parity oracle: re-run [m] on both engines with attribution
+    enabled and require (a) each engine's per-block cycle/instruction
+    sums to equal its own [Stats] totals exactly, and (b) the two typed
+    profiles to agree bit for bit ([Profile.equal] — rows, opcode mix,
+    folded stacks, totals).  Attribution is derived from the static
+    cost schedule, so one scalar and one vectorized module per seed
+    cover the code paths; running this on every ablation would triple
+    oracle cost without new coverage (hence only [ref] and
+    [vec-default]).  [None] when the profiles agree. *)
+let profile_check name (m : Func.modul) (s : subject) : verdict option =
+  Pobs.Metrics.incr ~labels:[ ("config", "profile-" ^ name) ] m_oracle_runs;
+  let fail bucket detail =
+    Some (Fail { bucket; config = "profile-" ^ name; detail })
+  in
+  let capture kind =
+    let t = Pmachine.Engine.create ~kind ~profile:true m in
+    let _bufs, cycles, instrs = exec_on t s in
+    (Pmachine.Engine.profile t, cycles, instrs)
+  in
+  match (capture Pmachine.Engine.Interp, capture Pmachine.Engine.Vm) with
+  | exception e ->
+      fail (Triage.profile_exn ~config:name e) (Printexc.to_string e)
+  | (pi, icyc, iinstr), (pv, vcyc, vinstr) -> (
+      let self_consistent tag p cyc instr =
+        let pc = Pmachine.Profile.sum_cycles p in
+        let pn = Pmachine.Profile.sum_instrs p in
+        if Int64.bits_of_float pc <> Int64.bits_of_float cyc then
+          Some
+            (Fmt.str "%s attribution sums to %.1f cycles, stats say %.1f" tag
+               pc cyc)
+        else if pn <> instr then
+          Some
+            (Fmt.str "%s attribution sums to %d instrs, stats say %d" tag pn
+               instr)
+        else None
+      in
+      match self_consistent "interp" pi icyc iinstr with
+      | Some detail -> fail (Triage.profile ~config:name) detail
+      | None -> (
+          match self_consistent "vm" pv vcyc vinstr with
+          | Some detail -> fail (Triage.profile ~config:name) detail
+          | None ->
+              if not (Pmachine.Profile.equal pi pv) then
+                fail (Triage.profile ~config:name) (profile_divergence pi pv)
+              else None))
+
 let run ?mutate (s : subject) : verdict =
   match compile_scalar s with
   | exception e ->
@@ -318,6 +400,9 @@ let run ?mutate (s : subject) : verdict =
                 }
           | reference, ref_cycles, ref_instrs -> (
               match vm_check "ref" scalar s reference ref_cycles ref_instrs with
+              | Some fail -> fail
+              | None -> (
+              match profile_check "ref" scalar s with
               | Some fail -> fail
               | None ->
               (* differential oracles, in deterministic order *)
@@ -361,6 +446,13 @@ let run ?mutate (s : subject) : verdict =
                                    this very module *)
                                 match vm_check name m s got cycles instrs with
                                 | Some fail -> fail
-                                | None -> go skipped rest))))
+                                | None -> (
+                                    match
+                                      if name = "vec-default" then
+                                        profile_check name m s
+                                      else None
+                                    with
+                                    | Some fail -> fail
+                                    | None -> go skipped rest)))))
               in
-              go [] all_configs)))
+              go [] all_configs))))

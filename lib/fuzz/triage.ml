@@ -42,6 +42,14 @@ let vm ~config = "vm:" ^ config
     same module to completion. *)
 let vm_exn ~config e = Fmt.str "vm:%s:%s" config (exn_tag e)
 
+(** The engines' per-block cycle attributions disagree on the same
+    module, or an engine's attribution fails to sum to its own [Stats]
+    totals: a profiling bug, not a vectorizer bug. *)
+let profile ~config = "profile:" ^ config
+
+(** Re-executing [config] with attribution enabled raised. *)
+let profile_exn ~config e = Fmt.str "profile:%s:%s" config (exn_tag e)
+
 (** Bucket rendered safe for use in a corpus file name. *)
 let filename_of_bucket bucket =
   String.map

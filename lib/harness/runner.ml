@@ -22,6 +22,8 @@ type result = {
   cycles : float;
   outputs : (string * Pmachine.Value.t array) list;
   stats : Pmachine.Interp.stats;
+  profile : Pmachine.Profile.t option;
+      (** per-block attribution of the run, when requested ([~profile]) *)
 }
 
 exception Unavailable of string
@@ -121,11 +123,11 @@ let scorecard ?(opts = Parsimony.Options.default) (k : Workload.kernel) :
 (* The VM is the default engine for bench/fuzz throughput; pass
    [~engine:Pmachine.Engine.Interp] for the tree-walking oracle (the
    two produce bit-identical outputs, cycles and stats). *)
-let run ?(check = false) ?(engine = Pmachine.Engine.Vm) (k : Workload.kernel)
-    (impl : impl) : result =
+let run ?(check = false) ?(engine = Pmachine.Engine.Vm) ?(profile = false)
+    (k : Workload.kernel) (impl : impl) : result =
   let m = build_module k impl in
   if check then Panalysis.Check.check_module m;
-  let t = Pmachine.Engine.create ~kind:engine m in
+  let t = Pmachine.Engine.create ~kind:engine ~profile m in
   let mem = Pmachine.Engine.mem t in
   let addrs =
     List.map
@@ -152,7 +154,8 @@ let run ?(check = false) ?(engine = Pmachine.Engine.Vm) (k : Workload.kernel)
       addrs
   in
   let stats = Pmachine.Engine.stats t in
-  { impl; cycles = stats.cycles; outputs; stats }
+  let profile = if profile then Some (Pmachine.Engine.profile t) else None in
+  { impl; cycles = stats.cycles; outputs; stats; profile }
 
 let close_enough tol (a : Pmachine.Value.t) (b : Pmachine.Value.t) =
   if tol = 0.0 then Pmachine.Value.equal a b

@@ -60,6 +60,7 @@ open Pir.Instr
    interpreter's order exactly: fuel, instrs, vector_instrs, then the
    phi and body cycle sums as two separate float additions *)
 type acct = {
+  a_ix : int;  (** source-block index (into [c_bnames]) for attribution *)
   a_n : int;  (** instructions in the block, phis included *)
   a_vec : int;  (** vector-typed instructions *)
   a_phi : float;  (** charged cycles of the phi prefix *)
@@ -235,6 +236,25 @@ type code = {
           frame preallocates one array per register and the defining
           instruction (dst encoded as [lnot index]) writes lanes in
           place — the hot-loop result allocation disappears. *)
+  (* -- block / source-instruction map (profiling, disassembly) -- *)
+  c_bnames : string array;  (** block names, in function order *)
+  c_blkix : int array;
+      (** pc -> source-block index; phi-edge stubs map to their
+          successor, the entry trap slot to -1 *)
+  c_srcid : int array;
+      (** pc -> source instruction SSA id; -1 for synthesized slots
+          (Acct, terminators, stubs) *)
+  (* -- attribution, indexed by block.  The only dynamic counter is
+     [c_pent], bumped by [Vm]'s Acct dispatch while profiling is on
+     (always allocated — one slot per block — so the off path pays
+     nothing).  Instructions and cycles per entry are block constants,
+     so [Vm.capture] derives totals from the entry count alone: costs
+     are quantized to a dyadic grid, so [entries * charge] is exact and
+     bit-identical to the interpreter's per-entry accumulation. -- *)
+  c_pent : int array;  (** block entries (dynamic) *)
+  c_pn : int array;  (** accounted instructions per entry (static) *)
+  c_pphi : floatarray;  (** charged phi-prefix cycles per entry (static) *)
+  c_pbody : floatarray;  (** charged body+term cycles per entry (static) *)
   mutable c_pool : frame list;  (** frames reused across calls *)
 }
 
@@ -1177,6 +1197,13 @@ let compile ~(model : Cost.model) ~(resolve : string -> callee)
       | Ret _ | Unreachable -> ())
     blocks;
   let insts = Array.make (max 1 !pc) RetU in
+  (* pc -> source block / source instruction, for attribution *)
+  let blkix = Array.make (max 1 !pc) (-1) in
+  let srcid = Array.make (max 1 !pc) (-1) in
+  let bix_of = Hashtbl.create 16 in
+  Array.iteri
+    (fun ix (b : Pir.Func.block) -> Hashtbl.replace bix_of b.bname ix)
+    blocks;
   let emit = ref 0 in
   let push x =
     insts.(!emit) <- x;
@@ -1196,21 +1223,27 @@ let compile ~(model : Cost.model) ~(resolve : string -> callee)
     push
       (TrapI
          (Fmt.str "phi in %s has no incoming for predecessor $entry" f.fname));
-  Array.iter
-    (fun (b : Pir.Func.block) ->
+  Array.iteri
+    (fun bix (b : Pir.Func.block) ->
+      let bstart = !emit in
       let sched : Cost.block_sched = Hashtbl.find scheds b.bname in
       push
         (Acct
            {
+             a_ix = bix;
              a_n = sched.cs_ninstrs;
              a_vec = sched.cs_nvec_phi + sched.cs_nvec_body;
              a_phi = sched.cs_phi_sum;
              a_body = sched.cs_body_sum;
            });
       List.iteri
-        (fun j (i : instr) -> if j >= sched.cs_nphis then push (compile_instr i))
+        (fun j (i : instr) ->
+          if j >= sched.cs_nphis then begin
+            srcid.(!emit) <- i.id;
+            push (compile_instr i)
+          end)
         b.instrs;
-      match b.term with
+      (match b.term with
       | Br l -> push (Jmp (target b.bname l))
       | CondBr (c, l1, l2) ->
           let pt = target b.bname l1 and pf = target b.bname l2 in
@@ -1227,7 +1260,8 @@ let compile ~(model : Cost.model) ~(resolve : string -> callee)
               esc o;
               push (RetB (si o)))
       | Unreachable ->
-          push (TrapI (Fmt.str "reached unreachable in %s" f.fname)))
+          push (TrapI (Fmt.str "reached unreachable in %s" f.fname)));
+      Array.fill blkix bstart (!emit - bstart) bix)
     blocks;
   (* edge stubs, in the order their pcs were assigned *)
   let stubs =
@@ -1239,6 +1273,7 @@ let compile ~(model : Cost.model) ~(resolve : string -> callee)
   let phi_pars = ref [] in
   List.iter
     (fun (_, (pred, succ)) ->
+      let sstart = !emit in
       let b =
         Array.to_list blocks
         |> List.find (fun (b : Pir.Func.block) -> b.Pir.Func.bname = succ)
@@ -1339,7 +1374,9 @@ let compile ~(model : Cost.model) ~(resolve : string -> callee)
           push (ParG (gets, dsts));
           push (Jmp (Hashtbl.find block_start succ))
         end
-      end)
+      end;
+      (* stub slots (phi parallel copies) attribute to their successor *)
+      Array.fill blkix sstart (!emit - sstart) (Hashtbl.find bix_of succ))
     stubs;
   assert (!emit = !pc);
   (* -- escape fixpoint for deferred phi pairs: a pair whose
@@ -1487,5 +1524,20 @@ let compile ~(model : Cost.model) ~(resolve : string -> callee)
         (Hashtbl.fold
            (fun d (n, isf) acc -> (d, n, isf) :: acc)
            lane_privs !privs);
+    c_bnames = Array.map (fun (b : Pir.Func.block) -> b.Pir.Func.bname) blocks;
+    c_blkix = blkix;
+    c_srcid = srcid;
+    c_pent = Array.make (max 1 nblocks) 0;
+    c_pn =
+      Array.map
+        (fun (b : Pir.Func.block) ->
+          (Hashtbl.find scheds b.Pir.Func.bname).Cost.cs_ninstrs)
+        blocks;
+    c_pphi =
+      Float.Array.init nblocks (fun ix ->
+          (Hashtbl.find scheds blocks.(ix).Pir.Func.bname).Cost.cs_phi_sum);
+    c_pbody =
+      Float.Array.init nblocks (fun ix ->
+          (Hashtbl.find scheds blocks.(ix).Pir.Func.bname).Cost.cs_body_sum);
     c_pool = [];
   }

@@ -465,8 +465,17 @@ let schedule_func m (f : Pir.Func.t) : (string, block_sched) Hashtbl.t =
       let lat_total = Array.fold_left ( +. ) term_lat lats in
       let total = Hashtbl.find totals b.bname in
       let scale = if lat_total > 0.0 then total /. lat_total else 0.0 in
-      let costs = Array.map (fun l -> l *. scale) lats in
-      let term = term_lat *. scale in
+      (* Quantize every charged cost to the 2^-16 dyadic grid.  All
+         engine cycle accounting (global counters and per-block
+         attribution alike) sums these atoms, and sums of multiples of
+         2^-16 stay exactly representable up to 2^36 cycles, so float
+         accumulation is exact and order-independent: a run's cycle
+         total equals the sum of its per-block attributions bit for
+         bit, whichever engine charged them and in whatever order the
+         profiler re-adds them. *)
+      let quantize x = Float.round (x *. 65536.0) /. 65536.0 in
+      let costs = Array.map (fun l -> quantize (l *. scale)) lats in
+      let term = quantize (term_lat *. scale) in
       let n = Array.length all in
       let nphis =
         let i = ref 0 in

@@ -4,8 +4,12 @@
     Both engines consume the same [Cost.schedule_func] output and
     charge it in the same order, so for any program they produce
     bit-identical results, cycle totals and statistics; the VM is just
-    faster.  The interpreter remains the differential oracle (and the
-    only engine with per-block profiling). *)
+    faster.  The interpreter remains the differential oracle.  Both
+    engines attribute per-block cycles/instructions and maintain the
+    same call tree when created with [~profile:true]; [profile]
+    captures the typed [Profile.t] either one produced, and the rows
+    must agree across engines bit for bit (the fuzz oracle and
+    [test/suite_vm.ml] enforce this). *)
 
 type kind = Interp | Vm
 
@@ -20,12 +24,11 @@ let all_kinds = [ Interp; Vm ]
 
 type t = I of Interp.t | V of Vm.t
 
-(** [profile] enables per-block cycle attribution; only the interpreter
-    supports it (ignored under [Vm] — see [profiler]). *)
+(** [profile] enables per-block cycle attribution (both engines). *)
 let create ?(kind = Vm) ?model ?mem ?fuel ?profile modul =
   match kind with
   | Interp -> I (Interp.create ?model ?mem ?fuel ?profile modul)
-  | Vm -> V (Vm.create ?model ?mem ?fuel modul)
+  | Vm -> V (Vm.create ?model ?mem ?fuel ?profile modul)
 
 let kind = function I _ -> Interp | V _ -> Vm
 
@@ -38,6 +41,17 @@ let stats = function I it -> it.Interp.stats | V vm -> Vm.stats vm
 
 let mem = function I it -> it.Interp.mem | V vm -> Vm.mem vm
 
-(** The underlying interpreter when this engine supports per-block
-    profiling ([Interp] only — the VM has no block-level attribution). *)
-let profiler = function I it -> Some it | V _ -> None
+let set_profile = function
+  | I it -> Interp.set_profile it
+  | V vm -> Vm.set_profile vm
+
+let reset_profile = function
+  | I it -> Interp.reset_profile it
+  | V vm -> Vm.reset_profile vm
+
+(** Capture the typed profile of everything executed so far.  Only
+    meaningful when the engine was created with [~profile:true] (or
+    after [set_profile t true]); otherwise the profile is empty. *)
+let profile = function
+  | I it -> Interp.capture it
+  | V vm -> Vm.capture vm

@@ -113,6 +113,14 @@ type t = {
   mutable profile : bool;
       (** attribute per-block entries/instructions/cycles into the
           [bexec] accumulators as execution proceeds *)
+  prof_root : Profile.node;
+      (** call-tree root for folded-stack output; children are the
+          top-level entry functions of profiled runs *)
+  mutable prof_stack : Profile.node list;
+      (** current call path, innermost first; [] = at the root *)
+  prof_mark : floatarray;
+      (** cycle watermark of the last call boundary: self-time flushed
+          to the current node is [cyc - mark] (unboxed, like [cyc]) *)
   fexecs : (string, fexec) Hashtbl.t;
   callees : (string, callee) Hashtbl.t;
 }
@@ -129,6 +137,9 @@ let create ?(model = Cost.default) ?mem ?(fuel = 2_000_000_000) ?(profile = fals
     fuel;
     count_cost = true;
     profile;
+    prof_root = Profile.make_node "(root)";
+    prof_stack = [];
+    prof_mark = Float.Array.make 1 0.0;
     fexecs = Hashtbl.create 16;
     callees = Hashtbl.create 32;
   }
@@ -242,6 +253,30 @@ let flush_cycles t = t.stats.cycles <- Float.Array.get t.cyc 0
 (* profiling: add [c] cycles to a block's accumulator *)
 let attr_cyc (be : bexec) c =
   Float.Array.unsafe_set be.p_cyc 0 (Float.Array.unsafe_get be.p_cyc 0 +. c)
+
+(* -- call-tree tracking (profiling only) --
+
+   Self-time is flushed to the node on top of the stack at every call
+   boundary: cost is paid per *call*, never per block, so the folded
+   stacks come for free relative to the block attribution above.  The
+   VM shares this tree (its [call] pushes here too), which is what
+   makes interp-vs-VM folded output comparable bit for bit. *)
+
+let prof_flush t =
+  let now = Float.Array.get t.cyc 0 in
+  let node = match t.prof_stack with n :: _ -> n | [] -> t.prof_root in
+  node.Profile.cn_self <-
+    node.Profile.cn_self +. (now -. Float.Array.get t.prof_mark 0);
+  Float.Array.set t.prof_mark 0 now
+
+let prof_push t name =
+  prof_flush t;
+  let parent = match t.prof_stack with n :: _ -> n | [] -> t.prof_root in
+  t.prof_stack <- Profile.child parent name :: t.prof_stack
+
+let prof_pop t =
+  prof_flush t;
+  match t.prof_stack with [] -> () | _ :: rest -> t.prof_stack <- rest
 
 let burn t =
   t.fuel <- t.fuel - 1;
@@ -485,6 +520,21 @@ let rec exec_instr t (f : Pir.Func.t) env ~prev_label ~exec_call
 (* -- single-thread interpreter -- *)
 
 and exec_func t (f : Pir.Func.t) (args : Value.t list) : Value.t =
+  (* profiled runs maintain the call tree around every function
+     activation (exception-safe: a trap unwinds the stack too) *)
+  if t.profile then begin
+    prof_push t f.fname;
+    match exec_func_body t f args with
+    | v ->
+        prof_pop t;
+        v
+    | exception e ->
+        prof_pop t;
+        raise e
+  end
+  else exec_func_body t f args
+
+and exec_func_body t (f : Pir.Func.t) (args : Value.t list) : Value.t =
   match f.spmd with
   | Some _ -> run_spmd_gang t f args
   | None ->
@@ -803,7 +853,12 @@ let reset_profile t =
           be.p_instrs <- 0;
           Float.Array.set be.p_cyc 0 0.0)
         fe.bes)
-    t.fexecs
+    t.fexecs;
+  Profile.reset_node t.prof_root;
+  t.prof_stack <- [];
+  (* snap the watermark to "now" so pre-reset cycles are not attributed
+     to whatever runs next *)
+  Float.Array.set t.prof_mark 0 (Float.Array.get t.cyc 0)
 
 (** Executed blocks, hottest (most cycles) first; ties and the zero-cost
     tail are ordered by function then block name so the report is
@@ -853,3 +908,52 @@ let pp_profile ?(limit = 20) ppf t =
     shown;
   let rest = List.length rows - List.length shown in
   if rest > 0 then Fmt.pf ppf "(+ %d more block(s))@." rest
+
+(* -- typed profile capture --
+
+   [capture] packages the bexec accumulators, the opcode mix and the
+   call tree into a [Profile.t].  The VM's [Vm.capture] reuses
+   [profile_report]/[profile_mix] and merges its own per-code counters
+   on top (SPMD gangs — and functions they call — execute on this
+   interpreter even under the VM, so their attribution lands here). *)
+
+(* class -> dynamic count.  Statically each block has a fixed class
+   multiset; every entry executes the whole block (SPMD threads park at
+   block boundaries, never mid-block), so weighting by [p_entries] is
+   exact and reproduces [p_instrs]. *)
+let profile_mix t : (string, int) Hashtbl.t =
+  let mix = Hashtbl.create 16 in
+  Hashtbl.iter
+    (fun _ fe ->
+      Array.iter
+        (fun be ->
+          if be.p_entries > 0 then
+            Array.iter
+              (fun (i : Pir.Instr.instr) ->
+                let cls = Profile.classify i in
+                let n = Option.value ~default:0 (Hashtbl.find_opt mix cls) in
+                Hashtbl.replace mix cls (n + be.p_entries))
+              be.all)
+        fe.bes)
+    t.fexecs;
+  mix
+
+let capture ?(engine = "interp") t : Profile.t =
+  flush_cycles t;
+  prof_flush t;
+  let blocks =
+    List.map
+      (fun r ->
+        {
+          Profile.pb_func = r.bp_func;
+          pb_block = r.bp_block;
+          pb_entries = r.bp_entries;
+          pb_instrs = r.bp_instrs;
+          pb_cycles = r.bp_cycles;
+        })
+      (profile_report t)
+  in
+  let opcode_mix = Hashtbl.fold (fun c n acc -> (c, n) :: acc) (profile_mix t) [] in
+  Profile.v ~engine ~blocks ~opcode_mix
+    ~folded:(Profile.folded_of_root t.prof_root)
+    ~total_cycles:t.stats.cycles ~total_instrs:t.stats.instrs

@@ -20,8 +20,18 @@
     (recursion pops fresh frames as needed); constants live in
     dedicated bank slots written once when a frame is first built.
 
-    The VM performs no per-block profiling — [psimc profile] falls
-    back to the interpreter for block-level attribution. *)
+    Profiling: with attribution on (the shared [Interp.t.profile]
+    flag) the Acct dispatch arm bumps one per-block entry counter
+    ([Bc.c_pent]) — instructions and cycles per entry are block
+    constants, so [capture] derives the full rows from the entry count
+    alone.  Charges are quantized to a dyadic grid ([Cost]), making
+    [entries * charge] exact and bit-identical to the interpreter's
+    per-entry accumulation.  SPMD gangs (and anything they call)
+    execute on the embedded interpreter even under the VM, so their
+    attribution lands in its bexec accumulators; [capture] merges both
+    sides.  When profiling is off the only residue is one predictable
+    untaken branch inside Acct — the per-instruction hot path is
+    untouched. *)
 
 open Pir.Instr
 
@@ -30,8 +40,8 @@ type t = {
   codes : (string, Bc.code) Hashtbl.t;
 }
 
-let create ?model ?mem ?fuel modul =
-  { it = Interp.create ?model ?mem ?fuel modul; codes = Hashtbl.create 16 }
+let create ?model ?mem ?fuel ?profile modul =
+  { it = Interp.create ?model ?mem ?fuel ?profile modul; codes = Hashtbl.create 16 }
 
 (** The interpreter wrapped by [t]: shares all accumulators, usable
     directly as the differential oracle's twin. *)
@@ -92,6 +102,14 @@ let rec exec t (c : Bc.code) (fr : Bc.frame) (pc : int) : Value.t =
       if it.Interp.count_cost then begin
         Interp.charge it a.a_phi;
         Interp.charge it a.a_body
+      end;
+      (* the whole of attribution: instrs and cycles per entry are
+         block constants, so [capture] derives them from the entry
+         count — the profiled path costs one predictable branch and
+         one int bump *)
+      if it.Interp.profile then begin
+        let pent = c.c_pent and ix = a.a_ix in
+        Array.unsafe_set pent ix (Array.unsafe_get pent ix + 1)
       end;
       exec t c fr (pc + 1)
   | Bc.IBin (k, w, d, a, b) ->
@@ -1164,17 +1182,30 @@ and resolve t name : Bc.callee =
     Bc.KTrap (Fmt.str "Parsimony intrinsic %s outside SPMD execution" name)
   else
     match Pir.Func.find_func_opt t.it.Interp.modul name with
-    | Some callee when callee.Pir.Func.spmd <> None ->
-        (* SPMD-annotated callees get their programming-model semantics
-           from the interpreter's reference gang executor (which shares
-           this VM's memory, stats and fuel) *)
-        Bc.KFunc (fun args -> Interp.run_spmd_gang t.it callee args)
     | Some callee ->
-        (* compiled lazily on first call, then memoized *)
+        (* both shapes go through [call]: SPMD-annotated callees get
+           their programming-model semantics from the interpreter's
+           reference gang executor (which shares this VM's memory,
+           stats and fuel), serial callees are compiled lazily on
+           first call and memoized.  Routing through [call] also keeps
+           the profiling call tree identical under both engines. *)
         Bc.KFunc (fun args -> call t callee args)
     | None -> Bc.KTrap (Fmt.str "call to unknown function %s" name)
 
 and call t (f : Pir.Func.t) args : Value.t =
+  if t.it.Interp.profile then begin
+    Interp.prof_push t.it f.Pir.Func.fname;
+    match call_body t f args with
+    | v ->
+        Interp.prof_pop t.it;
+        v
+    | exception e ->
+        Interp.prof_pop t.it;
+        raise e
+  end
+  else call_body t f args
+
+and call_body t (f : Pir.Func.t) args : Value.t =
   match f.Pir.Func.spmd with
   | Some _ -> Interp.run_spmd_gang t.it f args
   | None -> enter t (code_of t f) args
@@ -1199,3 +1230,94 @@ let run t name args =
   | exception e ->
       finish ();
       raise e
+
+(* -- profiling ---------------------------------------------------------
+
+   The flag lives on the embedded interpreter, so one switch drives
+   both the VM's Acct counters and the interpreter-side attribution of
+   SPMD gangs / delegated calls.  [capture] merges the two by (func,
+   block) key: a block executed under both engines (e.g. a serial
+   helper called both from compiled code and from inside a gang) sums
+   its rows, exactly as a single-engine run would have. *)
+
+let set_profile t on = Interp.set_profile t.it on
+
+let reset_profile t =
+  Interp.reset_profile t.it;
+  Hashtbl.iter
+    (fun _ (c : Bc.code) ->
+      Array.fill c.Bc.c_pent 0 (Array.length c.Bc.c_pent) 0)
+    t.codes
+
+(** Typed profile of everything executed since creation (or the last
+    [reset_profile]).  Note [code_of] recompiles a function (dropping
+    its counters) if it is structurally modified between runs — run
+    the passes first, as usual. *)
+let capture t : Profile.t =
+  let it = t.it in
+  Interp.flush_cycles it;
+  Interp.prof_flush it;
+  (* (func, block) -> (entries, instrs, cycles), interp side first *)
+  let tbl = Hashtbl.create 64 in
+  List.iter
+    (fun (r : Interp.block_profile) ->
+      Hashtbl.replace tbl (r.bp_func, r.bp_block)
+        (r.bp_entries, r.bp_instrs, r.bp_cycles))
+    (Interp.profile_report it);
+  let mix = Interp.profile_mix it in
+  Hashtbl.iter
+    (fun _ (c : Bc.code) ->
+      let fname = c.Bc.c_fn.Pir.Func.fname in
+      Array.iteri
+        (fun ix bname ->
+          let e = c.Bc.c_pent.(ix) in
+          if e > 0 then begin
+            let key = (fname, bname) in
+            let e0, i0, cy0 =
+              Option.value ~default:(0, 0, 0.0) (Hashtbl.find_opt tbl key)
+            in
+            (* derived attribution: charges are dyadic (quantized cost
+               schedule), so [entries * charge] is exact and equals the
+               interpreter's per-entry accumulation bit for bit *)
+            let cy =
+              if it.Interp.count_cost then
+                let ef = float_of_int e in
+                (ef *. Float.Array.get c.Bc.c_pphi ix)
+                +. (ef *. Float.Array.get c.Bc.c_pbody ix)
+              else 0.0
+            in
+            Hashtbl.replace tbl key
+              (e0 + e, i0 + (e * c.Bc.c_pn.(ix)), cy0 +. cy)
+          end)
+        c.Bc.c_bnames;
+      (* opcode mix: static per-block classes weighted by entries (the
+         compiled spine retains the source blocks) *)
+      List.iteri
+        (fun ix (b : Pir.Func.block) ->
+          let e = c.Bc.c_pent.(ix) in
+          if e > 0 then
+            List.iter
+              (fun (i : Pir.Instr.instr) ->
+                let cls = Profile.classify i in
+                let n = Option.value ~default:0 (Hashtbl.find_opt mix cls) in
+                Hashtbl.replace mix cls (n + e))
+              b.Pir.Func.instrs)
+        c.Bc.c_blocks)
+    t.codes;
+  let blocks =
+    Hashtbl.fold
+      (fun (fname, bname) (e, i, cy) acc ->
+        {
+          Profile.pb_func = fname;
+          pb_block = bname;
+          pb_entries = e;
+          pb_instrs = i;
+          pb_cycles = cy;
+        }
+        :: acc)
+      tbl []
+  in
+  let opcode_mix = Hashtbl.fold (fun cls n acc -> (cls, n) :: acc) mix [] in
+  Profile.v ~engine:"vm" ~blocks ~opcode_mix
+    ~folded:(Profile.folded_of_root it.Interp.prof_root)
+    ~total_cycles:it.Interp.stats.cycles ~total_instrs:it.Interp.stats.instrs

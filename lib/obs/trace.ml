@@ -45,14 +45,19 @@ let epoch_us = int_of_float (Unix.gettimeofday () *. 1e6)
 
 let last_us = Atomic.make 0
 
-(* Clamp to be non-decreasing: a CAS loop over an int atomic (floats
-   would compare by physical equality and livelock). *)
+(* Strictly increasing: a CAS loop over an int atomic (floats would
+   compare by physical equality and livelock).  Each observation ticks
+   at least 1 µs past the previous one, so no two events ever share a
+   timestamp — [pp_summary]'s nesting reconstruction depends on span
+   intervals being strictly ordered (two zero-length spans at the same
+   µs are ambiguous: the forest it rebuilt from them was wrong often
+   enough to flake the suite).  The clock only runs ahead of wall time
+   when events arrive faster than 1/µs, and by at most one µs each. *)
 let rec now_us () =
   let raw = int_of_float (Unix.gettimeofday () *. 1e6) - epoch_us in
   let prev = Atomic.get last_us in
-  if raw <= prev then prev
-  else if Atomic.compare_and_set last_us prev raw then raw
-  else now_us ()
+  let next = if raw > prev then raw else prev + 1 in
+  if Atomic.compare_and_set last_us prev next then next else now_us ()
 
 (* -- state -- *)
 
