@@ -572,6 +572,201 @@ let fuzz_cmd =
       const run $ obs_term $ seed $ count $ jobs $ corpus $ no_reduce $ mutate
       $ replay)
 
+let verify_kernel_cmd =
+  let files_arg =
+    Arg.(
+      value & pos_all string []
+      & info [] ~docv:"FILE"
+          ~doc:"PsimC source files or built-in kernel names to verify")
+  in
+  let suite =
+    Arg.(
+      value & flag
+      & info [ "suite" ]
+          ~doc:"Verify every built-in Figure-4/Figure-5 kernel")
+  in
+  let gang =
+    Arg.(
+      value & opt int 4
+      & info [ "gang" ] ~docv:"N"
+          ~doc:"Gang size to verify at (kernel gang sizes are overridden)")
+  in
+  let width =
+    Arg.(
+      value & opt int 8
+      & info [ "width" ] ~docv:"W"
+          ~doc:
+            "Bit bound on integer input domains.  Arithmetic always runs at \
+             native width; $(docv) only bounds the enumerated input values.")
+  in
+  let extent =
+    Arg.(
+      value & opt int 8
+      & info [ "extent" ] ~docv:"K" ~doc:"Modeled elements per buffer parameter")
+  in
+  let slack =
+    Arg.(
+      value & opt int 4
+      & info [ "slack" ] ~docv:"K"
+          ~doc:"Extra modeled elements on each side of every buffer")
+  in
+  let timeout_cases =
+    Arg.(
+      value & opt int Psmt.Equiv.default_opts.Psmt.Equiv.max_cases
+      & info [ "timeout-cases" ] ~docv:"M"
+          ~doc:"Give up (Bounded-out) beyond this many enumerated cases")
+  in
+  let fuel =
+    Arg.(
+      value & opt int Psmt.Equiv.default_opts.Psmt.Equiv.fuel
+      & info [ "fuel" ] ~docv:"N"
+          ~doc:"Instruction budget per symbolic execution")
+  in
+  let legalize =
+    Arg.(
+      value & opt (some int) None
+      & info [ "legalize" ] ~docv:"LANES"
+          ~doc:"Also legalize the candidate to $(docv)-lane chunks before checking")
+  in
+  let json =
+    Arg.(
+      value & opt (some string) None
+      & info [ "json" ] ~docv:"FILE" ~doc:"Write a JSON verification report to $(docv)")
+  in
+  let run obs opts files suite gang width extent slack timeout_cases fuel legalize json
+      =
+    with_obs obs (fun () ->
+        let sources =
+          files
+          @ (if suite then
+               List.map
+                 (fun (k : Psimdlib.Workload.kernel) -> k.kname)
+                 (Psimdlib.Registry.all @ Pispc.Suite.all)
+             else [])
+        in
+        if sources = [] then begin
+          Fmt.epr "psimc verify-kernel: no sources (pass FILEs or --suite)@.";
+          exit 2
+        end;
+        let params =
+          {
+            Parsimony.Tv.default_params with
+            gang = Some gang;
+            width;
+            extent;
+            slack;
+            max_cases = timeout_cases;
+            fuel;
+          }
+        in
+        let transform m =
+          ignore (Parsimony.Vectorizer.run_module ~opts m);
+          Panalysis.Check.check_module m;
+          Parsimony.Simplify.run_module m;
+          (match legalize with
+          | None -> ()
+          | Some lanes ->
+              m.Pir.Func.funcs <-
+                List.map
+                  (fun f -> Pbackend.Legalize.legalize_func ~lanes f)
+                  m.Pir.Func.funcs);
+          Panalysis.Check.check_module m
+        in
+        let refuted = ref 0 and bounded = ref 0 and proved = ref 0 in
+        let docs =
+          List.map
+            (fun file ->
+              let name, src = load_source file in
+              let m, _ =
+                Pharness.Pipeline.compile
+                  ~cfg:(cfg_of_obs ~vectorize:false ~simplify:false obs opts)
+                  ~name src
+              in
+              let results = Parsimony.Tv.verify_module ~params ~transform m in
+              List.iter
+                (fun (r : Parsimony.Tv.result) ->
+                  (match r.verdict with
+                  | Psmt.Equiv.Proved _ -> incr proved
+                  | Psmt.Equiv.Refuted _ -> incr refuted
+                  | Psmt.Equiv.Bounded _ -> incr bounded);
+                  Fmt.pr "%s %s: %a@." name r.vfunc Psmt.Equiv.pp_verdict r.verdict)
+                results;
+              ( name,
+                Pobs.Json.Arr
+                  (List.map
+                     (fun (r : Parsimony.Tv.result) ->
+                       Pobs.Json.Obj
+                         [
+                           ("func", Pobs.Json.Str r.vfunc);
+                           ("gang", Pobs.Json.Int r.gang_used);
+                           ("verdict", Pobs.Json.Str (Psmt.Equiv.verdict_name r.verdict));
+                           ("cases", Pobs.Json.Int (Psmt.Equiv.verdict_cases r.verdict));
+                           ("ms", Pobs.Json.Float r.ms);
+                           ( "detail",
+                             Pobs.Json.Str
+                               (match r.verdict with
+                               | Psmt.Equiv.Proved { vacuous; _ } ->
+                                   Fmt.str "%d vacuous" vacuous
+                               | Psmt.Equiv.Bounded { reason; _ } -> reason
+                               | Psmt.Equiv.Refuted { cx; _ } ->
+                                   Fmt.str "%a" Psmt.Equiv.pp_counterexample cx) );
+                         ])
+                     results) ))
+            sources
+        in
+        (match json with
+        | None -> ()
+        | Some path ->
+            let doc =
+              Pobs.Json.Obj
+                [
+                  ( "params",
+                    Pobs.Json.Obj
+                      [
+                        ("gang", Pobs.Json.Int gang);
+                        ("width", Pobs.Json.Int width);
+                        ("extent", Pobs.Json.Int extent);
+                        ("slack", Pobs.Json.Int slack);
+                        ("timeout_cases", Pobs.Json.Int timeout_cases);
+                        ("fuel", Pobs.Json.Int fuel);
+                        ( "legalize",
+                          match legalize with
+                          | None -> Pobs.Json.Null
+                          | Some l -> Pobs.Json.Int l );
+                      ] );
+                  ( "summary",
+                    Pobs.Json.Obj
+                      [
+                        ("proved", Pobs.Json.Int !proved);
+                        ("refuted", Pobs.Json.Int !refuted);
+                        ("bounded", Pobs.Json.Int !bounded);
+                      ] );
+                  ("kernels", Pobs.Json.Obj docs);
+                ]
+            in
+            let oc = open_out path in
+            Fun.protect
+              ~finally:(fun () -> close_out oc)
+              (fun () -> output_string oc (Pobs.Json.to_string doc));
+            Fmt.epr "wrote report to %s@." path);
+        Fmt.pr "verify-kernel: %d proved, %d counterexamples, %d bounded out@."
+          !proved !refuted !bounded;
+        if !bounded > 0 then
+          Fmt.epr "warning: %d verification(s) bounded out (no claim made)@." !bounded;
+        if !refuted > 0 then exit 1)
+  in
+  Cmd.v
+    (Cmd.info "verify-kernel"
+       ~doc:
+         "Bounded translation validation: symbolically execute the serial \
+          SPMD reference and the vectorized kernel over small input domains \
+          and prove them equivalent, or print a concrete lane-level \
+          counterexample.  Exits non-zero on any counterexample; Bounded-out \
+          verdicts are warnings.")
+    Term.(
+      const run $ obs_term $ opts_term $ files_arg $ suite $ gang $ width $ extent
+      $ slack $ timeout_cases $ fuel $ legalize $ json)
+
 let verify_rules_cmd =
   let exhaustive =
     Arg.(value & flag & info [ "exhaustive" ] ~doc:"Exhaustive 8-bit base enumeration")
@@ -606,5 +801,6 @@ let () =
             profile_cmd;
             lint_cmd;
             fuzz_cmd;
+            verify_kernel_cmd;
             verify_rules_cmd;
           ]))

@@ -53,6 +53,18 @@ let preset_for seed =
   | 2 -> Gen.float_cfg
   | _ -> Gen.mem_cfg
 
+(** The oracle plus checker-backed re-triage: a [diff:] failure is run
+    through the bounded equivalence checker on the transformed kernel
+    itself, splitting proven miscompiles ([miscompile:]) from
+    divergences the checker proves cannot come from the kernel
+    ([costmodel:]).  Reduction and replay use the same refined bucket,
+    so the reducer minimizes toward the *proven* signature. *)
+let oracle_refined ?mutate subject =
+  match Oracle.run ?mutate subject with
+  | Oracle.Fail f when Triage.diff_config f.bucket <> None ->
+      Oracle.Fail { f with bucket = Oracle.refine_bucket ?mutate subject f.bucket }
+  | v -> v
+
 (** Generate and check one seed.  Returns the failure (reduced unless
     [reduce:false]) or the configurations skipped on this program. *)
 let run_one ?cfg ?mutate ?(reduce = true) seed :
@@ -61,14 +73,14 @@ let run_one ?cfg ?mutate ?(reduce = true) seed :
   Pobs.Metrics.incr m_programs;
   let case = Gen.generate ~cfg seed in
   let subject = Oracle.of_case case in
-  match Oracle.run ?mutate subject with
+  match oracle_refined ?mutate subject with
   | Oracle.Pass { skipped } -> (None, skipped)
   | Oracle.Fail { bucket; config; detail } ->
       Pobs.Metrics.incr ~labels:[ ("bucket", bucket) ] m_failures;
       let reduced, reduce_tests =
         if reduce then begin
           let still_fails p =
-            match Oracle.run ?mutate (Oracle.of_prog p) with
+            match oracle_refined ?mutate (Oracle.of_prog p) with
             | Oracle.Fail f -> f.bucket = bucket
             | Oracle.Pass _ -> false
           in
@@ -130,7 +142,7 @@ let replay path : (unit, string) result =
   match Oracle.parse_header src with
   | None -> Error (Fmt.str "%s: missing '// pfuzz ...' replay header" path)
   | Some subject -> (
-      match Oracle.run subject with
+      match oracle_refined subject with
       | Oracle.Pass _ -> Ok ()
       | Oracle.Fail { bucket; detail; _ } ->
           Error (Fmt.str "%s: %s (%s)" path bucket detail))

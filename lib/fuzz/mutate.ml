@@ -42,14 +42,50 @@ let flip_linearized_mask (m : Func.modul) : bool =
     m.funcs;
   !flipped
 
-type t = Flip_mask
+(** Clobber the index vector of the first [Gather] with a huge uniform
+    splat, in place.  The mutated code addresses far outside every
+    allocation, so executing it raises a memory fault *in the mutated
+    configuration only* — which is exactly what the per-configuration
+    [exec:<config>:<tag>] triage buckets must expose.  Returns [false]
+    when the module contains no gather. *)
+let wild_gather (m : Func.modul) : bool =
+  let mutated = ref false in
+  List.iter
+    (fun (f : Func.t) ->
+      List.iter
+        (fun (b : Func.block) ->
+          if not !mutated then
+            b.instrs <-
+              List.map
+                (fun (i : Instr.instr) ->
+                  match i.Instr.op with
+                  | Instr.Gather (base, idx, mask) when not !mutated -> (
+                      match Func.ty_of_operand f idx with
+                      | Types.Vec (s, n) ->
+                          mutated := true;
+                          let wild =
+                            Instr.Const
+                              (Instr.Cvec (s, Array.make n 0x7ffff000L))
+                          in
+                          { i with Instr.op = Instr.Gather (base, wild, mask) }
+                      | _ -> i)
+                  | _ -> i)
+                b.instrs)
+        f.blocks)
+    m.funcs;
+  !mutated
+
+type t = Flip_mask | Wild_gather
 
 let of_string = function
   | "flip-mask" -> Some Flip_mask
+  | "wild-gather" -> Some Wild_gather
   | _ -> None
 
-let name = function Flip_mask -> "flip-mask"
+let name = function Flip_mask -> "flip-mask" | Wild_gather -> "wild-gather"
 
 (** Apply [mut] to a vectorized module; [true] if it changed anything. *)
 let apply mut m =
-  match mut with Flip_mask -> flip_linearized_mask m
+  match mut with
+  | Flip_mask -> flip_linearized_mask m
+  | Wild_gather -> wild_gather m

@@ -92,6 +92,10 @@ let legalize_widths = [ 4; 8; 16 ]
 let all_configs =
   vec_configs @ [ Autovec ] @ List.map (fun w -> Legalized w) legalize_widths
 
+(** Inverse of {!config_name}, for re-triaging a persisted bucket. *)
+let config_of_name name =
+  List.find_opt (fun c -> config_name c = name) all_configs
+
 (** Raised by {!prepare} when the legalizer cannot split a function at
     the requested width: the configuration is skipped, not failed. *)
 exception Skip of string
@@ -363,7 +367,7 @@ let profile_check name (m : Func.modul) (s : subject) : verdict option =
                 fail (Triage.profile ~config:name) (profile_divergence pi pv)
               else None))
 
-let run ?mutate (s : subject) : verdict =
+let run_oracles ?mutate (s : subject) : verdict =
   match compile_scalar s with
   | exception e ->
       Fail
@@ -456,3 +460,90 @@ let run ?mutate (s : subject) : verdict =
                                     | None -> go skipped rest)))))
               in
               go [] all_configs))))
+
+(** {!run_oracles} with an infrastructure safety net: an exception from
+    the oracle *machinery* (sanitizer runner, profile comparison, buffer
+    bookkeeping) becomes an [oracle:] failure bucket instead of
+    escaping and killing the reducer or the worker pool.  Exceptions
+    raised inside a configuration's compile/execute path are already
+    caught closer in and carry that configuration's name. *)
+let run ?mutate (s : subject) : verdict =
+  try run_oracles ?mutate s
+  with e ->
+    Fail
+      {
+        bucket = Triage.oracle_exn e;
+        config = "oracle";
+        detail = Printexc.to_string e;
+      }
+
+(* -- checker-backed re-triage of diff: failures -- *)
+
+(** Input specification for the whole-module entry point ["k"],
+    mirroring {!exec_on} exactly: the same five buffers with the same
+    deterministic contents, and the subject's own uniforms.  Everything
+    is concrete, so the checker performs a single symbolic execution
+    per side and compares final buffer cells — the same observation
+    {!compare_buffers} makes, but on the checker's semantics. *)
+let equiv_spec (s : subject) : Psmt.Equiv.pspec list =
+  let conc name (vals : Pmachine.Value.t array) kind =
+    Psmt.Equiv.Buf
+      {
+        bname = name;
+        bkind = kind;
+        lo = 0;
+        len = Array.length vals;
+        init =
+          (fun i ->
+            match vals.(i) with
+            | Pmachine.Value.I v -> Psmt.Equiv.Ccint v
+            | Pmachine.Value.F v -> Psmt.Equiv.Ccfloat v
+            | _ -> assert false);
+      }
+  in
+  [
+    conc "a" a_init Types.I32;
+    conc "fa" fa_init Types.F32;
+    conc "b" (Array.make s.n (Pmachine.Value.I 0L)) Types.I32;
+    conc "fb" (Array.make s.n (Pmachine.Value.F 0.0)) Types.F32;
+    conc "c" c_init Types.I32;
+    Psmt.Equiv.Kint (Types.I32, Int64.of_int s.u0);
+    Psmt.Equiv.Kfloat (Types.F32, s.uf);
+    Psmt.Equiv.Kint (Types.I64, Int64.of_int s.n);
+  ]
+
+(** Run the bounded equivalence checker on [config]'s transformed module
+    against the scalar reference, over the oracle's concrete inputs. *)
+let check_config ?mutate (s : subject) (config : config) : Psmt.Equiv.verdict option =
+  match compile_scalar s with
+  | exception _ -> None
+  | scalar -> (
+      match prepare ?mutate config scalar with
+      | exception _ -> None
+      | vec -> (
+          match
+            Psmt.Equiv.check
+              ~lookup_ref:(Func.find_func_opt scalar)
+              ~lookup_vec:(Func.find_func_opt vec)
+              ~fref:(Func.find_func scalar "k")
+              ~fvec:(Func.find_func vec "k") (equiv_spec s)
+          with
+          | v -> Some v
+          | exception _ -> None))
+
+(** Re-triage a [diff:] bucket through the checker: a counterexample on
+    the transformed kernel proves a miscompile; a proof of equivalence
+    on the oracle's own inputs means the divergence originates elsewhere
+    ([costmodel:]).  Bounded (or checker-infeasible) verdicts keep the
+    original bucket — no claim, no re-triage. *)
+let refine_bucket ?mutate (s : subject) (bucket : string) : string =
+  match Triage.diff_config bucket with
+  | None -> bucket
+  | Some name -> (
+      match config_of_name name with
+      | None -> bucket
+      | Some config -> (
+          match check_config ?mutate s config with
+          | Some (Psmt.Equiv.Refuted _) -> Triage.miscompile ~config:name
+          | Some (Psmt.Equiv.Proved _) -> Triage.costmodel ~config:name
+          | Some (Psmt.Equiv.Bounded _) | None -> bucket))

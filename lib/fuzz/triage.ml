@@ -23,6 +23,28 @@ let exn_tag = function
 (** The vectorized/legalized output differs from the reference. *)
 let diff ~config = "diff:" ^ config
 
+(** A [diff:] failure the translation-validation checker re-triaged
+    with a concrete counterexample on [config]'s own kernel: a proven
+    miscompile of the transformed code. *)
+let miscompile ~config = "miscompile:" ^ config
+
+(** A [diff:] failure where the checker *proved* [config]'s kernel
+    equivalent to the reference on the very inputs the oracle ran: the
+    divergence originates outside the transformed kernel. *)
+let costmodel ~config = "costmodel:" ^ config
+
+(** The [diff:] prefix family, for the reducer and the driver. *)
+let diff_config (bucket : string) : string option =
+  let p = "diff:" in
+  if String.length bucket > String.length p && String.sub bucket 0 (String.length p) = p
+  then Some (String.sub bucket (String.length p) (String.length bucket - String.length p))
+  else None
+
+(** Oracle machinery raised outside any configuration's compile or
+    execute path (sanitizer runner, profile comparison, ...): an
+    infrastructure failure that must not kill the worker pool. *)
+let oracle_exn e = Fmt.str "oracle:%s" (exn_tag e)
+
 (** Execution of [config] raised (trap, memory fault, ...). *)
 let exec_exn ~config e = Fmt.str "exec:%s:%s" config (exn_tag e)
 

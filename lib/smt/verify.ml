@@ -17,6 +17,11 @@ type report = {
   counterexample : string option;
 }
 
+(* The checker norms each pattern at the check width, so negative
+   entries land just below [max_unsigned w]: the negative strides double
+   as near-max offsets, and the shifted iota crosses the 2^w boundary
+   inside the gang.  Without these, a rule precondition that is only
+   wrong when [base + offset] wraps would verify clean. *)
 let offset_patterns n =
   [
     Array.make n 0L (* uniform *);
@@ -26,6 +31,12 @@ let offset_patterns n =
     Array.init n (fun i -> Int64.of_int (8 * i)) (* stride 8 *);
     Array.init n (fun i -> Int64.of_int ((i * 37) mod 16)) (* irregular *);
     Array.init n (fun i -> Int64.of_int (n - 1 - i)) (* reversed iota *);
+    Array.init n (fun i -> Int64.of_int (-i)) (* negative stride 1 *);
+    Array.init n (fun i -> Int64.of_int (-4 * i)) (* negative stride 4 *);
+    Array.init n (fun i -> Int64.of_int (i - 2))
+    (* iota through 0: norms to [2^w-2; 2^w-1; 0; 1; ...], wrapping past
+       [max_unsigned] mid-gang *);
+    Array.make n (-1L) (* uniform at max_unsigned: every add wraps *);
   ]
 
 (** Check one rule at width [w] (default 8): for all base pairs

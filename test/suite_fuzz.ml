@@ -79,7 +79,10 @@ let line_count s = List.length (String.split_on_char '\n' (String.trim s))
 
 let test_flip_mask_caught () =
   let f = first_caught_mutant () in
-  check Alcotest.string "failure bucket" "diff:vec-default" f.Pfuzz.Driver.bucket;
+  (* the raw oracle sees a diff; the checker re-triages it to a *proven*
+     miscompile, with a concrete counterexample on the mutated kernel *)
+  check Alcotest.string "failure bucket" "miscompile:vec-default"
+    f.Pfuzz.Driver.bucket;
   match f.Pfuzz.Driver.reduced with
   | None -> Alcotest.fail "mutant was not reduced"
   | Some reduced ->
@@ -91,7 +94,9 @@ let test_flip_mask_caught () =
       (* minimality: the reduced program still fails, in the same bucket *)
       (match
          Option.bind (Pfuzz.Oracle.parse_header reduced) (fun s ->
-             match Pfuzz.Oracle.run ~mutate:Pfuzz.Mutate.Flip_mask s with
+             match
+               Pfuzz.Driver.oracle_refined ~mutate:Pfuzz.Mutate.Flip_mask s
+             with
              | Pfuzz.Oracle.Fail { bucket; _ } -> Some bucket
              | Pfuzz.Oracle.Pass _ -> None)
        with
@@ -139,6 +144,47 @@ let test_triage_stability () =
     Alcotest.(list (pair string int))
     "bucket tally" [ ("a", 2); ("b", 1) ]
     (Pfuzz.Triage.group [ "b"; "a"; "a" ])
+
+(* the bucket constructors pin the failing configuration by name, so two
+   ablation configs never share a bucket; machinery failures outside any
+   config get their own [oracle:] family *)
+let test_triage_bucket_names () =
+  check Alcotest.string "exec bucket names its config" "exec:vec-noopt:invalid"
+    (Pfuzz.Triage.exec_exn ~config:"vec-noopt" (Invalid_argument "x"));
+  checkb "distinct configs, distinct buckets" false
+    (Pfuzz.Triage.exec_exn ~config:"vec-default" (Failure "x")
+    = Pfuzz.Triage.exec_exn ~config:"vec-noopt" (Failure "x"));
+  check Alcotest.string "oracle machinery bucket" "oracle:failure"
+    (Pfuzz.Triage.oracle_exn (Failure "x"));
+  check
+    Alcotest.(option string)
+    "diff_config extracts the config" (Some "vec-default")
+    (Pfuzz.Triage.diff_config "diff:vec-default");
+  check
+    Alcotest.(option string)
+    "diff_config rejects refined buckets" None
+    (Pfuzz.Triage.diff_config "miscompile:vec-default")
+
+(* -- checker-backed re-triage: miscompile vs costmodel (pinned seeds) -- *)
+
+let test_retriage_distinguishes () =
+  (* pinned seed 1: the unmutated pipeline is correct, so a hypothetical
+     diff on it re-triages to [costmodel:] — the checker *proves* the
+     transformed kernel equivalent on the oracle's own inputs, placing
+     the divergence outside the kernel *)
+  let s = Pfuzz.Oracle.of_case (Pfuzz.Gen.generate ~cfg:Pfuzz.Gen.int_cfg 1) in
+  check Alcotest.string "equivalent kernel -> costmodel" "costmodel:vec-default"
+    (Pfuzz.Oracle.refine_bucket s "diff:vec-default");
+  (* under flip-mask the same entry is provably miscompiled *)
+  let f = first_caught_mutant () in
+  let s' = Option.get (Pfuzz.Oracle.parse_header f.Pfuzz.Driver.src) in
+  check Alcotest.string "refuted kernel -> miscompile"
+    "miscompile:vec-default"
+    (Pfuzz.Oracle.refine_bucket ~mutate:Pfuzz.Mutate.Flip_mask s'
+       "diff:vec-default");
+  (* non-diff buckets pass through untouched *)
+  check Alcotest.string "non-diff buckets unrefined" "psan:race"
+    (Pfuzz.Oracle.refine_bucket s "psan:race")
 
 (* -- sanitizer-soundness oracle on seeded-buggy mutants -- *)
 
@@ -195,8 +241,8 @@ let test_corpus_roundtrip () =
   let dir = Filename.concat (Filename.get_temp_dir_name ()) "pfuzz-corpus-test" in
   let path = Pfuzz.Driver.save_corpus ~dir f in
   checkb "file name carries the bucket" true
-    (String.length (Filename.basename path) > 0
-    && String.sub (Filename.basename path) 0 16 = "diff-vec-default");
+    (String.length (Filename.basename path) > 22
+    && String.sub (Filename.basename path) 0 22 = "miscompile-vec-default");
   check
     Alcotest.(list string)
     "corpus_files finds it" [ path ]
@@ -220,6 +266,10 @@ let suites =
         Alcotest.test_case "flip-mask needs a blend" `Quick
           test_flip_mask_needs_blend;
         Alcotest.test_case "triage bucket stability" `Quick test_triage_stability;
+        Alcotest.test_case "triage buckets name the failing config" `Quick
+          test_triage_bucket_names;
+        Alcotest.test_case "re-triage: miscompile vs costmodel" `Quick
+          test_retriage_distinguishes;
         Alcotest.test_case "race mutant: psan + dynamic divergence" `Quick
           test_race_mutant;
         Alcotest.test_case "oob mutant: psan + dynamic fault" `Quick

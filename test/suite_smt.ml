@@ -85,6 +85,60 @@ let test_fact_helpers () =
   Alcotest.(check bool) "join keeps common alignment" true (Facts.align_at_least j 4);
   Alcotest.(check bool) "join drops constant" true (j.Facts.const = None)
 
+(* The offset-pattern library must cover every stride class a rule's
+   precondition can distinguish: uniform, the positive strides the
+   vectorizer emits (1/2/4/8), negative strides, irregular-but-bounded
+   offsets (the [all_in_pow2] / [all_aligned] preconditions), and
+   patterns that wrap past [max_unsigned] at the check width — the class
+   the original 7-pattern library missed entirely. *)
+let test_offset_pattern_coverage () =
+  let w = 8 and n = 8 in
+  let pats = List.map (Array.map (Pir.Ints.norm w)) (Verify.offset_patterns n) in
+  Alcotest.(check int) "pattern library is pinned" 11 (List.length pats);
+  let stride (o : int64 array) =
+    (* constant signed lane-to-lane difference at width w, if any *)
+    let d = Pir.Ints.sub w o.(1) o.(0) in
+    let ok = ref true in
+    for i = 0 to n - 2 do
+      if Pir.Ints.sub w o.(i + 1) o.(i) <> d then ok := false
+    done;
+    if !ok then Some (Pir.Ints.sext w d) else None
+  in
+  let has pred name =
+    Alcotest.(check bool) name true (List.exists pred pats)
+  in
+  has (fun o -> Array.for_all (fun x -> x = 0L) o) "uniform zero";
+  List.iter
+    (fun s ->
+      has (fun o -> stride o = Some (Int64.of_int s)) (Fmt.str "stride %+d" s))
+    [ 1; 2; 4; 8; -1; -4 ];
+  has (fun o -> stride o = None) "irregular";
+  (* bounded below 2^4 but not all aligned: exercises the low-mask and
+     pow2-divisor preconditions *)
+  has
+    (fun o ->
+      Array.for_all (fun x -> Int64.unsigned_compare x 16L < 0) o
+      && Array.exists (fun x -> Int64.rem x 2L <> 0L) o
+      && Array.exists (fun x -> x <> 0L) o)
+    "irregular below 2^4";
+  has (fun o -> Array.for_all (fun x -> Int64.rem x 8L = 0L) o) "aligned to 8";
+  (* wraps past max_unsigned *mid-gang*: some adjacent pair descends in
+     the unsigned order while the signed stride is positive *)
+  has
+    (fun o ->
+      match stride o with
+      | Some d when Int64.compare d 0L > 0 ->
+          let descends = ref false in
+          for i = 0 to n - 2 do
+            if Int64.unsigned_compare o.(i + 1) o.(i) < 0 then descends := true
+          done;
+          !descends
+      | _ -> false)
+    "wraps past max_unsigned mid-gang";
+  has
+    (fun o -> Array.for_all (fun x -> x = Pir.Ints.max_unsigned w) o)
+    "uniform at max_unsigned"
+
 (* online phase: rules fire only when their preconditions hold *)
 let test_online_preconditions () =
   let w = 8 in
@@ -114,6 +168,8 @@ let suites =
         Alcotest.test_case "all shipped rules verify" `Quick test_all_rules_verify;
         Alcotest.test_case "checker refutes a broken rule" `Quick
           test_checker_catches_broken_rule;
+        Alcotest.test_case "offset patterns cover all stride classes" `Quick
+          test_offset_pattern_coverage;
         Alcotest.test_case "fact helpers" `Quick test_fact_helpers;
         Alcotest.test_case "online preconditions gate rules" `Quick
           test_online_preconditions;
