@@ -767,6 +767,78 @@ let verify_kernel_cmd =
       const run $ obs_term $ opts_term $ files_arg $ suite $ gang $ width $ extent
       $ slack $ timeout_cases $ fuel $ legalize $ json)
 
+let serve_cmd =
+  let socket =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "socket" ] ~docv:"PATH"
+          ~doc:"Listen on a Unix socket at $(docv) (default /tmp/psimc.sock)")
+  in
+  let port =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "port" ] ~docv:"PORT"
+          ~doc:"Listen on localhost TCP port $(docv) instead of a Unix socket")
+  in
+  let jobs =
+    Arg.(
+      value & opt int 2
+      & info [ "jobs" ] ~docv:"N"
+          ~doc:"Worker domains handling requests (1 = inline on the accept loop)")
+  in
+  let cache_capacity =
+    Arg.(
+      value & opt int 256
+      & info [ "cache-capacity" ] ~docv:"N"
+          ~doc:"Result-cache entries held before LRU eviction")
+  in
+  let metrics_out =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "metrics-out" ] ~docv:"FILE"
+          ~doc:"Write a final metrics-registry snapshot to $(docv) on shutdown")
+  in
+  let run obs socket port jobs cache_capacity metrics_out =
+    with_obs obs (fun () ->
+        let addr =
+          match (socket, port) with
+          | Some p, None -> Pharness.Serve.Unix_path p
+          | None, Some p -> Pharness.Serve.Tcp_port p
+          | None, None -> Pharness.Serve.Unix_path "/tmp/psimc.sock"
+          | Some _, Some _ ->
+              Fmt.epr "psimc serve: pass --socket or --port, not both@.";
+              exit 2
+        in
+        let cfg =
+          {
+            (Pharness.Serve.default_config addr) with
+            jobs;
+            cache_capacity;
+            metrics_out;
+            banner = true;
+            handle_signals = true;
+          }
+        in
+        let summary = Pharness.Serve.run cfg in
+        Fmt.pr "%a" Pharness.Serve.pp_summary summary)
+  in
+  Cmd.v
+    (Cmd.info "serve"
+       ~doc:
+         "Run a persistent compile daemon: newline-framed JSON requests \
+          (compile, lint, report, exec, profile, ping, metrics, shutdown) \
+          over a Unix socket or localhost TCP, answered from a bounded \
+          content-addressed result cache and fanned over a worker pool.  \
+          Every response carries per-request span timings; the $(b,metrics) \
+          verb scrapes the live registry (request latency p50/p90/p99, cache \
+          hit/miss/eviction counters, process gauges).  Drains in-flight \
+          work on $(b,shutdown), SIGTERM or SIGINT.")
+    Term.(
+      const run $ obs_term $ socket $ port $ jobs $ cache_capacity $ metrics_out)
+
 let verify_rules_cmd =
   let exhaustive =
     Arg.(value & flag & info [ "exhaustive" ] ~doc:"Exhaustive 8-bit base enumeration")
@@ -800,6 +872,7 @@ let () =
             exec_cmd;
             profile_cmd;
             lint_cmd;
+            serve_cmd;
             fuzz_cmd;
             verify_kernel_cmd;
             verify_rules_cmd;

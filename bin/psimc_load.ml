@@ -1,0 +1,159 @@
+(* psimc-load — load generator and SLO gate for the psimc serve daemon.
+
+   Closed-loop clients drive a deterministic mixed workload (compile /
+   lint / report over a repeating set of built-in kernels) against a
+   running daemon (--socket/--port) or a self-hosted one (--self),
+   print throughput and latency quantiles, optionally write the report
+   as JSON, and exit non-zero when the run violates the requested SLO
+   (error budget, minimum cache hit rate, p99 bound) or when the
+   daemon's scraped cache counters fail to reconcile with the clients'
+   own tallies. *)
+
+open Cmdliner
+
+let socket =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "socket" ] ~docv:"PATH" ~doc:"Connect to the daemon's Unix socket")
+
+let port =
+  Arg.(
+    value
+    & opt (some int) None
+    & info [ "port" ] ~docv:"PORT" ~doc:"Connect to the daemon on localhost TCP")
+
+let self =
+  Arg.(
+    value & flag
+    & info [ "self" ]
+        ~doc:
+          "Spawn an in-process daemon on a temporary socket, load it, drain \
+           it.  One-command benchmark mode.")
+
+let jobs =
+  Arg.(
+    value & opt int 2
+    & info [ "jobs" ] ~docv:"N" ~doc:"Daemon worker domains ($(b,--self) only)")
+
+let cache_capacity =
+  Arg.(
+    value & opt int 256
+    & info [ "cache-capacity" ] ~docv:"N"
+        ~doc:"Daemon result-cache entries ($(b,--self) only)")
+
+let clients =
+  Arg.(
+    value & opt int 2
+    & info [ "clients" ] ~docv:"N" ~doc:"Concurrent closed-loop client connections")
+
+let requests =
+  Arg.(
+    value & opt int 200
+    & info [ "requests" ] ~docv:"N" ~doc:"Total requests across all clients")
+
+let mix =
+  Arg.(
+    value
+    & opt string "compile,lint,report"
+    & info [ "mix" ] ~docv:"VERBS"
+        ~doc:"Comma-separated verb mix, cycled per request")
+
+let sources =
+  Arg.(
+    value & opt int 4
+    & info [ "sources" ] ~docv:"N"
+        ~doc:
+          "Distinct built-in kernel sources to cycle through (smaller = more \
+           cache-friendly)")
+
+let json =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "json" ] ~docv:"FILE" ~doc:"Write the load report as JSON to $(docv)")
+
+let slo_p99_ms =
+  Arg.(
+    value
+    & opt (some float) None
+    & info [ "slo-p99-ms" ] ~docv:"MS" ~doc:"Fail when client-side p99 exceeds $(docv)")
+
+let min_hit_rate =
+  Arg.(
+    value
+    & opt (some float) None
+    & info [ "min-hit-rate" ] ~docv:"R"
+        ~doc:"Fail when the cache hit rate falls below $(docv) (0..1)")
+
+let max_errors =
+  Arg.(
+    value & opt int 0
+    & info [ "max-errors" ] ~docv:"N" ~doc:"Fail when more than $(docv) requests error")
+
+let shutdown =
+  Arg.(
+    value & flag
+    & info [ "shutdown" ] ~doc:"Send a drain-and-stop request after the run")
+
+let main socket port self jobs cache_capacity clients requests mix sources json
+    slo_p99_ms min_hit_rate max_errors shutdown =
+  Pobs.Logging.setup ();
+  let verbs =
+    String.split_on_char ',' mix |> List.map String.trim
+    |> List.filter (fun v -> v <> "")
+  in
+  let spec =
+    {
+      Pharness.Loadgen.default_spec with
+      clients;
+      requests;
+      verbs;
+      sources = Pharness.Loadgen.default_sources sources;
+      shutdown;
+    }
+  in
+  let report =
+    if self then begin
+      let sock = Filename.temp_file "psimc-serve" ".sock" in
+      let report, summary =
+        Pharness.Loadgen.self_hosted ~jobs ~cache_capacity ~socket:sock spec
+      in
+      Fmt.pr "%a" Pharness.Serve.pp_summary summary;
+      report
+    end
+    else begin
+      let addr =
+        match (socket, port) with
+        | Some p, None -> Pharness.Serve.Unix_path p
+        | None, Some p -> Pharness.Serve.Tcp_port p
+        | None, None | Some _, Some _ ->
+            Fmt.epr "psimc-load: pass exactly one of --socket, --port, --self@.";
+            exit 2
+      in
+      Pharness.Loadgen.run addr spec
+    end
+  in
+  Fmt.pr "%a" Pharness.Loadgen.pp_report report;
+  (match json with
+  | Some file ->
+      Pobs.Json.write file (Pharness.Loadgen.report_to_json report);
+      Fmt.epr "wrote report to %s@." file
+  | None -> ());
+  let slo = { Pharness.Loadgen.max_errors; min_hit_rate; max_p99_ms = slo_p99_ms } in
+  match Pharness.Loadgen.check_slo slo report with
+  | [] -> ()
+  | violations ->
+      List.iter (fun v -> Fmt.epr "SLO violation: %s@." v) violations;
+      exit 1
+
+let () =
+  let doc = "Load generator and latency-SLO gate for the psimc serve daemon" in
+  exit
+    (Cmd.eval
+       (Cmd.v
+          (Cmd.info "psimc-load" ~version:"1.0" ~doc)
+          Term.(
+            const main $ socket $ port $ self $ jobs $ cache_capacity $ clients
+            $ requests $ mix $ sources $ json $ slo_p99_ms $ min_hit_rate
+            $ max_errors $ shutdown)))

@@ -61,3 +61,23 @@ let default =
     performance difference is not inherent to the ispc or Parsimony SPMD
     design choices"). *)
 let ispc = { default with math_lib = "ispc" }
+
+(** Canonical one-line rendering of every field, for content-addressed
+    cache keys: two option records produce the same fingerprint iff they
+    are equal, and any field added here without a line below is a
+    compile error (the record pattern is exhaustive on purpose). *)
+let fingerprint (o : t) : string =
+  let {
+    math_lib;
+    shape_analysis;
+    stride_shuffle_bound;
+    uniform_branches;
+    boscc;
+    reduce_unroll;
+    analysis_feedback;
+  } =
+    o
+  in
+  Fmt.str "math=%s;shapes=%b;ssb=%d;ub=%b;boscc=%b;ru=%b;af=%b" math_lib
+    shape_analysis stride_shuffle_bound uniform_branches boscc reduce_unroll
+    analysis_feedback

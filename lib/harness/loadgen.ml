@@ -1,0 +1,372 @@
+(** psimc-load: a closed-loop load generator for the serve daemon.
+
+    Drives a sustained mixed workload (compile / lint / report / ping
+    over a repeating set of sources) from [clients] concurrent
+    connections, one in-flight request per connection — closed-loop
+    clients can never deadlock on a full write buffer, and their
+    request latency is the end-to-end number an interactive caller
+    would see.  The work is partitioned statically (client [ci] takes
+    global request indices [ci, ci+clients, ...]) so a run's request
+    mix is deterministic regardless of scheduling.
+
+    After the clients join, the generator optionally scrapes the
+    daemon's [metrics] verb — the server-side cache counters and
+    latency quantiles land in the report next to the client-side
+    tallies, which is what lets the tests and the CI smoke gate assert
+    the two views reconcile — and optionally sends [shutdown],
+    verifying the daemon drains cleanly.
+
+    [check_slo] turns a report into pass/fail against a latency/error
+    budget, giving CI a one-call gate. *)
+
+(* -- client connections (blocking; framing per Pobs.Json.Frame) -- *)
+
+type client = { fd : Unix.file_descr; ic : in_channel }
+
+let connect (addr : Serve.addr) : client =
+  let fd =
+    match addr with
+    | Serve.Unix_path path ->
+        let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+        Unix.connect fd (Unix.ADDR_UNIX path);
+        fd
+    | Serve.Tcp_port port ->
+        let fd = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
+        Unix.connect fd (Unix.ADDR_INET (Unix.inet_addr_loopback, port));
+        fd
+  in
+  { fd; ic = Unix.in_channel_of_descr fd }
+
+(** Retry [connect] until [timeout_s] — the self-hosted modes race the
+    daemon's bind. *)
+let connect_retry ?(timeout_s = 10.0) addr : client =
+  let deadline = Unix.gettimeofday () +. timeout_s in
+  let rec go () =
+    match connect addr with
+    | c -> c
+    | exception Unix.Unix_error ((Unix.ENOENT | Unix.ECONNREFUSED), _, _)
+      when Unix.gettimeofday () < deadline ->
+        Unix.sleepf 0.05;
+        go ()
+  in
+  go ()
+
+let close_client c = try close_in c.ic with Sys_error _ -> ()
+
+let rec write_all fd s off len =
+  if len > 0 then
+    match Unix.write_substring fd s off len with
+    | n -> write_all fd s (off + n) (len - n)
+    | exception Unix.Unix_error (Unix.EINTR, _, _) -> write_all fd s off len
+
+(** One request/response round trip. *)
+let rpc (c : client) (req : Pobs.Json.t) : (Pobs.Json.t, string) result =
+  let line = Pobs.Json.to_string_compact req ^ "\n" in
+  match write_all c.fd line 0 (String.length line) with
+  | exception Unix.Unix_error (e, _, _) ->
+      Error ("write: " ^ Unix.error_message e)
+  | () -> (
+      match input_line c.ic with
+      | line -> Pobs.Json.parse_result line
+      | exception End_of_file -> Error "connection closed"
+      | exception Sys_error e -> Error e)
+
+(* -- workload spec -- *)
+
+type spec = {
+  clients : int;
+  requests : int;
+  verbs : string list;  (** cycled per request: compile, lint, report, ping *)
+  sources : (string * string) list;  (** (name, source), cycled *)
+  scrape : bool;  (** scrape [metrics] after the run *)
+  shutdown : bool;  (** send [shutdown] after the run (and scrape) *)
+}
+
+(** First [n] benchmark-registry kernels as (name, source) pairs. *)
+let default_sources n =
+  Psimdlib.Registry.all
+  |> List.filteri (fun i _ -> i < n)
+  |> List.map (fun (k : Psimdlib.Workload.kernel) -> (k.kname, k.psim_src))
+
+let default_spec =
+  {
+    clients = 2;
+    requests = 200;
+    verbs = [ "compile"; "lint"; "report" ];
+    sources = default_sources 4;
+    scrape = true;
+    shutdown = false;
+  }
+
+(* -- results -- *)
+
+type report = {
+  lr_requests : int;
+  lr_ok : int;
+  lr_errors : int;
+  lr_cached : int;  (** responses that carried [cached:true] *)
+  lr_wall_s : float;
+  lr_rps : float;  (** completed requests per second *)
+  lr_p50_ms : float;  (** client-side, exact over all ok latencies *)
+  lr_p90_ms : float;
+  lr_p99_ms : float;
+  lr_hit_rate : float;  (** cached / ok *)
+  (* scraped from the daemon's metrics verb; -1 / nan when not scraped *)
+  lr_server_hits : int;
+  lr_server_misses : int;
+  lr_server_evictions : int;
+  lr_server_p50_ms : float;  (** worst per-verb serve.request_us p50 *)
+  lr_server_p99_ms : float;
+}
+
+(* exact nearest-rank quantile over the measured latencies *)
+let exact_quantile sorted q =
+  let n = Array.length sorted in
+  if n = 0 then nan
+  else sorted.(min (n - 1) (max 0 (int_of_float (Float.ceil (q *. float_of_int n)) - 1)))
+
+(* -- snapshot spelunking (shared with the tests) -- *)
+
+let metric_series snapshot name : Pobs.Json.t list =
+  match Pobs.Json.member "metrics" snapshot with
+  | Some (Pobs.Json.Arr ms) ->
+      List.find_map
+        (fun m ->
+          match Pobs.Json.member "name" m with
+          | Some (Pobs.Json.Str n) when n = name -> (
+              match Pobs.Json.member "series" m with
+              | Some (Pobs.Json.Arr s) -> Some s
+              | _ -> Some [])
+          | _ -> None)
+        ms
+      |> Option.value ~default:[]
+  | _ -> []
+
+(** Value of a single-series counter/gauge, 0 when absent. *)
+let metric_value snapshot name =
+  match metric_series snapshot name with
+  | s :: _ -> (
+      match Pobs.Json.member "value" s with Some (Pobs.Json.Int v) -> v | _ -> 0)
+  | [] -> 0
+
+(* worst (max) value of a float field across a metric's series;
+   [max_num] treats the nan accumulator seed as missing *)
+let metric_field_max snapshot name field =
+  List.fold_left
+    (fun acc s ->
+      match Pobs.Json.member field s with
+      | Some (Pobs.Json.Float v) -> Float.max_num acc v
+      | Some (Pobs.Json.Int v) -> Float.max_num acc (float_of_int v)
+      | _ -> acc)
+    nan
+    (metric_series snapshot name)
+
+(* -- the run -- *)
+
+let request_json ~id ~verb ~name ~source =
+  match verb with
+  | "ping" | "metrics" ->
+      Pobs.Json.Obj [ ("id", Pobs.Json.Int id); ("verb", Pobs.Json.Str verb) ]
+  | _ ->
+      Pobs.Json.Obj
+        [
+          ("id", Pobs.Json.Int id);
+          ("verb", Pobs.Json.Str verb);
+          ("name", Pobs.Json.Str name);
+          ("source", Pobs.Json.Str source);
+        ]
+
+(** Run the workload against a daemon at [addr].  Returns the merged
+    report; individual request failures are counted, not raised. *)
+let run (addr : Serve.addr) (spec : spec) : report =
+  if spec.clients < 1 then invalid_arg "Loadgen.run: clients < 1";
+  if spec.verbs = [] then invalid_arg "Loadgen.run: empty verb mix";
+  if spec.sources = [] then invalid_arg "Loadgen.run: no sources";
+  let verbs = Array.of_list spec.verbs in
+  let sources = Array.of_list spec.sources in
+  let lat_us = Array.make (max 1 spec.requests) nan in
+  let ok = Atomic.make 0 and errors = Atomic.make 0 and cached = Atomic.make 0 in
+  let client ci =
+    let c = connect_retry addr in
+    Fun.protect
+      ~finally:(fun () -> close_client c)
+      (fun () ->
+        let i = ref ci in
+        while !i < spec.requests do
+          let verb = verbs.(!i mod Array.length verbs) in
+          let name, source =
+            sources.(!i / Array.length verbs mod Array.length sources)
+          in
+          let req = request_json ~id:!i ~verb ~name ~source in
+          let t0 = Pobs.Trace.now_us () in
+          (match rpc c req with
+          | Ok resp -> (
+              lat_us.(!i) <- float_of_int (Pobs.Trace.now_us () - t0);
+              match Pobs.Json.member "ok" resp with
+              | Some (Pobs.Json.Bool true) -> (
+                  Atomic.incr ok;
+                  match Pobs.Json.member "cached" resp with
+                  | Some (Pobs.Json.Bool true) -> Atomic.incr cached
+                  | _ -> ())
+              | _ -> Atomic.incr errors)
+          | Error _ -> Atomic.incr errors);
+          i := !i + spec.clients
+        done)
+  in
+  let t0 = Unix.gettimeofday () in
+  (if spec.clients = 1 then client 0
+   else
+     List.init spec.clients (fun ci -> Domain.spawn (fun () -> client ci))
+     |> List.iter Domain.join);
+  let wall = Unix.gettimeofday () -. t0 in
+  let snapshot =
+    if spec.scrape then begin
+      let c = connect_retry addr in
+      Fun.protect
+        ~finally:(fun () -> close_client c)
+        (fun () ->
+          match
+            rpc c
+              (Pobs.Json.Obj
+                 [
+                   ("id", Pobs.Json.Str "scrape"); ("verb", Pobs.Json.Str "metrics");
+                 ])
+          with
+          | Ok resp -> Pobs.Json.member "result" resp
+          | Error _ -> None)
+    end
+    else None
+  in
+  if spec.shutdown then begin
+    let c = connect_retry addr in
+    Fun.protect
+      ~finally:(fun () -> close_client c)
+      (fun () ->
+        ignore
+          (rpc c
+             (Pobs.Json.Obj
+                [
+                  ("id", Pobs.Json.Str "shutdown");
+                  ("verb", Pobs.Json.Str "shutdown");
+                ])))
+  end;
+  let finite = Array.of_list (List.filter Float.is_finite (Array.to_list lat_us)) in
+  Array.sort compare finite;
+  let q p = exact_quantile finite p /. 1000.0 in
+  let ok_n = Atomic.get ok in
+  {
+    lr_requests = spec.requests;
+    lr_ok = ok_n;
+    lr_errors = Atomic.get errors;
+    lr_cached = Atomic.get cached;
+    lr_wall_s = wall;
+    lr_rps = (if wall > 0.0 then float_of_int ok_n /. wall else 0.0);
+    lr_p50_ms = q 0.50;
+    lr_p90_ms = q 0.90;
+    lr_p99_ms = q 0.99;
+    lr_hit_rate =
+      (if ok_n = 0 then 0.0 else float_of_int (Atomic.get cached) /. float_of_int ok_n);
+    lr_server_hits =
+      (match snapshot with Some s -> metric_value s "serve.cache.hits" | None -> -1);
+    lr_server_misses =
+      (match snapshot with
+      | Some s -> metric_value s "serve.cache.misses"
+      | None -> -1);
+    lr_server_evictions =
+      (match snapshot with
+      | Some s -> metric_value s "serve.cache.evictions"
+      | None -> -1);
+    lr_server_p50_ms =
+      (match snapshot with
+      | Some s -> metric_field_max s "serve.request_us" "p50" /. 1000.0
+      | None -> nan);
+    lr_server_p99_ms =
+      (match snapshot with
+      | Some s -> metric_field_max s "serve.request_us" "p99" /. 1000.0
+      | None -> nan);
+  }
+
+(** Run a daemon on [socket] in this process (one spawned domain) and
+    the workload against it, then drain it; returns both sides' books.
+    This is what [bench --json] and the tests use. *)
+let self_hosted ?(jobs = 2) ?(cache_capacity = 256) ~socket (spec : spec) :
+    report * Serve.summary =
+  let cfg =
+    {
+      (Serve.default_config (Serve.Unix_path socket)) with
+      jobs;
+      cache_capacity;
+    }
+  in
+  let srv = Domain.spawn (fun () -> Serve.run cfg) in
+  let rep = run (Serve.Unix_path socket) { spec with shutdown = true } in
+  (rep, Domain.join srv)
+
+(* -- reporting -- *)
+
+let fopt f = if Float.is_finite f then Pobs.Json.Float f else Pobs.Json.Null
+
+let report_to_json (r : report) : Pobs.Json.t =
+  Pobs.Json.Obj
+    [
+      ("requests", Pobs.Json.Int r.lr_requests);
+      ("ok", Pobs.Json.Int r.lr_ok);
+      ("errors", Pobs.Json.Int r.lr_errors);
+      ("cached", Pobs.Json.Int r.lr_cached);
+      ("wall_s", fopt r.lr_wall_s);
+      ("rps", fopt r.lr_rps);
+      ("p50_ms", fopt r.lr_p50_ms);
+      ("p90_ms", fopt r.lr_p90_ms);
+      ("p99_ms", fopt r.lr_p99_ms);
+      ("hit_rate", fopt r.lr_hit_rate);
+      ("server_hits", Pobs.Json.Int r.lr_server_hits);
+      ("server_misses", Pobs.Json.Int r.lr_server_misses);
+      ("server_evictions", Pobs.Json.Int r.lr_server_evictions);
+      ("server_p50_ms", fopt r.lr_server_p50_ms);
+      ("server_p99_ms", fopt r.lr_server_p99_ms);
+    ]
+
+let pp_report ppf (r : report) =
+  Fmt.pf ppf
+    "load: %d requests (%d ok, %d errors), %.1f req/s, p50 %.2f ms, p90 %.2f \
+     ms, p99 %.2f ms, hit rate %.1f%%@."
+    r.lr_requests r.lr_ok r.lr_errors r.lr_rps r.lr_p50_ms r.lr_p90_ms
+    r.lr_p99_ms (100.0 *. r.lr_hit_rate);
+  if r.lr_server_hits >= 0 then
+    Fmt.pf ppf
+      "serve: cache %d hit / %d miss / %d evicted, server p50 %.2f ms, p99 \
+       %.2f ms@."
+      r.lr_server_hits r.lr_server_misses r.lr_server_evictions
+      r.lr_server_p50_ms r.lr_server_p99_ms
+
+(* -- SLO gating -- *)
+
+type slo = {
+  max_errors : int;
+  min_hit_rate : float option;
+  max_p99_ms : float option;
+}
+
+let default_slo = { max_errors = 0; min_hit_rate = None; max_p99_ms = None }
+
+(** Violations (empty = within budget).  Reconciliation of server hits
+    against client [cached] tallies is part of the budget: a daemon
+    whose books disagree with its clients' is broken even if fast. *)
+let check_slo (slo : slo) (r : report) : string list =
+  let v = ref [] in
+  if r.lr_errors > slo.max_errors then
+    v := Fmt.str "errors %d > %d" r.lr_errors slo.max_errors :: !v;
+  (match slo.min_hit_rate with
+  | Some h when r.lr_hit_rate < h ->
+      v := Fmt.str "hit rate %.3f < %.3f" r.lr_hit_rate h :: !v
+  | _ -> ());
+  (match slo.max_p99_ms with
+  | Some p when Float.is_finite r.lr_p99_ms && r.lr_p99_ms > p ->
+      v := Fmt.str "p99 %.2f ms > %.2f ms" r.lr_p99_ms p :: !v
+  | _ -> ());
+  if r.lr_server_hits >= 0 && r.lr_server_hits <> r.lr_cached then
+    v :=
+      Fmt.str "server cache hits %d do not reconcile with client cached %d"
+        r.lr_server_hits r.lr_cached
+      :: !v;
+  List.rev !v

@@ -1,0 +1,141 @@
+(** Bounded, thread-safe LRU store with hit/miss/eviction counters.
+
+    The generic substrate under every content-addressed cache in the
+    harness: [Runner.Compile_cache] (frontend lowerings, keyed by
+    kernel + source) and the serve daemon's request cache (keyed by a
+    digest of verb + source + options + cost model).  PR 1's
+    compile-once cache grew without bound — fine for one bench run,
+    wrong for a long-lived daemon — so this adds a capacity with
+    strict-LRU eviction and exposes the hit/miss/eviction tallies the
+    metrics registry and the cache tests reconcile against.
+
+    Recency is an intrusive doubly-linked list over the hash table's
+    nodes, so [find] and [add] are O(1).  One mutex guards the whole
+    structure; [Pparallel.Pool] workers probe concurrently.  An
+    [on_evict] hook (if any) runs *outside* the lock, so it may call
+    back into the cache. *)
+
+type ('k, 'v) node = {
+  n_key : 'k;
+  mutable n_val : 'v;
+  mutable n_prev : ('k, 'v) node option;  (** toward MRU *)
+  mutable n_next : ('k, 'v) node option;  (** toward LRU *)
+}
+
+type ('k, 'v) t = {
+  capacity : int;
+  table : ('k, ('k, 'v) node) Hashtbl.t;
+  mutable mru : ('k, 'v) node option;
+  mutable lru : ('k, 'v) node option;
+  lock : Mutex.t;
+  mutable hits : int;
+  mutable misses : int;
+  mutable evictions : int;
+  on_evict : ('k -> 'v -> unit) option;
+}
+
+type stats = { hits : int; misses : int; evictions : int; size : int }
+
+let create ?on_evict ~capacity () =
+  if capacity < 1 then Fmt.invalid_arg "Lru.create: capacity %d < 1" capacity;
+  {
+    capacity;
+    table = Hashtbl.create (min 1024 (2 * capacity));
+    mru = None;
+    lru = None;
+    lock = Mutex.create ();
+    hits = 0;
+    misses = 0;
+    evictions = 0;
+    on_evict;
+  }
+
+let capacity t = t.capacity
+
+(* list surgery; call with [t.lock] held *)
+let unlink t n =
+  (match n.n_prev with
+  | Some p -> p.n_next <- n.n_next
+  | None -> t.mru <- n.n_next);
+  (match n.n_next with
+  | Some s -> s.n_prev <- n.n_prev
+  | None -> t.lru <- n.n_prev);
+  n.n_prev <- None;
+  n.n_next <- None
+
+let push_front t n =
+  n.n_next <- t.mru;
+  n.n_prev <- None;
+  (match t.mru with Some m -> m.n_prev <- Some n | None -> ());
+  t.mru <- Some n;
+  match t.lru with None -> t.lru <- Some n | Some _ -> ()
+
+(** Lookup; a hit refreshes the entry's recency. *)
+let find t k =
+  Mutex.protect t.lock (fun () ->
+      match Hashtbl.find_opt t.table k with
+      | Some n ->
+          t.hits <- t.hits + 1;
+          unlink t n;
+          push_front t n;
+          Some n.n_val
+      | None ->
+          t.misses <- t.misses + 1;
+          None)
+
+(** Insert or replace; the entry becomes most-recently-used either way.
+    When an insert pushes the table over capacity the least-recently-
+    used entry is dropped (and counted), and [on_evict] sees it after
+    the lock is released. *)
+let add t k v =
+  let evicted =
+    Mutex.protect t.lock (fun () ->
+        match Hashtbl.find_opt t.table k with
+        | Some n ->
+            n.n_val <- v;
+            unlink t n;
+            push_front t n;
+            None
+        | None ->
+            let n = { n_key = k; n_val = v; n_prev = None; n_next = None } in
+            Hashtbl.replace t.table k n;
+            push_front t n;
+            if Hashtbl.length t.table > t.capacity then (
+              match t.lru with
+              | Some victim ->
+                  unlink t victim;
+                  Hashtbl.remove t.table victim.n_key;
+                  t.evictions <- t.evictions + 1;
+                  Some (victim.n_key, victim.n_val)
+              | None -> None)
+            else None)
+  in
+  match (evicted, t.on_evict) with
+  | Some (k, v), Some f -> f k v
+  | _ -> ()
+
+(** Counters accumulate over the store's lifetime ([clear] drops the
+    entries, not the history). *)
+let stats t =
+  Mutex.protect t.lock (fun () ->
+      {
+        hits = t.hits;
+        misses = t.misses;
+        evictions = t.evictions;
+        size = Hashtbl.length t.table;
+      })
+
+let clear t =
+  Mutex.protect t.lock (fun () ->
+      Hashtbl.reset t.table;
+      t.mru <- None;
+      t.lru <- None)
+
+(** Keys from most- to least-recently used (tests pin eviction order). *)
+let keys t =
+  Mutex.protect t.lock (fun () ->
+      let rec walk acc = function
+        | None -> List.rev acc
+        | Some n -> walk (n.n_key :: acc) n.n_next
+      in
+      walk [] t.mru)

@@ -16,6 +16,10 @@ type config = {
   legalize : bool;
   opts : Parsimony.Options.t;
   dump_ir : string option;  (** directory for per-stage IR snapshots *)
+  stage_hook : (string -> int -> unit) option;
+      (** [hook stage dur_us] after each stage — per-request stage
+          timing for the serve daemon, cheaper and always-on compared
+          to enabling the global tracer *)
 }
 
 let default =
@@ -25,6 +29,7 @@ let default =
     legalize = false;
     opts = Parsimony.Options.default;
     dump_ir = None;
+    stage_hook = None;
   }
 
 let read_file path =
@@ -61,6 +66,17 @@ let dump_after cfg (m : Pir.Func.modul) stage =
         ~finally:(fun () -> close_out oc)
         (fun () -> output_string oc (Pir.Printer.module_to_string m))
 
+(* [Trace.now_us] doubles as the stage clock: monotonic and usable even
+   when tracing is disabled *)
+let stage cfg name f =
+  match cfg.stage_hook with
+  | None -> f ()
+  | Some hook ->
+      let t0 = Pobs.Trace.now_us () in
+      let r = f () in
+      hook name (Pobs.Trace.now_us () - t0);
+      r
+
 (** Compile [src] through the configured pipeline.  Returns the final
     module and the vectorizer's per-function reports (empty when
     [vectorize] is off). *)
@@ -68,24 +84,27 @@ let compile ?(cfg = default) ~name src :
     Pir.Func.modul * Parsimony.Vectorizer.report list =
   Pobs.Trace.with_span ~cat:"pipeline" ~args:[ ("module", name) ] "pipeline"
     (fun () ->
-      let m = Pfrontend.Lower.compile ~name src in
+      let m = stage cfg "frontend" (fun () -> Pfrontend.Lower.compile ~name src) in
       dump_after cfg m "frontend";
-      Panalysis.Check.check_module m;
+      stage cfg "check" (fun () -> Panalysis.Check.check_module m);
       let reports =
         if cfg.vectorize then begin
-          let reports = Parsimony.Vectorizer.run_module ~opts:cfg.opts m in
+          let reports =
+            stage cfg "vectorize" (fun () ->
+                Parsimony.Vectorizer.run_module ~opts:cfg.opts m)
+          in
           dump_after cfg m "vectorize";
-          Panalysis.Check.check_module m;
+          stage cfg "recheck" (fun () -> Panalysis.Check.check_module m);
           reports
         end
         else []
       in
       if cfg.simplify then begin
-        Parsimony.Simplify.run_module m;
+        stage cfg "simplify" (fun () -> Parsimony.Simplify.run_module m);
         dump_after cfg m "simplify"
       end;
       if cfg.legalize then begin
-        Pbackend.Legalize.legalize_module m;
+        stage cfg "legalize" (fun () -> Pbackend.Legalize.legalize_module m);
         dump_after cfg m "legalize"
       end;
       (m, reports))

@@ -37,42 +37,31 @@ exception Unavailable of string
     The cache memoizes the *pristine* lowering per (kernel, source) and
     hands out a [Pir.Func.copy_module] deep copy, because every
     downstream pass (autovec, vectorizer, simplify) mutates the module
-    in place.  A mutex makes lookups safe from pool workers; a
-    concurrent miss may compile twice, and the first stored entry wins
-    (both are deterministic, so either is correct). *)
+    in place.  Backed by the bounded [Lru] store (workers probe
+    concurrently; a concurrent miss may compile twice and the last
+    stored entry wins — both are deterministic, so either is correct).
+    The capacity comfortably covers the whole benchmark suite's working
+    set, so eviction only matters to long-lived daemon processes fed
+    arbitrary sources. *)
 module Compile_cache = struct
-  let table : (string * string, Pir.Func.modul) Hashtbl.t = Hashtbl.create 97
-  let lock = Mutex.create ()
-  let hits = Atomic.make 0
-  let misses = Atomic.make 0
+  let store : (string * string, Pir.Func.modul) Lru.t =
+    Lru.create ~capacity:512 ()
 
   let compile ~name src : Pir.Func.modul =
     let key = (name, src) in
-    let cached =
-      Mutex.lock lock;
-      let r = Hashtbl.find_opt table key in
-      Mutex.unlock lock;
-      r
-    in
-    match cached with
-    | Some m ->
-        Atomic.incr hits;
-        Pir.Func.copy_module m
+    match Lru.find store key with
+    | Some m -> Pir.Func.copy_module m
     | None ->
-        Atomic.incr misses;
         let m = Pfrontend.Lower.compile ~name src in
-        Mutex.lock lock;
-        if not (Hashtbl.mem table key) then Hashtbl.add table key m;
-        Mutex.unlock lock;
+        Lru.add store key m;
         Pir.Func.copy_module m
 
   (** (hits, misses) over the process lifetime. *)
-  let stats () = (Atomic.get hits, Atomic.get misses)
+  let stats () =
+    let s = Lru.stats store in
+    (s.Lru.hits, s.Lru.misses)
 
-  let clear () =
-    Mutex.lock lock;
-    Hashtbl.reset table;
-    Mutex.unlock lock
+  let clear () = Lru.clear store
 end
 
 let build_module (k : Workload.kernel) (impl : impl) : Pir.Func.modul =

@@ -268,12 +268,124 @@ let parse (s : string) : t =
   if c.pos <> String.length s then perr "trailing garbage at %d" c.pos;
   v
 
+(** [parse] that reports failure as a value instead of an exception —
+    the wire decoder and the serve daemon want errors they can frame. *)
+let parse_result (s : string) : (t, string) result =
+  match parse s with v -> Ok v | exception Parse_error msg -> Error msg
+
 let parse_file file =
   let ic = open_in_bin file in
   let n = in_channel_length ic in
   let s = really_input_string ic n in
   close_in ic;
   parse s
+
+(* -- incremental wire framing -- *)
+
+(** Newline-delimited JSON frame decoder for the serve wire protocol.
+
+    A peer writes one compact JSON value per line ([pp_compact] never
+    emits a raw newline, so framing on ['\n'] is unambiguous).  The
+    decoder is incremental: [feed] accepts arbitrary read-sized chunks —
+    a frame split across ten reads and ten frames in one read both
+    decode identically — and every malformed input becomes an explicit
+    [error] instead of whatever exception falls out of [parse]:
+
+    - [Syntax]: a complete line that is not one well-formed JSON value
+      (including trailing garbage after the value);
+    - [Oversized]: a line longer than [max_bytes].  Reported once when
+      the limit is crossed, then the rest of the line is discarded so
+      the stream can resynchronize at the next newline;
+    - [Truncated]: the connection closed with a partial frame pending
+      ([finish] reports it; [feed] cannot know the stream ended).
+
+    Blank lines are ignored (a tolerant framing that lets clients keep
+    the connection warm).  Decoders are single-connection state and are
+    not thread-safe; the daemon owns one per client fd. *)
+module Frame = struct
+  type error =
+    | Oversized of int  (** frame longer than the decoder's byte limit *)
+    | Truncated of int  (** stream ended with this many bytes pending *)
+    | Syntax of string  (** complete frame, malformed JSON *)
+
+  let error_to_string = function
+    | Oversized limit -> Fmt.str "frame exceeds %d bytes" limit
+    | Truncated n -> Fmt.str "stream ended with %d byte(s) of partial frame" n
+    | Syntax msg -> "bad JSON: " ^ msg
+
+  type decoder = {
+    dbuf : Buffer.t;  (** bytes of the current (incomplete) frame *)
+    dmax : int;
+    mutable ddropping : bool;
+        (** an oversized frame was reported; swallow to the next newline *)
+  }
+
+  let default_max_bytes = 8 * 1024 * 1024
+
+  let decoder ?(max_bytes = default_max_bytes) () =
+    if max_bytes < 1 then invalid_arg "Frame.decoder: max_bytes must be >= 1";
+    { dbuf = Buffer.create 256; dmax = max_bytes; ddropping = false }
+
+  (** Bytes buffered for a not-yet-terminated frame. *)
+  let pending d = Buffer.length d.dbuf
+
+  let decode_line line =
+    if String.trim line = "" then None
+    else
+      match parse line with
+      | v -> Some (Ok v)
+      | exception Parse_error msg -> Some (Error (Syntax msg))
+
+  (** Feed a chunk of bytes; returns the decoded frames (and frame
+      errors) completed by this chunk, in stream order. *)
+  let feed d chunk : (t, error) result list =
+    let out = ref [] in
+    let emit r = out := r :: !out in
+    let n = String.length chunk in
+    let i = ref 0 in
+    while !i < n do
+      match String.index_from_opt chunk !i '\n' with
+      | Some j ->
+          let seg = String.sub chunk !i (j - !i) in
+          i := j + 1;
+          if d.ddropping then
+            (* the newline ends the over-long frame; resynchronize *)
+            d.ddropping <- false
+          else begin
+            Buffer.add_string d.dbuf seg;
+            let line = Buffer.contents d.dbuf in
+            Buffer.clear d.dbuf;
+            if String.length line > d.dmax then emit (Error (Oversized d.dmax))
+            else match decode_line line with Some r -> emit r | None -> ()
+          end
+      | None ->
+          let seg = String.sub chunk !i (n - !i) in
+          i := n;
+          if not d.ddropping then begin
+            Buffer.add_string d.dbuf seg;
+            if Buffer.length d.dbuf > d.dmax then begin
+              Buffer.clear d.dbuf;
+              d.ddropping <- true;
+              emit (Error (Oversized d.dmax))
+            end
+          end
+    done;
+    List.rev !out
+
+  (** Signal end-of-stream: reports a pending partial frame, if any.
+      The decoder is reusable afterwards. *)
+  let finish d : error option =
+    if d.ddropping then begin
+      d.ddropping <- false;
+      Some (Oversized d.dmax)
+    end
+    else if Buffer.length d.dbuf > 0 then begin
+      let n = Buffer.length d.dbuf in
+      Buffer.clear d.dbuf;
+      Some (Truncated n)
+    end
+    else None
+end
 
 (* -- accessors (for tests and the trace self-check) -- *)
 

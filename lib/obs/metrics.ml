@@ -30,11 +30,29 @@
 
 type labels = (string * string) list
 
+(* Power-of-two buckets: bucket 0 holds observations <= 1.0 (and any
+   non-positive or NaN value), bucket b in (2^(b-1), 2^b], and the last
+   bucket everything above.  63 doublings cover the full double range
+   the harness can produce (microsecond latencies, cycle counts), so in
+   practice only buckets 0..~40 ever fill. *)
+let n_buckets = 64
+
+let bucket_of x =
+  if not (x > 1.0) then 0
+  else
+    let rec go b bound =
+      if b >= n_buckets - 1 then n_buckets - 1
+      else if x <= bound then b
+      else go (b + 1) (bound *. 2.0)
+    in
+    go 1 2.0
+
 type hstate = {
   mutable h_count : int;
   mutable h_sum : float;
   mutable h_min : float;
   mutable h_max : float;
+  h_buckets : int array;  (** [n_buckets] log2 buckets, for quantiles *)
 }
 
 type value = Vcounter of int ref | Vgauge of int ref | Vhist of hstate
@@ -137,13 +155,22 @@ let observe ?(labels = []) (m : histogram) x =
     Mutex.protect lock (fun () ->
         match
           series m labels (fun () ->
-              Vhist { h_count = 0; h_sum = 0.0; h_min = infinity; h_max = neg_infinity })
+              Vhist
+                {
+                  h_count = 0;
+                  h_sum = 0.0;
+                  h_min = infinity;
+                  h_max = neg_infinity;
+                  h_buckets = Array.make n_buckets 0;
+                })
         with
         | Vhist h ->
             h.h_count <- h.h_count + 1;
             h.h_sum <- h.h_sum +. x;
             if x < h.h_min then h.h_min <- x;
-            if x > h.h_max then h.h_max <- x
+            if x > h.h_max then h.h_max <- x;
+            let b = bucket_of x in
+            h.h_buckets.(b) <- h.h_buckets.(b) + 1
         | _ -> assert false)
 
 (* -- reads (tests and cross-checks) -- *)
@@ -169,6 +196,42 @@ let hist_value ?(labels = []) (m : histogram) =
           Some { count = h.h_count; sum = h.h_sum; min = h.h_min; max = h.h_max }
       | _ -> None)
 
+(* Nearest-rank quantile from the log2 buckets, with linear
+   interpolation inside the landing bucket and the bucket edges clamped
+   to the observed [h_min, h_max] — so a single-observation series
+   reports that observation for every quantile, and a uniform 1..N
+   series reports exact ranks wherever a bucket's clamped span matches
+   its population (the p90/p99 of latency-shaped data usually land in
+   the top, clamped bucket).  Worst-case error is a factor of 2 (one
+   bucket), which is the standard trade for O(1) memory. *)
+let hquantile (h : hstate) q =
+  let q = Float.max 0.0 (Float.min 1.0 q) in
+  let target =
+    min h.h_count (max 1 (int_of_float (Float.ceil (q *. float_of_int h.h_count))))
+  in
+  let rec find b before =
+    let here = h.h_buckets.(b) in
+    if before + here >= target then (b, before, here) else find (b + 1) (before + here)
+  in
+  let b, before, here = find 0 0 in
+  let lower =
+    if b = 0 then h.h_min else Float.max h.h_min (Float.pow 2.0 (float_of_int (b - 1)))
+  in
+  let upper =
+    if b = n_buckets - 1 then h.h_max
+    else Float.min h.h_max (Float.pow 2.0 (float_of_int b))
+  in
+  let frac = float_of_int (target - before) /. float_of_int here in
+  lower +. (frac *. (upper -. lower))
+
+(** Estimated [q]-quantile (0..1) of a histogram series, [None] until
+    it has at least one observation. *)
+let quantile ?(labels = []) (m : histogram) q =
+  Mutex.protect lock (fun () ->
+      match Hashtbl.find_opt m.m_series (norm_labels labels) with
+      | Some (Vhist h) when h.h_count > 0 -> Some (hquantile h q)
+      | _ -> None)
+
 (** Drop every recorded series (registrations survive). *)
 let reset () =
   Mutex.protect lock (fun () ->
@@ -190,6 +253,9 @@ let value_fields = function
         ( "mean",
           if h.h_count = 0 then Json.Null
           else Json.Float (h.h_sum /. float_of_int h.h_count) );
+        ("p50", if h.h_count = 0 then Json.Null else Json.Float (hquantile h 0.50));
+        ("p90", if h.h_count = 0 then Json.Null else Json.Float (hquantile h 0.90));
+        ("p99", if h.h_count = 0 then Json.Null else Json.Float (hquantile h 0.99));
       ]
 
 (** One-call JSON snapshot of every metric that has recorded at least
@@ -245,3 +311,53 @@ let pp ppf () =
                      Fmt.pf ppf "%s%a count=%d sum=%.3f min=%.3f max=%.3f@."
                        m.m_name pp_labels labels h.h_count h.h_sum h.h_min h.h_max))
         metrics)
+
+(* -- process-level gauges -- *)
+
+let proc_start = Unix.gettimeofday ()
+
+let g_uptime = gauge "process.uptime_s" ~help:"seconds since process start"
+
+let g_gc_minor =
+  gauge "process.gc_minor_collections" ~help:"minor GC collections so far"
+
+let g_gc_major =
+  gauge "process.gc_major_collections" ~help:"major GC collections so far"
+
+let g_heap_words = gauge "process.heap_words" ~help:"major heap size in words"
+
+let g_live_words = gauge "process.live_words" ~help:"live words in the major heap"
+
+let g_rss_kb =
+  gauge "process.rss_kb"
+    ~help:"resident set size in kB (0 where /proc is unavailable)"
+
+let rss_kb () =
+  (* second field of /proc/self/statm is resident pages *)
+  match open_in "/proc/self/statm" with
+  | exception Sys_error _ -> 0
+  | ic ->
+      Fun.protect
+        ~finally:(fun () -> close_in ic)
+        (fun () ->
+          match String.split_on_char ' ' (input_line ic) with
+          | _ :: resident :: _ -> (
+              match int_of_string_opt resident with
+              | Some pages -> pages * 4 (* page = 4096 B = 4 kB *)
+              | None -> 0)
+          | _ | (exception End_of_file) -> 0)
+
+(** Refresh the [process.*] gauges (uptime, GC counters, heap and RSS
+    sizes).  Gauges are point-in-time, so callers re-run this right
+    before each scrape/snapshot; both the serve daemon's METRICS verb
+    and [bench --json] do.  Uses the full [Gc.stat] (not [quick_stat])
+    because [live_words] needs a heap traversal — acceptable at scrape
+    frequency, not in a hot loop. *)
+let process_gauges () =
+  set g_uptime (int_of_float (Unix.gettimeofday () -. proc_start));
+  let st = Gc.stat () in
+  set g_gc_minor st.Gc.minor_collections;
+  set g_gc_major st.Gc.major_collections;
+  set g_heap_words st.Gc.heap_words;
+  set g_live_words st.Gc.live_words;
+  set g_rss_kb (rss_kb ())

@@ -72,6 +72,10 @@ let submit t task =
   Condition.signal t.nonempty;
   Mutex.unlock t.mutex
 
+(** Tasks submitted but not yet picked up by a worker — the serve
+    daemon exports this as its queue-depth gauge. *)
+let pending t = Mutex.protect t.mutex (fun () -> Queue.length t.queue)
+
 let shutdown t =
   Mutex.lock t.mutex;
   t.stopped <- true;

@@ -482,6 +482,93 @@ let test_history_rejects_old_schema () =
     | (_ : Pharness.History.run) -> false
     | exception Pharness.History.Incompatible msg -> contains msg "schema")
 
+(* -- histogram quantiles (serve latency SLOs hang off these) -- *)
+
+let test_quantiles_uniform () =
+  with_metrics (fun () ->
+      let h = Pobs.Metrics.histogram "test.q.uniform" in
+      Alcotest.(check bool) "no observations, no quantile" true
+        (Pobs.Metrics.quantile h 0.5 = None);
+      for i = 1 to 100 do
+        Pobs.Metrics.observe h (float_of_int i)
+      done;
+      let q p = Option.get (Pobs.Metrics.quantile h p) in
+      (* uniform 1..100: clamped log2 buckets interpolate to exact ranks *)
+      Alcotest.(check (float 1e-9)) "p50" 50.0 (q 0.50);
+      Alcotest.(check (float 1e-9)) "p90" 90.0 (q 0.90);
+      Alcotest.(check (float 1e-9)) "p99" 99.0 (q 0.99);
+      Alcotest.(check (float 1e-9)) "p0 clamps to min" 1.0 (q 0.0);
+      Alcotest.(check (float 1e-9)) "p100 clamps to max" 100.0 (q 1.0);
+      (* out-of-range q is clamped, not an error *)
+      Alcotest.(check (float 1e-9)) "q>1 clamped" 100.0 (q 7.0))
+
+let test_quantiles_degenerate_and_monotonic () =
+  with_metrics (fun () ->
+      let h = Pobs.Metrics.histogram "test.q.single" in
+      Pobs.Metrics.observe h 42.0;
+      List.iter
+        (fun p ->
+          Alcotest.(check (float 1e-9))
+            (Fmt.str "single observation at q=%g" p)
+            42.0
+            (Option.get (Pobs.Metrics.quantile h p)))
+        [ 0.0; 0.5; 0.9; 0.99; 1.0 ];
+      (* sub-1.0 values all land in bucket 0; estimates stay in range *)
+      let tiny = Pobs.Metrics.histogram "test.q.tiny" in
+      List.iter (Pobs.Metrics.observe tiny) [ 0.001; 0.02; 0.3; 0.9 ];
+      let p50 = Option.get (Pobs.Metrics.quantile tiny 0.5) in
+      Alcotest.(check bool) "sub-unit p50 within observed range" true
+        (p50 >= 0.001 && p50 <= 0.9);
+      (* latency-shaped data: quantiles are monotone and bounded *)
+      let lat = Pobs.Metrics.histogram "test.q.lat" in
+      List.iter (Pobs.Metrics.observe lat)
+        [ 120.0; 95.0; 110.0; 4000.0; 130.0; 88.0; 105.0; 99.0; 25000.0; 101.0 ];
+      let q p = Option.get (Pobs.Metrics.quantile lat p) in
+      let s = Option.get (Pobs.Metrics.hist_value lat) in
+      Alcotest.(check bool) "min <= p50 <= p90 <= p99 <= max" true
+        (s.Pobs.Metrics.min <= q 0.5
+        && q 0.5 <= q 0.9
+        && q 0.9 <= q 0.99
+        && q 0.99 <= s.Pobs.Metrics.max))
+
+let test_quantiles_in_snapshot () =
+  with_metrics (fun () ->
+      let h = Pobs.Metrics.histogram "test.q.snap" in
+      for i = 1 to 100 do
+        Pobs.Metrics.observe h (float_of_int i)
+      done;
+      let series =
+        Pharness.Loadgen.metric_series (Pobs.Metrics.snapshot ()) "test.q.snap"
+      in
+      match series with
+      | [ s ] ->
+          let field name =
+            match Pobs.Json.member name s with
+            | Some (Pobs.Json.Float v) -> v
+            | Some (Pobs.Json.Int v) -> float_of_int v
+            | _ -> Alcotest.failf "missing %s in snapshot series" name
+          in
+          Alcotest.(check (float 1e-9)) "snapshot p50" 50.0 (field "p50");
+          Alcotest.(check (float 1e-9)) "snapshot p90" 90.0 (field "p90");
+          Alcotest.(check (float 1e-9)) "snapshot p99" 99.0 (field "p99")
+      | _ -> Alcotest.fail "expected exactly one series")
+
+let test_process_gauges () =
+  with_metrics (fun () ->
+      Pobs.Metrics.process_gauges ();
+      (* register returns the existing handle for an existing name *)
+      let g name = Pobs.Metrics.gauge_value (Pobs.Metrics.gauge name) in
+      Alcotest.(check bool) "uptime non-negative" true
+        (g "process.uptime_s" >= 0);
+      Alcotest.(check bool) "heap words positive" true
+        (g "process.heap_words" > 0);
+      Alcotest.(check bool) "live words positive" true
+        (g "process.live_words" > 0);
+      Alcotest.(check bool) "live fits in heap" true
+        (g "process.live_words" <= g "process.heap_words");
+      Alcotest.(check bool) "gc collections counted" true
+        (g "process.gc_minor_collections" >= 0))
+
 let suites =
   [
     ( "metrics",
@@ -504,6 +591,14 @@ let suites =
           test_trace_drop_gauge;
         Alcotest.test_case "complete trace not flagged truncated" `Quick
           test_trace_no_drops_not_truncated;
+        Alcotest.test_case "quantiles: uniform 1..100 exact" `Quick
+          test_quantiles_uniform;
+        Alcotest.test_case "quantiles: degenerate and monotonic" `Quick
+          test_quantiles_degenerate_and_monotonic;
+        Alcotest.test_case "quantiles surface in snapshot JSON" `Quick
+          test_quantiles_in_snapshot;
+        Alcotest.test_case "process gauges populated" `Quick
+          test_process_gauges;
       ] );
     ( "scorecard",
       [
