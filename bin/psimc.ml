@@ -31,8 +31,11 @@
 open Cmdliner
 
 (* resolve FILE: a path on disk, or the name of a built-in kernel from
-   the Figure-5 (Simd Library) or Figure-4 (ispc) registries *)
-let load_source path =
+   the Figure-5 (Simd Library) or Figure-4 (ispc) registries.  Under the
+   SLP strategies a kernel name resolves to its *serial* source — SLP
+   packs standard scalar code (including its restrict qualifiers), the
+   psim-annotated variant is Parsimony's input *)
+let load_source ?(opts = Parsimony.Options.default) path =
   if Sys.file_exists path then
     (Filename.basename path, Pharness.Pipeline.read_file path)
   else
@@ -41,7 +44,14 @@ let load_source path =
         (fun (k : Psimdlib.Workload.kernel) -> k.kname = path)
         (Psimdlib.Registry.all @ Pispc.Suite.all)
     with
-    | Some k -> (k.kname, k.psim_src)
+    | Some k ->
+        let src =
+          match opts.Parsimony.Options.strategy with
+          | Parsimony.Options.Parsimony -> k.psim_src
+          | Parsimony.Options.SlpGreedy | Parsimony.Options.SlpOptimal ->
+              k.serial_src
+        in
+        (k.kname, src)
     | None ->
         Fmt.epr "psimc: %s: no such file or built-in kernel@." path;
         exit 1
@@ -148,7 +158,7 @@ let cfg_of_obs ?(vectorize = true) ?(simplify = true) (o : obs) opts =
   }
 
 let compile_source ?vectorize ?simplify o opts file =
-  let name, src = load_source file in
+  let name, src = load_source ~opts file in
   Pharness.Pipeline.compile ~cfg:(cfg_of_obs ?vectorize ?simplify o opts) ~name
     src
 
@@ -181,17 +191,41 @@ let analyze =
            classification: reclassify provably strided gathers/scatters as \
            packed accesses and keep provably uniform branches scalar")
 
+let strategy =
+  let strategy_conv =
+    Arg.conv
+      ( (fun s ->
+          match Parsimony.Options.strategy_of_string s with
+          | Some st -> Ok st
+          | None ->
+              Error
+                (`Msg
+                   (Fmt.str "unknown strategy %S (parsimony, slp or slp-greedy)"
+                      s))),
+        fun ppf st -> Fmt.string ppf (Parsimony.Options.strategy_name st) )
+  in
+  Arg.(
+    value
+    & opt strategy_conv Parsimony.Options.Parsimony
+    & info [ "strategy" ] ~docv:"STRATEGY"
+        ~doc:
+          "Compilation strategy: $(b,parsimony) (SPMD gang widening, the \
+           default), $(b,slp) (superword-level-parallelism packing of \
+           straight-line statement groups, globally-optimized pairing) or \
+           $(b,slp-greedy) (SLP with the classic greedy bottom-up packer)")
+
 let opts_term =
-  let mk math_lib no_shapes boscc analyze =
+  let mk math_lib no_shapes boscc analyze strategy =
     {
       Parsimony.Options.default with
+      strategy;
       math_lib;
       shape_analysis = not no_shapes;
       boscc;
       analysis_feedback = analyze;
     }
   in
-  Term.(const mk $ math_lib $ no_shapes $ boscc $ analyze)
+  Term.(const mk $ math_lib $ no_shapes $ boscc $ analyze $ strategy)
 
 (* -- subcommands -- *)
 
@@ -261,8 +295,22 @@ let shapes_cmd =
 let report_cmd =
   let run obs opts file =
     with_obs obs (fun () ->
-        let m, reports = compile_source obs opts file in
-        let cards = Parsimony.Scorecard.of_module ~reports m in
+        let mname, cards =
+          match opts.Parsimony.Options.strategy with
+          | Parsimony.Options.Parsimony ->
+              let m, reports = compile_source obs opts file in
+              (m.Pir.Func.mname, Parsimony.Scorecard.of_module ~reports m)
+          | Parsimony.Options.SlpGreedy | Parsimony.Options.SlpOptimal ->
+              (* the pipeline discards SLP reports (its report type is the
+                 vectorizer's); run the stages directly to keep them *)
+              let name, src = load_source ~opts file in
+              let m = Pfrontend.Lower.compile ~name src in
+              Panalysis.Check.check_module m;
+              let reports = Parsimony.Slp.run_module ~opts m in
+              Panalysis.Check.check_module m;
+              Parsimony.Simplify.run_module m;
+              (m.Pir.Func.mname, Parsimony.Scorecard.of_module_slp ~reports m)
+        in
         if cards = [] then begin
           Fmt.epr "psimc report: no SPMD function was vectorized@.";
           exit 1
@@ -273,8 +321,7 @@ let report_cmd =
         | _ ->
             Fmt.pr "@.";
             Fmt.pr "%a" Parsimony.Scorecard.pp
-              (Parsimony.Scorecard.aggregate ~name:(m.Pir.Func.mname ^ " (total)")
-                 cards))
+              (Parsimony.Scorecard.aggregate ~name:(mname ^ " (total)") cards))
   in
   Cmd.v
     (Cmd.info "report"
@@ -516,7 +563,18 @@ let fuzz_cmd =
             "Re-run the full oracle on every .psim file in the corpus \
              directory instead of generating new programs")
   in
-  let run obs seed count jobs corpus no_reduce mutate replay =
+  let preset =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "preset" ] ~docv:"NAME"
+          ~doc:
+            "Pin every seed to one generator preset instead of rotating: \
+             $(b,default), $(b,int), $(b,float), $(b,mem) or \
+             $(b,straightline) (branch-free bodies with adjacent-access \
+             runs, the SLP packer's seed pattern).")
+  in
+  let run obs seed count jobs corpus no_reduce mutate replay preset =
     with_obs obs (fun () ->
         if replay then begin
           let files = Pfuzz.Driver.corpus_files corpus in
@@ -546,9 +604,23 @@ let fuzz_cmd =
                     Fmt.epr "psimc fuzz: unknown mutation %S@." s;
                     exit 2)
           in
+          let cfg =
+            match preset with
+            | None -> None
+            | Some name -> (
+                match Pfuzz.Driver.preset_of_string name with
+                | Some _ as c -> c
+                | None ->
+                    Fmt.epr
+                      "psimc fuzz: unknown preset %S (default, int, float, \
+                       mem or straightline)@."
+                      name;
+                    exit 2)
+          in
           let jobs = if jobs <= 0 then Pparallel.Pool.default_jobs () else jobs in
           let summary =
-            Pfuzz.Driver.run ?mutate ~reduce:(not no_reduce) ~seed ~count ~jobs ()
+            Pfuzz.Driver.run ?cfg ?mutate ~reduce:(not no_reduce) ~seed ~count
+              ~jobs ()
           in
           Fmt.pr "%a" Pfuzz.Driver.pp_summary summary;
           List.iter
@@ -570,7 +642,7 @@ let fuzz_cmd =
           reproducer in the corpus directory.")
     Term.(
       const run $ obs_term $ seed $ count $ jobs $ corpus $ no_reduce $ mutate
-      $ replay)
+      $ replay $ preset)
 
 let verify_kernel_cmd =
   let files_arg =
@@ -660,7 +732,12 @@ let verify_kernel_cmd =
           }
         in
         let transform m =
-          ignore (Parsimony.Vectorizer.run_module ~opts m);
+          (* the candidate is whatever the selected strategy produces *)
+          (match opts.Parsimony.Options.strategy with
+          | Parsimony.Options.Parsimony ->
+              ignore (Parsimony.Vectorizer.run_module ~opts m)
+          | Parsimony.Options.SlpGreedy | Parsimony.Options.SlpOptimal ->
+              ignore (Parsimony.Slp.run_module ~opts m));
           Panalysis.Check.check_module m;
           Parsimony.Simplify.run_module m;
           (match legalize with
@@ -676,13 +753,19 @@ let verify_kernel_cmd =
         let docs =
           List.map
             (fun file ->
-              let name, src = load_source file in
+              let name, src = load_source ~opts file in
               let m, _ =
                 Pharness.Pipeline.compile
                   ~cfg:(cfg_of_obs ~vectorize:false ~simplify:false obs opts)
                   ~name src
               in
-              let results = Parsimony.Tv.verify_module ~params ~transform m in
+              let serial =
+                match opts.Parsimony.Options.strategy with
+                | Parsimony.Options.Parsimony -> false
+                | Parsimony.Options.SlpGreedy | Parsimony.Options.SlpOptimal ->
+                    true
+              in
+              let results = Parsimony.Tv.verify_module ~params ~serial ~transform m in
               List.iter
                 (fun (r : Parsimony.Tv.result) ->
                   (match r.verdict with

@@ -4,7 +4,32 @@
     the ablation study in the benchmark harness (DESIGN.md): each
     corresponds to a design choice §4.2 calls out. *)
 
+(** Which vectorization pass drives the pipeline.
+
+    [Parsimony] is the paper's SPMD vectorizer (the default).  The two
+    SLP modes run superword-level-parallelism packing over straight-line
+    regions instead (ROADMAP item 3, after goSLP): [SlpGreedy] commits
+    profitable packs bottom-up in discovery order; [SlpOptimal] scores
+    every candidate pack set with the cost model and picks the cheapest
+    via bounded exhaustive search over conflict groups (standing in for
+    goSLP's ILP solver). *)
+type strategy = Parsimony | SlpGreedy | SlpOptimal
+
+let strategy_name = function
+  | Parsimony -> "parsimony"
+  | SlpGreedy -> "slp-greedy"
+  | SlpOptimal -> "slp"
+
+let strategy_of_string = function
+  | "parsimony" -> Some Parsimony
+  | "slp-greedy" -> Some SlpGreedy
+  | "slp" | "slp-opt" -> Some SlpOptimal
+  | _ -> None
+
 type t = {
+  strategy : strategy;
+      (** which pass vectorizes: the Parsimony SPMD vectorizer, or the
+          SLP packer in greedy / globally-optimized pairing mode. *)
   math_lib : string;
       (** vector math library the pass targets: ["sleef"] (Parsimony
           prototype) or ["ispc"] (ispc's built-in SIMD math library).
@@ -46,6 +71,7 @@ type t = {
 
 let default =
   {
+    strategy = Parsimony;
     math_lib = "sleef";
     shape_analysis = true;
     stride_shuffle_bound = 4;
@@ -68,6 +94,7 @@ let ispc = { default with math_lib = "ispc" }
     compile error (the record pattern is exhaustive on purpose). *)
 let fingerprint (o : t) : string =
   let {
+    strategy;
     math_lib;
     shape_analysis;
     stride_shuffle_bound;
@@ -78,6 +105,6 @@ let fingerprint (o : t) : string =
   } =
     o
   in
-  Fmt.str "math=%s;shapes=%b;ssb=%d;ub=%b;boscc=%b;ru=%b;af=%b" math_lib
-    shape_analysis stride_shuffle_bound uniform_branches boscc reduce_unroll
-    analysis_feedback
+  Fmt.str "strat=%s;math=%s;shapes=%b;ssb=%d;ub=%b;boscc=%b;ru=%b;af=%b"
+    (strategy_name strategy) math_lib shape_analysis stride_shuffle_bound
+    uniform_branches boscc reduce_unroll analysis_feedback

@@ -41,15 +41,19 @@ type t = {
   vector_mem_ops : int;  (** VLoad/VStore/Gather/Scatter in the final IR *)
   masked_mem_ops : int;  (** of those, how many carry a mask operand *)
   mask_density : float;  (** masked_mem_ops / vector_mem_ops (0 when none) *)
+  (* from the SLP packer's report (zero under the Parsimony strategy):
+     pack coverage for the superword strategy, reconciled against the
+     pass:"slp" remark stream the same way the rows above reconcile
+     against pass:"parsimony" *)
+  slp_packs : int;  (** vector packs committed *)
+  slp_packed_instrs : int;  (** scalar instructions replaced by packs *)
+  slp_rejects : int;  (** candidates rejected (cost or dependence) *)
 }
 
 let pct num den = if den = 0 then 0.0 else 100.0 *. float_of_int num /. float_of_int den
 
-(** Scorecard for one function: classification mix from [report], final
-    instruction totals and mask density measured on [f] (pass the
-    post-simplify function — CSE may merge packed loads, and the totals
-    should describe what actually executes). *)
-let of_func ~(report : Vectorizer.report) (f : Func.t) : t =
+(* final-IR ground truth shared by both constructors *)
+let measure (f : Func.t) =
   let total = ref 0 and vector = ref 0 in
   let vmem = ref 0 and vmasked = ref 0 in
   Func.iter_instrs f (fun _ (i : Instr.instr) ->
@@ -66,6 +70,14 @@ let of_func ~(report : Vectorizer.report) (f : Func.t) : t =
       (* VStore/Scatter produce Void but are vector work all the same *)
       if Types.is_vector i.ty || (mask <> None && i.ty = Types.Void) then
         Stdlib.incr vector);
+  (!total, !vector, !vmem, !vmasked)
+
+(** Scorecard for one function: classification mix from [report], final
+    instruction totals and mask density measured on [f] (pass the
+    post-simplify function — CSE may merge packed loads, and the totals
+    should describe what actually executes). *)
+let of_func ~(report : Vectorizer.report) (f : Func.t) : t =
+  let total, vector, vmem, vmasked = measure f in
   {
     sc_func = report.func;
     vectorized = report.vectorized;
@@ -80,14 +92,58 @@ let of_func ~(report : Vectorizer.report) (f : Func.t) : t =
     uniform_branches = report.uniform_branches_kept;
     uniform_loops = report.uniform_loops;
     masked_loops = report.masked_loops;
-    total_instrs = !total;
-    vector_instrs = !vector;
-    vector_share = pct !vector !total;
-    vector_mem_ops = !vmem;
-    masked_mem_ops = !vmasked;
+    total_instrs = total;
+    vector_instrs = vector;
+    vector_share = pct vector total;
+    vector_mem_ops = vmem;
+    masked_mem_ops = vmasked;
     mask_density =
-      (if !vmem = 0 then 0.0 else float_of_int !vmasked /. float_of_int !vmem);
+      (if vmem = 0 then 0.0 else float_of_int vmasked /. float_of_int vmem);
+    slp_packs = 0;
+    slp_packed_instrs = 0;
+    slp_rejects = 0;
   }
+
+(** Scorecard for a function compiled under the SLP strategy: pack
+    coverage from the {!Slp.report}, final-IR totals measured the same
+    way.  The SPMD-classification rows do not apply (the pass makes no
+    widening decisions) and stay zero. *)
+let of_slp ~(report : Slp.report) (f : Func.t) : t =
+  let total, vector, vmem, vmasked = measure f in
+  {
+    sc_func = report.Slp.func;
+    vectorized = 0;
+    scalar_kept = 0;
+    pct_vectorized = 0.0;
+    packed_mem = report.Slp.packed_loads + report.Slp.packed_stores;
+    shuffle_mem = 0;
+    gather_mem = 0;
+    scatter_mem = 0;
+    serialized_calls = 0;
+    linearized_branches = 0;
+    uniform_branches = 0;
+    uniform_loops = 0;
+    masked_loops = 0;
+    total_instrs = total;
+    vector_instrs = vector;
+    vector_share = pct vector total;
+    vector_mem_ops = vmem;
+    masked_mem_ops = vmasked;
+    mask_density =
+      (if vmem = 0 then 0.0 else float_of_int vmasked /. float_of_int vmem);
+    slp_packs = report.Slp.packs;
+    slp_packed_instrs = report.Slp.packed_instrs;
+    slp_rejects = report.Slp.rejected_cost + report.Slp.rejected_dep;
+  }
+
+(** Scorecards for every function of [m] under the SLP strategy, in
+    report order. *)
+let of_module_slp ~(reports : Slp.report list) (m : Func.modul) : t list =
+  List.filter_map
+    (fun (r : Slp.report) ->
+      List.find_opt (fun (f : Func.t) -> f.Func.fname = r.Slp.func) m.funcs
+      |> Option.map (of_slp ~report:r))
+    reports
 
 (** Scorecards for every function of [m] that has a vectorizer report,
     in report order.  Functions the pass never touched (host loops,
@@ -131,6 +187,9 @@ let aggregate ~name (cards : t list) : t =
     mask_density =
       (if vector_mem_ops = 0 then 0.0
        else float_of_int masked_mem_ops /. float_of_int vector_mem_ops);
+    slp_packs = sum (fun c -> c.slp_packs);
+    slp_packed_instrs = sum (fun c -> c.slp_packed_instrs);
+    slp_rejects = sum (fun c -> c.slp_rejects);
   }
 
 let pp ppf (c : t) =
@@ -144,6 +203,11 @@ let pp ppf (c : t) =
   Fmt.pf ppf "  control         branches %d uniform / %d linearized; loops %d uniform / %d masked@."
     c.uniform_branches c.linearized_branches c.uniform_loops c.masked_loops;
   Fmt.pf ppf "  calls           %d serialized@." c.serialized_calls;
+  (* slp rows only exist under the SLP strategy; omit them otherwise so
+     the pinned Parsimony-strategy output is unchanged *)
+  if c.slp_packs > 0 || c.slp_rejects > 0 then
+    Fmt.pf ppf "  slp             %d packs covering %d instrs; %d rejected@."
+      c.slp_packs c.slp_packed_instrs c.slp_rejects;
   Fmt.pf ppf "  final IR        %d instrs, %d vector (%.1f%%)@." c.total_instrs
     c.vector_instrs c.vector_share
 
@@ -169,6 +233,9 @@ let to_json (c : t) : Pobs.Json.t =
       ("vector_mem_ops", Pobs.Json.Int c.vector_mem_ops);
       ("masked_mem_ops", Pobs.Json.Int c.masked_mem_ops);
       ("mask_density", Pobs.Json.Float c.mask_density);
+      ("slp_packs", Pobs.Json.Int c.slp_packs);
+      ("slp_packed_instrs", Pobs.Json.Int c.slp_packed_instrs);
+      ("slp_rejects", Pobs.Json.Int c.slp_rejects);
     ]
 
 (** Compact per-kernel summary for the history store: enough to see a

@@ -125,9 +125,15 @@ let tally (r : result) =
 (** Verify every SPMD function of [m].  [transform] is applied to a
     fresh copy of the (gang-overridden) module and defaults to the
     standard vectorize+simplify pipeline; pass the legalizing closure
-    to validate the backend too.  [m] itself is never mutated. *)
-let verify_module ?(params = default_params) ?(transform = default_transform)
-    (m : Func.modul) : result list =
+    to validate the backend too.  [m] itself is never mutated.
+
+    [serial] flips the claim for strategies that transform serial code
+    (the SLP packer): every *non*-SPMD function is verified against the
+    candidate under {!Psmt.Equiv.serial_spec} — same symbolic buffer
+    windows, scalar parameters bounded to small element counts, no
+    gang. *)
+let verify_module ?(params = default_params) ?(serial = false)
+    ?(transform = default_transform) (m : Func.modul) : result list =
   let ref_m = Func.copy_module m in
   override_gang ~params ref_m;
   let vec_m = Func.copy_module ref_m in
@@ -143,13 +149,17 @@ let verify_module ?(params = default_params) ?(transform = default_transform)
   in
   List.filter_map
     (fun (fref : Func.t) ->
-      match fref.Func.spmd with
-      | None -> None
-      | Some spmd ->
+      match (fref.Func.spmd, serial) with
+      | None, false | Some _, true -> None
+      | spmd, _ ->
           let fvec = Func.find_func vec_m fref.Func.fname in
           let spec =
-            Psmt.Equiv.spmd_spec ~width:params.width ~extent:params.extent
-              ~slack:params.slack fref
+            if serial then
+              Psmt.Equiv.serial_spec ~extent:params.extent ~slack:params.slack
+                fref
+            else
+              Psmt.Equiv.spmd_spec ~width:params.width ~extent:params.extent
+                ~slack:params.slack fref
           in
           let t0 = Sys.time () in
           let run_with spec =
@@ -172,17 +182,20 @@ let verify_module ?(params = default_params) ?(transform = default_transform)
                   "all cases vacuous at extent %d / slack %d; retrying at %d / %d"
                   params.extent params.slack (max params.extent wide_extent)
                   (max params.slack wide_slack);
+                let extent = max params.extent wide_extent
+                and slack = max params.slack wide_slack in
                 run_with
-                  (Psmt.Equiv.spmd_spec
-                     ~width:params.width
-                     ~extent:(max params.extent wide_extent)
-                     ~slack:(max params.slack wide_slack) fref)
+                  (if serial then Psmt.Equiv.serial_spec ~extent ~slack fref
+                   else
+                     Psmt.Equiv.spmd_spec ~width:params.width ~extent ~slack
+                       fref)
             | v -> v
           in
           let r =
             {
               vfunc = fref.Func.fname;
-              gang_used = spmd.Func.gang_size;
+              gang_used =
+                (match spmd with Some s -> s.Func.gang_size | None -> 1);
               verdict;
               ms = (Sys.time () -. t0) *. 1000.0;
             }

@@ -1009,13 +1009,28 @@ and lower_psim ctx env ~gang_size ~num_threads ~body pos : value Env.t =
         (List.length cap_vals + 1, Pir.Types.i64);
       ]
   in
+  (* restrict facts survive extraction: a captured pointer that is a
+     restrict parameter of the host function stays restrict in the
+     variant (the variant accesses the same objects under the same
+     no-alias contract) — the alias analysis consumers (sanitizer, SLP
+     packer) otherwise lose exactly the facts they need inside the
+     region *)
+  let noalias =
+    List.filteri
+      (fun _ (_, (_, (v : value))) ->
+        match v.op with
+        | Pir.Instr.Var p -> List.mem p ctx.func.Pir.Func.noalias
+        | Pir.Instr.Const _ -> false)
+      (List.mapi (fun i cv -> (i, cv)) cap_vals)
+    |> List.map fst
+  in
   (* lower the region body into a fresh SPMD-annotated function; the
      specialization flags fold psim_is_head_gang / psim_is_tail_gang to
      constants in that copy (paper §3: boundary checks are "optimized
      away from the non-boundary gang execution") *)
   let build_variant ~name ~partial ~is_head ~is_tail =
     let ef =
-      Pir.Func.create name ~params ~ret:Pir.Types.Void
+      Pir.Func.create name ~params ~ret:Pir.Types.Void ~noalias
         ~spmd:{ Pir.Func.gang_size = gang; partial }
     in
     let eb = Builder.create ef in

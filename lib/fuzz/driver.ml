@@ -53,6 +53,21 @@ let preset_for seed =
   | 2 -> Gen.float_cfg
   | _ -> Gen.mem_cfg
 
+(** Named generator presets, for [psimc fuzz --preset].  [straightline]
+    is not in the seed rotation — its branch-free programs are the SLP
+    smoke job's territory and would dilute control-flow coverage in the
+    default mix. *)
+let presets =
+  [
+    ("default", Gen.default_cfg);
+    ("int", Gen.int_cfg);
+    ("float", Gen.float_cfg);
+    ("mem", Gen.mem_cfg);
+    ("straightline", Gen.straightline_cfg);
+  ]
+
+let preset_of_string name = List.assoc_opt name presets
+
 (** The oracle plus checker-backed re-triage: a [diff:] failure is run
     through the bounded equivalence checker on the transformed kernel
     itself, splitting proven miscompiles ([miscompile:]) from

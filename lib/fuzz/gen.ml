@@ -51,18 +51,39 @@ type cfg = {
           strided scatter store to [c], and private local arrays *)
   shuffles : bool;  (** generate gang shuffles and gang syncs *)
   head_tail : bool;  (** generate a uniform head/tail-gang branch *)
+  straightline : bool;
+      (** branch-free bodies biased toward runs of adjacent memory
+          accesses ([a[k*i+j]] for j = 0..k-1) — the SLP packer's seed
+          pattern.  Implies no control flow, shuffles or syncs. *)
   max_stmts : int;  (** statement budget for the region body *)
 }
 
 let default_cfg =
-  { floats = true; mem_ops = true; shuffles = true; head_tail = true; max_stmts = 10 }
+  {
+    floats = true;
+    mem_ops = true;
+    shuffles = true;
+    head_tail = true;
+    straightline = false;
+    max_stmts = 10;
+  }
 
 let int_cfg =
-  { floats = false; mem_ops = false; shuffles = true; head_tail = false; max_stmts = 8 }
+  { default_cfg with floats = false; mem_ops = false; head_tail = false; max_stmts = 8 }
 
 let float_cfg = { default_cfg with mem_ops = false; max_stmts = 8 }
 
 let mem_cfg = { default_cfg with shuffles = false; max_stmts = 8 }
+
+let straightline_cfg =
+  {
+    floats = true;
+    mem_ops = true;
+    shuffles = false;
+    head_tail = false;
+    straightline = true;
+    max_stmts = 8;
+  }
 
 (* -- the generated AST -- *)
 
@@ -438,6 +459,69 @@ and gen_stmt g env ~div budget : stmt * env =
       (* ternary select declaration *)
       declare "t" I32 (Esel (gen_cond g env, gen_int g env 1, gen_int g env 1))
 
+(* -- straight-line statement generation (SLP preset) -- *)
+
+(* Branch-free bodies with a strong bias toward *runs* of adjacent
+   memory accesses: loads a[k*i+j] and stores c[k*i+j] for j = 0..k-1,
+   the isomorphic groups the SLP packer seeds from.  Strides stay <= 3
+   so every index respects the generator's bounds invariant, and store
+   offsets stay below the stride so distinct lanes (and distinct static
+   stores) never collide — race-free exactly like the single scatter
+   store of the branchy presets. *)
+let rec gen_sl_stmts g env budget : stmt list * env =
+  if budget <= 0 then ([], env)
+  else
+    let stmts, env' = gen_sl_group g env in
+    let rest, env'' = gen_sl_stmts g env' (budget - 1) in
+    (stmts @ rest, env'')
+
+and gen_sl_group g env : stmt list * env =
+  let declare prefix ty e =
+    let v = fresh g prefix in
+    let env' =
+      match ty with
+      | I32 -> { env with ivars = v :: env.ivars; massign = (v, I32) :: env.massign }
+      | F32 -> { env with fvars = v :: env.fvars; massign = (v, F32) :: env.massign }
+    in
+    ([ Sdecl (ty, v, e) ], env')
+  in
+  (* t<j> = buf[k*i + j] for j = 0..k-1: an adjacent load run *)
+  let load_run buf ty =
+    let k = 2 + Rng.below g.rng 2 in
+    let rec mk env j =
+      if j >= k then ([], env)
+      else begin
+        let v = fresh g (match ty with I32 -> "t" | F32 -> "g") in
+        let env' =
+          match ty with
+          | I32 ->
+              { env with ivars = v :: env.ivars; massign = (v, I32) :: env.massign }
+          | F32 ->
+              { env with fvars = v :: env.fvars; massign = (v, F32) :: env.massign }
+        in
+        let rest, env'' = mk env' (j + 1) in
+        (Sdecl (ty, v, Eld (buf, Aff (k, j))) :: rest, env'')
+      end
+    in
+    mk env 0
+  in
+  match Rng.below g.rng 10 with
+  | 0 | 1 -> load_run "a" I32
+  | 2 when g.cfg.floats -> load_run "fa" F32
+  | 3 | 4 when not g.did_cstore ->
+      (* c[k*i + j] = e_j for j = 0..k-1: an adjacent store run *)
+      g.did_cstore <- true;
+      let k = 2 + Rng.below g.rng 2 in
+      (List.init k (fun j -> Sstore ("c", Aff (k, j), gen_int g env 2)), env)
+  | 5 when env.massign <> [] ->
+      let v, ty = Rng.pick g.rng env.massign in
+      ([ Sassign (v, gen_of_ty g env 2 ty) ], env)
+  | 6 when g.cfg.floats -> declare "g" F32 (gen_float g env 2)
+  | 7 ->
+      (* ternary select: data-divergent but still straight-line *)
+      declare "t" I32 (Esel (gen_cond g env, gen_int g env 1, gen_int g env 1))
+  | _ -> declare "t" I32 (gen_int g env 2)
+
 (* -- whole-program generation -- *)
 
 let preamble_env (cfg : cfg) : env =
@@ -467,7 +551,10 @@ let generate ?(cfg = default_cfg) seed : case =
     g.arrays <- [ (name, len, init) ]
   end;
   let budget = Rng.range g.rng 3 cfg.max_stmts in
-  let body, env' = gen_stmts g env ~div:false budget in
+  let body, env' =
+    if cfg.straightline then gen_sl_stmts g env budget
+    else gen_stmts g env ~div:false budget
+  in
   let result = gen_int g env' 2 in
   let fresult = if cfg.floats then Some (gen_float g env' 2) else None in
   let gang = 8 in

@@ -67,11 +67,16 @@ let parse_header (src : string) : subject option =
 
 type config =
   | Vec of string * Parsimony.Options.t  (** Parsimony vectorizer ablations *)
+  | Slp of string * Parsimony.Options.t
+      (** SLP packing of straight-line statement groups (both pairing
+          modes); SPMD functions stay per-thread, only intra-thread
+          isomorphic groups vectorize *)
   | Autovec  (** classic loop auto-vectorization *)
   | Legalized of int  (** vectorize (default), then split to N-lane registers *)
 
 let config_name = function
   | Vec (label, _) -> "vec-" ^ label
+  | Slp (label, _) -> "slp-" ^ label
   | Autovec -> "autovec"
   | Legalized lanes -> Fmt.str "legalize-%d" lanes
 
@@ -87,10 +92,18 @@ let vec_configs =
     Vec ("feedback", { d with analysis_feedback = true });
   ]
 
+let slp_configs =
+  let d = Parsimony.Options.default in
+  [
+    Slp ("greedy", { d with strategy = Parsimony.Options.SlpGreedy });
+    Slp ("opt", { d with strategy = Parsimony.Options.SlpOptimal });
+  ]
+
 let legalize_widths = [ 4; 8; 16 ]
 
 let all_configs =
-  vec_configs @ [ Autovec ] @ List.map (fun w -> Legalized w) legalize_widths
+  vec_configs @ slp_configs @ [ Autovec ]
+  @ List.map (fun w -> Legalized w) legalize_widths
 
 (** Inverse of {!config_name}, for re-triaging a persisted bucket. *)
 let config_of_name name =
@@ -118,6 +131,10 @@ let prepare ?mutate config (scalar : Func.modul) : Func.modul =
       (match mutate with
       | Some mut when label = "default" -> ignore (Mutate.apply mut m)
       | _ -> ());
+      Panalysis.Check.check_module m;
+      Parsimony.Simplify.run_module m
+  | Slp (_, opts) ->
+      ignore (Parsimony.Slp.run_module ~opts m);
       Panalysis.Check.check_module m;
       Parsimony.Simplify.run_module m
   | Autovec ->
@@ -438,12 +455,12 @@ let run_oracles ?mutate (s : subject) : verdict =
                         | got, cycles, instrs -> (
                             match compare_buffers reference got with
                             | Some detail ->
-                                Fail
-                                  {
-                                    bucket = Triage.diff ~config:name;
-                                    config = name;
-                                    detail;
-                                  }
+                                let bucket =
+                                  match config with
+                                  | Slp _ -> Triage.slp ~config:name
+                                  | _ -> Triage.diff ~config:name
+                                in
+                                Fail { bucket; config = name; detail }
                             | None -> (
                                 (* interp agreed with the reference; now
                                    the VM must agree with the interp on

@@ -23,6 +23,11 @@ let exn_tag = function
 (** The vectorized/legalized output differs from the reference. *)
 let diff ~config = "diff:" ^ config
 
+(** The SLP-packed output differs from the reference: its own family so
+    a packing bug never hides in the [diff:] tally of the widening
+    configurations (the CI smoke job requires this family empty). *)
+let slp ~config = "slp:" ^ config
+
 (** A [diff:] failure the translation-validation checker re-triaged
     with a concrete counterexample on [config]'s own kernel: a proven
     miscompile of the transformed code. *)
@@ -33,12 +38,19 @@ let miscompile ~config = "miscompile:" ^ config
     divergence originates outside the transformed kernel. *)
 let costmodel ~config = "costmodel:" ^ config
 
-(** The [diff:] prefix family, for the reducer and the driver. *)
+(** The [diff:]/[slp:] prefix families, for the reducer and the
+    checker-backed re-triage (an SLP mismatch refines to [miscompile:]
+    or [costmodel:] exactly like a widening mismatch). *)
 let diff_config (bucket : string) : string option =
-  let p = "diff:" in
-  if String.length bucket > String.length p && String.sub bucket 0 (String.length p) = p
-  then Some (String.sub bucket (String.length p) (String.length bucket - String.length p))
-  else None
+  let strip p =
+    if
+      String.length bucket > String.length p
+      && String.sub bucket 0 (String.length p) = p
+    then
+      Some (String.sub bucket (String.length p) (String.length bucket - String.length p))
+    else None
+  in
+  match strip "diff:" with Some _ as c -> c | None -> strip "slp:"
 
 (** Oracle machinery raised outside any configuration's compile or
     execute path (sanitizer runner, profile comparison, ...): an

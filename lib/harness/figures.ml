@@ -122,12 +122,16 @@ let figure4 ?pool ?engine ?kernels () : row list =
 (* -- Figure 5: Simd Library suite, normalized to LLVM scalar -- *)
 
 let figure5_raw ?pool ?engine ?(kernels = Registry.all) () : raw list =
+  let slp_opts =
+    { Parsimony.Options.default with strategy = Parsimony.Options.SlpOptimal }
+  in
   let jobs =
     List.concat_map
       (fun (k : Workload.kernel) ->
         [
           (k, Some Runner.Scalar);
           (k, Some Runner.Autovec);
+          (k, Some (Runner.SlpImpl slp_opts));
           (k, Some (Runner.ParsimonyImpl Parsimony.Options.default));
           (k, if k.hand <> None then Some Runner.Hand else None);
         ])
@@ -139,14 +143,15 @@ let figure5_raw ?pool ?engine ?(kernels = Registry.all) () : raw list =
         match impl with Some i -> (Runner.run ?engine k i).cycles | None -> nan)
       jobs
   in
-  reassemble ~width:4 kernels cycles (fun k -> function
-    | [ scalar; auto; pars; hand ] ->
+  reassemble ~width:5 kernels cycles (fun k -> function
+    | [ scalar; auto; slp; pars; hand ] ->
         {
           rkernel = k.kname;
           rcycles =
             [
               ("scalar", scalar);
               ("autovec", auto);
+              ("slp", slp);
               ("parsimony", pars);
               (* nan cycles: no hand implementation for this kernel *)
               ("hand", hand);
@@ -164,6 +169,7 @@ let figure5_rows (raws : raw list) : row list =
         series =
           [
             ("autovec", scalar /. c "autovec");
+            ("slp", scalar /. c "slp");
             ("parsimony", scalar /. c "parsimony");
             (* nan cycles (no hand implementation) stays nan *)
             ("hand", scalar /. c "hand");
@@ -185,13 +191,15 @@ let summary_figure5 rows =
       rows
   in
   let ga = geomean (col "autovec") in
+  let gs = geomean (col "slp") in
   let gp = geomean (col "parsimony") in
   let gh = geomean (col "hand") in
   Fmt.str
-    "autovec geomean %.2fx (paper: 3.46x); parsimony %.2fx (paper: 7.70x); \
-     hand-written %.2fx (paper: 7.91x); parsimony/hand = %.2f (paper: 0.97); \
-     parsimony/autovec = %.2f (paper: 2.23)"
-    ga gp gh (gp /. gh) (gp /. ga)
+    "autovec geomean %.2fx (paper: 3.46x); slp %.2fx (straight-line packing \
+     of the serial source, no SPMD annotations); parsimony %.2fx (paper: \
+     7.70x); hand-written %.2fx (paper: 7.91x); parsimony/hand = %.2f \
+     (paper: 0.97); parsimony/autovec = %.2f (paper: 2.23)"
+    ga gs gp gh (gp /. gh) (gp /. ga)
 
 let summary_figure4 rows =
   let col name = List.map (fun r -> List.assoc name r.series) rows in

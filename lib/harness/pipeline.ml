@@ -89,9 +89,19 @@ let compile ?(cfg = default) ~name src :
       stage cfg "check" (fun () -> Panalysis.Check.check_module m);
       let reports =
         if cfg.vectorize then begin
+          (* the strategy option picks the vectorizing pass: the
+             Parsimony SPMD widener, or SLP packing over straight-line
+             regions (SPMD functions keep their gang marker and stay
+             per-thread; only intra-thread statement groups pack) *)
           let reports =
-            stage cfg "vectorize" (fun () ->
-                Parsimony.Vectorizer.run_module ~opts:cfg.opts m)
+            match cfg.opts.Parsimony.Options.strategy with
+            | Parsimony.Options.Parsimony ->
+                stage cfg "vectorize" (fun () ->
+                    Parsimony.Vectorizer.run_module ~opts:cfg.opts m)
+            | Parsimony.Options.SlpGreedy | Parsimony.Options.SlpOptimal ->
+                stage cfg "vectorize" (fun () ->
+                    ignore (Parsimony.Slp.run_module ~opts:cfg.opts m);
+                    [])
           in
           dump_after cfg m "vectorize";
           stage cfg "recheck" (fun () -> Panalysis.Check.check_module m);

@@ -7,12 +7,16 @@ open Psimdlib
 type impl =
   | Scalar  (** serial source, vectorization disabled *)
   | Autovec  (** serial source through the loop auto-vectorizer *)
+  | SlpImpl of Parsimony.Options.t
+      (** serial source through the SLP packer (globally-optimized
+          pairing unless the options say greedy) *)
   | ParsimonyImpl of Parsimony.Options.t  (** psim source through the pass *)
   | Hand  (** hand-written vector IR (intrinsics stand-in) *)
 
 let impl_name = function
   | Scalar -> "scalar"
   | Autovec -> "autovec"
+  | SlpImpl o -> Parsimony.Options.strategy_name o.Parsimony.Options.strategy
   | ParsimonyImpl o ->
       if o.Parsimony.Options.math_lib = "ispc" then "ispc" else "parsimony"
   | Hand -> "hand"
@@ -71,6 +75,10 @@ let build_module (k : Workload.kernel) (impl : impl) : Pir.Func.modul =
     | Autovec ->
         let m = Compile_cache.compile ~name:k.kname k.serial_src in
         ignore (Pautovec.Autovec.run_module m);
+        m
+    | SlpImpl opts ->
+        let m = Compile_cache.compile ~name:k.kname k.serial_src in
+        ignore (Parsimony.Slp.run_module ~opts m);
         m
     | ParsimonyImpl opts ->
         let m = Compile_cache.compile ~name:k.kname k.psim_src in
@@ -159,7 +167,17 @@ let close_enough tol (a : Pmachine.Value.t) (b : Pmachine.Value.t) =
     output buffer disagrees with the scalar reference. *)
 let verify (k : Workload.kernel) : unit =
   let impls =
-    [ Scalar; Autovec; ParsimonyImpl Parsimony.Options.default; ParsimonyImpl Parsimony.Options.ispc ]
+    [
+      Scalar;
+      Autovec;
+      SlpImpl
+        {
+          Parsimony.Options.default with
+          strategy = Parsimony.Options.SlpOptimal;
+        };
+      ParsimonyImpl Parsimony.Options.default;
+      ParsimonyImpl Parsimony.Options.ispc;
+    ]
     @ (if k.hand <> None then [ Hand ] else [])
   in
   let results = List.map (fun i -> run ~check:true k i) impls in

@@ -177,6 +177,10 @@ let opts_of_json j =
       List.fold_left
         (fun (o : Parsimony.Options.t) (k, v) ->
           match (k, v) with
+          | "strategy", Pobs.Json.Str s -> (
+              match Parsimony.Options.strategy_of_string s with
+              | Some strategy -> { o with strategy }
+              | None -> bad "options.strategy: unknown strategy %S" s)
           | "math_lib", Pobs.Json.Str s -> { o with math_lib = s }
           | "shape_analysis", Pobs.Json.Bool b -> { o with shape_analysis = b }
           | "stride_shuffle_bound", Pobs.Json.Int n ->
@@ -190,13 +194,19 @@ let opts_of_json j =
         Parsimony.Options.default kvs
   | Some _ -> bad "options: expected an object"
 
-let builtin_source name =
+(* The SLP strategies compile the kernel's *serial* source (standard
+   scalar code, no SPMD annotations), same as [psimc]'s resolution. *)
+let builtin_source (opts : Parsimony.Options.t) name =
   match
     List.find_opt
       (fun (k : Psimdlib.Workload.kernel) -> k.kname = name)
       (Psimdlib.Registry.all @ Pispc.Suite.all)
   with
-  | Some k -> k.psim_src
+  | Some k -> (
+      match opts.Parsimony.Options.strategy with
+      | Parsimony.Options.Parsimony -> k.psim_src
+      | Parsimony.Options.SlpGreedy | Parsimony.Options.SlpOptimal ->
+          k.serial_src)
   | None -> bad "no such built-in kernel %S" name
 
 let needs_source = function
@@ -215,11 +225,12 @@ let parse_request j : request =
     | None, Some k -> k
     | None, None -> "request"
   in
+  let r_opts = opts_of_json j in
   let r_source =
     match (get_str j "source", kernel) with
     | Some s, Some _ -> ignore s; bad "pass \"source\" or \"kernel\", not both"
     | Some s, None -> s
-    | None, Some k -> builtin_source k
+    | None, Some k -> builtin_source r_opts k
     | None, None ->
         if needs_source r_verb then bad "%s: missing \"source\" or \"kernel\"" r_verb
         else ""
@@ -239,7 +250,7 @@ let parse_request j : request =
     | Some (Pobs.Json.Arr xs) -> xs
     | Some _ -> bad "args: expected an array"
   in
-  { r_id; r_verb; r_name; r_source; r_opts = opts_of_json j; r_engine; r_entry; r_args }
+  { r_id; r_verb; r_name; r_source; r_opts; r_engine; r_entry; r_args }
 
 (* -- verb handlers (pure: request -> deterministic result JSON) -- *)
 

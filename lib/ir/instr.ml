@@ -206,35 +206,77 @@ let uses_of_op op =
     (function Var v -> Some v | Const _ -> None)
     (operands_of_op op)
 
-(** Rebuild an operation with its operands rewritten by [f] (in order). *)
+(** Rebuild an operation with its operands rewritten by [f], applied in
+    [operands_of_op] order.  The explicit let-bindings matter: OCaml
+    evaluates constructor arguments right to left, so [Ibin (k, f a, f b)]
+    would call [f] on [b] first — visible to stateful rewriters (the SLP
+    emitter threads a column list through [f]). *)
 let map_operands f op =
   match op with
-  | Ibin (k, a, b) -> Ibin (k, f a, f b)
-  | Fbin (k, a, b) -> Fbin (k, f a, f b)
+  | Ibin (k, a, b) ->
+      let a = f a in
+      Ibin (k, a, f b)
+  | Fbin (k, a, b) ->
+      let a = f a in
+      Fbin (k, a, f b)
   | Iun (k, a) -> Iun (k, f a)
   | Fun (k, a) -> Fun (k, f a)
-  | Icmp (k, a, b) -> Icmp (k, f a, f b)
-  | Fcmp (k, a, b) -> Fcmp (k, f a, f b)
-  | Select (a, b, c) -> Select (f a, f b, f c)
+  | Icmp (k, a, b) ->
+      let a = f a in
+      Icmp (k, a, f b)
+  | Fcmp (k, a, b) ->
+      let a = f a in
+      Fcmp (k, a, f b)
+  | Select (a, b, c) ->
+      let a = f a in
+      let b = f b in
+      Select (a, b, f c)
   | Cast (k, a, t) -> Cast (k, f a, t)
   | Alloca _ -> op
   | Load p -> Load (f p)
-  | Store (v, p) -> Store (f v, f p)
-  | Gep (p, i) -> Gep (f p, f i)
+  | Store (v, p) ->
+      let v = f v in
+      Store (v, f p)
+  | Gep (p, i) ->
+      let p = f p in
+      Gep (p, f i)
   | Call (n, args) -> Call (n, List.map f args)
   | Phi inc -> Phi (List.map (fun (l, v) -> (l, f v)) inc)
   | Splat (a, n) -> Splat (f a, n)
-  | VLoad (p, m) -> VLoad (f p, Option.map f m)
-  | VStore (v, p, m) -> VStore (f v, f p, Option.map f m)
-  | Gather (b, i, m) -> Gather (f b, f i, Option.map f m)
-  | Scatter (v, b, i, m) -> Scatter (f v, f b, f i, Option.map f m)
-  | Shuffle (a, b, idx) -> Shuffle (f a, f b, idx)
-  | ShuffleDyn (a, b) -> ShuffleDyn (f a, f b)
-  | ExtractLane (v, i) -> ExtractLane (f v, f i)
-  | InsertLane (v, x, i) -> InsertLane (f v, f x, f i)
+  | VLoad (p, m) ->
+      let p = f p in
+      VLoad (p, Option.map f m)
+  | VStore (v, p, m) ->
+      let v = f v in
+      let p = f p in
+      VStore (v, p, Option.map f m)
+  | Gather (b, i, m) ->
+      let b = f b in
+      let i = f i in
+      Gather (b, i, Option.map f m)
+  | Scatter (v, b, i, m) ->
+      let v = f v in
+      let b = f b in
+      let i = f i in
+      Scatter (v, b, i, Option.map f m)
+  | Shuffle (a, b, idx) ->
+      let a = f a in
+      Shuffle (a, f b, idx)
+  | ShuffleDyn (a, b) ->
+      let a = f a in
+      ShuffleDyn (a, f b)
+  | ExtractLane (v, i) ->
+      let v = f v in
+      ExtractLane (v, f i)
+  | InsertLane (v, x, i) ->
+      let v = f v in
+      let x = f x in
+      InsertLane (v, x, f i)
   | Reduce (k, a) -> Reduce (k, f a)
   | FirstLane a -> FirstLane (f a)
-  | Psadbw (a, b) -> Psadbw (f a, f b)
+  | Psadbw (a, b) ->
+      let a = f a in
+      Psadbw (a, f b)
 
 let map_term_operands f = function
   | Br l -> Br l

@@ -96,6 +96,41 @@ let spmd_spec ~width ~extent ~slack (f : Func.t) : pspec list =
         | ty -> invalid_arg (Fmt.str "Equiv.spmd_spec: parameter of type %a" Types.pp ty))
     f.Func.params
 
+(** Input specification for one invocation of a serial (non-SPMD)
+    function — the reference side of SLP validation.  Pointer
+    parameters get the same symbolic windows as {!spmd_spec}; integer
+    scalars are bounded to [0 .. extent] because a serial kernel's
+    scalars are element counts and small offsets, and trip counts past
+    the modeled window would only add vacuous cases. *)
+let serial_spec ~extent ~slack (f : Func.t) : pspec list =
+  List.mapi
+    (fun i (_, ty) ->
+      let name = Fmt.str "a%d" i in
+      match ty with
+      | Types.Ptr s ->
+          Buf
+            {
+              bname = name;
+              bkind = s;
+              lo = -slack;
+              len = extent + (2 * slack);
+              init = (fun _ -> Csym);
+            }
+      | Types.Scalar s when Types.is_float_scalar s ->
+          Sfloat { sname = name; skind = s; sdom = float_palette }
+      | Types.Scalar s ->
+          Sint
+            {
+              sname = name;
+              skind = s;
+              sdom =
+                Array.init (extent + 1) (fun k ->
+                    Ints.norm (Types.scalar_bits s) (Int64.of_int k));
+            }
+      | ty ->
+          invalid_arg (Fmt.str "Equiv.serial_spec: parameter of type %a" Types.pp ty))
+    f.Func.params
+
 (* -- verdicts -- *)
 
 type counterexample = {

@@ -197,6 +197,22 @@ let test_cache_key_sensitivity () =
   distinct "options change key"
     (base ~opts:{ Parsimony.Options.default with boscc = true } ());
   distinct "math lib changes key" (base ~opts:Parsimony.Options.ispc ());
+  distinct "strategy changes key"
+    (base
+       ~opts:
+         {
+           Parsimony.Options.default with
+           strategy = Parsimony.Options.SlpOptimal;
+         }
+       ());
+  distinct "slp pairing mode changes key"
+    (base
+       ~opts:
+         {
+           Parsimony.Options.default with
+           strategy = Parsimony.Options.SlpGreedy;
+         }
+       ());
   Alcotest.(check bool) "default opts equal default key" true
     (base ~opts:Parsimony.Options.default () = k0);
   distinct "cost model changes key" (base ~model_id:"sim-512bit-deadbeef" ());
@@ -305,6 +321,27 @@ let test_serve_protocol () =
       Alcotest.(check bool) "second compile cached" true (member_bool r2 "cached");
       Alcotest.(check bool) "cached result identical" true
         (Pobs.Json.member "result" r1 = Pobs.Json.member "result" r2);
+      (* the same kernel under the SLP strategy must miss: the strategy
+         leads the options fingerprint, so the cache can never serve a
+         parsimony build for an SLP request *)
+      let slp_req id =
+        Pobs.Json.Obj
+          [
+            ("id", Pobs.Json.Int id);
+            ("verb", Pobs.Json.Str "compile");
+            ("name", Pobs.Json.Str "saxpy");
+            ("source", Pobs.Json.Str saxpy_src);
+            ( "options",
+              Pobs.Json.Obj [ ("strategy", Pobs.Json.Str "slp") ] );
+          ]
+      in
+      let r3 = Result.get_ok (Pharness.Loadgen.rpc c (slp_req 9)) in
+      Alcotest.(check bool) "slp compile ok" true (member_bool r3 "ok");
+      Alcotest.(check bool) "slp request not served the parsimony build"
+        false (member_bool r3 "cached");
+      let r4 = Result.get_ok (Pharness.Loadgen.rpc c (slp_req 10)) in
+      Alcotest.(check bool) "repeated slp request hits its own entry" true
+        (member_bool r4 "cached");
       (* exec runs the kernel and reports simulated cycles *)
       let r =
         Result.get_ok
@@ -344,7 +381,7 @@ let test_serve_protocol () =
       let snap = Option.get (Pobs.Json.member "result" r) in
       Alcotest.(check bool) "request counter scraped" true
         (Pharness.Loadgen.metric_series snap "serve.requests" <> []);
-      Alcotest.(check int) "cache hits gauge" 1
+      Alcotest.(check int) "cache hits gauge" 2
         (Pharness.Loadgen.metric_value snap "serve.cache.hits");
       Alcotest.(check bool) "uptime gauge present" true
         (Pharness.Loadgen.metric_series snap "process.uptime_s" <> []);
